@@ -1,0 +1,521 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sec. V) at laptop scale.
+
+   Usage:
+     dune exec bench/main.exe                 # every experiment
+     dune exec bench/main.exe -- fig9 fig10   # a subset
+     dune exec bench/main.exe -- --quick all  # smoke-test scales
+
+   Experiments: table1 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+                ablation micro
+
+   Absolute numbers differ from the paper (its testbed is a 4-machine
+   Spark cluster; ours is a simulated cluster on one machine) — the
+   comparisons of interest are the *relative* ones: which system wins,
+   by what factor, and where engines fail. See EXPERIMENTS.md. *)
+
+module Rel = Relation.Rel
+module Term = Mura.Term
+module S = Harness.Systems
+module Q = Harness.Queries
+module R = Harness.Runner
+module G = Graphgen.Generators
+
+let quick = ref false
+let timeout = ref 60.
+let sc full small = if !quick then small else full
+
+(* shared fact budget for the memory-failure experiments: each engine
+   fails honestly when ITS plan materialises more than this *)
+let fact_budget () = sc 3_000_000 1_000_000
+let myria_budget () = sc 400_000 60_000
+let graphx_budget () = sc 2_000_000 200_000
+
+let section name = Printf.printf "\n######## %s ########\n%!" name
+
+let heading fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt
+
+let tuples_col =
+  ( "tuples",
+    fun (o : S.outcome) ->
+      match o with S.Success s -> string_of_int s.result_size | _ -> "-" )
+
+(* Per-class geometric-mean summary, the aggregate behind the paper's
+   per-class conclusions. Failures and timeouts are counted at the
+   timeout value. *)
+let class_summary ~systems (rows : R.row list) (specs : Q.spec list) =
+  let time_of = function
+    | S.Success s -> s.wall_s
+    | S.Failed _ | S.Timeout _ -> !timeout
+  in
+  heading "\nper-class geometric mean of running times (s); failures counted as %gs:" !timeout;
+  heading "%-6s %5s  %s" "class" "#q"
+    (String.concat "  " (List.map (fun (s : S.system) -> Printf.sprintf "%18s" s.name) systems));
+  List.iter
+    (fun cls ->
+      let in_class =
+        List.filter_map
+          (fun (q : Q.spec) ->
+            if List.mem cls q.classes then
+              List.find_opt
+                (fun (r : R.row) ->
+                  String.length r.label >= String.length q.id
+                  && String.sub r.label 0 (String.length q.id) = q.id
+                  && (String.length r.label = String.length q.id
+                     || r.label.[String.length q.id] = ' '))
+                rows
+            else None)
+          specs
+      in
+      if in_class <> [] then begin
+        let geo name =
+          let l =
+            List.map
+              (fun (r : R.row) ->
+                match List.assoc_opt name r.cells with
+                | Some o -> Float.log (Float.max 1e-4 (time_of o))
+                | None -> 0.)
+              in_class
+          in
+          Float.exp (List.fold_left ( +. ) 0. l /. float_of_int (List.length l))
+        in
+        heading "%-6s %5d  %s" (Q.class_name cls) (List.length in_class)
+          (String.concat "  "
+             (List.map (fun (s : S.system) -> Printf.sprintf "%18.3f" (geo s.name)) systems))
+      end)
+    [ Q.C1; Q.C2; Q.C3; Q.C4; Q.C5; Q.C6 ]
+
+(* ------------------------------------------------------------------ *)
+(* Table I: datasets (edges, nodes, TC size)                           *)
+(* ------------------------------------------------------------------ *)
+
+module Table1 = struct
+  let count_nodes g =
+    let seen = Hashtbl.create 1024 in
+    Rel.iter
+      (fun tu ->
+        Hashtbl.replace seen tu.(0) ();
+        Hashtbl.replace seen tu.(Array.length tu - 1) ())
+      g;
+    Hashtbl.length seen
+
+  let tc_size g =
+    let stats = Mura.Eval.fresh_stats () in
+    let r =
+      Mura.Eval.eval ~stats (Mura.Eval.env [ ("E", g) ]) (Mura.Patterns.closure (Term.Rel "E"))
+    in
+    Rel.cardinal r
+
+  let run () =
+    section "Table I — real and synthetic graphs (scaled 1:10)";
+    let f = sc 1 4 in
+    let rnd =
+      [
+        ("rnd_1k_0.004", 1000 / f, 0.004);
+        ("rnd_1k_0.01", 1000 / f, 0.01);
+        ("rnd_1k5_0.0067", 1500 / f, 0.0067);
+        ("rnd_2k_0.005", 2000 / f, 0.005);
+        ("rnd_800_0.05", 800 / f, 0.05);
+      ]
+    in
+    heading "%-16s %10s %10s %14s" "dataset" "edges" "nodes" "TC size";
+    List.iter
+      (fun (name, nodes, p) ->
+        let g = G.erdos_renyi ~seed:13 ~nodes ~p () in
+        heading "%-16s %10d %10d %14d" name (Rel.cardinal g) (count_nodes g) (tc_size g))
+      rnd;
+    List.iter
+      (fun (name, nodes) ->
+        let g = G.random_tree ~seed:14 ~nodes () in
+        heading "%-16s %10d %10d %14d" name (Rel.cardinal g) (count_nodes g) (tc_size g))
+      [ ("tree_1k", 1000 / f); ("tree_15k", 15_000 / f) ];
+    (* SNAP-like scale-free stand-ins (the paper's Facebook/DBLP rows) *)
+    List.iter
+      (fun (name, nodes) ->
+        let g = G.preferential_attachment ~seed:16 ~nodes ~edges_per_node:2 () in
+        heading "%-16s %10d %10d %14d" name (Rel.cardinal g) (count_nodes g) (tc_size g))
+      [ ("pa_facebook_like", 2_000 / f); ("pa_dblp_like", 6_000 / f) ];
+    List.iter
+      (fun (name, scale) ->
+        let g = Graphgen.Uniprot_like.generate ~seed:15 ~scale () in
+        heading "%-16s %10d %10d %14s" name (Rel.cardinal g) (count_nodes g) "-")
+      [
+        ("uniprot_10k", 10_000 / f);
+        ("uniprot_50k", 50_000 / f);
+        ("uniprot_100k", 100_000 / f);
+      ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Yago experiments (Figs. 7 and 9)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let yago_graph = lazy (Graphgen.Yago_like.generate ~seed:42 ~scale:(sc 8_000 1_000) ())
+
+let yago_workloads picks =
+  let g = Lazy.force yago_graph in
+  List.filter_map
+    (fun (q : Q.spec) ->
+      if picks = [] || List.mem q.id picks then
+        Some
+          ( Printf.sprintf "%-4s [%s]" q.id (String.concat "," (List.map Q.class_name q.classes)),
+            S.of_ucrpq g q.text )
+      else None)
+    Q.yago
+
+module Fig7 = struct
+  (* P_plw implementations compared: SetRDD vs local-database backend *)
+  let run () =
+    section "Fig. 7 — P_plw implementations (SetRDD vs local DB) on Yago";
+    heading "graph: %d labelled edges" (Rel.cardinal (Lazy.force yago_graph));
+    let systems = [ S.dist_mu_ra_plw `Setrdd; S.dist_mu_ra_plw `Postgres ] in
+    let picks = [ "Q1"; "Q2"; "Q4"; "Q8"; "Q12"; "Q19"; "Q22"; "Q24" ] in
+    let rows = R.run_matrix ~timeout_s:!timeout ~systems (yago_workloads picks) in
+    R.print_table ~title:"running times (s)"
+      ~columns:(List.map (fun (s : S.system) -> s.name) systems)
+      rows
+end
+
+module Fig9 = struct
+  let run () =
+    section "Fig. 9 — running times on Yago (25 queries, all systems)";
+    heading "graph: %d labelled edges, timeout %gs" (Rel.cardinal (Lazy.force yago_graph)) !timeout;
+    let systems =
+      [
+        S.centralized_mu_ra ();
+        S.dist_mu_ra ~max_tuples:(fact_budget ()) ();
+        S.dist_mu_ra_gld ~max_tuples:(fact_budget ()) ();
+        S.bigdatalog ~max_facts:(fact_budget ()) ();
+        S.graphx ~max_state:(graphx_budget ()) ();
+      ]
+    in
+    let rows = R.run_matrix ~timeout_s:!timeout ~systems (yago_workloads []) in
+    R.print_table ~title:"running times (s)" ~extra:[ tuples_col ]
+      ~columns:(List.map (fun (s : S.system) -> s.name) systems)
+      rows;
+    class_summary ~systems rows Q.yago
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 10: concatenated closures a1+/.../an+                          *)
+(* ------------------------------------------------------------------ *)
+
+module Fig10 = struct
+  let labels = List.init 10 (fun i -> Printf.sprintf "a%d" (i + 1))
+
+  let run () =
+    section "Fig. 10 — concatenated closures a1+/../an+";
+    let nodes = sc 500 150 in
+    let base = G.erdos_renyi ~seed:19 ~nodes ~p:(30. /. float_of_int nodes) () in
+    let g = G.add_labels ~seed:20 ~labels base in
+    heading "graph: %d nodes, %d labelled edges (10 labels)" nodes (Rel.cardinal g);
+    let systems =
+      [
+        S.dist_mu_ra ~max_tuples:(fact_budget ()) ();
+        S.centralized_mu_ra ();
+        S.bigdatalog ~max_facts:(fact_budget ()) ();
+        S.graphx ~max_state:(graphx_budget ()) ();
+      ]
+    in
+    let workloads =
+      List.filter_map
+        (fun n ->
+          if n >= 2 then
+            let ls = List.filteri (fun i _ -> i < n) labels in
+            Some (Printf.sprintf "n=%d" n, S.of_ucrpq g (Q.concat_closure ~labels:ls))
+          else None)
+        [ 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    in
+    let rows = R.run_matrix ~timeout_s:!timeout ~systems workloads in
+    R.print_table ~title:"running times (s)"
+      ~columns:(List.map (fun (s : S.system) -> s.name) systems)
+      rows
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 11: non-regular mu-RA queries vs BigDatalog                    *)
+(* ------------------------------------------------------------------ *)
+
+module Fig11 = struct
+  let run () =
+    section "Fig. 11 — mu-RA queries (a^n b^n, same generation, reach)";
+    let systems = [ S.dist_mu_ra (); S.bigdatalog () ] in
+    let t1 = G.random_tree ~seed:21 ~nodes:(sc 2_000 300) () in
+    let t2 = G.random_tree ~seed:22 ~nodes:(sc 8_000 600) () in
+    let er_nodes = sc 1_500 300 in
+    let er = G.erdos_renyi ~seed:23 ~nodes:er_nodes ~p:(6. /. float_of_int er_nodes) () in
+    let anbn_nodes = sc 800 200 in
+    let anbn_graph =
+      G.add_labels ~seed:24 ~labels:[ "a"; "b" ]
+        (G.erdos_renyi ~seed:25 ~nodes:anbn_nodes ~p:(5. /. float_of_int anbn_nodes) ())
+    in
+    let workloads =
+      [
+        ("same_gen tree_2k", Q.same_generation_workload t1);
+        ("same_gen tree_8k", Q.same_generation_workload t2);
+        ("same_gen rnd_1k5", Q.same_generation_workload er);
+        ("reach rnd_1k5", Q.reach_workload er (Relation.Value.of_int 0));
+        ("reach tree_8k", Q.reach_workload t2 (Relation.Value.of_int 0));
+        ("anbn rnd_800", Q.anbn_workload anbn_graph ~a:"a" ~b:"b");
+      ]
+    in
+    let rows = R.run_matrix ~timeout_s:!timeout ~systems workloads in
+    R.print_table ~title:"running times (s)"
+      ~columns:(List.map (fun (s : S.system) -> s.name) systems)
+      rows
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 12: Myria comparison on same generation                        *)
+(* ------------------------------------------------------------------ *)
+
+module Fig12 = struct
+  let run () =
+    section "Fig. 12 — Myria vs Dist-mu-RA on same generation";
+    let systems = [ S.dist_mu_ra (); S.myria ~max_facts:(myria_budget ()) () ] in
+    let workloads =
+      [
+        ("tree_1k", Q.same_generation_workload (G.random_tree ~seed:26 ~nodes:(sc 1_000 200) ()));
+        ("tree_4k", Q.same_generation_workload (G.random_tree ~seed:27 ~nodes:(sc 4_000 400) ()));
+        ( "rnd_1k_0.005",
+          let n = sc 1_000 200 in
+          Q.same_generation_workload (G.erdos_renyi ~seed:28 ~nodes:n ~p:(5. /. float_of_int n) ())
+        );
+      ]
+    in
+    let rows = R.run_matrix ~timeout_s:!timeout ~systems workloads in
+    R.print_table ~title:"running times (s); 'fail' = memory budget exceeded"
+      ~columns:(List.map (fun (s : S.system) -> s.name) systems)
+      rows
+end
+
+(* ------------------------------------------------------------------ *)
+(* Uniprot experiments (Figs. 13, 14, 8)                               *)
+(* ------------------------------------------------------------------ *)
+
+let uniprot_workloads graph =
+  List.map
+    (fun (q : Q.spec) ->
+      ( Printf.sprintf "%-4s [%s]" q.id (String.concat "," (List.map Q.class_name q.classes)),
+        S.of_ucrpq graph q.text ))
+    (Q.uniprot graph)
+
+module Fig13 = struct
+  let run () =
+    section "Fig. 13 — running times on Uniprot (24 queries)";
+    let g = Graphgen.Uniprot_like.generate ~seed:31 ~scale:(sc 15_000 2_500) () in
+    heading "graph: %d labelled edges, timeout %gs" (Rel.cardinal g) !timeout;
+    let systems =
+      [
+        S.dist_mu_ra ~max_tuples:(fact_budget ()) ();
+        S.bigdatalog ~max_facts:(fact_budget ()) ();
+        S.graphx ~max_state:(graphx_budget ()) ();
+      ]
+    in
+    let rows = R.run_matrix ~timeout_s:!timeout ~systems (uniprot_workloads g) in
+    R.print_table ~title:"running times (s)" ~extra:[ tuples_col ]
+      ~columns:(List.map (fun (s : S.system) -> s.name) systems)
+      rows;
+    class_summary ~systems rows (Q.uniprot g)
+end
+
+module Fig14 = struct
+  let run () =
+    section "Fig. 14 — Myria vs Dist-mu-RA on a small Uniprot graph";
+    let g = Graphgen.Uniprot_like.generate ~seed:32 ~scale:(sc 4_000 1_000) () in
+    heading "graph: %d labelled edges" (Rel.cardinal g);
+    let systems = [ S.dist_mu_ra (); S.myria ~max_facts:(myria_budget ()) () ] in
+    let rows = R.run_matrix ~timeout_s:!timeout ~systems (uniprot_workloads g) in
+    R.print_table ~title:"running times (s); Myria fails when a closure exceeds its budget"
+      ~columns:(List.map (fun (s : S.system) -> s.name) systems)
+      rows
+end
+
+module Fig8 = struct
+  let run () =
+    section "Fig. 8 — Uniprot scalability (Dist-mu-RA vs BigDatalog)";
+    let systems =
+      [
+        S.dist_mu_ra ~max_tuples:(fact_budget ()) ();
+        S.bigdatalog ~max_facts:(fact_budget ()) ();
+      ]
+    in
+    let scales = [ sc 8_000 1_500; sc 15_000 2_500; sc 30_000 4_000 ] in
+    let blocks =
+      List.map
+        (fun scale ->
+          let g = Graphgen.Uniprot_like.generate ~seed:33 ~scale () in
+          let rows = R.run_matrix ~timeout_s:!timeout ~systems (uniprot_workloads g) in
+          (string_of_int (Rel.cardinal g) ^ " edges", rows))
+        scales
+    in
+    R.print_series ~title:"running times per graph size" ~x_label:"graph" blocks;
+    (* failure counts, the paper's headline for this figure *)
+    List.iter
+      (fun (x, rows) ->
+        let failures name =
+          List.length
+            (List.filter
+               (fun (r : R.row) ->
+                 match List.assoc_opt name r.cells with
+                 | Some (S.Failed _) | Some (S.Timeout _) -> true
+                 | _ -> false)
+               rows)
+        in
+        heading "%s: Dist-mu-RA failures %d/24, BigDatalog failures %d/24" x
+          (failures "Dist-mu-RA") (failures "BigDatalog"))
+      blocks
+end
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Ablation = struct
+  let rewriting () =
+    heading "--- A1: logical rewriting on/off (per query class) ---";
+    let systems = [ S.dist_mu_ra (); S.dist_mu_ra_unopt () ] in
+    let picks = [ "Q9"; "Q22"; "Q24"; "Q19"; "Q1"; "Q13" ] in
+    let rows = R.run_matrix ~timeout_s:!timeout ~systems (yago_workloads picks) in
+    R.print_table ~title:"running times (s)"
+      ~columns:(List.map (fun (s : S.system) -> s.name) systems)
+      rows
+
+  let partitioning () =
+    heading "--- A2: stable-column repartitioning on/off (shuffle volume) ---";
+    let nodes = sc 3_000 500 in
+    let g = G.erdos_renyi ~seed:35 ~nodes ~p:(3. /. float_of_int nodes) () in
+    let closure = Mura.Patterns.closure (Term.Rel "E") in
+    let measure stable_partitioning =
+      let cluster = Distsim.Cluster.make ~workers:4 () in
+      let config =
+        {
+          (Physical.Exec.default_config cluster) with
+          force_plan = Some Physical.Exec.P_plw_s;
+          use_stable_partitioning = stable_partitioning;
+        }
+      in
+      let ctx = Physical.Exec.session config [ ("E", g) ] in
+      ignore (Physical.Exec.exec_dds ctx (Term.Rel "E"));
+      let m = Distsim.Cluster.metrics cluster in
+      let s0 = m.Distsim.Metrics.shuffles and r0 = m.Distsim.Metrics.shuffled_records in
+      let t0 = Unix.gettimeofday () in
+      let result = Physical.Exec.run ctx closure in
+      let t = Unix.gettimeofday () -. t0 in
+      (Rel.cardinal result, t, m.Distsim.Metrics.shuffles - s0, m.Distsim.Metrics.shuffled_records - r0)
+    in
+    let on_tuples, on_t, on_sh, on_rec = measure true in
+    let off_tuples, off_t, off_sh, off_rec = measure false in
+    heading "%-22s %10s %10s %10s %14s" "variant" "tuples" "time(s)" "shuffles" "records moved";
+    heading "%-22s %10d %10.3f %10d %14d" "repartition by src" on_tuples on_t on_sh on_rec;
+    heading "%-22s %10d %10.3f %10d %14d" "no repartitioning" off_tuples off_t off_sh off_rec
+
+  let run () =
+    section "Ablations (design choices of DESIGN.md)";
+    rewriting ();
+    partitioning ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (bechamel)                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Micro = struct
+  open Bechamel
+  open Toolkit
+
+  let chain_rel n =
+    Rel.of_tuples
+      (Relation.Schema.of_list [ "src"; "trg" ])
+      (List.init n (fun i -> [| i; i + 1 |]))
+
+  let tests () =
+    let r1k = chain_rel 1000 in
+    let r1k' = Rel.rename [ ("src", "trg"); ("trg", "nxt") ] (chain_rel 1000) in
+    let er = G.erdos_renyi ~seed:40 ~nodes:400 ~p:0.01 () in
+    let cluster = Distsim.Cluster.make ~workers:4 () in
+    [
+      Test.make ~name:"tset-add-10k"
+        (Staged.stage (fun () ->
+             let s = Relation.Tset.create () in
+             for i = 0 to 9_999 do
+               ignore (Relation.Tset.add s [| i; i * 7 |])
+             done));
+      Test.make ~name:"hash-join-1kx1k"
+        (Staged.stage (fun () -> ignore (Rel.natural_join r1k r1k')));
+      Test.make ~name:"closure-er400"
+        (Staged.stage (fun () ->
+             ignore
+               (Mura.Eval.eval (Mura.Eval.env [ ("E", er) ])
+                  (Mura.Patterns.closure (Term.Rel "E")))));
+      Test.make ~name:"dds-repartition-1k"
+        (Staged.stage (fun () ->
+             ignore (Distsim.Dds.repartition ~by:[ "trg" ] (Distsim.Dds.of_rel ~by:[ "src" ] cluster r1k))));
+      Test.make ~name:"localdb-closure-chain300"
+        (Staged.stage (fun () ->
+             let db = Localdb.Instance.create () in
+             Localdb.Instance.register db "E" (chain_rel 300);
+             ignore (Localdb.Instance.query db (Mura.Patterns.closure (Term.Rel "E")))));
+    ]
+
+  let run () =
+    section "Micro-benchmarks (bechamel: ns per run)";
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second (sc 1.0 0.25)) ~kde:(Some 10) () in
+    List.iter
+      (fun test ->
+        let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+        let results = Analyze.all ols Instance.monotonic_clock results in
+        Hashtbl.iter
+          (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> heading "%-28s %12.0f ns/run" name est
+            | _ -> heading "%-28s (no estimate)" name)
+          results)
+      (tests ())
+end
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", Table1.run);
+    ("fig7", Fig7.run);
+    ("fig9", Fig9.run);
+    ("fig10", Fig10.run);
+    ("fig11", Fig11.run);
+    ("fig12", Fig12.run);
+    ("fig13", Fig13.run);
+    ("fig14", Fig14.run);
+    ("fig8", Fig8.run);
+    ("ablation", Ablation.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--quick" -> quick := true
+        | "--timeout" -> ()
+        | arg when String.length arg > 10 && String.sub arg 0 10 = "--timeout=" ->
+          timeout := float_of_string (String.sub arg 10 (String.length arg - 10))
+        | "all" -> requested := List.map fst experiments @ !requested
+        | name when List.mem_assoc name experiments -> requested := name :: !requested
+        | other ->
+          Printf.eprintf "unknown experiment %S (known: %s, all, --quick, --timeout=S)\n" other
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+    Sys.argv;
+  let to_run = if !requested = [] then List.map fst experiments else List.rev !requested in
+  if !quick then timeout := Float.min !timeout 5.;
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun name -> (List.assoc name experiments) ()) to_run;
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,1 @@
+bin/gengraph.ml: Array Graphgen Printf Relation String Sys

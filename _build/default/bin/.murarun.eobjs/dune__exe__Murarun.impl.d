@@ -1,0 +1,1 @@
+bin/murarun.ml: Arg Cmd Cmdliner Cost Distsim Filename Graphgen Harness List Mura Physical Printf Relation Rewrite Rpq String Term

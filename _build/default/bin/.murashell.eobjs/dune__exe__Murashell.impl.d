@@ -1,0 +1,1 @@
+bin/murashell.ml: Cost Distsim Graphgen List Mura Physical Printf Relation Rewrite Rpq String Unix

@@ -1,0 +1,42 @@
+(* gengraph — write synthetic datasets to edge-list files.
+
+   Examples:
+     gengraph yago:5000 yago.nt
+     gengraph er:10000:0.001 rnd.edges
+     gengraph tree:150000 tree.edges
+     gengraph uniprot:1000000 uniprot.nt *)
+
+let usage () =
+  prerr_endline
+    "usage: gengraph SPEC FILE\n\
+     SPEC: yago:SCALE | uniprot:SCALE | er:NODES:P | tree:NODES | pa:NODES\n\
+     optional third argument: a comma-separated label list to decorate\n\
+     unlabelled graphs (er/tree/pa)";
+  exit 1
+
+let () =
+  match Sys.argv with
+  | [| _; spec; file |] | [| _; spec; file; _ |] ->
+    let labels =
+      if Array.length Sys.argv = 4 then Some (String.split_on_char ',' Sys.argv.(3)) else None
+    in
+    let graph =
+      match String.split_on_char ':' spec with
+      | [ "yago"; scale ] -> Graphgen.Yago_like.generate ~scale:(int_of_string scale) ()
+      | [ "uniprot"; scale ] -> Graphgen.Uniprot_like.generate ~scale:(int_of_string scale) ()
+      | [ "er"; nodes; p ] ->
+        Graphgen.Generators.erdos_renyi ~nodes:(int_of_string nodes) ~p:(float_of_string p) ()
+      | [ "tree"; nodes ] -> Graphgen.Generators.random_tree ~nodes:(int_of_string nodes) ()
+      | [ "pa"; nodes ] ->
+        Graphgen.Generators.preferential_attachment ~nodes:(int_of_string nodes) ()
+      | _ -> usage ()
+    in
+    let graph =
+      match labels with
+      | Some l when Relation.Schema.arity (Relation.Rel.schema graph) = 2 ->
+        Graphgen.Generators.add_labels ~labels:l graph
+      | _ -> graph
+    in
+    Relation.Rel_io.save file graph;
+    Printf.printf "wrote %d tuples to %s\n" (Relation.Rel.cardinal graph) file
+  | _ -> usage ()

@@ -1,0 +1,140 @@
+(* murarun — run a UCRPQ on a graph with any of the supported engines.
+
+   Examples:
+     murarun --gen yago:2000 --query "?x <- ?x isLocatedIn+ Japan"
+     murarun --graph edges.txt --query "?x, ?y <- ?x a+/b ?y" --system bigdatalog
+     murarun --gen er:10000:0.001 --labels a,b --query "?x, ?y <- ?x a+/b+ ?y" --all *)
+
+open Cmdliner
+module S = Harness.Systems
+module R = Harness.Runner
+
+let load_graph gen graph_file labels =
+  let base =
+    match (gen, graph_file) with
+    | Some spec, _ -> (
+      match String.split_on_char ':' spec with
+      | [ "yago"; scale ] -> Graphgen.Yago_like.generate ~scale:(int_of_string scale) ()
+      | [ "uniprot"; scale ] -> Graphgen.Uniprot_like.generate ~scale:(int_of_string scale) ()
+      | [ "er"; nodes; p ] ->
+        Graphgen.Generators.erdos_renyi ~nodes:(int_of_string nodes) ~p:(float_of_string p) ()
+      | [ "tree"; nodes ] -> Graphgen.Generators.random_tree ~nodes:(int_of_string nodes) ()
+      | _ -> failwith "unknown generator spec (yago:N | uniprot:N | er:N:P | tree:N)")
+    | None, Some file ->
+      if Filename.check_suffix file ".nt" then Relation.Rel_io.load_labelled_edges file
+      else (
+        (* sniff: 3 fields = labelled *)
+        try Relation.Rel_io.load_labelled_edges file
+        with Failure _ -> Relation.Rel_io.load_edges file)
+    | None, None -> failwith "provide --graph FILE or --gen SPEC"
+  in
+  match labels with
+  | Some l when Relation.Schema.arity (Relation.Rel.schema base) = 2 ->
+    Graphgen.Generators.add_labels ~labels:(String.split_on_char ',' l) base
+  | _ -> base
+
+let system_of = function
+  | "dist" -> S.dist_mu_ra ()
+  | "gld" -> S.dist_mu_ra_gld ()
+  | "plw-s" -> S.dist_mu_ra_plw `Setrdd
+  | "plw-pg" -> S.dist_mu_ra_plw `Postgres
+  | "central" -> S.centralized_mu_ra ()
+  | "bigdatalog" -> S.bigdatalog ()
+  | "myria" -> S.myria ()
+  | "graphx" -> S.graphx ()
+  | other -> failwith ("unknown system " ^ other)
+
+let run gen graph_file labels query system all_systems workers timeout show explain_only =
+  try
+    let graph = load_graph gen graph_file labels in
+    Printf.printf "graph: %d edges\n" (Relation.Rel.cardinal graph);
+    let w = S.of_ucrpq graph query in
+    if explain_only then begin
+      let term = Rpq.Query.union_to_term (Rpq.Query.parse_union query) in
+      let tables = [ ("E", graph) ] in
+      let tenv = Mura.Typing.env [ ("E", Relation.Rel.schema graph) ] in
+      let stats = Cost.Stats.of_tables tables in
+      let best =
+        Rewrite.Engine.optimize ~max_plans:120 ~cost:(Cost.Estimate.cost stats) tenv term
+      in
+      Printf.printf "\nlogical plan (after rewriting):\n  %s\n\nphysical plan:\n%s"
+        (Mura.Term.to_string best)
+        (Physical.Exec.explain
+           (Physical.Exec.session
+              (Physical.Exec.default_config (Distsim.Cluster.make ~workers ()))
+              tables)
+           best);
+      raise Exit
+    end;
+    let systems =
+      if all_systems then S.all ()
+      else [ (match system with "dist" -> S.dist_mu_ra ~workers () | s -> system_of s) ]
+    in
+    List.iter
+      (fun (sys : S.system) ->
+        match R.run_one ~timeout_s:timeout sys w with
+        | S.Success s ->
+          Printf.printf "%-22s %.3fs  %d tuples  (%d shuffles, %d records moved, %d supersteps)\n"
+            sys.name s.wall_s s.result_size s.shuffles s.shuffled_records s.supersteps
+        | o -> Printf.printf "%-22s %s\n" sys.name (R.cell_text o))
+      systems;
+    if show > 0 then begin
+      (* display a sample of the answers with the reference engine *)
+      let term = Rpq.Query.to_term (Rpq.Query.parse query) in
+      let result = Mura.Eval.eval (Mura.Eval.env [ ("E", graph) ]) term in
+      Printf.printf "\nfirst answers:\n";
+      let n = ref 0 in
+      (try
+         Relation.Rel.iter
+           (fun tu ->
+             if !n >= show then raise Exit;
+             incr n;
+             Printf.printf "  %s\n" (Relation.Tuple.to_string tu))
+           result
+       with Exit -> ())
+    end;
+    0
+  with
+  | Exit -> 0
+  | Failure msg | Rpq.Regex.Parse_error msg | Rpq.Query.Translation_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+
+let () =
+  let gen =
+    Arg.(value & opt (some string) None & info [ "gen" ] ~docv:"SPEC"
+           ~doc:"Generate a graph: yago:N, uniprot:N, er:N:P or tree:N.")
+  in
+  let graph_file =
+    Arg.(value & opt (some file) None & info [ "graph" ] ~docv:"FILE"
+           ~doc:"Edge-list file (2 or 3 whitespace-separated fields per line).")
+  in
+  let labels =
+    Arg.(value & opt (some string) None & info [ "labels" ] ~docv:"L1,L2,..."
+           ~doc:"Decorate an unlabelled graph with random labels.")
+  in
+  let query =
+    Arg.(required & opt (some string) None & info [ "query"; "q" ] ~docv:"UCRPQ"
+           ~doc:"The query, e.g. \"?x <- ?x a+/b Japan\".")
+  in
+  let system =
+    Arg.(value & opt string "dist" & info [ "system"; "s" ] ~docv:"NAME"
+           ~doc:"Engine: dist, gld, plw-s, plw-pg, central, bigdatalog, myria, graphx.")
+  in
+  let all_systems = Arg.(value & flag & info [ "all" ] ~doc:"Run every engine and compare.") in
+  let workers = Arg.(value & opt int 4 & info [ "workers"; "w" ] ~doc:"Cluster size.") in
+  let timeout = Arg.(value & opt float 120. & info [ "timeout" ] ~doc:"Timeout in seconds.") in
+  let show = Arg.(value & opt int 0 & info [ "show" ] ~doc:"Print up to N answers.") in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Show the optimized logical and physical plans instead of executing.")
+  in
+  let term =
+    Term.(
+      const run $ gen $ graph_file $ labels $ query $ system $ all_systems $ workers $ timeout
+      $ show $ explain)
+  in
+  let info =
+    Cmd.info "murarun" ~version:"1.0"
+      ~doc:"Distributed evaluation of recursive graph queries (Dist-mu-RA)"
+  in
+  exit (Cmd.eval' (Cmd.v info term))

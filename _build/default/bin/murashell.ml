@@ -1,0 +1,149 @@
+(* murashell — an interactive shell for recursive graph queries.
+
+   Commands:
+     load FILE            load a (2- or 3-column) edge-list file as E
+     gen SPEC             generate a graph (yago:N, uniprot:N, er:N:P, tree:N)
+     workers N            set the simulated cluster size (default 4)
+     explain QUERY        show optimized logical + physical plans
+     sql QUERY            show the per-worker SQL for the query's fixpoints
+     QUERY                evaluate (e.g. ?x <- ?x a+ Japan)
+     help | quit *)
+
+module Rel = Relation.Rel
+module Exec = Physical.Exec
+
+type state = { mutable graph : Rel.t option; mutable workers : int }
+
+let st = { graph = None; workers = 4 }
+
+let help () =
+  print_string
+    "commands:\n\
+    \  load FILE      load an edge-list file as the relation E\n\
+    \  gen SPEC       yago:N | uniprot:N | er:N:P | tree:N\n\
+    \  workers N      set cluster size\n\
+    \  explain QUERY  show the optimized plans without executing\n\
+    \  QUERY          e.g.  ?x, ?y <- ?x knows+/likes ?y\n\
+    \  help, quit\n"
+
+let require_graph () =
+  match st.graph with
+  | Some g -> g
+  | None -> failwith "no graph loaded (use 'load FILE' or 'gen SPEC')"
+
+let optimize graph term =
+  let tables = [ ("E", graph) ] in
+  let tenv = Mura.Typing.env [ ("E", Rel.schema graph) ] in
+  let stats = Cost.Stats.of_tables tables in
+  Rewrite.Engine.optimize ~max_plans:120 ~cost:(Cost.Estimate.cost stats) tenv term
+
+let parse_query text = Rpq.Query.union_to_term (Rpq.Query.parse_union text)
+
+let run_query text =
+  let graph = require_graph () in
+  let best = optimize graph (parse_query text) in
+  let cluster = Distsim.Cluster.make ~workers:st.workers () in
+  let ctx = Exec.session (Exec.default_config cluster) [ ("E", graph) ] in
+  let t0 = Unix.gettimeofday () in
+  let result = Exec.run ctx best in
+  Printf.printf "%d tuples in %.3fs  [%s]\n" (Rel.cardinal result)
+    (Unix.gettimeofday () -. t0)
+    (Distsim.Metrics.to_string (Distsim.Cluster.metrics cluster));
+  List.iter
+    (fun (fr : Exec.fix_report) ->
+      Printf.printf "  fixpoint %s: %s, stable=[%s], %d iterations\n" fr.var
+        (Exec.plan_name fr.plan) (String.concat "," fr.stable) fr.iterations)
+    (Exec.report ctx).fixpoints;
+  let shown = ref 0 in
+  (try
+     Rel.iter
+       (fun tu ->
+         if !shown >= 10 then raise Exit;
+         incr shown;
+         Printf.printf "  %s\n" (Relation.Tuple.to_string tu))
+       result
+   with Exit -> print_endline "  ...")
+
+let explain_query text =
+  let graph = require_graph () in
+  let best = optimize graph (parse_query text) in
+  Printf.printf "logical plan:\n  %s\nphysical plan:\n%s" (Mura.Term.to_string best)
+    (Exec.explain
+       (Exec.session
+          (Exec.default_config (Distsim.Cluster.make ~workers:st.workers ()))
+          [ ("E", graph) ])
+       best)
+
+let gen spec =
+  let spec, labels =
+    match String.split_on_char ' ' (String.trim spec) with
+    | [ s ] -> (s, [ "a"; "b"; "c" ])
+    | s :: l :: _ -> (s, String.split_on_char ',' l)
+    | [] -> failwith "empty generator spec"
+  in
+  let g =
+    match String.split_on_char ':' spec with
+    | [ "yago"; scale ] -> Graphgen.Yago_like.generate ~scale:(int_of_string scale) ()
+    | [ "uniprot"; scale ] -> Graphgen.Uniprot_like.generate ~scale:(int_of_string scale) ()
+    | [ "er"; nodes; p ] ->
+      Graphgen.Generators.erdos_renyi ~nodes:(int_of_string nodes) ~p:(float_of_string p) ()
+    | [ "tree"; nodes ] -> Graphgen.Generators.random_tree ~nodes:(int_of_string nodes) ()
+    | _ -> failwith "unknown generator spec"
+  in
+  (* UCRPQs need labelled edges: decorate plain graphs *)
+  let g =
+    if Relation.Schema.arity (Rel.schema g) = 2 then
+      Graphgen.Generators.add_labels ~labels g
+    else g
+  in
+  st.graph <- Some g;
+  Printf.printf "generated %d labelled edges (labels: %s)\n" (Rel.cardinal g)
+    (String.concat "," labels)
+
+let load file =
+  let g =
+    try Relation.Rel_io.load_labelled_edges file
+    with Failure _ -> Relation.Rel_io.load_edges file
+  in
+  st.graph <- Some g;
+  Printf.printf "loaded %d edges from %s\n" (Rel.cardinal g) file
+
+let dispatch line =
+  let line = String.trim line in
+  if line = "" then ()
+  else if line = "help" then help ()
+  else if line = "quit" || line = "exit" then raise Exit
+  else
+    match String.index_opt line ' ' with
+    | Some i when String.sub line 0 i = "load" ->
+      load (String.trim (String.sub line i (String.length line - i)))
+    | Some i when String.sub line 0 i = "gen" ->
+      gen (String.trim (String.sub line i (String.length line - i)))
+    | Some i when String.sub line 0 i = "workers" ->
+      st.workers <- int_of_string (String.trim (String.sub line i (String.length line - i)));
+      Printf.printf "cluster size: %d workers\n" st.workers
+    | Some i when String.sub line 0 i = "explain" ->
+      explain_query (String.trim (String.sub line i (String.length line - i)))
+    | _ -> run_query line
+
+let () =
+  print_endline "Dist-mu-RA shell — 'help' for commands";
+  try
+    while true do
+      print_string "mura> ";
+      (match read_line () with
+      | line -> (
+        try dispatch line with
+        | Exit -> raise Exit
+        | Failure msg
+        | Rpq.Regex.Parse_error msg
+        | Rpq.Query.Translation_error msg
+        | Mura.Eval.Eval_error msg
+        | Mura.Typing.Type_error msg
+        | Relation.Schema.Schema_error msg
+        | Sys_error msg ->
+          Printf.printf "error: %s\n" msg
+        | Physical.Exec.Resource_limit msg -> Printf.printf "resource limit: %s\n" msg)
+      | exception End_of_file -> raise Exit)
+    done
+  with Exit -> print_endline "bye"

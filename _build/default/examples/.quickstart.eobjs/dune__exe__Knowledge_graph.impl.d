@@ -1,0 +1,1 @@
+examples/knowledge_graph.ml: Graphgen Harness List Printf Relation String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cost Distsim List Mura Physical Printf Relation Rewrite Rpq String

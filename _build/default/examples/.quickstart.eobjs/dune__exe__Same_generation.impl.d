@@ -1,0 +1,1 @@
+examples/same_generation.ml: Datalog Distsim Graphgen List Mura Physical Printf Relation String Unix

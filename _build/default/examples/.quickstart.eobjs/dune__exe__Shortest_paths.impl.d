@@ -1,0 +1,1 @@
+examples/shortest_paths.ml: Array Distsim Graphgen Mura Physical Printf Relation Unix

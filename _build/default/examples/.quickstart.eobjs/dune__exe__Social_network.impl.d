@@ -1,0 +1,1 @@
+examples/social_network.ml: Distsim Graphgen List Mura Physical Printf Relation Unix

@@ -1,0 +1,34 @@
+(* Knowledge-graph querying: run UCRPQs of the paper's six query classes
+   on a synthetic Yago-like graph, across all the systems the paper
+   compares.
+
+   Run with:  dune exec examples/knowledge_graph.exe *)
+
+module S = Harness.Systems
+module Q = Harness.Queries
+module R = Harness.Runner
+
+let () =
+  let graph = Graphgen.Yago_like.generate ~seed:42 ~scale:3_000 () in
+  Printf.printf "yago-like graph: %d labelled edges\n" (Relation.Rel.cardinal graph);
+
+  (* one representative query per class *)
+  let picks = [ "Q21" (* C1 *); "Q22" (* C2 *); "Q24" (* C3 *); "Q19" (* C4 *); "Q1" (* C5 *); "Q13" (* C6 *) ] in
+  let specs = List.filter (fun (q : Q.spec) -> List.mem q.id picks) Q.yago in
+
+  let systems = [ S.dist_mu_ra (); S.centralized_mu_ra (); S.bigdatalog (); S.graphx () ] in
+  let workloads =
+    List.map
+      (fun (q : Q.spec) ->
+        let classes = String.concat "," (List.map Q.class_name q.classes) in
+        (Printf.sprintf "%s [%s]" q.id classes, S.of_ucrpq graph q.text))
+      specs
+  in
+  let rows = R.run_matrix ~timeout_s:120. ~systems workloads in
+  R.print_table ~title:"running times (seconds)"
+    ~columns:(List.map (fun (s : S.system) -> s.name) systems)
+    rows;
+  print_newline ();
+  List.iter
+    (fun (q : Q.spec) -> if List.mem q.id picks then Printf.printf "%-4s %s\n" q.id q.text)
+    specs

@@ -1,0 +1,52 @@
+(* Beyond regular queries: the "same generation" query is expressible in
+   mu-RA but not as a UCRPQ (it is not a regular path property). This
+   example evaluates it on a family tree with the mu-RA engine and the
+   Datalog baseline, and shows the physical plan that gets selected.
+
+   Run with:  dune exec examples/same_generation.exe *)
+
+module Rel = Relation.Rel
+module Exec = Physical.Exec
+
+let () =
+  let tree = Graphgen.Generators.random_tree ~seed:23 ~nodes:1_200 () in
+  Printf.printf "family tree: %d parent-child edges\n\n" (Rel.cardinal tree);
+
+  let term = Mura.Patterns.same_generation () in
+  Printf.printf "mu-RA term:\n  %s\n\n" (Mura.Term.to_string term);
+
+  (* distributed evaluation: same generation has no stable column, so
+     the planner must fall back to the global-loop plan *)
+  let cluster = Distsim.Cluster.make ~workers:4 () in
+  let ctx = Exec.session (Exec.default_config cluster) [ ("E", tree) ] in
+  let t0 = Unix.gettimeofday () in
+  let result = Exec.run ctx term in
+  let dist_time = Unix.gettimeofday () -. t0 in
+  (match (Exec.report ctx).fixpoints with
+  | fr :: _ ->
+    Printf.printf "selected plan: %s (stable columns: [%s])\n" (Exec.plan_name fr.plan)
+      (String.concat ";" fr.stable)
+  | [] -> ());
+  Printf.printf "Dist-mu-RA:  %d same-generation pairs in %.3fs\n" (Rel.cardinal result) dist_time;
+
+  (* the same query in Datalog, on the BigDatalog-style engine *)
+  let program =
+    Datalog.Parse.program
+      "sg(X, Y) :- edge(P, X), edge(P, Y).\n\
+       sg(X, Y) :- edge(A, X), sg(A, B), edge(B, Y).\n\
+       ?- sg(X, Y)."
+  in
+  let cluster2 = Distsim.Cluster.make ~workers:4 () in
+  let config = Datalog.Dist.default_config cluster2 in
+  let t0 = Unix.gettimeofday () in
+  let dl_result, report = Datalog.Dist.run config [ ("edge", tree) ] program in
+  let dl_time = Unix.gettimeofday () -. t0 in
+  Printf.printf "BigDatalog:  %d pairs in %.3fs (%d rounds, pivot: %s)\n"
+    (Rel.cardinal dl_result) dl_time report.rounds
+    (match List.assoc_opt "sg" report.pivots with
+    | Some (Some k) -> Printf.sprintf "argument %d" k
+    | Some None -> "none (global loop)"
+    | None -> "n/a");
+
+  assert (Rel.cardinal result = Rel.cardinal dl_result);
+  Printf.printf "\nboth engines agree on the %d pairs.\n" (Rel.cardinal result)

@@ -1,0 +1,1 @@
+lib/cost/estimate.ml: Float List Mura Relation Stats

@@ -1,0 +1,1 @@
+lib/cost/estimate.mli: Mura Stats

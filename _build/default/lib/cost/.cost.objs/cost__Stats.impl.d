@@ -1,0 +1,1 @@
+lib/cost/stats.ml: List Mura Option Relation

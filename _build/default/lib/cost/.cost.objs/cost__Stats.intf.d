@@ -1,0 +1,1 @@
+lib/cost/stats.mli: Mura Relation

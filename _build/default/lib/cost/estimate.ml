@@ -1,0 +1,206 @@
+module Pred = Relation.Pred
+module Term = Mura.Term
+module Fcond = Mura.Fcond
+
+type est = { card : float; distincts : (string * float) list }
+
+let assumed_depth = 20
+let default_card = 1000.
+let dcount e c = match List.assoc_opt c e.distincts with Some d -> Float.max d 1. | None -> 1.
+
+(* Rescale per-column distinct counts after the cardinality changed: a
+   column cannot have more distinct values than tuples. *)
+let clamp e = { e with distincts = List.map (fun (c, d) -> (c, Float.min d e.card)) e.distincts }
+
+let rec selectivity e (p : Pred.t) =
+  match p with
+  | True -> 1.
+  | Eq_const (c, _) -> 1. /. dcount e c
+  | Neq_const (c, _) -> 1. -. (1. /. dcount e c)
+  | Lt_const _ | Gt_const _ -> 0.33
+  | Eq_col (a, b) -> 1. /. Float.max (dcount e a) (dcount e b)
+  | And (a, b) -> selectivity e a *. selectivity e b
+  | Or (a, b) ->
+    let sa = selectivity e a and sb = selectivity e b in
+    Float.min 1. (sa +. sb -. (sa *. sb))
+  | Not a -> 1. -. selectivity e a
+
+let rec term ?(vars = []) stats (t : Term.t) : est =
+  match t with
+  | Rel n -> (
+    match Stats.count stats n with
+    | Some c ->
+      let card = float_of_int (max c 1) in
+      let tenv = Stats.typing_env stats in
+      let distincts =
+        List.map
+          (fun col ->
+            ( col,
+              match Stats.distinct stats n col with
+              | Some d -> float_of_int (max d 1)
+              | None -> Float.max 1. (card /. 10.) ))
+          (Relation.Schema.cols (Mura.Typing.env_find tenv n))
+      in
+      { card; distincts }
+    | None -> { card = default_card; distincts = [] })
+  | Cst r ->
+    let card = float_of_int (max (Relation.Rel.cardinal r) 1) in
+    {
+      card;
+      distincts =
+        List.map
+          (fun c -> (c, float_of_int (max 1 (Relation.Rel.distinct_count r c))))
+          (Relation.Schema.cols (Relation.Rel.schema r));
+    }
+  | Var x -> (
+    match List.assoc_opt x vars with
+    | Some e -> e
+    | None -> { card = default_card; distincts = [] })
+  | Select (p, u) ->
+    let e = term ~vars stats u in
+    let sel = Float.max 1e-9 (selectivity e p) in
+    let distincts =
+      List.map
+        (fun (c, d) ->
+          match p with
+          | Pred.Eq_const (c', _) when c = c' -> (c, 1.)
+          | _ -> (c, d))
+        e.distincts
+    in
+    clamp { card = Float.max 1. (e.card *. sel); distincts }
+  | Project (keep, u) ->
+    let e = term ~vars stats u in
+    let kept = List.filter (fun (c, _) -> List.mem c keep) e.distincts in
+    let domain = List.fold_left (fun acc (_, d) -> acc *. d) 1. kept in
+    clamp { card = Float.min e.card domain; distincts = kept }
+  | Antiproject (drop, u) ->
+    let e = term ~vars stats u in
+    let kept = List.filter (fun (c, _) -> not (List.mem c drop)) e.distincts in
+    let domain = List.fold_left (fun acc (_, d) -> acc *. d) 1. kept in
+    clamp { card = Float.min e.card domain; distincts = kept }
+  | Rename (m, u) ->
+    let e = term ~vars stats u in
+    {
+      e with
+      distincts =
+        List.map
+          (fun (c, d) ->
+            match List.assoc_opt c m with Some fresh -> (fresh, d) | None -> (c, d))
+          e.distincts;
+    }
+  | Join (a, b) ->
+    let ea = term ~vars stats a and eb = term ~vars stats b in
+    let shared = List.filter (fun (c, _) -> List.mem_assoc c eb.distincts) ea.distincts in
+    let denom =
+      List.fold_left (fun acc (c, da) -> acc *. Float.max da (dcount eb c)) 1. shared
+    in
+    let card = Float.max 1. (ea.card *. eb.card /. Float.max 1. denom) in
+    let merged =
+      ea.distincts
+      @ List.filter (fun (c, _) -> not (List.mem_assoc c ea.distincts)) eb.distincts
+    in
+    clamp { card; distincts = merged }
+  | Antijoin (a, _) ->
+    let ea = term ~vars stats a in
+    clamp { ea with card = Float.max 1. (ea.card *. 0.5) }
+  | Union (a, b) ->
+    let ea = term ~vars stats a and eb = term ~vars stats b in
+    let merged =
+      List.map
+        (fun (c, d) -> (c, Float.max d (dcount eb c)))
+        ea.distincts
+    in
+    clamp { card = ea.card +. eb.card; distincts = merged }
+  | Fix (x, body) -> fix_estimate ~vars stats x body
+
+and fix_estimate ~vars stats x body =
+  match Fcond.split ~var:x body with
+  | exception Fcond.Not_fcond _ -> { card = default_card; distincts = [] }
+  | [], _ -> { card = default_card; distincts = [] }
+  | consts, recs ->
+    let e0 =
+      List.fold_left
+        (fun acc c ->
+          let e = term ~vars stats c in
+          {
+            card = acc.card +. e.card;
+            distincts =
+              (match acc.distincts with
+              | [] -> e.distincts
+              | _ -> List.map (fun (col, d) -> (col, Float.max d (dcount e col))) acc.distincts);
+          })
+        { card = 0.; distincts = [] }
+        consts
+    in
+    let e0 = { e0 with card = Float.max 1. e0.card } in
+    (match recs with
+    | [] -> e0
+    | _ ->
+      (* one-step growth ratio of the variable part applied to the
+         constant part *)
+      let step =
+        List.fold_left
+          (fun acc r -> acc +. (term ~vars:((x, e0) :: vars) stats r).card)
+          0. recs
+      in
+      let ratio = Float.max 0.1 (step /. e0.card) in
+      let sum_growth =
+        if Float.abs (ratio -. 1.) < 0.01 then e0.card *. float_of_int assumed_depth
+        else e0.card *. (((ratio ** float_of_int assumed_depth) -. 1.) /. (ratio -. 1.))
+      in
+      (* cap by the domain product of the output columns *)
+      let domain = List.fold_left (fun acc (_, d) -> acc *. Float.max d 2.) 1. e0.distincts in
+      let domain =
+        (* distinct counts of the constant part underestimate the
+           reachable domain; widen by the expansion *)
+        Float.max domain (e0.card *. 100.)
+      in
+      let card = Float.min sum_growth domain in
+      clamp { card = Float.max e0.card card; distincts = e0.distincts })
+
+let cardinality stats t = (term stats t).card
+
+let rec cost_aux ?(vars = []) stats (t : Term.t) : float * est =
+  match t with
+  | Rel _ | Cst _ | Var _ ->
+    let e = term ~vars stats t in
+    (e.card, e)
+  | Select (_, u) | Project (_, u) | Antiproject (_, u) | Rename (_, u) ->
+    let cu, _ = cost_aux ~vars stats u in
+    let e = term ~vars stats t in
+    (cu +. e.card, e)
+  | Join (a, b) ->
+    let ca, ea = cost_aux ~vars stats a in
+    let cb, eb = cost_aux ~vars stats b in
+    let e = term ~vars stats t in
+    (* Joining two recursive results is the worst case for a distributed
+       engine: both closures must be fully materialised and shuffled.
+       Penalising it steers the planner towards merged or seeded
+       fixpoints, as Dist-mu-RA's plan selection does. *)
+    let penalty =
+      if Term.fix_count a > 0 && Term.fix_count b > 0 then 5. *. (ea.card +. eb.card) else 0.
+    in
+    (ca +. cb +. e.card +. penalty, e)
+  | Antijoin (a, b) | Union (a, b) ->
+    let ca, _ = cost_aux ~vars stats a in
+    let cb, _ = cost_aux ~vars stats b in
+    let e = term ~vars stats t in
+    (ca +. cb +. e.card, e)
+  | Fix (x, body) -> (
+    let e = term ~vars stats t in
+    match Fcond.split ~var:x body with
+    | exception Fcond.Not_fcond _ -> (e.card, e)
+    | consts, recs ->
+      let c_init = List.fold_left (fun acc c -> acc +. fst (cost_aux ~vars stats c)) 0. consts in
+      (* Semi-naive accounting: over the whole run the variable part is
+         applied to each delta once, and the deltas sum to the result —
+         so the total recursive work is one application of the variable
+         part to the final fixpoint, not depth-many applications. *)
+      let rec_work =
+        List.fold_left
+          (fun acc r -> acc +. fst (cost_aux ~vars:((x, e) :: vars) stats r))
+          0. recs
+      in
+      (c_init +. rec_work +. e.card, e))
+
+let cost stats t = fst (cost_aux stats t)

@@ -1,0 +1,27 @@
+(** Cardinality and cost estimation for mu-RA terms.
+
+    Estimates propagate a tuple count plus per-column distinct counts
+    bottom-up through the algebra. Fixpoints use a bounded geometric
+    expansion model: the one-step growth ratio of the variable part,
+    summed over an assumed recursion depth and capped by the domain
+    product of the output columns. The total cost of a term sums the
+    estimated output of every operator, with the variable part of a
+    fixpoint charged once per estimated iteration — enough to rank the
+    MuRewriter's alternative plans (smaller constant parts, merged
+    fixpoints, pushed filters all get cheaper costs). *)
+
+type est = { card : float; distincts : (string * float) list }
+
+val assumed_depth : int
+(** Recursion depth assumed by the expansion model (default 20). *)
+
+val term :
+  ?vars:(string * est) list -> Stats.t -> Mura.Term.t -> est
+(** Bottom-up estimate. Unknown relations get a default guess rather
+    than an error (the estimator must never fail during exploration). *)
+
+val cardinality : Stats.t -> Mura.Term.t -> float
+
+val cost : Stats.t -> Mura.Term.t -> float
+(** Total estimated work; suitable as the [cost] callback of
+    {!Rewrite.Engine.optimize}. *)

@@ -1,0 +1,20 @@
+module Rel = Relation.Rel
+module Schema = Relation.Schema
+
+type rel_stats = { count : int; distincts : (string * int) list; schema : Schema.t }
+type t = (string * rel_stats) list
+
+let of_tables tables =
+  List.map
+    (fun (name, rel) ->
+      let schema = Rel.schema rel in
+      let distincts = List.map (fun c -> (c, Rel.distinct_count rel c)) (Schema.cols schema) in
+      (name, { count = Rel.cardinal rel; distincts; schema }))
+    tables
+
+let count stats name = Option.map (fun r -> r.count) (List.assoc_opt name stats)
+
+let distinct stats name col =
+  Option.bind (List.assoc_opt name stats) (fun r -> List.assoc_opt col r.distincts)
+
+let typing_env stats = Mura.Typing.env (List.map (fun (n, r) -> (n, r.schema)) stats)

@@ -1,0 +1,1 @@
+lib/datalog/dist.ml: Ast Distsim Eval Format Hashtbl List Printf Relation

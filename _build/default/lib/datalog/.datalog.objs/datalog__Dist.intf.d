@@ -1,0 +1,1 @@
+lib/datalog/dist.mli: Ast Distsim Eval Relation

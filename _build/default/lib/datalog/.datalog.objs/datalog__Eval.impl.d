@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Ast Format Hashtbl List Printf Relation

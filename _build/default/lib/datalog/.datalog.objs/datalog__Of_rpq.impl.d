@@ -1,0 +1,1 @@
+lib/datalog/of_rpq.ml: Ast Fun List Printf Relation Rpq

@@ -1,0 +1,1 @@
+lib/datalog/of_rpq.mli: Ast Eval Relation Rpq

@@ -1,0 +1,1 @@
+lib/datalog/parse.ml: Ast Format List Relation String

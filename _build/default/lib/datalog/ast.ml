@@ -1,0 +1,170 @@
+module Value = Relation.Value
+
+type term = Var of string | Const of Value.t
+type atom = { pred : string; args : term list }
+type rule = { head : atom; body : atom list; neg : atom list }
+type program = { rules : rule list; query : atom }
+
+exception Ill_formed of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+let atom_vars a =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (function
+      | Var v ->
+        if Hashtbl.mem seen v then None
+        else begin
+          Hashtbl.replace seen v ();
+          Some v
+        end
+      | Const _ -> None)
+    a.args
+
+let dedup l =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.replace seen x ();
+        true
+      end)
+    l
+
+let idb_preds p = dedup (List.map (fun r -> r.head.pred) p.rules)
+
+let edb_preds p =
+  let idb = idb_preds p in
+  dedup
+    (List.concat_map (fun r -> List.map (fun a -> a.pred) (r.body @ r.neg)) p.rules
+     @ [ p.query.pred ])
+  |> List.filter (fun n -> not (List.mem n idb))
+
+(* Stratification: predicates ordered so that negated dependencies are
+   strictly lower. Kahn-style: repeatedly emit the predicates whose
+   negative dependencies are all already emitted AND whose positive
+   dependencies do not lead (through not-yet-emitted predicates) to an
+   unmet negative dependency. We implement the classic algorithm on the
+   condensation: stratum(p) = 1 + max over negative deps, >= positive
+   deps; failure = a cycle with a negative edge. *)
+let stratify p =
+  let idb = idb_preds p in
+  let pos = Hashtbl.create 16 and neg = Hashtbl.create 16 in
+  let add tbl k v = Hashtbl.replace tbl k (v :: (try Hashtbl.find tbl k with Not_found -> [])) in
+  List.iter
+    (fun r ->
+      List.iter (fun a -> if List.mem a.pred idb then add pos r.head.pred a.pred) r.body;
+      List.iter (fun a -> if List.mem a.pred idb then add neg r.head.pred a.pred) r.neg)
+    p.rules;
+  let stratum = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace stratum n 0) idb;
+  let changed = ref true and iterations = ref 0 in
+  let n_preds = List.length idb in
+  while !changed do
+    changed := false;
+    incr iterations;
+    if !iterations > (n_preds * n_preds) + n_preds + 2 then
+      err "program is not stratifiable (recursion through negation)";
+    List.iter
+      (fun h ->
+        let s = Hashtbl.find stratum h in
+        let bump v =
+          if v > s then begin
+            Hashtbl.replace stratum h v;
+            changed := true
+          end
+        in
+        List.iter (fun d -> bump (Hashtbl.find stratum d)) (try Hashtbl.find pos h with Not_found -> []);
+        List.iter (fun d -> bump (Hashtbl.find stratum d + 1)) (try Hashtbl.find neg h with Not_found -> []))
+      idb
+  done;
+  let max_s = List.fold_left (fun acc n -> max acc (Hashtbl.find stratum n)) 0 idb in
+  List.filter_map
+    (fun s ->
+      match List.filter (fun n -> Hashtbl.find stratum n = s) idb with
+      | [] -> None
+      | group -> Some group)
+    (List.init (max_s + 1) Fun.id)
+
+let check p =
+  let arities = Hashtbl.create 16 in
+  let note a =
+    match Hashtbl.find_opt arities a.pred with
+    | Some n when n <> List.length a.args ->
+      err "predicate %s used with arities %d and %d" a.pred n (List.length a.args)
+    | Some _ -> ()
+    | None -> Hashtbl.replace arities a.pred (List.length a.args)
+  in
+  List.iter
+    (fun r ->
+      note r.head;
+      List.iter note r.body;
+      List.iter note r.neg;
+      (match r.body with [] -> err "rule with empty positive body" | _ -> ());
+      let body_vars = List.concat_map atom_vars r.body in
+      List.iter
+        (fun v ->
+          if not (List.mem v body_vars) then
+            err "unsafe rule: head variable %s not bound in a positive atom" v)
+        (atom_vars r.head);
+      List.iter
+        (fun a ->
+          List.iter
+            (fun v ->
+              if not (List.mem v body_vars) then
+                err "unsafe rule: negated variable %s not bound in a positive atom" v)
+            (atom_vars a))
+        r.neg)
+    p.rules;
+  note p.query;
+  ignore (stratify p)
+
+let is_recursive p name =
+  (* dependency closure over the rule graph *)
+  let deps = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let cur = try Hashtbl.find deps r.head.pred with Not_found -> [] in
+      Hashtbl.replace deps r.head.pred (List.map (fun a -> a.pred) r.body @ cur))
+    p.rules;
+  let visited = Hashtbl.create 16 in
+  let rec reach from =
+    List.exists
+      (fun d ->
+        d = name
+        ||
+        if Hashtbl.mem visited d then false
+        else begin
+          Hashtbl.replace visited d ();
+          reach d
+        end)
+      (try Hashtbl.find deps from with Not_found -> [])
+  in
+  reach name
+
+let pp_term ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Const c -> Format.fprintf ppf "%a" Value.pp c
+
+let pp_atom ppf a =
+  Format.fprintf ppf "%s(%a)" a.pred
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_term)
+    a.args
+
+let pp_rule ppf r =
+  let pp_neg ppf a = Format.fprintf ppf "!%a" pp_atom a in
+  Format.fprintf ppf "%a :- %a%s%a." pp_atom r.head
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_atom)
+    r.body
+    (if r.neg = [] then "" else ", ")
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_neg)
+    r.neg
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>%a@,?- %a.@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_rule)
+    p.rules pp_atom p.query
+
+let to_string p = Format.asprintf "%a" pp p

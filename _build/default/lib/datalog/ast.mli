@@ -1,0 +1,48 @@
+(** Positive Datalog: the language of the BigDatalog and Myria baselines.
+
+    Programs are sets of Horn rules over extensional (database) and
+    intensional (derived) predicates, with a designated query atom.
+    Example (transitive closure from a source):
+    {v
+      tc(X, Y) :- edge(X, Y).
+      tc(X, Z) :- tc(X, Y), edge(Y, Z).
+      ?- tc(0, Y).
+    v} *)
+
+type term = Var of string | Const of Relation.Value.t
+
+type atom = { pred : string; args : term list }
+
+type rule = { head : atom; body : atom list; neg : atom list }
+(** [neg] holds negated body atoms ([!r(X)] / [not r(X)] in the concrete
+    syntax). Safety: every head variable and every variable of a negated
+    atom must occur in a positive body atom. *)
+
+type program = { rules : rule list; query : atom }
+
+exception Ill_formed of string
+
+val check : program -> unit
+(** Checks rule safety, arity consistency per predicate, and
+    stratifiability (no recursion through negation).
+    @raise Ill_formed *)
+
+val stratify : program -> string list list
+(** IDB predicates grouped into strata, lowest first: every predicate
+    negated in a stratum's rules is defined in a strictly lower stratum.
+    @raise Ill_formed when the program is not stratifiable. *)
+
+val idb_preds : program -> string list
+(** Predicates defined by rules, without duplicates. *)
+
+val edb_preds : program -> string list
+(** Predicates used but never defined (must come from the database). *)
+
+val atom_vars : atom -> string list
+val is_recursive : program -> string -> bool
+(** Does the predicate (transitively) depend on itself? *)
+
+val pp_atom : Format.formatter -> atom -> unit
+val pp_rule : Format.formatter -> rule -> unit
+val pp : Format.formatter -> program -> unit
+val to_string : program -> string

@@ -1,0 +1,371 @@
+module Rel = Relation.Rel
+module Schema = Relation.Schema
+module Pred = Relation.Pred
+module Tset = Relation.Tset
+module Tuple = Relation.Tuple
+module Dds = Distsim.Dds
+module Cluster = Distsim.Cluster
+module Metrics = Distsim.Metrics
+
+type mode = Bigdatalog | Myria
+
+exception Engine_failure of string
+
+type config = { cluster : Cluster.t; mode : mode; max_rounds : int; max_facts : int }
+
+let default_config ?(mode = Bigdatalog) cluster =
+  { cluster; mode; max_rounds = 100_000; max_facts = 500_000_000 }
+
+type report = { pivots : (string * int option) list; rounds : int }
+
+let err fmt = Format.kasprintf (fun s -> raise (Eval.Eval_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Decomposability (generalized pivoting)                              *)
+(* ------------------------------------------------------------------ *)
+
+let rules_for p name = List.filter (fun (r : Ast.rule) -> r.head.pred = name) p.Ast.rules
+
+let recursive_rules p name =
+  List.filter (fun (r : Ast.rule) -> List.exists (fun a -> a.Ast.pred = name) r.body)
+    (rules_for p name)
+
+let pivot_of p name =
+  let recs = recursive_rules p name in
+  if recs = [] then None
+  else begin
+    let arity = List.length (List.hd recs).head.args in
+    let ok k =
+      List.for_all
+        (fun (r : Ast.rule) ->
+          match List.filter (fun a -> a.Ast.pred = name) r.body with
+          | [ rec_atom ] -> (
+            (* linear, and the head's k-th argument is the same variable
+               as the recursive atom's k-th argument *)
+            match (List.nth r.head.args k, List.nth rec_atom.args k) with
+            | Ast.Var hv, Ast.Var bv -> hv = bv
+            | _ -> false)
+          | _ -> false)
+        recs
+    in
+    let rec find k = if k >= arity then None else if ok k then Some k else find (k + 1) in
+    find 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Rule evaluation on distributed datasets                             *)
+(* ------------------------------------------------------------------ *)
+
+let project_narrow d keep =
+  let schema = Dds.schema d in
+  let out_schema = Schema.restrict schema keep in
+  let pos = Schema.positions schema keep in
+  Dds.map_partitions ~schema:out_schema
+    (fun _ part ->
+      let out = Tset.create ~capacity:(Tset.cardinal part) () in
+      Tset.iter (fun tu -> ignore (Tset.add out (Tuple.project pos tu))) part;
+      out)
+    d
+
+(* Distributed analogue of Eval.atom_rel. *)
+let atom_dds (binding : string -> Dds.t) (a : Ast.atom) =
+  let d = binding a.Ast.pred in
+  let arity = Schema.arity (Dds.schema d) in
+  if List.length a.args <> arity then
+    err "predicate %s has arity %d, used with %d args" a.pred arity (List.length a.args);
+  (* relabel to canonical columns *)
+  let d =
+    if Schema.cols (Dds.schema d) = Eval.canonical_cols arity then d
+    else
+      Dds.rename
+        (List.map2 (fun o n -> (o, n)) (Schema.cols (Dds.schema d)) (Eval.canonical_cols arity))
+        d
+  in
+  let preds = ref [] in
+  let first_pos : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri
+    (fun i arg ->
+      let ci = Printf.sprintf "c%d" i in
+      match (arg : Ast.term) with
+      | Const v -> preds := Pred.Eq_const (ci, v) :: !preds
+      | Var x -> (
+        match Hashtbl.find_opt first_pos x with
+        | Some j -> preds := Pred.Eq_col (Printf.sprintf "c%d" j, ci) :: !preds
+        | None -> Hashtbl.replace first_pos x i))
+    a.args;
+  let filtered = match !preds with [] -> d | ps -> Dds.filter (Pred.conj ps) d in
+  let vars = Ast.atom_vars a in
+  let keep = List.map (fun v -> Printf.sprintf "c%d" (Hashtbl.find first_pos v)) vars in
+  let projected =
+    if keep = Schema.cols (Dds.schema filtered) then filtered
+    else project_narrow filtered keep
+  in
+  Dds.rename (List.combine keep vars) projected
+
+let rule_dds binding (r : Ast.rule) =
+  let body = List.map (atom_dds binding) r.body in
+  let joined =
+    match body with
+    | [] -> err "empty rule body"
+    | first :: rest -> List.fold_left Dds.join_shuffle first rest
+  in
+  (* stratified negation: antijoin against lower-stratum relations *)
+  let joined =
+    List.fold_left (fun acc a -> Dds.antijoin_shuffle acc (atom_dds binding a)) joined r.neg
+  in
+  let vars =
+    List.map
+      (function
+        | Ast.Var v -> v
+        | Ast.Const _ -> err "head constants are not supported")
+      r.head.args
+  in
+  let projected = project_narrow joined vars in
+  Dds.rename
+    (List.map2 (fun o n -> (o, n)) vars (Eval.canonical_cols (List.length vars)))
+    projected
+
+(* ------------------------------------------------------------------ *)
+(* Strata                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Order the IDB predicates so that each group's dependencies (apart
+   from itself) are already evaluated; mutually recursive predicates end
+   up in one group. *)
+let strata (p : Ast.program) =
+  let idb = Ast.idb_preds p in
+  let deps name =
+    List.concat_map
+      (fun (r : Ast.rule) -> List.map (fun a -> a.Ast.pred) (r.body @ r.neg))
+      (rules_for p name)
+    |> List.filter (fun d -> List.mem d idb && d <> name)
+    |> List.sort_uniq compare
+  in
+  let remaining = ref idb and done_ = ref [] and groups = ref [] in
+  while !remaining <> [] do
+    let ready =
+      List.filter (fun n -> List.for_all (fun d -> List.mem d !done_) (deps n)) !remaining
+    in
+    match ready with
+    | [] ->
+      (* mutual recursion: one combined group *)
+      groups := !remaining :: !groups;
+      done_ := !remaining @ !done_;
+      remaining := []
+    | _ ->
+      List.iter (fun n -> groups := [ n ] :: !groups) ready;
+      done_ := ready @ !done_;
+      remaining := List.filter (fun n -> not (List.mem n ready)) !remaining
+  done;
+  List.rev !groups
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  config : config;
+  db : Eval.db;
+  resolved : (string, Dds.t) Hashtbl.t;  (** EDB cache + evaluated IDB *)
+  mutable rounds : int;
+  mutable pivots : (string * int option) list;
+}
+
+let binding ctx name =
+  match Hashtbl.find_opt ctx.resolved name with
+  | Some d -> d
+  | None -> (
+    match List.assoc_opt name ctx.db with
+    | Some rel ->
+      let d = Dds.of_rel ctx.config.cluster (Eval.positional rel) in
+      Hashtbl.replace ctx.resolved name d;
+      d
+    | None -> err "unknown predicate %s" name)
+
+let check_budget ctx extra =
+  let total =
+    Hashtbl.fold (fun _ d acc -> acc + Dds.cardinal d) ctx.resolved 0 + extra
+  in
+  if total > ctx.config.max_facts then
+    raise (Engine_failure (Printf.sprintf "fact budget exceeded (%d facts)" total))
+
+let bump_round ctx =
+  ctx.rounds <- ctx.rounds + 1;
+  Metrics.record_superstep (Cluster.metrics ctx.config.cluster);
+  if ctx.rounds > ctx.config.max_rounds then raise (Engine_failure "round budget exceeded")
+
+let arity_of p name =
+  match rules_for p name with
+  | r :: _ -> List.length r.Ast.head.args
+  | [] -> err "no rule for %s" name
+
+(* Global distributed semi-naive loop over a group of predicates. *)
+let run_group_global ctx (p : Ast.program) group =
+  let cols name = Eval.canonical_cols (arity_of p name) in
+  let all = Hashtbl.create 4 and delta = Hashtbl.create 4 in
+  let schema_of name = Schema.of_list (cols name) in
+  List.iter (fun n -> Hashtbl.replace all n (Dds.empty ctx.config.cluster (schema_of n))) group;
+  (* round 0: rules without group atoms in the body *)
+  bump_round ctx;
+  List.iter
+    (fun name ->
+      let seeds =
+        List.filter
+          (fun (r : Ast.rule) ->
+            not (List.exists (fun a -> List.mem a.Ast.pred group) r.body))
+          (rules_for p name)
+      in
+      let facts =
+        List.fold_left
+          (fun acc r -> Dds.union_distinct acc (rule_dds (binding ctx) r))
+          (Hashtbl.find all name) seeds
+      in
+      let facts = Dds.repartition ~by:(cols name) facts in
+      Hashtbl.replace all name facts;
+      Hashtbl.replace delta name facts)
+    group;
+  let live = ref (List.exists (fun n -> Dds.cardinal (Hashtbl.find all n) > 0) group) in
+  while !live do
+    bump_round ctx;
+    let fresh = Hashtbl.create 4 in
+    List.iter (fun n -> Hashtbl.replace fresh n (Dds.empty ctx.config.cluster (schema_of n))) group;
+    List.iter
+      (fun name ->
+        List.iter
+          (fun (r : Ast.rule) ->
+            List.iteri
+              (fun j (a : Ast.atom) ->
+                if List.mem a.Ast.pred group then begin
+                  let marked = "__delta" in
+                  let body' =
+                    List.mapi (fun k b -> if k = j then { b with Ast.pred = marked } else b) r.body
+                  in
+                  let bind n =
+                    if n = marked then Hashtbl.find delta a.Ast.pred
+                    else
+                      match Hashtbl.find_opt all n with
+                      | Some d -> d
+                      | None -> binding ctx n
+                  in
+                  let produced = rule_dds bind { r with body = body' } in
+                  let produced = Dds.repartition ~by:(cols name) produced in
+                  let cur = Hashtbl.find fresh name in
+                  Hashtbl.replace fresh name (Dds.set_union_local cur produced)
+                end)
+              r.body)
+          (rules_for p name))
+      group;
+    let any = ref false in
+    List.iter
+      (fun name ->
+        let added = Dds.set_diff_local (Hashtbl.find fresh name) (Hashtbl.find all name) in
+        check_budget ctx (Dds.cardinal added);
+        if Dds.cardinal added > 0 then begin
+          any := true;
+          Hashtbl.replace all name (Dds.set_union_local (Hashtbl.find all name) added)
+        end;
+        Hashtbl.replace delta name added)
+      group;
+    live := !any
+  done;
+  List.iter (fun name -> Hashtbl.replace ctx.resolved name (Hashtbl.find all name)) group
+
+(* BigDatalog's decomposable plan: seeds partitioned by the pivot,
+   everything else broadcast, local semi-naive per worker. *)
+let run_pred_decomposable ctx (p : Ast.program) name k =
+  let m = Cluster.metrics ctx.config.cluster in
+  let cols = Eval.canonical_cols (arity_of p name) in
+  let seed_rules =
+    List.filter
+      (fun (r : Ast.rule) -> not (List.exists (fun a -> a.Ast.pred = name) r.body))
+      (rules_for p name)
+  in
+  bump_round ctx;
+  let seeds =
+    match seed_rules with
+    | [] -> Dds.empty ctx.config.cluster (Schema.of_list cols)
+    | r0 :: rest ->
+      List.fold_left
+        (fun acc r -> Dds.union_distinct acc (rule_dds (binding ctx) r))
+        (rule_dds (binding ctx) r0) rest
+  in
+  let pivot_col = Printf.sprintf "c%d" k in
+  let seeds = Dds.repartition ~by:[ pivot_col ] seeds in
+  check_budget ctx (Dds.cardinal seeds);
+  (* broadcast every predicate the recursive rules read *)
+  let recs = recursive_rules p name in
+  let needed =
+    List.concat_map (fun (r : Ast.rule) -> List.map (fun a -> a.Ast.pred) (r.body @ r.neg)) recs
+    |> List.sort_uniq compare
+    |> List.filter (fun n -> n <> name)
+  in
+  let broadcast_db =
+    List.map
+      (fun n ->
+        let rel = Dds.collect (binding ctx n) in
+        Metrics.record_broadcast m
+          ~records:(Rel.cardinal rel * max 1 (Cluster.workers ctx.config.cluster - 1));
+        (n, rel))
+      needed
+  in
+  let seed_pred = "__seed" in
+  let seed_head = { Ast.pred = name; args = List.map (fun c -> Ast.Var ("V" ^ c)) cols } in
+  let local_program =
+    {
+      Ast.rules =
+        { Ast.head = seed_head; body = [ { seed_head with pred = seed_pred } ]; neg = [] } :: recs;
+      query = seed_head;
+    }
+  in
+  bump_round ctx;
+  let result =
+    Dds.map_partitions
+      ~partitioning:(Dds.Hashed [ pivot_col ])
+      ~schema:(Schema.of_list cols)
+      (fun _ part ->
+        let db =
+          (seed_pred, Rel.of_tset (Schema.of_list cols) (Tset.copy part)) :: broadcast_db
+        in
+        let idb = Eval.run_all db local_program in
+        Rel.tuples (Eval.positional (List.assoc name idb)))
+      seeds
+  in
+  (* the pivot guarantees co-location but local fixpoints can still
+     duplicate facts across workers if seeds collide; BigDatalog relies
+     on the pivot for disjointness just as P_plw does on stable columns *)
+  check_budget ctx (Dds.cardinal result);
+  Hashtbl.replace ctx.resolved name result
+
+let run_pred_nonrecursive ctx (p : Ast.program) name =
+  bump_round ctx;
+  let facts =
+    match rules_for p name with
+    | [] -> err "no rule for %s" name
+    | r0 :: rest ->
+      List.fold_left
+        (fun acc r -> Dds.union_distinct acc (rule_dds (binding ctx) r))
+        (rule_dds (binding ctx) r0) rest
+  in
+  check_budget ctx (Dds.cardinal facts);
+  Hashtbl.replace ctx.resolved name facts
+
+let run config db (p : Ast.program) =
+  Ast.check p;
+  let ctx = { config; db; resolved = Hashtbl.create 16; rounds = 0; pivots = [] } in
+  List.iter
+    (fun group ->
+      match group with
+      | [ name ] when recursive_rules p name = [] -> run_pred_nonrecursive ctx p name
+      | [ name ] -> (
+        let pivot = pivot_of p name in
+        ctx.pivots <- (name, pivot) :: ctx.pivots;
+        match (config.mode, pivot) with
+        | Bigdatalog, Some k -> run_pred_decomposable ctx p name k
+        | (Bigdatalog | Myria), _ -> run_group_global ctx p group)
+      | _ ->
+        List.iter (fun n -> ctx.pivots <- (n, None) :: ctx.pivots) group;
+        run_group_global ctx p group)
+    (strata p);
+  let answer_dds = atom_dds (binding ctx) p.query in
+  let answer = Dds.collect answer_dds in
+  (answer, { pivots = List.rev ctx.pivots; rounds = ctx.rounds })

@@ -1,0 +1,44 @@
+(** Distributed Datalog evaluation on the simulated cluster — the
+    BigDatalog and Myria baselines of the paper's experiments.
+
+    {b BigDatalog mode} performs the GPS-style decomposability analysis
+    (Seib & Lausen's generalized pivoting, as used by BigDatalog): a
+    self-recursive predicate whose recursive rules all preserve some head
+    argument from the recursive body atom in the same position is
+    {e decomposable} — its seed facts are hash-partitioned by that pivot
+    argument, base relations are broadcast, and every worker runs its
+    local fixpoint independently (mirroring the SetRDD plan). Programs
+    without a pivot fall back to a global semi-naive loop with shuffles
+    every round.
+
+    {b Myria mode} models the Myria engine's behaviour in the paper:
+    always the global incremental loop (no pivoting, no logical
+    optimization) and a bounded memory budget — exceeding it raises
+    {!Engine_failure}, which the harness reports as a crash, matching the
+    failures observed in Figs. 12 and 14. *)
+
+type mode = Bigdatalog | Myria
+
+exception Engine_failure of string
+
+type config = {
+  cluster : Distsim.Cluster.t;
+  mode : mode;
+  max_rounds : int;
+  max_facts : int;  (** memory budget over all materialised facts *)
+}
+
+val default_config : ?mode:mode -> Distsim.Cluster.t -> config
+
+type report = {
+  pivots : (string * int option) list;
+      (** per recursive predicate: the pivot argument position found *)
+  rounds : int;  (** driver-coordinated rounds across all strata *)
+}
+
+val pivot_of : Ast.program -> string -> int option
+(** Decomposability analysis for one self-recursive predicate. *)
+
+val run : config -> Eval.db -> Ast.program -> Relation.Rel.t * report
+(** @raise Engine_failure when the budget is exceeded
+    @raise Eval.Eval_error on malformed programs *)

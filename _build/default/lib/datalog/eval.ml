@@ -1,0 +1,182 @@
+module Rel = Relation.Rel
+module Schema = Relation.Schema
+module Pred = Relation.Pred
+module Tset = Relation.Tset
+
+exception Eval_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+let canonical_cols n = List.init n (fun i -> Printf.sprintf "c%d" i)
+
+let positional rel =
+  let arity = Schema.arity (Rel.schema rel) in
+  Rel.of_tset (Schema.of_list (canonical_cols arity)) (Rel.tuples rel)
+
+type db = (string * Rel.t) list
+
+type run_stats = { mutable rounds : int; mutable facts : int }
+
+let stats : run_stats option ref = ref None
+
+(* Relation of an atom: filter constants and repeated variables, then
+   keep one column per distinct variable, named after it. *)
+let atom_rel binding (a : Ast.atom) =
+  let rel = binding a.Ast.pred in
+  let arity = Schema.arity (Rel.schema rel) in
+  if List.length a.args <> arity then
+    err "predicate %s has arity %d, used with %d args" a.pred arity (List.length a.args);
+  let rel = positional rel in
+  let preds = ref [] in
+  let first_pos : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri
+    (fun i arg ->
+      let ci = Printf.sprintf "c%d" i in
+      match (arg : Ast.term) with
+      | Const v -> preds := Pred.Eq_const (ci, v) :: !preds
+      | Var x -> (
+        match Hashtbl.find_opt first_pos x with
+        | Some j -> preds := Pred.Eq_col (Printf.sprintf "c%d" j, ci) :: !preds
+        | None -> Hashtbl.replace first_pos x i))
+    a.args;
+  let filtered = match !preds with [] -> rel | ps -> Rel.select (Pred.conj ps) rel in
+  let vars = Ast.atom_vars a in
+  let keep = List.map (fun v -> Printf.sprintf "c%d" (Hashtbl.find first_pos v)) vars in
+  (* avoid a full copy when the projection is the identity *)
+  let projected =
+    if keep = Schema.cols (Rel.schema filtered) then filtered else Rel.project keep filtered
+  in
+  Rel.rename (List.combine keep vars) projected
+
+let head_vars (r : Ast.rule) =
+  List.map
+    (function
+      | Ast.Var v -> v
+      | Ast.Const _ -> err "head constants are not supported: %s" (Format.asprintf "%a" Ast.pp_rule r))
+    r.head.args
+
+let check_head_distinct r vars =
+  let sorted = List.sort_uniq compare vars in
+  if List.length sorted <> List.length vars then
+    err "repeated head variables are not supported: %s" (Format.asprintf "%a" Ast.pp_rule r)
+
+let rule_rel binding (r : Ast.rule) =
+  let body_rels = List.map (atom_rel binding) r.body in
+  let joined =
+    match body_rels with
+    | [] -> err "empty rule body"
+    | first :: rest -> List.fold_left Rel.natural_join first rest
+  in
+  (* stratified negation: negated atoms are antijoins against fully
+     evaluated lower-stratum relations *)
+  let joined = List.fold_left (fun acc a -> Rel.antijoin acc (atom_rel binding a)) joined r.neg in
+  let vars = head_vars r in
+  check_head_distinct r vars;
+  if vars = Schema.cols (Rel.schema joined) then positional joined
+  else positional (Rel.project vars joined)
+
+let record_round new_facts =
+  match !stats with
+  | Some s ->
+    s.rounds <- s.rounds + 1;
+    s.facts <- s.facts + new_facts
+  | None -> ()
+
+(* Global semi-naive evaluation of one stratum: the predicates of
+   [group] are computed simultaneously; everything else (EDB and lower
+   strata, in [resolved]) is fixed. *)
+let eval_group db (resolved : (string, Rel.t) Hashtbl.t) (p : Ast.program) group =
+  let arity_of pred =
+    let rec find = function
+      | [] -> err "no rule for %s" pred
+      | (r : Ast.rule) :: rest -> if r.head.pred = pred then List.length r.head.args else find rest
+    in
+    find p.rules
+  in
+  let rules = List.filter (fun (r : Ast.rule) -> List.mem r.head.pred group) p.rules in
+  let all : (string, Rel.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun name -> Hashtbl.replace all name (Rel.create (Schema.of_list (canonical_cols (arity_of name)))))
+    group;
+  let delta : (string, Rel.t) Hashtbl.t = Hashtbl.copy all in
+  let base_binding name =
+    match Hashtbl.find_opt all name with
+    | Some r -> r
+    | None -> (
+      match Hashtbl.find_opt resolved name with
+      | Some r -> r
+      | None -> (
+        match List.assoc_opt name db with
+        | Some r -> r
+        | None -> err "unknown predicate %s" name))
+  in
+  (* round 0: rules evaluated with the group's relations empty *)
+  let initial_new = ref 0 in
+  List.iter
+    (fun (r : Ast.rule) ->
+      let facts = rule_rel base_binding r in
+      let target = Hashtbl.find all r.head.pred in
+      let added = Rel.diff facts target in
+      ignore (Rel.union_into target added);
+      ignore (Rel.union_into (Hashtbl.find delta r.head.pred) added);
+      initial_new := !initial_new + Rel.cardinal added)
+    rules;
+  record_round !initial_new;
+  (* semi-naive rounds: one delta occurrence per group atom *)
+  let continue = ref (!initial_new > 0) in
+  while !continue do
+    let fresh : (string, Rel.t) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun name ->
+        Hashtbl.replace fresh name (Rel.create (Schema.of_list (canonical_cols (arity_of name)))))
+      group;
+    List.iter
+      (fun (r : Ast.rule) ->
+        List.iteri
+          (fun j (a : Ast.atom) ->
+            if List.mem a.pred group then begin
+              let marked_pred = "__delta" in
+              let body' =
+                List.mapi (fun k b -> if k = j then { b with Ast.pred = marked_pred } else b)
+                  r.body
+              in
+              let binding name =
+                if name = marked_pred then Hashtbl.find delta a.pred else base_binding name
+              in
+              let facts = rule_rel binding { r with body = body' } in
+              let target = Hashtbl.find all r.head.pred in
+              let added = Rel.diff facts target in
+              ignore (Rel.union_into (Hashtbl.find fresh r.head.pred) added)
+            end)
+          r.body)
+      rules;
+    let new_facts = ref 0 in
+    List.iter
+      (fun name ->
+        let target = Hashtbl.find all name in
+        let added = Rel.diff (Hashtbl.find fresh name) target in
+        ignore (Rel.union_into target added);
+        Hashtbl.replace delta name added;
+        new_facts := !new_facts + Rel.cardinal added)
+      group;
+    record_round !new_facts;
+    if !new_facts = 0 then continue := false
+  done;
+  List.iter (fun name -> Hashtbl.replace resolved name (Hashtbl.find all name)) group
+
+let run_all db (p : Ast.program) =
+  Ast.check p;
+  let resolved : (string, Rel.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun group -> eval_group db resolved p group) (Ast.stratify p);
+  List.map (fun name -> (name, Hashtbl.find resolved name)) (Ast.idb_preds p)
+
+let run db p =
+  let idb = run_all db p in
+  let binding name =
+    match List.assoc_opt name idb with
+    | Some r -> r
+    | None -> (
+      match List.assoc_opt name db with
+      | Some r -> r
+      | None -> err "unknown predicate %s" name)
+  in
+  atom_rel binding p.query

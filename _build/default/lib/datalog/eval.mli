@@ -1,0 +1,42 @@
+(** Centralized semi-naive Datalog evaluation (the single-node oracle and
+    the per-worker engine of the distributed modes).
+
+    Predicate relations are stored positionally with canonical column
+    names [c0, c1, ...]; extensional relations supplied by the caller are
+    converted positionally. *)
+
+exception Eval_error of string
+
+val canonical_cols : int -> string list
+(** [c0; ...; c(n-1)] *)
+
+val positional : Relation.Rel.t -> Relation.Rel.t
+(** Same tuples under the canonical column names. *)
+
+type db = (string * Relation.Rel.t) list
+(** Extensional database: predicate name to relation (arity checked
+    against the program's usage at evaluation time). *)
+
+val atom_rel : (string -> Relation.Rel.t) -> Ast.atom -> Relation.Rel.t
+(** Relation of an atom under a predicate binding: constants filtered,
+    repeated variables equated, columns named after the atom's variables
+    (in first-occurrence order). *)
+
+val rule_rel : (string -> Relation.Rel.t) -> Ast.rule -> Relation.Rel.t
+(** One bottom-up application of a rule: join the body atoms, project to
+    the head arguments, canonical column names.
+    @raise Eval_error on head constants or repeated head variables
+    (unsupported). *)
+
+val run : db -> Ast.program -> Relation.Rel.t
+(** Full semi-naive evaluation; returns the query atom's answers, columns
+    named after the query's variables.
+    @raise Eval_error *)
+
+val run_all : db -> Ast.program -> (string * Relation.Rel.t) list
+(** All IDB relations (positional layout), for tests. *)
+
+type run_stats = { mutable rounds : int; mutable facts : int }
+
+val stats : run_stats option ref
+(** When set, {!run} accumulates iteration counts into it. *)

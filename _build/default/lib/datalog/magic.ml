@@ -1,0 +1,131 @@
+let rules_for (p : Ast.program) name =
+  List.filter (fun (r : Ast.rule) -> r.head.pred = name) p.rules
+
+let prune_unreachable (p : Ast.program) =
+  let idb = Ast.idb_preds p in
+  let reachable = Hashtbl.create 16 in
+  let rec visit name =
+    if List.mem name idb && not (Hashtbl.mem reachable name) then begin
+      Hashtbl.replace reachable name ();
+      List.iter
+        (fun (r : Ast.rule) -> List.iter (fun a -> visit a.Ast.pred) (r.body @ r.neg))
+        (rules_for p name)
+    end
+  in
+  visit p.query.pred;
+  { p with rules = List.filter (fun (r : Ast.rule) -> Hashtbl.mem reachable r.head.pred) p.rules }
+
+(* Left-linear closure shape:
+     p(X, Y) :- <base body without p>.          (any number)
+     p(X, Z) :- p(X, Y), rest...                (recursive rules)
+   where the head's first argument is exactly the recursive atom's first
+   argument. *)
+let left_linear_closure (p : Ast.program) name =
+  let rules = rules_for p name in
+  let recs, bases =
+    List.partition (fun (r : Ast.rule) -> List.exists (fun a -> a.Ast.pred = name) r.body) rules
+  in
+  let ok =
+    recs <> []
+    && List.for_all
+         (fun (r : Ast.rule) ->
+           match (r.head.args, List.filter (fun a -> a.Ast.pred = name) r.body) with
+           | [ Ast.Var hx; _ ], [ rec_atom ] -> (
+             match rec_atom.args with
+             | [ Ast.Var bx; _ ] ->
+               hx = bx
+               (* the bound variable must not be used elsewhere in the
+                  body: the recursion is driven purely left-to-right *)
+               && List.for_all
+                    (fun (a : Ast.atom) ->
+                      a == rec_atom || not (List.mem hx (Ast.atom_vars a)))
+                    r.body
+             | _ -> false)
+           | _ -> false)
+         recs
+    && List.for_all (fun (r : Ast.rule) -> List.length r.head.args = 2) bases
+    (* conservative: do not specialise through negation *)
+    && List.for_all (fun (r : Ast.rule) -> r.neg = []) rules
+  in
+  if ok then Some (bases, recs) else None
+
+let counter = ref 0
+
+(* When the query atom targets a recursive predicate directly
+   (?- tc(1, Y)), wrap it in a dedicated answer rule so the same
+   specialisation logic applies. *)
+let with_query_rule (p : Ast.program) =
+  let defines_query = rules_for p p.query.pred <> [] in
+  let has_const = List.exists (function Ast.Const _ -> true | Ast.Var _ -> false) p.query.args in
+  if defines_query && has_const then begin
+    let heads =
+      List.filter_map (function Ast.Var v -> Some (Ast.Var v) | Ast.Const _ -> None) p.query.args
+    in
+    let ans = { Ast.pred = "__ans"; args = heads } in
+    { Ast.rules = p.rules @ [ { Ast.head = ans; body = [ p.query ]; neg = [] } ]; query = ans }
+  end
+  else p
+
+let specialize (p0 : Ast.program) =
+  let p = with_query_rule p0 in
+  let query_rules, others =
+    List.partition (fun (r : Ast.rule) -> r.head.pred = p.query.pred) p.rules
+  in
+  match query_rules with
+  | [ qrule ] ->
+    let new_rules = ref [] in
+    let body' =
+      List.map
+        (fun (a : Ast.atom) ->
+          match a.args with
+          | [ Ast.Const c; obj ] -> (
+            match left_linear_closure p a.pred with
+            | Some (bases, recs) ->
+              incr counter;
+              let bf = Printf.sprintf "%s_bf%d" a.pred !counter in
+              (* bf(Y) :- base(C, Y) — substitute the constant into each
+                 base rule *)
+              List.iter
+                (fun (r : Ast.rule) ->
+                  match r.head.args with
+                  | [ Ast.Var x; y ] ->
+                    let subst_term = function
+                      | Ast.Var v when v = x -> Ast.Const c
+                      | t -> t
+                    in
+                    let body =
+                      List.map
+                        (fun (b : Ast.atom) -> { b with Ast.args = List.map subst_term b.args })
+                        r.body
+                    in
+                    new_rules := { Ast.head = { Ast.pred = bf; args = [ y ] }; body; neg = [] } :: !new_rules
+                  | _ -> ())
+                bases;
+              (* bf(Z) :- bf(Y), rest (the p-atom replaced) *)
+              List.iter
+                (fun (r : Ast.rule) ->
+                  match r.head.args with
+                  | [ Ast.Var _; z ] ->
+                    let body =
+                      List.map
+                        (fun (b : Ast.atom) ->
+                          if b.Ast.pred = a.pred then
+                            match b.args with
+                            | [ _; y ] -> { Ast.pred = bf; args = [ y ] }
+                            | _ -> b
+                          else b)
+                        r.body
+                    in
+                    new_rules := { Ast.head = { Ast.pred = bf; args = [ z ] }; body; neg = [] } :: !new_rules
+                  | _ -> ())
+                recs;
+              { Ast.pred = bf; args = [ obj ] }
+            | None -> a)
+          | _ -> a)
+        qrule.body
+    in
+    if !new_rules = [] then p0
+    else
+      prune_unreachable
+        { p with Ast.rules = others @ List.rev !new_rules @ [ { qrule with body = body' } ] }
+  | _ -> p0

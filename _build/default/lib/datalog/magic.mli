@@ -1,0 +1,15 @@
+(** Magic-set-style binding propagation, restricted exactly to what the
+    paper credits Datalog engines with (Sec. VI-A): a constant bound to
+    the {e first} argument of a {e left-linear} closure specialises its
+    base case (the classic bf-adornment), but a constant on the second
+    argument of a left-linear program cannot be pushed — that would
+    require reversing the fixpoint, which Datalog engines do not do. *)
+
+val specialize : Ast.program -> Ast.program
+(** Specialise query-rule atoms of the form [p(C, X)] where [p] is a
+    left-linear recursive predicate, then prune rules unreachable from
+    the query. Returns the program unchanged where the pattern does not
+    apply. *)
+
+val prune_unreachable : Ast.program -> Ast.program
+(** Drop rules for predicates the query cannot reach. *)

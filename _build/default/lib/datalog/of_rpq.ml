@@ -1,0 +1,157 @@
+module Value = Relation.Value
+module Query = Rpq.Query
+module Regex = Rpq.Regex
+
+let edge_pred = "edge"
+
+let db_of_edges rel = [ (edge_pred, rel) ]
+
+type st = { mutable rules : Ast.rule list; mutable counter : int }
+
+let fresh st prefix =
+  let n = st.counter in
+  st.counter <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let add st rule = st.rules <- rule :: st.rules
+
+let v x = Ast.Var x
+let atom pred args = { Ast.pred; args }
+
+(* Returns a binary predicate name for the expression. *)
+let rec trans st (e : Regex.t) : string =
+  match e with
+  | Label l ->
+    let p = fresh st "lbl" in
+    add st
+      {
+        Ast.head = atom p [ v "X"; v "Y" ];
+        body = [ atom edge_pred [ v "X"; Ast.Const (Value.of_string l); v "Y" ] ];
+        neg = [];
+      };
+    p
+  | Inv (Label l) ->
+    let p = fresh st "inv" in
+    add st
+      {
+        Ast.head = atom p [ v "X"; v "Y" ];
+        body = [ atom edge_pred [ v "Y"; Ast.Const (Value.of_string l); v "X" ] ];
+        neg = [];
+      };
+    p
+  | Inv inner -> trans st (Regex.push_inverses (Regex.Inv inner))
+  | Seq (a, b) ->
+    let pa = trans st a and pb = trans st b in
+    let p = fresh st "seq" in
+    add st
+      {
+        Ast.head = atom p [ v "X"; v "Z" ];
+        body = [ atom pa [ v "X"; v "Y" ]; atom pb [ v "Y"; v "Z" ] ];
+        neg = [];
+      };
+    p
+  | Alt (a, b) ->
+    let pa = trans st a and pb = trans st b in
+    let p = fresh st "alt" in
+    add st { Ast.head = atom p [ v "X"; v "Y" ]; body = [ atom pa [ v "X"; v "Y" ] ]; neg = [] };
+    add st { Ast.head = atom p [ v "X"; v "Y" ]; body = [ atom pb [ v "X"; v "Y" ] ]; neg = [] };
+    p
+  | Plus a ->
+    let pa = trans st a in
+    let p = fresh st "tc" in
+    (* left-linear closure *)
+    add st { Ast.head = atom p [ v "X"; v "Y" ]; body = [ atom pa [ v "X"; v "Y" ] ]; neg = [] };
+    add st
+      {
+        Ast.head = atom p [ v "X"; v "Z" ];
+        body = [ atom p [ v "X"; v "Y" ]; atom pa [ v "Y"; v "Z" ] ];
+        neg = [];
+      };
+    p
+  | Star _ | Opt _ ->
+    raise
+      (Query.Translation_error
+         (Printf.sprintf "path %s can match the empty word" (Regex.to_string e)))
+
+(* Strip the empty word exactly as the mu-RA translation does, so both
+   backends accept the same query set. *)
+let strip_path (e : Regex.t) : Regex.t =
+  let rec strip e : Regex.t option * bool =
+    match (e : Regex.t) with
+    | Label _ -> (Some e, false)
+    | Inv a -> (
+      match strip a with Some r, eps -> (Some (Regex.Inv r), eps) | None, eps -> (None, eps))
+    | Seq (a, b) -> (
+      let ra, ea = strip a and rb, eb = strip b in
+      let cands =
+        List.filter_map Fun.id
+          [
+            (match (ra, rb) with Some x, Some y -> Some (Regex.Seq (x, y)) | _ -> None);
+            (if eb then ra else None);
+            (if ea then rb else None);
+          ]
+      in
+      match cands with
+      | [] -> (None, ea && eb)
+      | c :: cs -> (Some (List.fold_left (fun a x -> Regex.Alt (a, x)) c cs), ea && eb))
+    | Alt (a, b) -> (
+      let ra, ea = strip a and rb, eb = strip b in
+      match (ra, rb) with
+      | Some x, Some y -> (Some (Regex.Alt (x, y)), ea || eb)
+      | Some x, None | None, Some x -> (Some x, ea || eb)
+      | None, None -> (None, ea || eb))
+    | Plus a -> (
+      match strip a with
+      | Some r, eps -> (Some (Regex.Plus r), eps)
+      | None, eps -> (None, eps))
+    | Star a -> (
+      match strip a with Some r, _ -> (Some (Regex.Plus r), true) | None, _ -> (None, true))
+    | Opt a ->
+      let r, _ = strip a in
+      (r, true)
+  in
+  match strip e with
+  | Some r, false -> r
+  | _ ->
+    raise
+      (Query.Translation_error
+         (Printf.sprintf "path %s can match the empty word" (Regex.to_string e)))
+
+let endpoint_term st i (e : Query.endpoint) =
+  ignore st;
+  match e with
+  | Query.Var x -> v ("U" ^ x)
+  | Query.Const c -> (
+    ignore i;
+    match int_of_string_opt c with
+    | Some n when n >= 0 -> Ast.Const n
+    | Some _ | None -> Ast.Const (Value.of_string c))
+
+let program_union (qs : Query.t list) =
+  (match qs with
+  | [] -> raise (Query.Translation_error "empty union")
+  | first :: rest ->
+    List.iter
+      (fun (q : Query.t) ->
+        if q.heads <> first.Query.heads then
+          raise (Query.Translation_error "union branches disagree on heads"))
+      rest);
+  let st = { rules = []; counter = 0 } in
+  let qpred = "query" in
+  let heads = List.map (fun h -> v ("U" ^ h)) (List.hd qs).heads in
+  List.iter
+    (fun (q : Query.t) ->
+      let body =
+        List.map
+          (fun (a : Query.atom) ->
+            let p = trans st (strip_path a.path) in
+            atom p [ endpoint_term st 0 a.sub; endpoint_term st 1 a.obj ])
+          q.atoms
+      in
+      add st { Ast.head = atom qpred heads; body; neg = [] })
+    qs;
+  let prog = { Ast.rules = List.rev st.rules; query = atom qpred heads } in
+  Ast.check prog;
+  prog
+
+let program (q : Query.t) = program_union [ q ]

@@ -1,0 +1,26 @@
+(** Translation of UCRPQ queries to Datalog programs, the way a Datalog
+    user of BigDatalog/Myria would write them: one predicate per regular
+    sub-expression, closures as left-linear recursion, and the whole
+    conjunction as the query rule.
+
+    Because closures are written left-linear, a constant on the {e left}
+    of a recursion naturally specialises the base case (what Magic Sets
+    achieve), while a constant on the {e right} is only applied after the
+    closure is computed — reproducing the asymmetry the paper attributes
+    to Datalog engines (no fixpoint reversal, Sec. VI-A). *)
+
+val edge_pred : string
+(** Name of the extensional labelled edge predicate: [edge(Src, Label,
+    Trg)]. The database passed to the evaluator must bind it. *)
+
+val program : Rpq.Query.t -> Ast.program
+(** @raise Rpq.Query.Translation_error on empty-word paths. *)
+
+val program_union : Rpq.Query.t list -> Ast.program
+(** Union of CRPQs: one query rule per branch, same head predicate.
+    @raise Rpq.Query.Translation_error on empty list or mismatched
+    heads. *)
+
+val db_of_edges : Relation.Rel.t -> Eval.db
+(** Wrap a labelled edge relation (any 3-column schema, read
+    positionally) as the extensional database. *)

@@ -1,0 +1,159 @@
+module Value = Relation.Value
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | Ident of string
+  | Int of int
+  | Str of string
+  | Lpar
+  | Rpar
+  | Comma
+  | Turnstile (* :- *)
+  | Query (* ?- *)
+  | Dot
+  | Bang (* ! — negation *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' || c = ':'
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '%' ->
+        let j = try String.index_from s i '\n' with Not_found -> n in
+        go j acc
+      | '(' -> go (i + 1) (Lpar :: acc)
+      | ')' -> go (i + 1) (Rpar :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '.' -> go (i + 1) (Dot :: acc)
+      | '!' -> go (i + 1) (Bang :: acc)
+      | ':' when i + 1 < n && s.[i + 1] = '-' -> go (i + 2) (Turnstile :: acc)
+      | '?' when i + 1 < n && s.[i + 1] = '-' -> go (i + 2) (Query :: acc)
+      | '"' ->
+        let j = try String.index_from s (i + 1) '"' with Not_found -> fail "unterminated string" in
+        go (j + 1) (Str (String.sub s (i + 1) (j - i - 1)) :: acc)
+      | c when c >= '0' && c <= '9' ->
+        let j = ref i in
+        while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+          incr j
+        done;
+        go !j (Int (int_of_string (String.sub s i (!j - i))) :: acc)
+      | c when is_ident_char c ->
+        let j = ref i in
+        while !j < n && is_ident_char s.[!j] do
+          incr j
+        done;
+        go !j (Ident (String.sub s i (!j - i)) :: acc)
+      | c -> fail "unexpected character %C" c
+  in
+  go 0 []
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t what =
+  match peek st with
+  | Some t' when t' = t -> advance st
+  | _ -> fail "expected %s" what
+
+let parse_term st : Ast.term =
+  match peek st with
+  | Some (Int n) ->
+    advance st;
+    Ast.Const n
+  | Some (Str s) ->
+    advance st;
+    Ast.Const (Value.of_string s)
+  | Some (Ident id) ->
+    advance st;
+    if id.[0] >= 'A' && id.[0] <= 'Z' then Ast.Var id else Ast.Const (Value.of_string id)
+  | _ -> fail "expected a term"
+
+let parse_atom st : Ast.atom =
+  match peek st with
+  | Some (Ident pred) ->
+    advance st;
+    expect st Lpar "'('";
+    let rec args acc =
+      let t = parse_term st in
+      match peek st with
+      | Some Comma ->
+        advance st;
+        args (t :: acc)
+      | Some Rpar ->
+        advance st;
+        List.rev (t :: acc)
+      | _ -> fail "expected ',' or ')'"
+    in
+    { pred; args = args [] }
+  | _ -> fail "expected a predicate name"
+
+let atom s =
+  let st = { toks = tokenize s } in
+  let a = parse_atom st in
+  (match peek st with None -> () | Some _ -> fail "trailing tokens after atom");
+  a
+
+let program s =
+  let st = { toks = tokenize s } in
+  let rules = ref [] in
+  let query = ref None in
+  let rec go () =
+    match peek st with
+    | None -> ()
+    | Some Query ->
+      advance st;
+      let a = parse_atom st in
+      expect st Dot "'.'";
+      (match !query with
+      | None -> query := Some a
+      | Some _ -> fail "multiple query directives");
+      go ()
+    | Some _ ->
+      let head = parse_atom st in
+      expect st Turnstile "':-'";
+      (* literals: atoms, possibly negated with '!' or the keyword 'not' *)
+      let parse_lit () =
+        match peek st with
+        | Some Bang ->
+          advance st;
+          `Neg (parse_atom st)
+        | Some (Ident "not") ->
+          advance st;
+          `Neg (parse_atom st)
+        | _ -> `Pos (parse_atom st)
+      in
+      let rec body pos neg =
+        let lit = parse_lit () in
+        let pos, neg =
+          match lit with `Pos a -> (a :: pos, neg) | `Neg a -> (pos, a :: neg)
+        in
+        match peek st with
+        | Some Comma ->
+          advance st;
+          body pos neg
+        | Some Dot ->
+          advance st;
+          (List.rev pos, List.rev neg)
+        | _ -> fail "expected ',' or '.' in rule body"
+      in
+      let pos, neg = body [] [] in
+      rules := { Ast.head; body = pos; neg } :: !rules;
+      go ()
+  in
+  go ();
+  match !query with
+  | None -> fail "missing '?-' query directive"
+  | Some q ->
+    let p = { Ast.rules = List.rev !rules; query = q } in
+    (try Ast.check p with Ast.Ill_formed m -> fail "%s" m);
+    p

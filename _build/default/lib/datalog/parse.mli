@@ -1,0 +1,19 @@
+(** Parser for the concrete Datalog syntax.
+
+    {v
+      tc(X, Y) :- edge(X, Y).
+      tc(X, Z) :- tc(X, Y), edge(Y, Z).
+      ?- tc(0, Y).
+    v}
+
+    Uppercase-initial identifiers are variables; lowercase identifiers
+    and quoted strings are symbol constants; nonnegative integer literals
+    are plain node constants. ['%'] starts a line comment. *)
+
+exception Parse_error of string
+
+val program : string -> Ast.program
+(** @raise Parse_error *)
+
+val atom : string -> Ast.atom
+(** Parse a single atom like ["tc(X, 3)"]. *)

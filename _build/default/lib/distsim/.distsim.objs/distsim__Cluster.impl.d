@@ -1,0 +1,1 @@
+lib/distsim/cluster.ml: Array Domain Float Metrics Unix

@@ -1,0 +1,1 @@
+lib/distsim/cluster.mli: Metrics

@@ -1,0 +1,1 @@
+lib/distsim/dds.ml: Array Cluster List Metrics Relation

@@ -1,0 +1,1 @@
+lib/distsim/dds.mli: Cluster Relation

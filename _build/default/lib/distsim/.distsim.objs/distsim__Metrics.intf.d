@@ -1,0 +1,1 @@
+lib/distsim/metrics.mli: Format

@@ -1,0 +1,33 @@
+type t = { workers : int; parallel : bool; metrics : Metrics.t }
+
+let make ?(parallel = false) ~workers () =
+  if workers < 1 then invalid_arg "Cluster.make: workers < 1";
+  { workers; parallel; metrics = Metrics.create () }
+
+let workers c = c.workers
+let parallel c = c.parallel
+let metrics c = c.metrics
+
+let clock_ns () = Unix.gettimeofday () *. 1e9
+
+type 'a outcome = Value of 'a | Error of exn
+
+let run_stage c f =
+  let n = c.workers in
+  let timed w =
+    let t0 = clock_ns () in
+    let r = try Value (f w) with e -> Error e in
+    let t1 = clock_ns () in
+    (r, t1 -. t0)
+  in
+  let results =
+    if c.parallel && n > 1 then begin
+      let domains = Array.init (n - 1) (fun i -> Domain.spawn (fun () -> timed (i + 1))) in
+      let first = timed 0 in
+      Array.append [| first |] (Array.map Domain.join domains)
+    end
+    else Array.init n timed
+  in
+  let max_ns = Array.fold_left (fun acc (_, t) -> Float.max acc t) 0. results in
+  Metrics.record_stage c.metrics ~max_worker_ns:max_ns;
+  Array.map (fun (r, _) -> match r with Value v -> v | Error e -> raise e) results

@@ -1,0 +1,24 @@
+(** A simulated cluster: a driver plus a fixed set of workers.
+
+    Each worker owns one partition slot per dataset. Workers can execute
+    their partition work on real OCaml domains ([parallel = true]) or
+    sequentially (deterministic, default); in both modes the per-worker
+    compute time is measured and the stage time is the maximum across
+    workers, which is what a synchronous Spark stage would cost. *)
+
+type t
+
+val make : ?parallel:bool -> workers:int -> unit -> t
+(** @raise Invalid_argument if [workers < 1]. *)
+
+val workers : t -> int
+val parallel : t -> bool
+val metrics : t -> Metrics.t
+(** The cluster-lifetime metric accumulator (reset between experiments
+    with {!Metrics.reset}). *)
+
+val run_stage : t -> (int -> 'a) -> 'a array
+(** [run_stage c f] runs [f w] for every worker index [w] (possibly on
+    domains), meters the stage (max per-worker time) and returns the
+    per-worker results. Exceptions raised by any [f w] are re-raised on
+    the driver. *)

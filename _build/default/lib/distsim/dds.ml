@@ -1,0 +1,290 @@
+module Schema = Relation.Schema
+module Tset = Relation.Tset
+module Tuple = Relation.Tuple
+module Rel = Relation.Rel
+module Pred = Relation.Pred
+
+type partitioning = Arbitrary | Hashed of string list
+
+type t = {
+  cluster : Cluster.t;
+  schema : Schema.t;
+  parts : Tset.t array;
+  partitioning : partitioning;
+}
+
+let cluster d = d.cluster
+let schema d = d.schema
+let partitioning d = d.partitioning
+let num_partitions d = Array.length d.parts
+let partition d i = d.parts.(i)
+let partition_sizes d = Array.map Tset.cardinal d.parts
+let cardinal d = Array.fold_left (fun acc p -> acc + Tset.cardinal p) 0 d.parts
+
+let same_hashing a b =
+  match (a, b) with Hashed x, Hashed y -> x = y | (Arbitrary | Hashed _), _ -> false
+
+let target_of ~positions ~workers tu =
+  if workers = 1 then 0 else Tuple.hash (Tuple.project positions tu) mod workers
+
+(* Exchange a full dataset by key: returns fresh partitions and the
+   number of tuples that changed worker. *)
+let exchange parts ~positions ~workers =
+  let fresh = Array.init workers (fun _ -> Tset.create ()) in
+  let moved = ref 0 in
+  Array.iteri
+    (fun w p ->
+      Tset.iter
+        (fun tu ->
+          let t = target_of ~positions ~workers tu in
+          if t <> w then incr moved;
+          ignore (Tset.add fresh.(t) tu))
+        p)
+    parts;
+  (fresh, !moved)
+
+let of_rel ?by cluster rel =
+  let workers = Cluster.workers cluster in
+  let schema = Rel.schema rel in
+  let parts = Array.init workers (fun _ -> Tset.create ()) in
+  (match by with
+  | Some cols ->
+    let positions = Schema.positions schema cols in
+    Rel.iter (fun tu -> ignore (Tset.add parts.(target_of ~positions ~workers tu) tu)) rel
+  | None ->
+    let w = ref 0 in
+    Rel.iter
+      (fun tu ->
+        ignore (Tset.add parts.(!w) tu);
+        w := (!w + 1) mod workers)
+      rel);
+  let records = Rel.cardinal rel in
+  Metrics.record_shuffle (Cluster.metrics cluster) ~records
+    ~bytes:(records * Metrics.tuple_bytes (Schema.arity schema));
+  {
+    cluster;
+    schema;
+    parts;
+    partitioning = (match by with Some cols -> Hashed cols | None -> Arbitrary);
+  }
+
+let empty cluster schema =
+  {
+    cluster;
+    schema;
+    parts = Array.init (Cluster.workers cluster) (fun _ -> Tset.create ());
+    partitioning = Hashed (Schema.cols schema);
+  }
+
+let collect d =
+  let out = Tset.create ~capacity:(cardinal d) () in
+  Array.iter (fun p -> ignore (Tset.add_all out p)) d.parts;
+  let records = Tset.cardinal out in
+  Metrics.record_shuffle (Cluster.metrics d.cluster) ~records
+    ~bytes:(records * Metrics.tuple_bytes (Schema.arity d.schema));
+  Rel.of_tset d.schema out
+
+let first_tuples d n =
+  let acc = ref [] and remaining = ref n in
+  (try
+     Array.iter
+       (fun p ->
+         Tset.iter
+           (fun tu ->
+             if !remaining = 0 then raise Exit;
+             acc := tu :: !acc;
+             decr remaining)
+           p)
+       d.parts
+   with Exit -> ());
+  List.rev !acc
+
+let map_partitions ?(partitioning = Arbitrary) ~schema f d =
+  let parts = Cluster.run_stage d.cluster (fun w -> f w d.parts.(w)) in
+  { d with schema; parts; partitioning }
+
+let filter p d =
+  let keep = Pred.compile d.schema p in
+  map_partitions ~partitioning:d.partitioning ~schema:d.schema
+    (fun _ part ->
+      let out = Tset.create () in
+      Tset.iter (fun tu -> if keep tu then ignore (Tset.add out tu)) part;
+      out)
+    d
+
+let rename mapping d =
+  let schema = Schema.rename mapping d.schema in
+  let partitioning =
+    match d.partitioning with
+    | Arbitrary -> Arbitrary
+    | Hashed cols ->
+      Hashed
+        (List.map
+           (fun c -> match List.assoc_opt c mapping with Some fresh -> fresh | None -> c)
+           cols)
+  in
+  { d with schema; partitioning }
+
+let relayout_set ~from ~into part =
+  if Schema.equal_ordered from into then part
+  else begin
+    let perm = Schema.reorder_positions ~from ~into in
+    let out = Tset.create ~capacity:(Tset.cardinal part) () in
+    Tset.iter (fun tu -> ignore (Tset.add out (Tuple.project perm tu))) part;
+    out
+  end
+
+let set_union_local a b =
+  if num_partitions a <> num_partitions b then invalid_arg "Dds.set_union_local: partition counts";
+  let parts =
+    Cluster.run_stage a.cluster (fun w ->
+        let out = Tset.copy a.parts.(w) in
+        ignore (Tset.add_all out (relayout_set ~from:b.schema ~into:a.schema b.parts.(w)));
+        out)
+  in
+  let partitioning =
+    if same_hashing a.partitioning b.partitioning then a.partitioning else Arbitrary
+  in
+  { a with parts; partitioning }
+
+let set_diff_local a b =
+  if num_partitions a <> num_partitions b then invalid_arg "Dds.set_diff_local: partition counts";
+  let parts =
+    Cluster.run_stage a.cluster (fun w ->
+        let rhs = relayout_set ~from:b.schema ~into:a.schema b.parts.(w) in
+        let out = Tset.create () in
+        Tset.iter (fun tu -> if not (Tset.mem rhs tu) then ignore (Tset.add out tu)) a.parts.(w);
+        out)
+  in
+  { a with parts }
+
+let local_join_sets ~left_schema ~right_schema ~out_schema left right =
+  let shared = Schema.common left_schema right_schema in
+  let extra_cols = List.filter (fun c -> not (Schema.mem left_schema c)) (Schema.cols right_schema) in
+  let extra_pos = Schema.positions right_schema extra_cols in
+  let out = Tset.create () in
+  let emit lt rt = ignore (Tset.add out (Tuple.concat lt (Tuple.project extra_pos rt))) in
+  (match shared with
+  | [] -> Tset.iter (fun lt -> Tset.iter (fun rt -> emit lt rt) right) left
+  | _ ->
+    (* index the smaller side: semi-naive loops join a small delta
+       against a large stable relation every iteration *)
+    let l_key = Schema.positions left_schema shared in
+    if Tset.cardinal right <= Tset.cardinal left then begin
+      let idx = Relation.Index.build right_schema shared (Tset.to_seq right) in
+      Tset.iter (fun lt -> List.iter (emit lt) (Relation.Index.probe idx (Tuple.project l_key lt))) left
+    end
+    else begin
+      let idx = Relation.Index.build left_schema shared (Tset.to_seq left) in
+      let r_key = Schema.positions right_schema shared in
+      Tset.iter
+        (fun rt -> List.iter (fun lt -> emit lt rt) (Relation.Index.probe idx (Tuple.project r_key rt)))
+        right
+    end);
+  ignore out_schema;
+  out
+
+type broadcast = Rel.t
+
+let broadcast cluster rel =
+  let records = Rel.cardinal rel * max 1 (Cluster.workers cluster - 1) in
+  Metrics.record_broadcast (Cluster.metrics cluster) ~records;
+  rel
+
+let broadcast_value b = b
+
+let join_bcast d rel =
+  let right_schema = Rel.schema rel in
+  let out_schema = Schema.append_distinct d.schema right_schema in
+  let right = Rel.tuples rel in
+  map_partitions ~partitioning:d.partitioning ~schema:out_schema
+    (fun _ part ->
+      local_join_sets ~left_schema:d.schema ~right_schema ~out_schema part right)
+    d
+
+let antijoin_bcast d rel =
+  let shared = Schema.common d.schema (Rel.schema rel) in
+  match shared with
+  | [] ->
+    if Rel.is_empty rel then d
+    else map_partitions ~partitioning:d.partitioning ~schema:d.schema (fun _ _ -> Tset.create ()) d
+  | _ ->
+    let idx = Relation.Index.build (Rel.schema rel) shared (Tset.to_seq (Rel.tuples rel)) in
+    let key = Schema.positions d.schema shared in
+    map_partitions ~partitioning:d.partitioning ~schema:d.schema
+      (fun _ part ->
+        let out = Tset.create () in
+        Tset.iter
+          (fun tu -> if not (Relation.Index.mem idx (Tuple.project key tu)) then ignore (Tset.add out tu))
+          part;
+        out)
+      d
+
+let join_broadcast d rel = join_bcast d (broadcast d.cluster rel)
+let antijoin_broadcast d rel = antijoin_bcast d (broadcast d.cluster rel)
+
+let repartition ~by d =
+  if same_hashing d.partitioning (Hashed by) then d
+  else begin
+    let workers = Cluster.workers d.cluster in
+    let positions = Schema.positions d.schema by in
+    let parts, moved = exchange d.parts ~positions ~workers in
+    Metrics.record_shuffle (Cluster.metrics d.cluster) ~records:moved
+      ~bytes:(moved * Metrics.tuple_bytes (Schema.arity d.schema));
+    { d with parts; partitioning = Hashed by }
+  end
+
+let distinct d =
+  match d.partitioning with
+  | Hashed _ -> d (* co-located and partitions are sets: already distinct *)
+  | Arbitrary -> repartition ~by:(Schema.cols d.schema) d
+
+let join_shuffle a b =
+  let shared = Schema.common a.schema b.schema in
+  match shared with
+  | [] ->
+    (* Cartesian: broadcast the smaller side. *)
+    if cardinal a <= cardinal b then
+      let small = collect a in
+      let joined = join_broadcast b small in
+      (* layout: b-first; relayout to a-first convention *)
+      let out_schema = Schema.append_distinct a.schema b.schema in
+      map_partitions ~schema:out_schema
+        (fun _ part -> relayout_set ~from:joined.schema ~into:out_schema part)
+        joined
+    else join_broadcast a (collect b)
+  | _ ->
+    let a' = repartition ~by:shared a in
+    let b' = repartition ~by:shared b in
+    let out_schema = Schema.append_distinct a.schema b.schema in
+    let parts =
+      Cluster.run_stage a.cluster (fun w ->
+          local_join_sets ~left_schema:a.schema ~right_schema:b.schema ~out_schema a'.parts.(w)
+            b'.parts.(w))
+    in
+    { a with schema = out_schema; parts; partitioning = Hashed shared }
+
+let antijoin_shuffle a b =
+  let shared = Schema.common a.schema b.schema in
+  match shared with
+  | [] ->
+    if cardinal b = 0 then a
+    else map_partitions ~partitioning:a.partitioning ~schema:a.schema (fun _ _ -> Tset.create ()) a
+  | _ ->
+    let a' = repartition ~by:shared a in
+    let b' = repartition ~by:shared b in
+    let key = Schema.positions a.schema shared in
+    let b_key = Schema.positions b.schema shared in
+    let parts =
+      Cluster.run_stage a.cluster (fun w ->
+          let keys = Tset.create () in
+          Tset.iter (fun tu -> ignore (Tset.add keys (Tuple.project b_key tu))) b'.parts.(w);
+          let out = Tset.create () in
+          Tset.iter
+            (fun tu -> if not (Tset.mem keys (Tuple.project key tu)) then ignore (Tset.add out tu))
+            a'.parts.(w);
+          out)
+    in
+    { a with parts; partitioning = Hashed shared }
+
+let union_distinct a b = distinct (set_union_local a b)

@@ -1,0 +1,115 @@
+(** Distributed datasets (the runtime's RDD/Dataset analogue).
+
+    A [Dds.t] is a relation split into one partition per worker. Each
+    partition is a tuple {e set} (the SetRDD representation the paper
+    borrows from BigDatalog): intra-partition duplicates never exist;
+    inter-partition duplicates are possible unless the dataset is
+    hash-partitioned.
+
+    Narrow operations (filter, map_partitions, partition-wise set ops,
+    broadcast joins) touch no network. Wide operations (repartition,
+    distinct, shuffle join, collect) are metered on the owning cluster's
+    {!Metrics.t}. *)
+
+type partitioning =
+  | Arbitrary  (** no placement guarantee *)
+  | Hashed of string list
+      (** co-located by hash of these columns: equal projections on these
+          columns imply the same worker *)
+
+type t
+
+val cluster : t -> Cluster.t
+val schema : t -> Relation.Schema.t
+val partitioning : t -> partitioning
+val num_partitions : t -> int
+val cardinal : t -> int
+(** Total tuples (a driver-side count; not metered as data movement). *)
+
+val partition : t -> int -> Relation.Tset.t
+(** Read-only view of a partition (tests and local engines). *)
+
+val partition_sizes : t -> int array
+
+(** {1 Creation and collection} *)
+
+val of_rel : ?by:string list -> Cluster.t -> Relation.Rel.t -> t
+(** Ship a driver-side relation to the workers: hash-partitioned [~by]
+    the given columns, or spread round-robin. Metered as one shuffle. *)
+
+val empty : Cluster.t -> Relation.Schema.t -> t
+
+val collect : t -> Relation.Rel.t
+(** Gather all partitions to the driver (metered as one shuffle). *)
+
+val first_tuples : t -> int -> Relation.Tuple.t list
+(** Up to [n] tuples for display; not metered. *)
+
+(** {1 Narrow operations} *)
+
+val filter : Relation.Pred.t -> t -> t
+
+val rename : (string * string) list -> t -> t
+(** Schema-only relabelling; the partitioning column names are renamed
+    along with the schema. *)
+
+val map_partitions :
+  ?partitioning:partitioning -> schema:Relation.Schema.t ->
+  (int -> Relation.Tset.t -> Relation.Tset.t) -> t -> t
+(** [map_partitions ~schema f d] applies [f worker_index partition] on
+    every worker. The default resulting partitioning is [Arbitrary];
+    callers asserting preservation pass it explicitly. *)
+
+val set_union_local : t -> t -> t
+(** Partition-wise set union (the SetRDD union: no shuffle). Schemas must
+    agree on names; the right side is relaid out if needed. *)
+
+val set_diff_local : t -> t -> t
+(** Partition-wise difference. Only meaningful when both sides are
+    co-partitioned; the caller is responsible (checked: both [Hashed] on
+    the same columns, or both [Arbitrary] by explicit choice). *)
+
+type broadcast
+(** A relation shipped once to every worker. Creating the value meters
+    the broadcast; joining against it afterwards is narrow and free, so
+    a fixpoint loop that reuses the same broadcast (as P_plw does) pays
+    the communication exactly once. *)
+
+val broadcast : Cluster.t -> Relation.Rel.t -> broadcast
+val broadcast_value : broadcast -> Relation.Rel.t
+
+val join_bcast : t -> broadcast -> t
+(** Narrow per-partition hash join against a broadcast relation.
+    Preserves the left partitioning (natural join keeps all left
+    columns). *)
+
+val antijoin_bcast : t -> broadcast -> t
+
+val join_broadcast : t -> Relation.Rel.t -> t
+(** [broadcast] + [join_bcast] in one step (meters every call). *)
+
+val antijoin_broadcast : t -> Relation.Rel.t -> t
+
+(** {1 Wide operations} *)
+
+val repartition : by:string list -> t -> t
+(** Hash-repartition; tuples already on their target worker are not
+    counted as moved. No-op when already [Hashed] by the same columns. *)
+
+val distinct : t -> t
+(** Global deduplication. Free when the dataset is [Hashed] by any column
+    subset (equal tuples are then co-located and partitions are sets);
+    otherwise repartitions by the full schema. *)
+
+val join_shuffle : t -> t -> t
+(** Natural join by co-partitioning both sides on the shared columns.
+    Degenerates to a broadcast-style plan when there are no shared
+    columns. *)
+
+val antijoin_shuffle : t -> t -> t
+(** [antijoin_shuffle l r]: distributed [l ▷ r] by co-partitioning both
+    sides on the shared columns. With no shared columns, falls back to a
+    broadcast of the right side's emptiness. *)
+
+val union_distinct : t -> t -> t
+(** The Dataset union-then-distinct used by the P_gld plan. *)

@@ -1,0 +1,75 @@
+type t = {
+  mutable shuffles : int;
+  mutable shuffled_records : int;
+  mutable shuffled_bytes : int;
+  mutable broadcasts : int;
+  mutable broadcast_records : int;
+  mutable supersteps : int;
+  mutable stages : int;
+  mutable sim_time_ns : float;
+}
+
+let create () =
+  {
+    shuffles = 0;
+    shuffled_records = 0;
+    shuffled_bytes = 0;
+    broadcasts = 0;
+    broadcast_records = 0;
+    supersteps = 0;
+    stages = 0;
+    sim_time_ns = 0.;
+  }
+
+let reset m =
+  m.shuffles <- 0;
+  m.shuffled_records <- 0;
+  m.shuffled_bytes <- 0;
+  m.broadcasts <- 0;
+  m.broadcast_records <- 0;
+  m.supersteps <- 0;
+  m.stages <- 0;
+  m.sim_time_ns <- 0.
+
+let add acc m =
+  acc.shuffles <- acc.shuffles + m.shuffles;
+  acc.shuffled_records <- acc.shuffled_records + m.shuffled_records;
+  acc.shuffled_bytes <- acc.shuffled_bytes + m.shuffled_bytes;
+  acc.broadcasts <- acc.broadcasts + m.broadcasts;
+  acc.broadcast_records <- acc.broadcast_records + m.broadcast_records;
+  acc.supersteps <- acc.supersteps + m.supersteps;
+  acc.stages <- acc.stages + m.stages;
+  acc.sim_time_ns <- acc.sim_time_ns +. m.sim_time_ns
+
+(* 8 bytes per field plus a fixed header, roughly Spark's unsafe row. *)
+let tuple_bytes arity = 16 + (8 * arity)
+
+let ns_per_shuffled_record = 150.
+let ns_per_shuffle_round = 2_000_000.
+let ns_per_broadcast_record = 60.
+
+let record_stage m ~max_worker_ns =
+  m.stages <- m.stages + 1;
+  m.sim_time_ns <- m.sim_time_ns +. max_worker_ns
+
+let record_shuffle m ~records ~bytes =
+  m.shuffles <- m.shuffles + 1;
+  m.shuffled_records <- m.shuffled_records + records;
+  m.shuffled_bytes <- m.shuffled_bytes + bytes;
+  m.sim_time_ns <-
+    m.sim_time_ns +. ns_per_shuffle_round +. (float_of_int records *. ns_per_shuffled_record)
+
+let record_broadcast m ~records =
+  m.broadcasts <- m.broadcasts + 1;
+  m.broadcast_records <- m.broadcast_records + records;
+  m.sim_time_ns <- m.sim_time_ns +. (float_of_int records *. ns_per_broadcast_record)
+
+let record_superstep m = m.supersteps <- m.supersteps + 1
+
+let pp ppf m =
+  Format.fprintf ppf
+    "shuffles=%d (%d rec, %d B) broadcasts=%d (%d rec) supersteps=%d stages=%d sim_time=%.1fms"
+    m.shuffles m.shuffled_records m.shuffled_bytes m.broadcasts m.broadcast_records m.supersteps
+    m.stages (m.sim_time_ns /. 1e6)
+
+let to_string m = Format.asprintf "%a" pp m

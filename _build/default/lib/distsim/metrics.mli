@@ -1,0 +1,43 @@
+(** Communication and execution metrics of a distributed run.
+
+    Every wide operation (shuffle, distinct, shuffle join, collect) and
+    every broadcast is metered here. The paper's central claim — P_plw
+    needs one shuffle per fixpoint where P_gld needs one per iteration —
+    is observable directly in these counters, independently of wall-clock
+    noise. [sim_time_ns] accumulates a simulated parallel time:
+    per stage, the maximum per-worker compute time, plus a latency model
+    for each shuffle and broadcast. *)
+
+type t = {
+  mutable shuffles : int;  (** wide stages executed *)
+  mutable shuffled_records : int;  (** tuples moved across workers *)
+  mutable shuffled_bytes : int;
+  mutable broadcasts : int;
+  mutable broadcast_records : int;
+  mutable supersteps : int;  (** driver-coordinated rounds *)
+  mutable stages : int;  (** all stages, narrow included *)
+  mutable sim_time_ns : float;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+(** [add acc m] accumulates [m] into [acc]. *)
+
+val tuple_bytes : int -> int
+(** Serialized size model for a tuple of the given arity. *)
+
+(** Latency model knobs (per-record network cost and per-round fixed
+    cost, in simulated nanoseconds). *)
+
+val ns_per_shuffled_record : float
+val ns_per_shuffle_round : float
+val ns_per_broadcast_record : float
+
+val record_stage : t -> max_worker_ns:float -> unit
+val record_shuffle : t -> records:int -> bytes:int -> unit
+val record_broadcast : t -> records:int -> unit
+val record_superstep : t -> unit
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

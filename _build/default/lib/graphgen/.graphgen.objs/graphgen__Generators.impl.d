@@ -1,0 +1,1 @@
+lib/graphgen/generators.ml: Array List Relation Rng

@@ -1,0 +1,1 @@
+lib/graphgen/rng.ml: Array Float Hashtbl Int64

@@ -1,0 +1,1 @@
+lib/graphgen/rng.mli:

@@ -1,0 +1,1 @@
+lib/graphgen/uniprot_like.ml: Array Hashtbl List Option Relation Rng

@@ -1,0 +1,1 @@
+lib/graphgen/uniprot_like.mli: Relation

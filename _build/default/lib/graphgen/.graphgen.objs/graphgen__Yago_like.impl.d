@@ -1,0 +1,1 @@
+lib/graphgen/yago_like.ml: Array Hashtbl List Relation Rng

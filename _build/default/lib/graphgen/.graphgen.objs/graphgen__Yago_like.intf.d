@@ -1,0 +1,1 @@
+lib/graphgen/yago_like.mli: Relation

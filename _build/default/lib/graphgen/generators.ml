@@ -1,0 +1,95 @@
+module Rel = Relation.Rel
+module Schema = Relation.Schema
+module Value = Relation.Value
+
+let edge_schema = Schema.of_list [ "src"; "trg" ]
+let labelled_schema = Schema.of_list [ "src"; "pred"; "trg" ]
+
+let erdos_renyi ?(seed = 42) ~nodes ~p () =
+  let rng = Rng.create seed in
+  let r = Rel.create edge_schema in
+  if p >= 0.1 && nodes <= 4096 then
+    for i = 0 to nodes - 1 do
+      for j = 0 to nodes - 1 do
+        if i <> j && Rng.bool rng p then ignore (Rel.add r [| i; j |])
+      done
+    done
+  else begin
+    (* the paper's rnd_n_p sizes match m = p·n·(n−1)/2 sampled pairs *)
+    let m = int_of_float (p *. float_of_int nodes *. float_of_int (nodes - 1) /. 2.) in
+    let added = ref 0 and attempts = ref 0 in
+    while !added < m && !attempts < m * 4 do
+      incr attempts;
+      let i = Rng.int rng nodes and j = Rng.int rng nodes in
+      if i <> j && Rel.add r [| i; j |] then incr added
+    done
+  end;
+  r
+
+let random_tree ?(seed = 42) ~nodes () =
+  let rng = Rng.create seed in
+  let r = Rel.create edge_schema in
+  for child = 1 to nodes - 1 do
+    ignore (Rel.add r [| Rng.int rng child; child |])
+  done;
+  r
+
+let preferential_attachment ?(seed = 42) ?(edges_per_node = 2) ~nodes () =
+  let rng = Rng.create seed in
+  let r = Rel.create edge_schema in
+  (* endpoint pool: every edge endpoint appears once, giving linear
+     preferential attachment *)
+  let pool = ref [| 0 |] in
+  let pool_len = ref 1 in
+  let grow v =
+    let arr = !pool in
+    if !pool_len >= Array.length arr then begin
+      let bigger = Array.make (max 16 (2 * Array.length arr)) 0 in
+      Array.blit arr 0 bigger 0 !pool_len;
+      pool := bigger
+    end;
+    !pool.(!pool_len) <- v;
+    incr pool_len
+  in
+  for v = 1 to nodes - 1 do
+    for _ = 1 to min edges_per_node v do
+      let target = !pool.(Rng.int rng !pool_len) in
+      if target <> v && Rel.add r [| v; target |] then begin
+        grow v;
+        grow target
+      end
+    done
+  done;
+  r
+
+let chain ~nodes =
+  let r = Rel.create edge_schema in
+  for i = 0 to nodes - 2 do
+    ignore (Rel.add r [| i; i + 1 |])
+  done;
+  r
+
+let cycle ~nodes =
+  let r = chain ~nodes in
+  if nodes > 1 then ignore (Rel.add r [| nodes - 1; 0 |]);
+  r
+
+let add_labels ?(seed = 42) ~labels rel =
+  let rng = Rng.create seed in
+  let handles = Array.of_list (List.map Value.of_string labels) in
+  let out = Rel.create labelled_schema in
+  Rel.iter (fun tu -> ignore (Rel.add out [| tu.(0); Rng.pick rng handles; tu.(1) |])) rel;
+  out
+
+let labelled_chain ~labels ~segment =
+  let out = Rel.create labelled_schema in
+  let node = ref 0 in
+  List.iter
+    (fun l ->
+      let h = Value.of_string l in
+      for _ = 1 to segment do
+        ignore (Rel.add out [| !node; h; !node + 1 |]);
+        incr node
+      done)
+    labels;
+  out

@@ -1,0 +1,30 @@
+(** Synthetic graph generators for the paper's datasets (Table I).
+
+    Unlabelled graphs have schema [(src, trg)]; labelled graphs
+    [(src, pred, trg)]. Node identifiers are nonnegative integers;
+    labels are interned symbols. All generators are deterministic in
+    their seed. *)
+
+val erdos_renyi : ?seed:int -> nodes:int -> p:float -> unit -> Relation.Rel.t
+(** The paper's rnd_n_p graphs. For small [p] the G(n, m) approximation
+    is used (m = p·n·(n−1) sampled pairs), which matches the expected
+    degree distribution. Self-loops are excluded. *)
+
+val random_tree : ?seed:int -> nodes:int -> unit -> Relation.Rel.t
+(** The paper's tree_n process: node i+1 is attached as a child of a
+    uniformly random node of tree_i. Edges point parent -> child. *)
+
+val preferential_attachment :
+  ?seed:int -> ?edges_per_node:int -> nodes:int -> unit -> Relation.Rel.t
+(** Scale-free graph (SNAP-like topologies). *)
+
+val chain : nodes:int -> Relation.Rel.t
+val cycle : nodes:int -> Relation.Rel.t
+
+val add_labels : ?seed:int -> labels:string list -> Relation.Rel.t -> Relation.Rel.t
+(** Assign each edge a uniformly random label from the list (the graphs
+    "derived from rnd_p_n by adding a set of predefined labels"). *)
+
+val labelled_chain : labels:string list -> segment:int -> Relation.Rel.t
+(** A chain of |labels| segments of [segment] edges each, labelled in
+    order — the worst-case instance for concatenated closures. *)

@@ -1,0 +1,61 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty";
+  arr.(int t (Array.length arr))
+
+(* Inverse-CDF on the harmonic partial sums, computed lazily per (n, s)
+   by binary search over cumulative weights. Cache the cumulative table
+   for the last (n, s) asked, which is the common usage pattern. *)
+let cache : (int * float, float array) Hashtbl.t = Hashtbl.create 4
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n <= 0";
+  let cum =
+    match Hashtbl.find_opt cache (n, s) with
+    | Some c -> c
+    | None ->
+      let c = Array.make n 0. in
+      let acc = ref 0. in
+      for k = 0 to n - 1 do
+        acc := !acc +. (1. /. Float.pow (float_of_int (k + 1)) s);
+        c.(k) <- !acc
+      done;
+      Hashtbl.replace cache (n, s) c;
+      c
+  in
+  let target = float t *. cum.(n - 1) in
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cum.(mid) < target then bsearch (mid + 1) hi else bsearch lo mid
+  in
+  bsearch 0 (n - 1)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,26 @@
+(** Deterministic splitmix64 random generator. Every generated dataset is
+    a pure function of its seed, so experiments are reproducible. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int rng bound] in [0, bound). @raise Invalid_argument if bound <= 0. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** [bool rng p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element. @raise Invalid_argument on empty array. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [0, n): rank k with probability proportional
+    to 1/(k+1)^s. Uses a precomputation-free inverse-CDF approximation
+    adequate for workload generation. *)
+
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,94 @@
+module Rel = Relation.Rel
+module Schema = Relation.Schema
+module Value = Relation.Value
+module Pred = Relation.Pred
+
+let labelled_schema = Schema.of_list [ "src"; "pred"; "trg" ]
+
+let predicates =
+  [ "interacts"; "encodes"; "occurs"; "hasKeyword"; "reference"; "authoredBy"; "publishes" ]
+
+(* Edge budget shares, loosely following the Uniprot gMark schema. *)
+let shares =
+  [
+    ("interacts", 0.30);
+    ("encodes", 0.10);
+    ("occurs", 0.12);
+    ("hasKeyword", 0.22);
+    ("reference", 0.14);
+    ("authoredBy", 0.09);
+    ("publishes", 0.03);
+  ]
+
+let generate ?(seed = 11) ~scale () =
+  let rng = Rng.create seed in
+  let out = Rel.create labelled_schema in
+  let next_id = ref 0 in
+  let fresh_range n = Array.init n (fun _ -> let id = !next_id in incr next_id; id) in
+  let handles = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace handles p (Value.of_string p)) predicates;
+  let edge s p t = if s <> t then ignore (Rel.add out [| s; Hashtbl.find handles p; t |]) in
+  let budget name = int_of_float (List.assoc name shares *. float_of_int scale) in
+  let n_proteins = max 50 (scale / 4) in
+  let proteins = fresh_range n_proteins in
+  let genes = fresh_range (max 20 (n_proteins / 4)) in
+  let tissues = fresh_range (max 10 (n_proteins / 40)) in
+  let keywords = fresh_range (max 8 (n_proteins / 100)) in
+  let publications = fresh_range (max 20 (n_proteins / 5)) in
+  let authors = fresh_range (max 10 (n_proteins / 20)) in
+  let journals = fresh_range (max 4 (n_proteins / 200)) in
+  (* interacts: scale-free protein-protein links *)
+  for _ = 1 to budget "interacts" do
+    let a = proteins.(Rng.zipf rng ~n:n_proteins ~s:0.8) in
+    let b = proteins.(Rng.int rng n_proteins) in
+    edge a "interacts" b
+  done;
+  (* protein -> gene, so that the paper's (enc/-enc)+ walks start from
+     proteins (as interacts/occurs/hasKeyword do) *)
+  for _ = 1 to budget "encodes" do
+    edge proteins.(Rng.int rng n_proteins) "encodes"
+      genes.(Rng.zipf rng ~n:(Array.length genes) ~s:0.6)
+  done;
+  for _ = 1 to budget "occurs" do
+    edge proteins.(Rng.int rng n_proteins) "occurs" tissues.(Rng.zipf rng ~n:(Array.length tissues) ~s:0.9)
+  done;
+  for _ = 1 to budget "hasKeyword" do
+    edge proteins.(Rng.int rng n_proteins) "hasKeyword"
+      keywords.(Rng.zipf rng ~n:(Array.length keywords) ~s:1.0)
+  done;
+  for _ = 1 to budget "reference" do
+    edge proteins.(Rng.int rng n_proteins) "reference"
+      publications.(Rng.zipf rng ~n:(Array.length publications) ~s:0.7)
+  done;
+  for _ = 1 to budget "authoredBy" do
+    edge publications.(Rng.int rng (Array.length publications)) "authoredBy"
+      authors.(Rng.zipf rng ~n:(Array.length authors) ~s:0.8)
+  done;
+  for _ = 1 to budget "publishes" do
+    edge journals.(Rng.int rng (Array.length journals)) "publishes"
+      publications.(Rng.int rng (Array.length publications))
+  done;
+  out
+
+let most_frequent rel pred_name ~position =
+  let h = Value.of_string pred_name in
+  let counts = Hashtbl.create 256 in
+  Rel.iter
+    (fun tu ->
+      if tu.(1) = h then begin
+        let v = tu.(position) in
+        Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+      end)
+    rel;
+  Hashtbl.fold
+    (fun v c best ->
+      match best with Some (_, c') when c' >= c -> best | _ -> Some (v, c))
+    counts None
+  |> Option.map fst
+
+let frequent rel pred_name side =
+  most_frequent rel pred_name ~position:(match side with `Src -> 0 | `Trg -> 2)
+
+let some_keyword rel = most_frequent rel "hasKeyword" ~position:2
+let some_publication rel = most_frequent rel "reference" ~position:2
+let some_author rel = most_frequent rel "authoredBy" ~position:2

@@ -1,0 +1,29 @@
+(** Synthetic Uniprot-like protein graph (gMark substitute).
+
+    Reproduces the schema of the paper's uniprot_n benchmark graphs
+    (generated with gMark from the Uniprot database schema): proteins
+    that [interacts] with each other (scale-free), [encodes]/[occurs]
+    links to genes and tissues, [hasKeyword] to a small keyword
+    vocabulary (Zipf-distributed reuse, so [(hKw/-hKw)+] has a huge
+    closure), [reference] to publications, [authoredBy] to authors, and
+    [publishes] from journals. The per-predicate in/out-degree
+    distributions follow gMark's shapes (zipfian for hubs, uniform for
+    one-to-few links).
+
+    [scale] is the approximate number of edges. *)
+
+val predicates : string list
+
+val generate : ?seed:int -> scale:int -> unit -> Relation.Rel.t
+(** Labelled (src, pred, trg) relation with roughly [scale] edges. *)
+
+val frequent : Relation.Rel.t -> string -> [ `Src | `Trg ] -> Relation.Value.t option
+(** The most frequent source/target node of a predicate — used to pick
+    the constants of queries that need one (never fails on a graph that
+    has at least one such edge). *)
+
+val some_keyword : Relation.Rel.t -> Relation.Value.t option
+(** A frequently-used keyword node, for queries with constants. *)
+
+val some_publication : Relation.Rel.t -> Relation.Value.t option
+val some_author : Relation.Rel.t -> Relation.Value.t option

@@ -1,0 +1,126 @@
+module Rel = Relation.Rel
+module Schema = Relation.Schema
+module Value = Relation.Value
+
+let labelled_schema = Schema.of_list [ "src"; "pred"; "trg" ]
+
+let predicates =
+  [
+    "isLocatedIn"; "dealsWith"; "livesIn"; "wasBornIn"; "isMarriedTo"; "hasChild";
+    "influences"; "hasSuccessor"; "hasPredecessor"; "hasAcademicAdvisor"; "actedIn";
+    "isConnectedTo"; "owns"; "type"; "rdfs:subClassOf"; "knows";
+  ]
+
+let named_countries =
+  [ "Argentina"; "Japan"; "Sweden"; "United_States"; "USA"; "India"; "Germany"; "Netherlands" ]
+
+let named_people = [ "Kevin_Bacon"; "John_Lawrence_Toole"; "Jay_Kappraff" ]
+
+let constants =
+  named_countries @ named_people @ [ "wikicat_Capitals_in_Europe"; "Shannon_Airport" ]
+
+let generate ?(seed = 7) ~scale () =
+  let rng = Rng.create seed in
+  let out = Rel.create labelled_schema in
+  let next_id = ref 0 in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let pred_handles = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace pred_handles p (Value.of_string p)) predicates;
+  let edge s p t =
+    if s <> t then ignore (Rel.add out [| s; Hashtbl.find pred_handles p; t |])
+  in
+  (* -------------------- locations -------------------- *)
+  let countries =
+    Array.of_list
+      (List.map Value.of_string named_countries
+      @ List.init 22 (fun _ -> fresh ()))
+  in
+  let n_regions = max 10 (scale / 100) in
+  let regions = Array.init n_regions (fun _ -> fresh ()) in
+  Array.iteri
+    (fun i r ->
+      (* region chains make isLocatedIn+ non-trivially deep *)
+      if i > 0 && Rng.bool rng 0.3 then edge r "isLocatedIn" regions.(Rng.int rng i)
+      else edge r "isLocatedIn" (Rng.pick rng countries))
+    regions;
+  let n_cities = max 20 (scale / 20) in
+  let cities = Array.init n_cities (fun _ -> fresh ()) in
+  let wce = Value.of_string "wikicat_Capitals_in_Europe" in
+  Array.iter
+    (fun c ->
+      if Rng.bool rng 0.9 then edge c "isLocatedIn" (Rng.pick rng regions)
+      else edge c "isLocatedIn" (Rng.pick rng countries);
+      if Rng.bool rng 0.02 then edge c "type" wce)
+    cities;
+  (* countries trade with each other: dealsWith+ chains *)
+  Array.iter
+    (fun c ->
+      for _ = 1 to 2 do
+        edge c "dealsWith" (Rng.pick rng countries)
+      done)
+    countries;
+  (* -------------------- people -------------------- *)
+  let scale = max scale 100 in
+  let people =
+    Array.of_list (List.map Value.of_string named_people @ List.init (scale - 3) (fun _ -> fresh ()))
+  in
+  Array.iter
+    (fun p ->
+      edge p "livesIn" (Rng.pick rng cities);
+      edge p "wasBornIn" (Rng.pick rng cities);
+      if Rng.bool rng 0.3 then edge p "isMarriedTo" (Rng.pick rng people);
+      if Rng.bool rng 0.6 then edge p "hasChild" (Rng.pick rng people);
+      if Rng.bool rng 0.4 then edge p "hasChild" (Rng.pick rng people);
+      if Rng.bool rng 0.2 then edge p "influences" (Rng.pick rng people);
+      if Rng.bool rng 0.15 then edge p "hasSuccessor" (Rng.pick rng people);
+      if Rng.bool rng 0.15 then edge p "hasPredecessor" (Rng.pick rng people);
+      if Rng.bool rng 0.08 then edge p "hasAcademicAdvisor" (Rng.pick rng people);
+      if Rng.bool rng 0.1 then edge p "knows" (Rng.pick rng people))
+    people;
+  (* -------------------- movies -------------------- *)
+  let n_movies = max 10 (scale / 10) in
+  let movies = Array.init n_movies (fun _ -> fresh ()) in
+  let n_actors = max 20 (scale / 5) in
+  let kevin = Value.of_string "Kevin_Bacon" in
+  for _ = 1 to 6 do
+    (* Kevin Bacon in popular movies *)
+    edge kevin "actedIn" movies.(Rng.zipf rng ~n:n_movies ~s:1.1)
+  done;
+  for _ = 1 to n_actors do
+    let actor = Rng.pick rng people in
+    let k = 1 + Rng.int rng 4 in
+    for _ = 1 to k do
+      edge actor "actedIn" movies.(Rng.zipf rng ~n:n_movies ~s:1.1)
+    done
+  done;
+  (* -------------------- airports -------------------- *)
+  let n_airports = max 10 (scale / 200) in
+  let airports =
+    Array.of_list (Value.of_string "Shannon_Airport" :: List.init (n_airports - 1) (fun _ -> fresh ()))
+  in
+  Array.iter
+    (fun a ->
+      edge a "isLocatedIn" (Rng.pick rng cities);
+      for _ = 1 to 3 do
+        edge a "isConnectedTo" (Rng.pick rng airports)
+      done)
+    airports;
+  (* -------------------- companies & ownership -------------------- *)
+  let n_companies = max 5 (scale / 50) in
+  let companies = Array.init n_companies (fun _ -> fresh ()) in
+  Array.iter (fun c -> edge c "isLocatedIn" (Rng.pick rng cities)) companies;
+  for _ = 1 to scale / 20 do
+    edge (Rng.pick rng people) "owns" (Rng.pick rng companies)
+  done;
+  (* -------------------- class taxonomy -------------------- *)
+  let n_classes = 30 in
+  let classes = Array.init n_classes (fun _ -> fresh ()) in
+  Array.iteri (fun i c -> if i > 0 then edge c "rdfs:subClassOf" classes.(Rng.int rng i)) classes;
+  for _ = 1 to scale / 10 do
+    edge (Rng.pick rng people) "type" (Rng.pick rng classes)
+  done;
+  out

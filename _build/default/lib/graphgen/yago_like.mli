@@ -1,0 +1,24 @@
+(** Synthetic Yago-like knowledge graph.
+
+    Stands in for the paper's cleaned Yago 2s dataset (62 M labelled
+    edges): a labelled graph with the predicates exercised by queries
+    Q1–Q25 — a location DAG ([isLocatedIn] up to countries), country
+    trade links ([dealsWith]), people with family/social edges, an
+    actor–movie bipartite core (so [(actedIn/-actedIn)+] produces a large
+    closure, with [Kevin_Bacon] present), airports with
+    [isConnectedTo], company ownership, a class taxonomy, and [type]
+    edges (with [wikicat_Capitals_in_Europe] typed capitals). Named
+    constants used by the paper's queries are guaranteed to exist.
+
+    The output has schema (src, pred, trg); [scale] controls the number
+    of people (everything else is proportional). *)
+
+val predicates : string list
+(** All predicate names generated. *)
+
+val constants : string list
+(** Named entities guaranteed present (Japan, Kevin_Bacon, ...). *)
+
+val generate : ?seed:int -> scale:int -> unit -> Relation.Rel.t
+(** [scale] = number of people; a scale of 50_000 yields roughly
+    400-500k edges. *)

@@ -1,0 +1,1 @@
+lib/harness/queries.ml: Array Datalog Fun Graphgen Hashtbl List Mura Printf Relation Rpq String Systems

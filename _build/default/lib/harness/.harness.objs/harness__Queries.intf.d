@@ -1,0 +1,1 @@
+lib/harness/queries.mli: Relation Rpq Systems

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: List Printf String Systems

@@ -1,0 +1,1 @@
+lib/harness/systems.ml: Cost Datalog Distsim Format Fun List Localdb Mura Option Physical Pregel Printf Relation Rewrite Rpq Unix

@@ -1,0 +1,187 @@
+module Rel = Relation.Rel
+module Value = Relation.Value
+
+type query_class = C1 | C2 | C3 | C4 | C5 | C6
+
+let class_name = function
+  | C1 -> "C1"
+  | C2 -> "C2"
+  | C3 -> "C3"
+  | C4 -> "C4"
+  | C5 -> "C5"
+  | C6 -> "C6"
+
+type spec = { id : string; classes : query_class list; text : string }
+
+(* ------------------------------------------------------------------ *)
+(* Automatic classification (Sec. V-D)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec has_closure (e : Rpq.Regex.t) =
+  match e with
+  | Plus _ | Star _ -> true
+  | Label _ -> false
+  | Inv a | Opt a -> has_closure a
+  | Seq (a, b) | Alt (a, b) -> has_closure a || has_closure b
+
+(* top-level concatenation spine *)
+let rec components (e : Rpq.Regex.t) =
+  match e with Seq (a, b) -> components a @ components b | e -> [ e ]
+
+let classify (q : Rpq.Query.t) =
+  let found = Hashtbl.create 6 in
+  let mark c = Hashtbl.replace found c () in
+  List.iter
+    (fun (a : Rpq.Query.atom) ->
+      let comps = components a.path in
+      let recs = List.map has_closure comps in
+      let any_rec = List.exists Fun.id recs in
+      (match (a.sub, a.obj, comps) with
+      | Rpq.Query.Var _, Rpq.Query.Var _, [ c ] when has_closure c -> mark C1
+      | _ -> ());
+      if any_rec then begin
+        (match a.obj with Rpq.Query.Const _ -> mark C2 | Rpq.Query.Var _ -> ());
+        match a.sub with Rpq.Query.Const _ -> mark C3 | Rpq.Query.Var _ -> ()
+      end;
+      (* scan component pairs *)
+      let arr = Array.of_list recs in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if arr.(i) && not arr.(j) then mark C4;
+          if (not arr.(i)) && arr.(j) then mark C5
+        done;
+        if i + 1 < n && arr.(i) && arr.(i + 1) then mark C6
+      done)
+    q.atoms;
+  List.filter (Hashtbl.mem found) [ C1; C2; C3; C4; C5; C6 ]
+
+let mk id text = { id; text; classes = classify (Rpq.Query.parse text) }
+
+(* Yago queries of Fig. 5, with the paper's abbreviations expanded:
+   isL = isLocatedIn, dw = dealsWith, haa = hasAcademicAdvisor,
+   SA = Shannon_Airport, JLT = John_Lawrence_Toole,
+   wce = wikicat_Capitals_in_Europe. *)
+let yago =
+  List.map
+    (fun (id, text) -> mk id text)
+    [
+      ("Q1", "?x <- ?x isMarriedTo/livesIn/isLocatedIn+/dealsWith+ Argentina");
+      ("Q2", "?x <- ?x hasChild/livesIn/isLocatedIn+/dealsWith+ Japan");
+      ("Q3", "?x <- ?x influences/livesIn/isLocatedIn+/dealsWith+ Sweden");
+      ("Q4", "?x <- ?x livesIn/isLocatedIn+/dealsWith+ United_States");
+      ("Q5", "?x <- ?x hasSuccessor/livesIn/isLocatedIn+/dealsWith+ India");
+      ("Q6", "?x <- ?x hasPredecessor/livesIn/isLocatedIn+/dealsWith+ Germany");
+      ("Q7", "?x <- ?x hasAcademicAdvisor/livesIn/isLocatedIn+/dealsWith+ Netherlands");
+      ("Q8", "?x <- ?x isLocatedIn+/dealsWith+ United_States");
+      ("Q9", "?x <- ?x (actedIn/-actedIn)+ Kevin_Bacon");
+      ("Q10", "?area <- wikicat_Capitals_in_Europe -type/(isLocatedIn+/dealsWith dealsWith) ?area");
+      ("Q11", "?person <- ?person (isMarriedTo+/owns/isLocatedIn+ owns/isLocatedIn+) USA");
+      ("Q12", "?a, ?b <- ?a isLocatedIn+/dealsWith ?b");
+      ("Q13", "?a, ?b <- ?a isLocatedIn+/dealsWith+ ?b");
+      ("Q14", "?a, ?b, ?c <- ?a wasBornIn/isLocatedIn+ ?b, ?b isConnectedTo+ ?c");
+      ("Q15", "?a, ?b, ?c <- ?a (isLocatedIn isConnectedTo)+ ?b, ?a wasBornIn ?c");
+      ("Q16", "?a, ?b, ?c <- ?a wasBornIn/isLocatedIn+ Japan, ?b isConnectedTo+ ?c");
+      ("Q17", "?a <- ?a isLocatedIn+/(isConnectedTo dealsWith)+ Japan");
+      ("Q18", "?a, ?c <- ?a isLocatedIn+ Japan, ?a isConnectedTo+ ?c");
+      ("Q19", "?a <- ?a isLocatedIn+/isLocatedIn Japan");
+      ("Q20", "?a <- ?a isLocatedIn+/isConnectedTo+/dealsWith+ Japan");
+      ("Q21", "?a, ?b <- ?a (isLocatedIn dealsWith rdfs:subClassOf isConnectedTo)+ ?b");
+      ("Q22", "?a <- ?a (isConnectedTo/-isConnectedTo)+ Shannon_Airport");
+      ("Q23", "?a <- ?a (wasBornIn/isLocatedIn/-wasBornIn)+ John_Lawrence_Toole");
+      ("Q24", "?x <- Jay_Kappraff (livesIn/isLocatedIn/-livesIn)+ ?x");
+      ("Q25", "?a, ?b <- ?a (actedIn/-actedIn)+/hasChild+ ?b");
+    ]
+
+(* Uniprot queries of Fig. 6: int = interacts, enc = encodes,
+   occ = occurs, hKw = hasKeyword, ref = reference, auth = authoredBy,
+   pub = publishes. The constant C depends on the query's shape and is
+   picked from the graph. *)
+let uniprot graph =
+  let pick pred side fallback =
+    match Graphgen.Uniprot_like.frequent graph pred side with
+    | Some v -> Value.to_string v
+    | None -> fallback
+  in
+  let protein = pick "interacts" `Src "0" in
+  let gene = pick "encodes" `Src "0" in
+  let publication = pick "authoredBy" `Src "0" in
+  let journal = pick "publishes" `Src "0" in
+  let tissue_user = pick "occurs" `Src "0" in
+  List.map
+    (fun (id, text) -> mk id text)
+    [
+      ("Q26", "?x, ?y <- ?x -hasKeyword/(reference/-reference)+ ?y");
+      ("Q27", "?x, ?y <- ?x -hasKeyword/(encodes/-encodes)+ ?y");
+      ("Q28", "?x, ?y <- ?x -hasKeyword/(occurs/-occurs)+ ?y");
+      ("Q29", "?x, ?y <- ?x interacts/(encodes/-encodes)+ ?y");
+      ("Q30", "?x, ?y <- ?x interacts/(occurs/-occurs)+ ?y");
+      ("Q31", "?x, ?y <- ?x interacts+/(occurs/-occurs)+ ?y");
+      ("Q32", "?x, ?y <- ?x interacts+/(encodes/-encodes)+ ?y");
+      ("Q33", "?x, ?y <- ?x interacts+/(occurs/-occurs)+/(hasKeyword/-hasKeyword)+ ?y");
+      ("Q34", "?x, ?y <- ?x -hasKeyword/interacts/reference/(authoredBy/-authoredBy)+ ?y");
+      ("Q35", "?x, ?y <- ?x (encodes/-encodes)+/hasKeyword ?y");
+      ("Q36", Printf.sprintf "?x <- ?x (encodes/-encodes)+ %s" gene);
+      ("Q37", "?x, ?y, ?z, ?t <- ?x (encodes/-encodes)+ ?y, ?x interacts+ ?z, ?x reference ?t");
+      ( "Q38",
+        Printf.sprintf "?x, ?y <- ?x (interacts (encodes/-encodes))+ ?y, %s (occurs/-occurs)+ ?y"
+          tissue_user );
+      ( "Q39",
+        Printf.sprintf "?x <- ?x interacts+/reference ?y, %s (authoredBy/-authoredBy)+ ?y"
+          publication );
+      ( "Q40",
+        Printf.sprintf
+          "?x <- ?x interacts+/reference ?y, %s -publishes/(authoredBy/-authoredBy)+ ?y" journal
+      );
+      ("Q41", Printf.sprintf "?x <- %s -publishes/(authoredBy/-authoredBy)+ ?x" journal);
+      ("Q42", "?x, ?y <- ?x -occurs/interacts+/occurs ?y");
+      ("Q43", "?x, ?y <- ?x (-reference/reference)+ ?y");
+      ("Q44", "?x, ?y <- ?x interacts/reference/(-reference/reference)+ ?y");
+      ("Q45", Printf.sprintf "?x <- %s (reference/-reference)+ ?x" protein);
+      ("Q46", "?x, ?y <- ?x (-reference/reference)+/(authoredBy -publishes) ?y");
+      ("Q47", Printf.sprintf "?x <- ?x (encodes/-encodes occurs/-occurs)+ %s" protein);
+      ("Q48", Printf.sprintf "?x <- %s interacts/(encodes/-encodes occurs/-occurs)+ ?x" protein);
+      ("Q49", Printf.sprintf "?x <- %s (occurs/-occurs)+ ?x" tissue_user);
+    ]
+
+let concat_closure ~labels =
+  Printf.sprintf "?x, ?y <- ?x %s ?y" (String.concat "/" (List.map (fun l -> l ^ "+") labels))
+
+(* ------------------------------------------------------------------ *)
+(* Non-regular mu-RA queries and their Datalog forms                   *)
+(* ------------------------------------------------------------------ *)
+
+let same_generation_workload graph =
+  let datalog =
+    Datalog.Parse.program
+      "sg(X, Y) :- edge(P, X), edge(P, Y).\n\
+       sg(X, Y) :- edge(A, X), sg(A, B), edge(B, Y).\n\
+       ?- sg(X, Y)."
+  in
+  Systems.of_mu ~datalog graph (Mura.Patterns.same_generation ())
+
+let datalog_const v =
+  if Value.is_symbol v then Printf.sprintf "\"%s\"" (Value.to_string v)
+  else string_of_int v
+
+let reach_workload graph source =
+  let datalog =
+    Datalog.Parse.program
+      (Printf.sprintf
+         "r(Y) :- edge(%s, Y).\nr(Y) :- r(X), edge(X, Y).\n?- r(Y)."
+         (datalog_const source))
+  in
+  Systems.of_mu ~datalog graph (Mura.Patterns.reach source)
+
+let anbn_workload graph ~a ~b =
+  let datalog =
+    Datalog.Parse.program
+      (Printf.sprintf
+         "ea(X, Y) :- edge(X, \"%s\", Y).\n\
+          eb(X, Y) :- edge(X, \"%s\", Y).\n\
+          anbn(X, Y) :- ea(X, M), eb(M, Y).\n\
+          anbn(X, Y) :- ea(X, M), anbn(M, N), eb(N, Y).\n\
+          ?- anbn(X, Y)."
+         a b)
+  in
+  Systems.of_mu ~datalog graph (Mura.Patterns.anbn ~rel:"E" ~a ~b ())

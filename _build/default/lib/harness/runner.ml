@@ -1,0 +1,67 @@
+type row = { label : string; cells : (string * Systems.outcome) list }
+
+let run_one ?(timeout_s = 60.) (s : Systems.system) w = s.run ~timeout_s w
+
+let run_matrix ?(timeout_s = 60.) ~systems workloads =
+  List.map
+    (fun (label, w) ->
+      {
+        label;
+        cells = List.map (fun (s : Systems.system) -> (s.name, run_one ~timeout_s s w)) systems;
+      })
+    workloads
+
+let cell_text = function
+  | Systems.Success s -> Printf.sprintf "%.3f" s.wall_s
+  | Systems.Failed _ -> "fail"
+  | Systems.Timeout _ -> "t/o"
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let print_table ?(extra = []) ~title ~columns rows =
+  Printf.printf "\n== %s ==\n" title;
+  let extra_names = List.map fst extra in
+  let headers = ("query" :: columns) @ extra_names in
+  let cell_of row col =
+    match List.assoc_opt col row.cells with Some o -> cell_text o | None -> "-"
+  in
+  let extra_of row (name, f) =
+    ignore name;
+    match row.cells with (_, o) :: _ -> f o | [] -> "-"
+  in
+  let body =
+    List.map
+      (fun row ->
+        (row.label :: List.map (cell_of row) columns)
+        @ List.map (extra_of row) extra)
+      rows
+  in
+  let all_rows = headers :: body in
+  let widths =
+    List.mapi
+      (fun i _ -> List.fold_left (fun acc r -> max acc (String.length (List.nth r i))) 0 all_rows)
+      headers
+  in
+  let print_row r =
+    print_string
+      (String.concat "  " (List.map2 (fun w s -> pad w s) widths r));
+    print_newline ()
+  in
+  print_row headers;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row body
+
+let print_series ~title ~x_label blocks =
+  Printf.printf "\n== %s ==\n" title;
+  List.iter
+    (fun (x, rows) ->
+      Printf.printf "-- %s = %s --\n" x_label x;
+      List.iter
+        (fun row ->
+          Printf.printf "  %-28s %s\n" row.label
+            (String.concat "  "
+               (List.map (fun (name, o) -> Printf.sprintf "%s=%s" name (cell_text o)) row.cells)))
+        rows)
+    blocks

@@ -1,0 +1,28 @@
+(** Experiment runner: execute a matrix of (query × system) workloads and
+    print the paper-style result tables. *)
+
+type row = { label : string; cells : (string * Systems.outcome) list }
+
+val run_one :
+  ?timeout_s:float -> Systems.system -> Systems.workload -> Systems.outcome
+(** Default timeout 60 s (scaled-down version of the paper's 1000 s). *)
+
+val run_matrix :
+  ?timeout_s:float ->
+  systems:Systems.system list ->
+  (string * Systems.workload) list ->
+  row list
+(** One row per workload, one cell per system. *)
+
+val cell_text : Systems.outcome -> string
+(** "1.234" (seconds), "fail", or "t/o". *)
+
+val print_table :
+  ?extra:(string * (Systems.outcome -> string)) list ->
+  title:string -> columns:string list -> row list -> unit
+(** Aligned text table on stdout: label column, one column per system
+    (matched by name against the cells), optional derived columns
+    computed from the first system's outcome. *)
+
+val print_series : title:string -> x_label:string -> (string * row list) list -> unit
+(** For figure-style output: one block per x value. *)

@@ -1,0 +1,1 @@
+lib/localdb/instance.ml: Format Hashtbl List Mura Plan Printf Relation

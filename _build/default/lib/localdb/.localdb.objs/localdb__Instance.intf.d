@@ -1,0 +1,1 @@
+lib/localdb/instance.mli: Mura Relation

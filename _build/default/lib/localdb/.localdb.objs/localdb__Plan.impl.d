@@ -1,0 +1,1 @@
+lib/localdb/plan.ml: Format Hashtbl Relation

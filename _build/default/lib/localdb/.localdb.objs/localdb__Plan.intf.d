@@ -1,0 +1,1 @@
+lib/localdb/plan.mli: Format Relation

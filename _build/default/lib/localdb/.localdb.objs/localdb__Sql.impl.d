@@ -1,0 +1,1 @@
+lib/localdb/sql.ml: Array Format Instance List Option Plan Relation String

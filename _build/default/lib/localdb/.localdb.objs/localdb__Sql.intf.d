@@ -1,0 +1,1 @@
+lib/localdb/sql.mli: Instance Relation

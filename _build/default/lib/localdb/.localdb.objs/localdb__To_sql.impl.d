@@ -1,0 +1,1 @@
+lib/localdb/to_sql.ml: Format List Mura Printf Relation String

@@ -1,0 +1,1 @@
+lib/localdb/to_sql.mli: Mura

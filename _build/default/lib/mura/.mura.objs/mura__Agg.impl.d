@@ -1,0 +1,1 @@
+lib/mura/agg.ml: Array Eval Hashtbl List Relation

@@ -1,0 +1,1 @@
+lib/mura/agg.mli: Eval Relation

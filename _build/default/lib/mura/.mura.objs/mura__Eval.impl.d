@@ -1,0 +1,1 @@
+lib/mura/eval.ml: Fcond Format List Printf Relation Term Typing

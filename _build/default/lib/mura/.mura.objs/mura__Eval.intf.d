@@ -1,0 +1,1 @@
+lib/mura/eval.mli: Relation Term Typing

@@ -1,0 +1,1 @@
+lib/mura/fcond.ml: Format List Printf String Term

@@ -1,0 +1,1 @@
+lib/mura/fcond.mli: Term

@@ -1,0 +1,1 @@
+lib/mura/patterns.ml: Relation Term

@@ -1,0 +1,1 @@
+lib/mura/patterns.mli: Relation Term

@@ -1,0 +1,1 @@
+lib/mura/stabilizer.ml: Fcond List Printf Relation String Term Typing

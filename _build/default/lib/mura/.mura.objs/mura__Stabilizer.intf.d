@@ -1,0 +1,1 @@
+lib/mura/stabilizer.mli: Relation Term Typing

@@ -1,0 +1,1 @@
+lib/mura/term.ml: Format Hashtbl List Printf Relation String

@@ -1,0 +1,1 @@
+lib/mura/term.mli: Format Relation

@@ -1,0 +1,1 @@
+lib/mura/typing.ml: Fcond Format List Relation Term

@@ -1,0 +1,1 @@
+lib/mura/typing.mli: Relation Term

@@ -1,0 +1,95 @@
+module Rel = Relation.Rel
+module Schema = Relation.Schema
+module Tuple = Relation.Tuple
+module Tset = Relation.Tset
+module Pred = Relation.Pred
+
+module H = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+  let hash = Tuple.hash
+end)
+
+let fixpoint_min ~key ~value ~init ~step () =
+  (* canonical layout: key columns then value *)
+  let canon = Schema.of_list (key @ [ value ]) in
+  let relayout r = Rel.relayout canon r in
+  let init = relayout init in
+  let nkeys = List.length key in
+  let best : int H.t = H.create 1024 in
+  let key_of tu = Array.sub tu 0 nkeys in
+  (* returns the improved tuples of [r] and updates [best] *)
+  let improve r =
+    let out = Tset.create () in
+    Rel.iter
+      (fun tu ->
+        let k = key_of tu in
+        let v = tu.(nkeys) in
+        match H.find_opt best k with
+        | Some v' when v' <= v -> ()
+        | _ ->
+          H.replace best k v;
+          ignore (Tset.add out tu))
+      r;
+    (* within one batch, several values per key may appear: keep the
+       final best only *)
+    let pruned = Tset.create () in
+    Tset.iter
+      (fun tu -> if H.find best (key_of tu) = tu.(nkeys) then ignore (Tset.add pruned tu))
+      out;
+    Rel.of_tset canon pruned
+  in
+  let rec loop delta =
+    if not (Rel.is_empty delta) then begin
+      let produced = relayout (step delta) in
+      loop (improve produced)
+    end
+  in
+  loop (improve init);
+  let result = Rel.create canon in
+  H.iter (fun k v -> ignore (Rel.add result (Array.append k [| v |]))) best;
+  result
+
+(* one relaxation: dist(s, m) + edge(m, t, w) -> (s, t, dist + w) *)
+let relax_step env ~edges ~key_src delta =
+  let e = Eval.env_find env edges in
+  let joined =
+    Rel.natural_join
+      (Rel.rename [ ("trg", "_mid"); ("weight", "_d") ] delta)
+      (Rel.rename [ ("src", "_mid"); ("weight", "_w") ] e)
+  in
+  let out_schema =
+    Schema.of_list (if key_src then [ "src"; "trg"; "weight" ] else [ "trg"; "weight" ])
+  in
+  let out = Rel.create out_schema in
+  let js = Rel.schema joined in
+  let pos c = Schema.index_of js c in
+  let p_mid = pos "_d" and p_w = pos "_w" and p_trg = pos "trg" in
+  let p_src = if key_src then Some (pos "src") else None in
+  Rel.iter
+    (fun tu ->
+      let d = tu.(p_mid) + tu.(p_w) in
+      match p_src with
+      | Some ps -> ignore (Rel.add out [| tu.(ps); tu.(p_trg); d |])
+      | None -> ignore (Rel.add out [| tu.(p_trg); d |]))
+    joined;
+  out
+
+let shortest_paths_seeded env ~edges ~seeds =
+  let init = Rel.relayout (Schema.of_list [ "src"; "trg"; "weight" ]) seeds in
+  fixpoint_min ~key:[ "src"; "trg" ] ~value:"weight" ~init
+    ~step:(relax_step env ~edges ~key_src:true)
+    ()
+
+let shortest_paths env ~edges =
+  shortest_paths_seeded env ~edges ~seeds:(Eval.env_find env edges)
+
+let shortest_paths_from env ~edges ~source =
+  let e = Eval.env_find env edges in
+  let init =
+    Rel.antiproject [ "src" ] (Rel.select (Pred.Eq_const ("src", source)) e)
+  in
+  fixpoint_min ~key:[ "trg" ] ~value:"weight" ~init
+    ~step:(relax_step env ~edges ~key_src:false)
+    ()

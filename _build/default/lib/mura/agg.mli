@@ -1,0 +1,36 @@
+(** Aggregate fixpoints — the extension direction the paper discusses via
+    RaSQL/BigDatalog (aggregates inside recursion).
+
+    A {e min-fixpoint} maintains, per key, the smallest value seen; the
+    semi-naive delta is the set of {e improved} tuples, which prunes the
+    search the way Bellman-Ford relaxation does. This implements weighted
+    shortest paths, which plain F_cond fixpoints cannot express (min is
+    not monotone under set union of results). *)
+
+val fixpoint_min :
+  key:string list ->
+  value:string ->
+  init:Relation.Rel.t ->
+  step:(Relation.Rel.t -> Relation.Rel.t) ->
+  unit ->
+  Relation.Rel.t
+(** [fixpoint_min ~key ~value ~init ~step ()] iterates [step] on the
+    improved-tuple delta until no key improves. [init] and every [step]
+    result must carry exactly the columns [key @ [value]] (any order).
+    @raise Relation.Schema.Schema_error on schema mismatch. *)
+
+val shortest_paths : Eval.env -> edges:string -> Relation.Rel.t
+(** All-pairs weighted shortest paths over a relation
+    [(src, trg, weight)] (nonnegative integer weights): the relation
+    [(src, trg, weight)] with the minimal path weight per pair. *)
+
+val shortest_paths_seeded :
+  Eval.env -> edges:string -> seeds:Relation.Rel.t -> Relation.Rel.t
+(** Shortest paths restricted to those beginning with a seed arc
+    ((src, trg, weight) tuples) — the per-worker computation of the
+    distributed plan: [src] is stable under relaxation, so seeds
+    partitioned by [src] yield disjoint results. *)
+
+val shortest_paths_from :
+  Eval.env -> edges:string -> source:Relation.Value.t -> Relation.Rel.t
+(** Single-source variant: schema [(trg, weight)]. *)

@@ -1,0 +1,122 @@
+module R = Relation.Rel
+module Schema = Relation.Schema
+
+exception Eval_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+type env = (string * R.t) list
+
+let env bindings = bindings
+let env_add e n r = (n, r) :: e
+
+let env_find e n =
+  match List.assoc_opt n e with Some r -> r | None -> err "unbound relation %S" n
+
+let typing_env e = Typing.env (List.map (fun (n, r) -> (n, R.schema r)) e)
+
+type stats = {
+  mutable iterations : int;
+  mutable delta_tuples : int;
+  mutable peak_relation : int;
+}
+
+let fresh_stats () = { iterations = 0; delta_tuples = 0; peak_relation = 0 }
+
+let record_size stats r =
+  match stats with
+  | Some s -> s.peak_relation <- max s.peak_relation (R.cardinal r)
+  | None -> ()
+
+let fixpoint ?stats ~init ~step () =
+  let x = R.copy init in
+  let schema = R.schema x in
+  let rec loop delta =
+    (match stats with
+    | Some s ->
+      s.iterations <- s.iterations + 1;
+      s.delta_tuples <- s.delta_tuples + R.cardinal delta
+    | None -> ());
+    let produced = R.relayout schema (step delta) in
+    let fresh = R.diff produced x in
+    if R.is_empty fresh then ()
+    else begin
+      ignore (R.union_into x fresh);
+      record_size stats x;
+      loop fresh
+    end
+  in
+  if not (R.is_empty x) then loop (R.copy init);
+  x
+
+let rec eval ?stats ?(vars = []) e t =
+  let recur = eval ?stats ~vars e in
+  let result =
+    match (t : Term.t) with
+    | Rel n -> env_find e n
+    | Var x -> (
+      match List.assoc_opt x vars with
+      | Some r -> r
+      | None -> err "unbound recursive variable %S" x)
+    | Cst r -> r
+    | Select (p, u) -> R.select p (recur u)
+    | Project (keep, u) -> R.project keep (recur u)
+    | Antiproject (drop, u) -> R.antiproject drop (recur u)
+    | Rename (m, u) -> R.rename m (recur u)
+    | Join (a, b) -> R.natural_join (recur a) (recur b)
+    | Antijoin (a, b) -> R.antijoin (recur a) (recur b)
+    | Union (a, b) -> R.union (recur a) (recur b)
+    | Fix (x, body) -> (
+      let consts, recs = Fcond.split ~var:x body in
+      match consts with
+      | [] -> raise (Fcond.Not_fcond (Printf.sprintf "fixpoint on %s has no constant part" x))
+      | c0 :: rest ->
+        let init =
+          List.fold_left (fun acc c -> R.union acc (recur c)) (recur c0) rest
+        in
+        (match recs with
+        | [] -> init
+        | _ ->
+          let schema = R.schema init in
+          let step delta =
+            let out = R.create schema in
+            List.iter
+              (fun branch ->
+                ignore (R.union_into out (eval ?stats ~vars:((x, delta) :: vars) e branch)))
+              recs;
+            out
+          in
+          fixpoint ?stats ~init ~step ()))
+  in
+  record_size stats result;
+  result
+
+let eval_naive ?(max_iter = 10_000) e t =
+  let tenv = typing_env e in
+  let rec go vars var_schemas t =
+    match (t : Term.t) with
+    | Rel n -> env_find e n
+    | Var x -> (
+      match List.assoc_opt x vars with
+      | Some r -> r
+      | None -> err "unbound recursive variable %S" x)
+    | Cst r -> r
+    | Select (p, u) -> R.select p (go vars var_schemas u)
+    | Project (keep, u) -> R.project keep (go vars var_schemas u)
+    | Antiproject (drop, u) -> R.antiproject drop (go vars var_schemas u)
+    | Rename (m, u) -> R.rename m (go vars var_schemas u)
+    | Join (a, b) -> R.natural_join (go vars var_schemas a) (go vars var_schemas b)
+    | Antijoin (a, b) -> R.antijoin (go vars var_schemas a) (go vars var_schemas b)
+    | Union (a, b) -> R.union (go vars var_schemas a) (go vars var_schemas b)
+    | Fix (x, body) ->
+      let schema = Typing.fix_schema ~vars:var_schemas tenv ~var:x body in
+      let rec iterate i current =
+        if i > max_iter then err "naive evaluation exceeded %d iterations" max_iter;
+        let next =
+          R.relayout schema (go ((x, current) :: vars) ((x, schema) :: var_schemas) body)
+        in
+        if R.equal next current then current else iterate (i + 1) next
+      in
+      iterate 0 (R.create schema)
+  in
+  go [] [] t

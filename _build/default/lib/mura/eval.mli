@@ -1,0 +1,42 @@
+(** Centralized evaluation of mu-RA terms.
+
+    Fixpoints are evaluated semi-naively (Algorithm 1 of the paper): the
+    variable part is applied to the per-iteration delta only, which is
+    sound under F_cond by Prop. 1. A naive evaluator is provided as a
+    test oracle. *)
+
+exception Eval_error of string
+
+type env
+(** Binds free database-relation names to relations. *)
+
+val env : (string * Relation.Rel.t) list -> env
+val env_add : env -> string -> Relation.Rel.t -> env
+val env_find : env -> string -> Relation.Rel.t
+val typing_env : env -> Typing.env
+
+type stats = {
+  mutable iterations : int;  (** total fixpoint iterations *)
+  mutable delta_tuples : int;  (** total tuples across all deltas *)
+  mutable peak_relation : int;  (** largest relation materialised *)
+}
+
+val fresh_stats : unit -> stats
+
+val fixpoint :
+  ?stats:stats -> init:Relation.Rel.t -> step:(Relation.Rel.t -> Relation.Rel.t) -> unit ->
+  Relation.Rel.t
+(** Generic semi-naive driver: start from [init], repeatedly apply [step]
+    to the set of tuples new in the previous round, stop when no new
+    tuple appears. [step] receives the delta and may return any layout of
+    the fixpoint schema. *)
+
+val eval : ?stats:stats -> ?vars:(string * Relation.Rel.t) list -> env -> Term.t -> Relation.Rel.t
+(** Semi-naive evaluation.
+    @raise Eval_error on unbound names
+    @raise Fcond.Not_fcond on fixpoints violating F_cond *)
+
+val eval_naive : ?max_iter:int -> env -> Term.t -> Relation.Rel.t
+(** Naive evaluation: recompute the whole body each round starting from
+    the empty relation. Test oracle; [max_iter] (default 10_000) guards
+    against non-terminating terms. @raise Eval_error on exceeding it. *)

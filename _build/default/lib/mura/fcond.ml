@@ -1,0 +1,93 @@
+open Term
+
+exception Not_fcond of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Not_fcond s)) fmt
+let constant_in var t = not (has_free_var var t)
+
+let rec is_positive ~var = function
+  | Rel _ | Var _ | Cst _ -> true
+  | Select (_, u) | Project (_, u) | Antiproject (_, u) | Rename (_, u) -> is_positive ~var u
+  | Join (a, b) | Union (a, b) -> is_positive ~var a && is_positive ~var b
+  | Antijoin (a, b) -> is_positive ~var a && is_positive ~var b && constant_in var b
+  | Fix (x, body) -> String.equal x var || is_positive ~var body
+
+let rec is_linear ~var = function
+  | Rel _ | Var _ | Cst _ -> true
+  | Select (_, u) | Project (_, u) | Antiproject (_, u) | Rename (_, u) -> is_linear ~var u
+  | Union (a, b) -> is_linear ~var a && is_linear ~var b
+  | Join (a, b) | Antijoin (a, b) ->
+    (constant_in var a || constant_in var b) && is_linear ~var a && is_linear ~var b
+  | Fix (x, body) -> String.equal x var || is_linear ~var body
+
+let rec is_non_mutually_recursive ~var = function
+  | Rel _ | Var _ | Cst _ -> true
+  | Select (_, u) | Project (_, u) | Antiproject (_, u) | Rename (_, u) ->
+    is_non_mutually_recursive ~var u
+  | Join (a, b) | Antijoin (a, b) | Union (a, b) ->
+    is_non_mutually_recursive ~var a && is_non_mutually_recursive ~var b
+  | Fix (x, body) ->
+    String.equal x var || ((not (has_free_var var body)) && is_non_mutually_recursive ~var body)
+
+let check_fix var body =
+  if not (is_positive ~var body) then Error (Printf.sprintf "fixpoint on %s is not positive" var)
+  else if not (is_linear ~var body) then Error (Printf.sprintf "fixpoint on %s is not linear" var)
+  else if not (is_non_mutually_recursive ~var body) then
+    Error (Printf.sprintf "fixpoint on %s is mutually recursive" var)
+  else Ok ()
+
+let check_term t =
+  let rec go = function
+    | Rel _ | Var _ | Cst _ -> Ok ()
+    | Select (_, u) | Project (_, u) | Antiproject (_, u) | Rename (_, u) -> go u
+    | Join (a, b) | Antijoin (a, b) | Union (a, b) -> ( match go a with Ok () -> go b | e -> e)
+    | Fix (x, body) -> ( match check_fix x body with Ok () -> go body | e -> e)
+  in
+  go t
+
+(* One top-down distribution pass; [normalize] iterates it to a fixed
+   point (termination: each step strictly raises unions in the tree). *)
+let rec distribute t =
+  match t with
+  | Rel _ | Var _ | Cst _ -> t
+  | Select (p, Union (a, b)) -> Union (distribute (Select (p, a)), distribute (Select (p, b)))
+  | Project (c, Union (a, b)) -> Union (distribute (Project (c, a)), distribute (Project (c, b)))
+  | Antiproject (c, Union (a, b)) ->
+    Union (distribute (Antiproject (c, a)), distribute (Antiproject (c, b)))
+  | Rename (m, Union (a, b)) -> Union (distribute (Rename (m, a)), distribute (Rename (m, b)))
+  | Join (Union (a, b), c) -> Union (distribute (Join (a, c)), distribute (Join (b, c)))
+  | Join (a, Union (b, c)) -> Union (distribute (Join (a, b)), distribute (Join (a, c)))
+  | Antijoin (Union (a, b), c) ->
+    Union (distribute (Antijoin (a, c)), distribute (Antijoin (b, c)))
+  | Select (p, u) -> Select (p, distribute u)
+  | Project (c, u) -> Project (c, distribute u)
+  | Antiproject (c, u) -> Antiproject (c, distribute u)
+  | Rename (m, u) -> Rename (m, distribute u)
+  | Join (a, b) -> Join (distribute a, distribute b)
+  | Antijoin (a, b) -> Antijoin (distribute a, distribute b)
+  | Union (a, b) -> Union (distribute a, distribute b)
+  | Fix (x, body) -> Fix (x, body) (* do not rewrite under nested fixpoints *)
+
+let rec normalize t =
+  let t' = distribute t in
+  if equal t t' then t else normalize t'
+
+let rec union_branches = function
+  | Union (a, b) -> union_branches a @ union_branches b
+  | t -> [ t ]
+
+let split ~var body =
+  let branches = union_branches (normalize body) in
+  List.partition (constant_in var) branches
+
+let decompose ~var body =
+  (match check_fix var body with Ok () -> () | Error msg -> fail "%s" msg);
+  match split ~var body with
+  | [], _ -> fail "fixpoint on %s has no constant part" var
+  | consts, [] ->
+    (* Degenerate: no recursive branch; phi is empty, mu = R. Represent
+       phi as an antijoin of a constant branch with itself, which is
+       empty — callers treat a missing variable part specially instead. *)
+    fail "fixpoint on %s has no recursive part (constant fixpoint %s)" var
+      (to_string (union_all consts))
+  | consts, recs -> (union_all consts, union_all recs)

@@ -1,0 +1,41 @@
+(** The F_cond conditions on fixpoint terms (Sec. II-B of the paper) and
+    the constant/variable-part decomposition of Prop. 2.
+
+    A fixpoint [mu(X = body)] satisfies F_cond when it is
+    - {e positive}: in every antijoin subterm [a ▷ b] of [body], [b] is
+      constant in [X];
+    - {e linear}: in every [a ⋈ b] or [a ▷ b], at least one side is
+      constant in [X];
+    - {e non mutually recursive}: [X] does not occur free under a nested
+      fixpoint on another variable.
+
+    Under F_cond the body can be normalised to a union of branches, split
+    into the constant part [R] (branches without [X]) and the variable
+    part [phi] (branches with [X]), and evaluated semi-naively. *)
+
+exception Not_fcond of string
+
+val is_positive : var:string -> Term.t -> bool
+val is_linear : var:string -> Term.t -> bool
+val is_non_mutually_recursive : var:string -> Term.t -> bool
+
+val check_term : Term.t -> (unit, string) result
+(** Check every [Fix] subterm of an arbitrary term for all three
+    conditions. *)
+
+val normalize : Term.t -> Term.t
+(** Distribute selections, projections, renamings, joins and (left sides
+    of) antijoins over unions until the term is a union of union-free
+    branches. Semantics-preserving. *)
+
+val union_branches : Term.t -> Term.t list
+(** Syntactic top-level union branches (no normalisation). *)
+
+val split : var:string -> Term.t -> Term.t list * Term.t list
+(** [split ~var body] normalises and partitions the branches into
+    (constant-in-var, containing-var). *)
+
+val decompose : var:string -> Term.t -> Term.t * Term.t
+(** [decompose ~var body] is [(r, phi)] with [body ≡ r ∪ phi], [r]
+    constant in [var] and every branch of [phi] containing [var].
+    @raise Not_fcond if there is no constant branch or F_cond fails. *)

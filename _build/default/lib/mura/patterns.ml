@@ -1,0 +1,74 @@
+open Term
+module Pred = Relation.Pred
+module Value = Relation.Value
+
+let src = "src"
+let trg = "trg"
+let pred = "pred"
+
+let edge ?(rel = "E") label =
+  Antiproject ([ pred ], Select (Pred.Eq_const (pred, Value.of_string label), Rel rel))
+
+let edge_inv ?(rel = "E") label =
+  Rename ([ (src, trg); (trg, src) ], edge ~rel label)
+
+let compose a b =
+  let m = fresh_col () in
+  Antiproject ([ m ], Join (rename1 trg m a, rename1 src m b))
+
+let closure_from seed a =
+  let x = fresh_var () in
+  Fix (x, Union (seed, compose (Var x) a))
+
+let closure_into seed a =
+  let x = fresh_var () in
+  Fix (x, Union (seed, compose a (Var x)))
+
+let closure a = closure_from a a
+let closure_rev a = closure_into a a
+
+let reach ?(rel = "E") source =
+  (* mu(X = sigma_{src=N}(E) ∪ pi~_m(rho_trg^m(X) ⋈ rho_src^m(E))) then
+     keep the reached nodes only. *)
+  let x = fresh_var () in
+  let seed = Select (Pred.Eq_const (src, source), Rel rel) in
+  let m = fresh_col () in
+  let body =
+    Union
+      (seed, Antiproject ([ m ], Join (rename1 trg m (Var x), rename1 src m (Rel rel))))
+  in
+  Antiproject ([ src ], Fix (x, body))
+
+let same_generation ?(rel = "E") () =
+  (* mu(X = pi~_m(rho_src^m(E) ⋈ rho_src^m(E'))
+          ∪ pi~_m(pi~_n(rho_src^m(E) ⋈ rho_trg^n(rho_src^m(X))) ⋈ rho_src^n(E')))
+     where E(src, trg) is the parent relation: siblings share a parent;
+     and (x, y) are same-generation when their parents are. Output
+     columns: (src, trg) meaning the two same-generation nodes. *)
+  let x = fresh_var () in
+  let m = fresh_col () and n = fresh_col () in
+  (* up: child -> parent pairs as (src=child, trg=parent). The data
+     relation E is parent->child, so invert it. *)
+  let up = Rename ([ (src, trg); (trg, src) ], Rel rel) in
+  let down = Rel rel in
+  (* base: pairs with a common parent: up ∘ down *)
+  let base =
+    Antiproject
+      ([ m ], Join (rename1 trg m up, rename1 src m down))
+  in
+  (* step: up ∘ X ∘ down *)
+  let step =
+    let x_mid = Rename ([ (src, m); (trg, n) ], Var x) in
+    Antiproject
+      ( [ m; n ],
+        Join (Join (rename1 trg m up, x_mid), rename1 src n down) )
+  in
+  Fix (x, Union (base, step))
+
+let anbn ?(rel = "R") ~a ~b () =
+  (* mu(X = a∘b ∪ a∘X∘b) over the labelled edge table. *)
+  let x = fresh_var () in
+  let ea = edge ~rel a and eb = edge ~rel b in
+  let base = compose ea eb in
+  let step = compose ea (compose (Var x) eb) in
+  Fix (x, Union (base, step))

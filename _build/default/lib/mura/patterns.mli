@@ -1,0 +1,50 @@
+(** Ready-made mu-RA terms for the recursion patterns the paper uses:
+    transitive closures (in both evaluation directions), label-filtered
+    edges over a (src, pred, trg) edge table, and the non-regular example
+    queries of Sec. V-D (a^n b^n, same generation, reach).
+
+    Convention: binary path relations use the columns [src] and [trg];
+    the labelled edge table uses [(src, pred, trg)]. *)
+
+val src : string
+val trg : string
+val pred : string
+
+val edge : ?rel:string -> string -> Term.t
+(** [edge label] = pi~_pred(sigma_{pred=label}(R)): the (src, trg) pairs
+    connected by an edge with the given label. [rel] defaults to ["E"]. *)
+
+val edge_inv : ?rel:string -> string -> Term.t
+(** Reversed-direction edge ([-label] in UCRPQ syntax). *)
+
+val compose : Term.t -> Term.t -> Term.t
+(** [compose a b]: the relation [{(x, z) | a(x, y) ∧ b(y, z)}] — join on
+    a fresh middle column, then drop it. Both operands must have schema
+    {src, trg}. *)
+
+val closure : Term.t -> Term.t
+(** [closure a] = a+ evaluated left-to-right: mu(X = a ∪ X∘a). *)
+
+val closure_rev : Term.t -> Term.t
+(** a+ evaluated right-to-left: mu(X = a ∪ a∘X). Same semantics as
+    {!closure}, different evaluation direction (Sec. III, "reversing a
+    fixpoint"). *)
+
+val closure_from : Term.t -> Term.t -> Term.t
+(** [closure_from seed a] = mu(X = seed ∪ X∘a): pairs reachable from the
+    seed pairs by appending [a]-edges to the right. *)
+
+val closure_into : Term.t -> Term.t -> Term.t
+(** [closure_into seed a] = mu(X = seed ∪ a∘X). *)
+
+val reach : ?rel:string -> Relation.Value.t -> Term.t
+(** Nodes reachable from a source node in an unlabelled edge relation
+    (schema (src, trg); default name ["E"]); output schema {trg}. *)
+
+val same_generation : ?rel:string -> unit -> Term.t
+(** Pairs of nodes of the same generation w.r.t. a parent relation with
+    schema (src, trg) (default name ["E"]). *)
+
+val anbn : ?rel:string -> a:string -> b:string -> unit -> Term.t
+(** Pairs connected by a^n b^n paths over the labelled edge table
+    (default name ["R"]). *)

@@ -1,0 +1,34 @@
+(** The stabilizer: stable-column analysis of fixpoint bodies
+    (Definition 10 of the mu-RA paper, used here per Sec. IV-A2).
+
+    A column [c] of a fixpoint [mu(X = R ∪ phi)] is {e stable} when every
+    tuple produced by an application of [phi] carries, at [c], the value
+    its generating tuple of [X] had at [c]; by induction every tuple of
+    the fixpoint then shares its [c]-value with some tuple of [R].
+
+    Stable columns license two key optimizations:
+    - pushing a filter [sigma_{c=v}] into the fixpoint's constant part;
+    - hash-partitioning the constant part by [c] so that per-worker local
+      fixpoints are disjoint and need no final [distinct] (Prop. in
+      Sec. IV-A2). *)
+
+type origin =
+  | From_var of string  (** value copied unchanged from this column of X *)
+  | Opaque
+
+val provenance :
+  Typing.env ->
+  vars:(string * Relation.Schema.t) list ->
+  var:string ->
+  var_schema:Relation.Schema.t ->
+  Term.t ->
+  (string * origin) list
+(** Column-wise origin of a term's output w.r.t. the recursive variable
+    [var] (bound to [var_schema]); other free variables are typed via
+    [vars]. The result covers exactly the term's output schema.
+    @raise Typing.Type_error *)
+
+val stable_columns : Typing.env -> var:string -> Term.t -> string list
+(** [stable_columns env ~var body] — the stable columns of
+    [mu(var = body)], in schema order.
+    @raise Typing.Type_error / Fcond.Not_fcond *)

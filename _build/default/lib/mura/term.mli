@@ -1,0 +1,69 @@
+(** mu-RA terms: Codd's relational algebra plus the fixpoint operator
+    (the grammar of Fig. 1 of the paper).
+
+    Terms denote relations once the free database-relation names are bound
+    in an environment. [Project] is sugar for anti-projection of the
+    complement and is kept in the AST for readability of translated
+    queries. *)
+
+type t =
+  | Rel of string  (** free database relation (e.g. the edge table) *)
+  | Var of string  (** recursive variable bound by an enclosing [Fix] *)
+  | Cst of Relation.Rel.t  (** literal constant relation *)
+  | Select of Relation.Pred.t * t  (** sigma_f *)
+  | Project of string list * t  (** keep exactly these columns *)
+  | Antiproject of string list * t  (** pi-tilde: drop these columns *)
+  | Rename of (string * string) list * t  (** rho old->new *)
+  | Join of t * t  (** natural join *)
+  | Antijoin of t * t  (** l ▷ r *)
+  | Union of t * t
+  | Fix of string * t  (** mu(X = body) *)
+
+(** {1 Smart constructors} *)
+
+val select : Relation.Pred.t -> t -> t
+(** Simplifies [select True]. *)
+
+val union_all : t list -> t
+(** @raise Invalid_argument on the empty list. *)
+
+val join_all : t list -> t
+val rename1 : string -> string -> t -> t
+
+(** {1 Structure} *)
+
+val free_rels : t -> string list
+(** Free database relation names, without duplicates. *)
+
+val free_vars : t -> string list
+(** Free recursive variables (not bound by a [Fix]), without dups. *)
+
+val has_free_var : string -> t -> bool
+
+val subst : string -> t -> t -> t
+(** [subst x replacement term] substitutes [replacement] for free
+    occurrences of [Var x]. [replacement] must be closed w.r.t. variables
+    captured in [term] (we only ever substitute constants). *)
+
+val rename_var : string -> string -> t -> t
+(** [rename_var x y t] renames free occurrences of variable [x] to [y].
+    @raise Invalid_argument if [y] occurs free in [t] or is bound in it. *)
+
+val size : t -> int
+(** Number of AST nodes (plan-space accounting). *)
+
+val fix_count : t -> int
+(** Number of [Fix] nodes. *)
+
+val equal : t -> t -> bool
+(** Structural equality ([Cst] compared as relations). *)
+
+val fresh_col : unit -> string
+(** Generates ["_m0"], ["_m1"], ... — reserved working column names for
+    join plumbing; user schemas must not use the ["_m"] prefix. *)
+
+val fresh_var : unit -> string
+(** Fresh recursive-variable names ["_X0"], ... *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,80 @@
+module Schema = Relation.Schema
+module Pred = Relation.Pred
+
+exception Type_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+type env = (string * Schema.t) list
+
+let env bindings = bindings
+
+let env_find e n =
+  match List.assoc_opt n e with
+  | Some s -> s
+  | None -> err "unknown relation %S" n
+
+let env_add e n s = (n, s) :: e
+
+let rec infer ?(vars = []) e t =
+  let recur = infer ~vars e in
+  match (t : Term.t) with
+  | Rel n -> env_find e n
+  | Var x -> (
+    match List.assoc_opt x vars with
+    | Some s -> s
+    | None -> err "unbound recursive variable %S" x)
+  | Cst r -> Relation.Rel.schema r
+  | Select (p, u) ->
+    let s = recur u in
+    List.iter
+      (fun c -> if not (Schema.mem s c) then err "filter column %S not in %s" c (Schema.to_string s))
+      (Pred.columns p);
+    s
+  | Project (keep, u) -> (
+    let s = recur u in
+    try Schema.restrict s keep with Schema.Schema_error m -> err "project: %s" m)
+  | Antiproject (drop, u) -> (
+    let s = recur u in
+    try Schema.minus s drop with Schema.Schema_error m -> err "antiproject: %s" m)
+  | Rename (m, u) -> (
+    let s = recur u in
+    try Schema.rename m s with Schema.Schema_error msg -> err "rename: %s" msg)
+  | Join (a, b) -> Schema.append_distinct (recur a) (recur b)
+  | Antijoin (a, _b) -> recur a
+  | Union (a, b) ->
+    let sa = recur a and sb = recur b in
+    if not (Schema.equal_names sa sb) then
+      err "union of incompatible schemas %s vs %s" (Schema.to_string sa) (Schema.to_string sb);
+    sa
+  | Fix (x, body) -> fix_schema_aux ~vars e ~var:x body
+
+and fix_schema_aux ~vars e ~var body =
+  let consts, recs = Fcond.split ~var body in
+  match consts with
+  | [] -> err "fixpoint on %s has no constant part" var
+  | c0 :: rest ->
+    let s = infer ~vars e c0 in
+    List.iter
+      (fun c ->
+        let sc = infer ~vars e c in
+        if not (Schema.equal_names s sc) then
+          err "constant branches of %s disagree: %s vs %s" var (Schema.to_string s)
+            (Schema.to_string sc))
+      rest;
+    let vars' = (var, s) :: vars in
+    List.iter
+      (fun r ->
+        let sr = infer ~vars:vars' e r in
+        if not (Schema.equal_names s sr) then
+          err "recursive branch of %s has schema %s, expected %s" var (Schema.to_string sr)
+            (Schema.to_string s))
+      recs;
+    s
+
+let fix_schema ?(vars = []) e ~var body = fix_schema_aux ~vars e ~var body
+
+let well_typed ?(vars = []) e t =
+  match infer ~vars e t with
+  | (_ : Schema.t) -> true
+  | exception (Type_error _ | Fcond.Not_fcond _ | Schema.Schema_error _) -> false

@@ -1,0 +1,30 @@
+(** Schema inference for mu-RA terms.
+
+    A term is well-typed when every operator receives operands of suitable
+    schemas: a selection mentions only existing columns, a union combines
+    relations over the same column set, a fixpoint body has the schema of
+    its constant part, etc. *)
+
+exception Type_error of string
+
+type env
+(** Maps free database-relation names to their schemas. *)
+
+val env : (string * Relation.Schema.t) list -> env
+val env_find : env -> string -> Relation.Schema.t
+val env_add : env -> string -> Relation.Schema.t -> env
+
+val infer : ?vars:(string * Relation.Schema.t) list -> env -> Term.t -> Relation.Schema.t
+(** [infer env t] is the output schema of [t]. [vars] binds free recursive
+    variables (used when typing a fixpoint body in isolation).
+    @raise Type_error on any schema violation, unknown relation name, or
+    unbound recursive variable. *)
+
+val well_typed : ?vars:(string * Relation.Schema.t) list -> env -> Term.t -> bool
+
+val fix_schema :
+  ?vars:(string * Relation.Schema.t) list -> env -> var:string -> Term.t -> Relation.Schema.t
+(** Schema of [mu(var = body)]: the schema of the constant part, checked
+    against every recursive branch. [vars] types enclosing recursive
+    variables when the fixpoint is nested.
+    @raise Type_error / Fcond.Not_fcond *)

@@ -1,0 +1,1 @@
+lib/physical/agg_exec.ml: Distsim Mura Relation

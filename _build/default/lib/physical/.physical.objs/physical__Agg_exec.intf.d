@@ -1,0 +1,1 @@
+lib/physical/agg_exec.mli: Distsim Relation

@@ -1,0 +1,1 @@
+lib/physical/exec.ml: Buffer Distsim Format Hashtbl List Localdb Mura Printf Relation String

@@ -1,0 +1,1 @@
+lib/physical/exec.mli: Distsim Format Mura Relation

@@ -1,0 +1,26 @@
+module Rel = Relation.Rel
+module Schema = Relation.Schema
+module Tset = Relation.Tset
+module Dds = Distsim.Dds
+module Cluster = Distsim.Cluster
+module Metrics = Distsim.Metrics
+
+let canon = Schema.of_list [ "src"; "trg"; "weight" ]
+
+let shortest_paths cluster edges =
+  let edges = Rel.relayout canon edges in
+  let seeds = Dds.of_rel ~by:[ "src" ] cluster edges in
+  let m = Cluster.metrics cluster in
+  Metrics.record_broadcast m
+    ~records:(Rel.cardinal edges * max 1 (Cluster.workers cluster - 1));
+  Metrics.record_superstep m;
+  let result =
+    Dds.map_partitions ~partitioning:(Dds.Hashed [ "src" ]) ~schema:canon
+      (fun _ part ->
+        let env = Mura.Eval.env [ ("E", edges) ] in
+        Rel.tuples
+          (Mura.Agg.shortest_paths_seeded env ~edges:"E"
+             ~seeds:(Rel.of_tset canon (Tset.copy part))))
+      seeds
+  in
+  Dds.collect result

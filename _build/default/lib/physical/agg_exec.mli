@@ -1,0 +1,13 @@
+(** Distributed aggregate fixpoints: weighted shortest paths with the
+    P_plw distribution scheme.
+
+    The relaxation step never changes a path's source, so [src] is stable
+    in the sense of Sec. IV-A2: hash-partitioning the seed arcs by [src]
+    makes the per-worker min-fixpoints disjoint — each worker owns all
+    (and only) the paths of its sources, the edge relation is broadcast
+    once, and no min-merge across workers is needed. *)
+
+val shortest_paths : Distsim.Cluster.t -> Relation.Rel.t -> Relation.Rel.t
+(** [shortest_paths cluster edges] — all-pairs shortest path weights for
+    a (src, trg, weight) relation, computed with per-worker local
+    min-fixpoints. Communication is metered on the cluster. *)

@@ -1,0 +1,505 @@
+module Schema = Relation.Schema
+module Rel = Relation.Rel
+module Tset = Relation.Tset
+module Tuple = Relation.Tuple
+module Term = Mura.Term
+module Fcond = Mura.Fcond
+module Dds = Distsim.Dds
+module Cluster = Distsim.Cluster
+module Metrics = Distsim.Metrics
+
+type fixpoint_plan = P_gld | P_plw_s | P_plw_pg
+
+let plan_name = function P_gld -> "P_gld" | P_plw_s -> "P_plw^s" | P_plw_pg -> "P_plw^pg"
+let pp_plan ppf p = Format.pp_print_string ppf (plan_name p)
+
+type config = {
+  cluster : Cluster.t;
+  force_plan : fixpoint_plan option;
+  broadcast_threshold : int;
+  max_iterations : int;
+  max_tuples : int;
+  use_stable_partitioning : bool;
+}
+
+let default_config cluster =
+  {
+    cluster;
+    force_plan = None;
+    broadcast_threshold = 2_000_000;
+    max_iterations = 100_000;
+    max_tuples = 500_000_000;
+    use_stable_partitioning = true;
+  }
+
+exception Resource_limit of string
+
+type fix_report = {
+  var : string;
+  plan : fixpoint_plan;
+  stable : string list;
+  partitioned_by : string list;
+  iterations : int;
+  result_size : int;
+}
+
+type report = { mutable fixpoints : fix_report list }
+
+type ctx = {
+  config : config;
+  tables : (string * Rel.t) list;
+  cache : (string, Dds.t) Hashtbl.t;
+  rpt : report;
+}
+
+let session config tables = { config; tables; cache = Hashtbl.create 16; rpt = { fixpoints = [] } }
+let config_of ctx = ctx.config
+let report ctx = ctx.rpt
+let metrics ctx = Cluster.metrics ctx.config.cluster
+
+let err fmt = Format.kasprintf (fun s -> raise (Mura.Eval.Eval_error s)) fmt
+
+let check_size ctx d =
+  if Dds.cardinal d > ctx.config.max_tuples then
+    raise (Resource_limit (Printf.sprintf "dataset exceeds %d tuples" ctx.config.max_tuples));
+  d
+
+let driver_env ctx = Mura.Eval.env ctx.tables
+let typing_env ctx = Mura.Typing.env (List.map (fun (n, r) -> (n, Rel.schema r)) ctx.tables)
+
+(* Narrow projection: keep the given columns; partitioning survives when
+   the partitioning columns are all kept. *)
+let project_narrow d keep =
+  let schema = Dds.schema d in
+  let out_schema = Schema.restrict schema keep in
+  let pos = Schema.positions schema keep in
+  let partitioning =
+    match Dds.partitioning d with
+    | Dds.Hashed cols when List.for_all (fun c -> List.mem c keep) cols -> Dds.Hashed cols
+    | Dds.Hashed _ | Dds.Arbitrary -> Dds.Arbitrary
+  in
+  Dds.map_partitions ~partitioning ~schema:out_schema
+    (fun _ part ->
+      let out = Tset.create ~capacity:(Tset.cardinal part) () in
+      Tset.iter (fun tu -> ignore (Tset.add out (Tuple.project pos tu))) part;
+      out)
+    d
+
+let keep_of_drop schema drop = List.filter (fun c -> not (List.mem c drop)) (Schema.cols schema)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed evaluation of non-recursive operators                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec exec_dds ctx (term : Term.t) : Dds.t =
+  let d =
+    match term with
+    | Rel n -> (
+      match Hashtbl.find_opt ctx.cache n with
+      | Some d -> d
+      | None ->
+        let rel =
+          match List.assoc_opt n ctx.tables with
+          | Some r -> r
+          | None -> err "unknown relation %S" n
+        in
+        let d = Dds.of_rel ctx.config.cluster rel in
+        Hashtbl.replace ctx.cache n d;
+        d)
+    | Cst r -> Dds.of_rel ctx.config.cluster r
+    | Var x -> err "free recursive variable %S at top level" x
+    | Select (p, u) -> Dds.filter p (exec_dds ctx u)
+    | Project (keep, u) -> Dds.distinct (project_narrow (exec_dds ctx u) keep)
+    | Antiproject (drop, u) ->
+      let d = exec_dds ctx u in
+      Dds.distinct (project_narrow d (keep_of_drop (Dds.schema d) drop))
+    | Rename (m, u) -> Dds.rename m (exec_dds ctx u)
+    | Join (a, b) ->
+      let da = exec_dds ctx a and db = exec_dds ctx b in
+      let ca = Dds.cardinal da and cb = Dds.cardinal db in
+      let threshold = ctx.config.broadcast_threshold in
+      if cb <= ca && cb <= threshold then Dds.join_broadcast da (Dds.collect db)
+      else if ca < cb && ca <= threshold then
+        let joined = Dds.join_broadcast db (Dds.collect da) in
+        (* keep the conventional left-first layout *)
+        let out_schema = Schema.append_distinct (Dds.schema da) (Dds.schema db) in
+        relayout_dds joined out_schema
+      else Dds.join_shuffle da db
+    | Antijoin (a, b) ->
+      let da = exec_dds ctx a and db = exec_dds ctx b in
+      if Dds.cardinal db <= ctx.config.broadcast_threshold then
+        Dds.antijoin_broadcast da (Dds.collect db)
+      else Dds.antijoin_shuffle da db
+    | Union (a, b) -> Dds.union_distinct (exec_dds ctx a) (exec_dds ctx b)
+    | Fix (x, body) -> exec_fix ctx x body
+  in
+  check_size ctx d
+
+and relayout_dds d out_schema =
+  if Schema.equal_ordered (Dds.schema d) out_schema then d
+  else
+    let perm = Schema.reorder_positions ~from:(Dds.schema d) ~into:out_schema in
+    Dds.map_partitions ~schema:out_schema
+      (fun _ part ->
+        let out = Tset.create ~capacity:(Tset.cardinal part) () in
+        Tset.iter (fun tu -> ignore (Tset.add out (Tuple.project perm tu))) part;
+        out)
+      d
+
+(* Evaluate a subterm that is constant in the recursive variable, for
+   broadcasting. Terms containing fixpoints are evaluated distributed
+   (they can be large intermediate results); plain ones centrally. *)
+and eval_const ctx term =
+  if Term.fix_count term > 0 then Dds.collect (exec_dds ctx term)
+  else Mura.Eval.eval (driver_env ctx) term
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-branch compilation                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Compile a union-free recursive branch into a function of the delta.
+   [join_mode] decides how joins against the constant side execute:
+   `Broadcast (P_plw: metered once here, then narrow per iteration) or
+   `Shuffle (P_gld: the constant side is distributed and pre-partitioned;
+   the delta side is shuffled on every application). *)
+and compile_branch ctx ~var ~join_mode branch : Dds.t -> Dds.t =
+  let rec go (t : Term.t) : Dds.t -> Dds.t =
+    if not (Term.has_free_var var t) then begin
+      match join_mode with
+      | `Broadcast ->
+        let r = eval_const ctx t in
+        let d = Dds.of_rel ctx.config.cluster r in
+        fun _ -> d
+      | `Shuffle ->
+        let d = exec_dds ctx t in
+        fun _ -> d
+    end
+    else
+      match t with
+      | Term.Var x when String.equal x var -> fun delta -> delta
+      | Term.Var x -> err "foreign recursive variable %S in branch" x
+      | Term.Select (p, u) ->
+        let f = go u in
+        fun delta -> Dds.filter p (f delta)
+      | Term.Project (keep, u) ->
+        let f = go u in
+        fun delta -> project_narrow (f delta) keep
+      | Term.Antiproject (drop, u) ->
+        let f = go u in
+        fun delta ->
+          let d = f delta in
+          project_narrow d (keep_of_drop (Dds.schema d) drop)
+      | Term.Rename (m, u) ->
+        let f = go u in
+        fun delta -> Dds.rename m (f delta)
+      | Term.Join (a, b) ->
+        (* Linearity: exactly one side mentions the variable. The output
+           layout (which side comes first) is irrelevant: set operations
+           reconcile layouts by column name. *)
+        let recursive, const = if Term.has_free_var var a then (a, b) else (b, a) in
+        let f = go recursive in
+        (match join_mode with
+        | `Broadcast ->
+          let bc = Dds.broadcast ctx.config.cluster (eval_const ctx const) in
+          fun delta -> Dds.join_bcast (f delta) bc
+        | `Shuffle ->
+          let const_dds = exec_dds ctx const in
+          (* memoize the co-partitioned constant side across iterations:
+             Spark keeps shuffle files of the stable side too *)
+          let prepared = ref None in
+          fun delta ->
+            let left = f delta in
+            let shared = Schema.common (Dds.schema left) (Dds.schema const_dds) in
+            let const_part =
+              match !prepared with
+              | Some d -> d
+              | None ->
+                let d =
+                  match shared with
+                  | [] -> const_dds
+                  | _ -> Dds.repartition ~by:shared const_dds
+                in
+                prepared := Some d;
+                d
+            in
+            Dds.join_shuffle left const_part)
+      | Term.Antijoin (a, b) ->
+        if Term.has_free_var var b then err "fixpoint on %s is not positive" var;
+        let f = go a in
+        (match join_mode with
+        | `Broadcast ->
+          let bc = Dds.broadcast ctx.config.cluster (eval_const ctx b) in
+          fun delta -> Dds.antijoin_bcast (f delta) bc
+        | `Shuffle ->
+          let const_dds = exec_dds ctx b in
+          fun delta -> Dds.antijoin_shuffle (f delta) const_dds)
+      | Term.Union _ -> err "internal: union inside a normalised branch"
+      | Term.Fix (x, _) -> err "internal: recursive variable %s under nested fixpoint %s" var x
+      | Term.Rel _ | Term.Cst _ -> assert false (* constant, handled above *)
+  in
+  go branch
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint plans                                                      *)
+(* ------------------------------------------------------------------ *)
+
+and exec_fix ctx var body : Dds.t =
+  let consts, recs = Fcond.split ~var body in
+  (match Fcond.(is_positive ~var body, is_linear ~var body, is_non_mutually_recursive ~var body)
+   with
+  | true, true, true -> ()
+  | false, _, _ -> raise (Fcond.Not_fcond (Printf.sprintf "fixpoint on %s not positive" var))
+  | _, false, _ -> raise (Fcond.Not_fcond (Printf.sprintf "fixpoint on %s not linear" var))
+  | _, _, false -> raise (Fcond.Not_fcond (Printf.sprintf "fixpoint on %s mutually recursive" var)));
+  match consts with
+  | [] -> raise (Fcond.Not_fcond (Printf.sprintf "fixpoint on %s has no constant part" var))
+  | c0 :: crest ->
+    let init =
+      List.fold_left (fun acc c -> Dds.set_union_local acc (exec_dds ctx c)) (exec_dds ctx c0)
+        crest
+    in
+    (match recs with
+    | [] -> Dds.distinct init
+    | _ ->
+      let stable =
+        try Mura.Stabilizer.stable_columns (typing_env ctx) ~var body
+        with Mura.Typing.Type_error _ -> []
+      in
+      let plan =
+        match ctx.config.force_plan with
+        | Some p -> p
+        | None -> if stable <> [] then P_plw_s else P_gld
+      in
+      let partitioned_by = if ctx.config.use_stable_partitioning then stable else [] in
+      let result, iterations =
+        match plan with
+        | P_gld -> run_gld ctx ~var ~init ~recs
+        | P_plw_s -> run_plw_s ctx ~var ~init ~recs ~stable:partitioned_by
+        | P_plw_pg -> run_plw_pg ctx ~var ~body ~init ~stable:partitioned_by
+      in
+      ctx.rpt.fixpoints <-
+        {
+          var;
+          plan;
+          stable;
+          partitioned_by;
+          iterations;
+          result_size = Dds.cardinal result;
+        }
+        :: ctx.rpt.fixpoints;
+      result)
+
+(* P_gld: driver loop over distributed wide operations. The accumulated
+   result is kept hash-partitioned by the full schema so that the
+   per-iteration difference costs exactly one shuffle of the produced
+   tuples (plus whatever the joins shuffle). *)
+and run_gld ctx ~var ~init ~recs =
+  let m = Cluster.metrics ctx.config.cluster in
+  let schema_cols = Schema.cols (Dds.schema init) in
+  let branch_fns = List.map (compile_branch ctx ~var ~join_mode:`Shuffle) recs in
+  let x = ref (Dds.repartition ~by:schema_cols init) in
+  let delta = ref !x in
+  let iterations = ref 0 in
+  let continue = ref true in
+  while !continue do
+    incr iterations;
+    if !iterations > ctx.config.max_iterations then
+      raise (Resource_limit "max iterations exceeded (P_gld)");
+    Metrics.record_superstep m;
+    let produced =
+      match List.map (fun f -> f !delta) branch_fns with
+      | [] -> assert false
+      | d0 :: rest -> List.fold_left Dds.set_union_local d0 rest
+    in
+    let produced = check_size_dds ctx produced in
+    let produced = relayout_dds produced (Dds.schema !x) in
+    let produced = Dds.repartition ~by:schema_cols produced in
+    let fresh = Dds.set_diff_local produced !x in
+    if Dds.cardinal fresh = 0 then continue := false
+    else begin
+      x := check_size_dds ctx (Dds.set_union_local !x fresh);
+      delta := fresh
+    end
+  done;
+  (!x, !iterations)
+
+(* P_plw^s: repartition the constant part (by the stable columns when
+   they exist), broadcast the variable part's relations once, then loop
+   with narrow operations only. No distinct at the end when a stable
+   repartitioning was applied (the local fixpoints are disjoint). *)
+and run_plw_s ctx ~var ~init ~recs ~stable =
+  let m = Cluster.metrics ctx.config.cluster in
+  let branch_fns = List.map (compile_branch ctx ~var ~join_mode:`Broadcast) recs in
+  let init = match stable with [] -> init | _ -> Dds.repartition ~by:stable init in
+  let x = ref init in
+  let delta = ref init in
+  let iterations = ref 0 in
+  let continue = ref true in
+  while !continue do
+    incr iterations;
+    if !iterations > ctx.config.max_iterations then
+      raise (Resource_limit "max iterations exceeded (P_plw^s)");
+    Metrics.record_superstep m;
+    let produced =
+      match List.map (fun f -> f !delta) branch_fns with
+      | [] -> assert false
+      | d0 :: rest -> List.fold_left Dds.set_union_local d0 rest
+    in
+    let produced = check_size_dds ctx produced in
+    let produced = relayout_dds produced (Dds.schema !x) in
+    let fresh = Dds.set_diff_local produced !x in
+    if Dds.cardinal fresh = 0 then continue := false
+    else begin
+      x := check_size_dds ctx (Dds.set_union_local !x fresh);
+      delta := fresh
+    end
+  done;
+  let result =
+    match stable with
+    | _ :: _ ->
+      (* disjointness proof of Sec. IV-A2: no distinct needed; assert the
+         partitioning fact for downstream operators *)
+      Dds.map_partitions ~partitioning:(Dds.Hashed stable) ~schema:(Dds.schema !x)
+        (fun _ part -> part)
+        !x
+    | [] -> Dds.distinct !x
+  in
+  (result, !iterations)
+
+(* P_plw^pg: same distribution scheme; each worker runs its whole local
+   fixpoint inside one mapPartitions call against its local database. *)
+and run_plw_pg ctx ~var ~body ~init ~stable =
+  let m = Cluster.metrics ctx.config.cluster in
+  let init = match stable with [] -> init | _ -> Dds.repartition ~by:stable init in
+  let seed_name = "__seed" in
+  (* Broadcast every database relation the variable part mentions. *)
+  let rels_needed = Term.free_rels body in
+  let broadcast_tables =
+    List.filter_map
+      (fun n ->
+        match List.assoc_opt n ctx.tables with
+        | Some r ->
+          Metrics.record_broadcast m
+            ~records:(Rel.cardinal r * max 1 (Cluster.workers ctx.config.cluster - 1));
+          Some (n, r)
+        | None -> None)
+      rels_needed
+  in
+  let consts, recs_b = Fcond.split ~var body in
+  ignore consts;
+  let local_term = Term.Fix (var, Term.union_all (Term.Rel seed_name :: recs_b)) in
+  Metrics.record_superstep m;
+  let schema = Dds.schema init in
+  (* the fixpoint is shipped to the local databases as SQL text (a WITH
+     RECURSIVE statement), as the paper's PostgreSQL backend receives
+     it; terms outside the SQL dialect fall back to direct plans *)
+  let sql_text =
+    let tenv =
+      Mura.Typing.env
+        ((seed_name, schema) :: List.map (fun (n, r) -> (n, Rel.schema r)) broadcast_tables)
+    in
+    match Localdb.To_sql.of_term tenv local_term with
+    | sql -> Some sql
+    | exception (Localdb.To_sql.Unsupported _ | Mura.Typing.Type_error _) -> None
+  in
+  let result =
+    Dds.map_partitions
+      ~partitioning:(match stable with [] -> Dds.Arbitrary | _ -> Dds.Hashed stable)
+      ~schema
+      (fun _ part ->
+        let db = Localdb.Instance.create () in
+        List.iter (fun (n, r) -> Localdb.Instance.register db n r) broadcast_tables;
+        Localdb.Instance.register db seed_name (Rel.of_tset schema (Tset.copy part));
+        let local_result =
+          match sql_text with
+          | Some sql -> Relation.Rel.relayout schema (Localdb.Sql.query db sql)
+          | None -> Localdb.Instance.query db local_term
+        in
+        Rel.tuples local_result)
+      init
+  in
+  let result = match stable with [] -> Dds.distinct result | _ -> result in
+  (result, 1)
+
+and check_size_dds ctx d = check_size ctx d
+
+let run ctx term = Dds.collect (exec_dds ctx term)
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain ctx term =
+  let buf = Buffer.create 256 in
+  let tenv = typing_env ctx in
+  let line indent fmt =
+    Format.kasprintf
+      (fun s ->
+        Buffer.add_string buf (String.make (2 * indent) ' ');
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let rec go indent (t : Term.t) =
+    match t with
+    | Term.Rel n -> line indent "TableScan %s" n
+    | Term.Cst r -> line indent "LocalRelation (%d tuples)" Rel.(cardinal r)
+    | Term.Var x -> line indent "RecursiveRef %s" x
+    | Term.Select (p, u) ->
+      line indent "Filter [%s]" (Relation.Pred.to_string p);
+      go (indent + 1) u
+    | Term.Project (c, u) ->
+      line indent "Project [%s] + Distinct" (String.concat "," c);
+      go (indent + 1) u
+    | Term.Antiproject (c, u) ->
+      line indent "DropColumns [%s] + Distinct" (String.concat "," c);
+      go (indent + 1) u
+    | Term.Rename (m, u) ->
+      line indent "Rename [%s]"
+        (String.concat "," (List.map (fun (o, n) -> o ^ "->" ^ n) m));
+      go (indent + 1) u
+    | Term.Join (a, b) ->
+      line indent "Join (broadcast if a side <= %d tuples, else shuffle)"
+        ctx.config.broadcast_threshold;
+      go (indent + 1) a;
+      go (indent + 1) b
+    | Term.Antijoin (a, b) ->
+      line indent "AntiJoin (broadcast/shuffle by size)";
+      go (indent + 1) a;
+      go (indent + 1) b
+    | Term.Union (a, b) ->
+      line indent "Union + Distinct";
+      go (indent + 1) a;
+      go (indent + 1) b
+    | Term.Fix (x, body) ->
+      let stable =
+        try Mura.Stabilizer.stable_columns tenv ~var:x body
+        with Mura.Typing.Type_error _ | Fcond.Not_fcond _ -> []
+      in
+      let plan =
+        match ctx.config.force_plan with
+        | Some p -> p
+        | None -> if stable <> [] then P_plw_s else P_gld
+      in
+      let partition_note =
+        match (stable, ctx.config.use_stable_partitioning) with
+        | [], _ -> "no stable column: final distinct required"
+        | cols, true -> Printf.sprintf "repartition constant part by [%s]" (String.concat "," cols)
+        | _, false -> "stable-column repartitioning disabled"
+      in
+      line indent "Fixpoint %s: plan=%s, stable=[%s], %s" x (plan_name plan)
+        (String.concat "," stable) partition_note;
+      (match Fcond.split ~var:x body with
+      | consts, recs ->
+        line (indent + 1) "constant part:";
+        List.iter (go (indent + 2)) consts;
+        line (indent + 1) "variable part (%s):"
+          (match plan with
+          | P_gld -> "re-evaluated with shuffles each iteration"
+          | P_plw_s -> "broadcast relations, narrow iterations"
+          | P_plw_pg -> "shipped to per-worker local databases as SQL");
+        List.iter (go (indent + 2)) recs
+      | exception Fcond.Not_fcond msg -> line (indent + 1) "! not F_cond: %s" msg)
+  in
+  go 0 term;
+  Buffer.contents buf

@@ -1,0 +1,82 @@
+(** The PhysicalPlanGenerator: distributed execution of mu-RA terms
+    (Sec. IV of the paper).
+
+    Non-recursive operators map to distributed-dataset operations with
+    automatic broadcast/shuffle join selection. Fixpoints are executed
+    with one of three physical plans:
+
+    - {b P_gld} ("global loop on the driver"): each iteration runs
+      distributed set operations; the union/difference against the
+      accumulated result costs at least one shuffle per iteration.
+    - {b P_plw_s} ("parallel local loops on the workers", SetRDD
+      implementation): the constant part is partitioned across workers
+      (by the stable columns when they exist), the relations of the
+      variable part are broadcast once, and each iteration uses only
+      narrow partition-wise operations — zero shuffles inside the loop.
+    - {b P_plw_pg}: same distribution scheme, but each worker runs its
+      complete local fixpoint inside a single mapPartitions call on its
+      local database instance (the PostgreSQL stand-in).
+
+    Plan selection (Sec. IV-B-c): when the fixpoint has a stable column,
+    repartition by it and use P_plw (no final distinct needed — the local
+    fixpoints are provably disjoint); otherwise use P_gld. *)
+
+type fixpoint_plan = P_gld | P_plw_s | P_plw_pg
+
+val pp_plan : Format.formatter -> fixpoint_plan -> unit
+val plan_name : fixpoint_plan -> string
+
+type config = {
+  cluster : Distsim.Cluster.t;
+  force_plan : fixpoint_plan option;  (** [None]: automatic selection *)
+  broadcast_threshold : int;
+      (** joins whose smaller side is at most this many tuples use a
+          broadcast join *)
+  max_iterations : int;  (** fixpoint iteration guard *)
+  max_tuples : int;  (** memory guard on any materialised dataset *)
+  use_stable_partitioning : bool;
+      (** ablation knob: when [false], P_plw skips the stable-column
+          repartitioning of Sec. IV-A2 and pays a final distinct *)
+}
+
+val default_config : Distsim.Cluster.t -> config
+
+exception Resource_limit of string
+(** Raised when [max_iterations] or [max_tuples] is exceeded (the
+    harness reports it as an engine failure, as the paper does for
+    crashed systems). *)
+
+type fix_report = {
+  var : string;
+  plan : fixpoint_plan;
+  stable : string list;  (** stable columns found by the stabilizer *)
+  partitioned_by : string list;  (** actual repartitioning applied *)
+  iterations : int;
+  result_size : int;
+}
+
+type report = {
+  mutable fixpoints : fix_report list;  (** innermost-first *)
+}
+
+type ctx
+(** A session: a cluster, a driver-side catalog, and the cache of
+    already-distributed tables. *)
+
+val session : config -> (string * Relation.Rel.t) list -> ctx
+val config_of : ctx -> config
+val report : ctx -> report
+val metrics : ctx -> Distsim.Metrics.t
+
+val exec_dds : ctx -> Mura.Term.t -> Distsim.Dds.t
+(** Distributed evaluation; the result stays distributed. *)
+
+val explain : ctx -> Mura.Term.t -> string
+(** Describe the physical plan that {!exec_dds} would choose, without
+    executing: operator tree with join strategies and, per fixpoint, the
+    selected plan, the stable columns and the repartitioning. Fixpoint
+    plan selection mirrors execution exactly; join strategy choices are
+    stated as rules (sizes are only known at run time). *)
+
+val run : ctx -> Mura.Term.t -> Relation.Rel.t
+(** [exec_dds] followed by a collect to the driver. *)

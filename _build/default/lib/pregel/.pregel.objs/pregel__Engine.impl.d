@@ -1,0 +1,1 @@
+lib/pregel/engine.ml: Array Distsim Hashtbl List Printf Relation Rpq

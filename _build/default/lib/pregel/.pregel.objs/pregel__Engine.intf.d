@@ -1,0 +1,1 @@
+lib/pregel/engine.mli: Distsim Relation Rpq

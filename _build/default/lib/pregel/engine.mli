@@ -1,0 +1,48 @@
+(** Vertex-centric BSP evaluation of regular path queries — the
+    GraphX/Pregel baseline (Sec. V-C of the paper).
+
+    The graph is vertex-partitioned across the simulated cluster's
+    workers. An RPQ is evaluated as a traversal of the product of the
+    graph with the query's NFA: messages are [(origin, nfa_state)] pairs;
+    a vertex receiving a new pair forwards its successors along matching
+    (possibly inverse) edges and records a result when the state is
+    accepting. Every superstep exchanges all cross-worker messages — the
+    communication pattern the paper contrasts with P_plw — and the total
+    amount of vertex state is bounded: exceeding the budget raises
+    {!Engine_failure}, reproducing the GraphX crashes of Figs. 9 and 10.
+
+    As in the paper, the traversal runs left-to-right: a constant
+    {e source} endpoint seeds a single origin (fast), while a constant
+    {e target} can only be applied as a final filter. *)
+
+exception Engine_failure of string
+
+type config = {
+  cluster : Distsim.Cluster.t;
+  max_supersteps : int;
+  max_state : int;  (** budget on stored (origin, state) pairs *)
+}
+
+val default_config : Distsim.Cluster.t -> config
+
+type graph
+(** Partitioned adjacency (out- and in-edges per vertex, by label). *)
+
+val load : config -> Relation.Rel.t -> graph
+(** From a labelled edge relation with (positional) schema
+    (src, label, trg). *)
+
+val vertices : graph -> int
+val edges : graph -> int
+
+type stats = { supersteps : int; messages : int; state_pairs : int }
+
+val eval_rpq :
+  ?source:Relation.Value.t -> ?target:Relation.Value.t -> graph -> Rpq.Regex.t ->
+  Relation.Rel.t * stats
+(** Pairs (src, trg) of vertices connected by a path matching the
+    expression; [source]/[target] restrict the endpoints ([source] seeds
+    the traversal, [target] filters at the end).
+    @raise Engine_failure on budget exhaustion
+    @raise Rpq.Query.Translation_error if the path matches the empty
+    word *)

@@ -1,0 +1,1 @@
+lib/relation/pred.ml: Array Format Hashtbl List Schema Value

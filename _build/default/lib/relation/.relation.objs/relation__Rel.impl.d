@@ -1,0 +1,1 @@
+lib/relation/rel.ml: Array Format Hashtbl Index List Pred Printf Schema Tset Tuple

@@ -1,0 +1,1 @@
+lib/relation/rel.mli: Format Pred Schema Tset Tuple Value

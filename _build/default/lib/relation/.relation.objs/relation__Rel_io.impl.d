@@ -1,0 +1,1 @@
+lib/relation/rel_io.ml: Array Fun List Printf Rel Schema String Value

@@ -1,0 +1,1 @@
+lib/relation/rel_io.mli: Rel Value

@@ -1,0 +1,1 @@
+lib/relation/tset.ml: Array Deadline List Tuple

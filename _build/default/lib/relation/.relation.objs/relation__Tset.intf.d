@@ -1,0 +1,1 @@
+lib/relation/tset.mli: Seq Tuple

@@ -1,0 +1,1 @@
+lib/relation/value.ml: Dict Format Int Printf

@@ -1,0 +1,15 @@
+exception Expired
+
+let limit = ref infinity
+let counter = ref 0
+
+let now () = Unix.gettimeofday ()
+let set ~seconds_from_now = limit := now () +. seconds_from_now
+let clear () = limit := infinity
+let active () = !limit < infinity
+
+let check_now () = if now () > !limit then raise Expired
+
+let tick () =
+  incr counter;
+  if !counter land 8191 = 0 && !limit < infinity then check_now ()

@@ -1,0 +1,23 @@
+(** Cooperative per-run deadlines.
+
+    Engines in this project are single machine-wide computations; a
+    query that would run for minutes must be interruptible to honour the
+    harness's timeout (the paper kills queries at 1000 s). The hot paths
+    of the storage layer call {!tick}, which raises {!Expired} once the
+    wall clock passes the configured deadline. The check amortises the
+    [gettimeofday] call over 8192 ticks, so the overhead is negligible.
+
+    The deadline is global process state: harness drivers set it around
+    a run and clear it afterwards. *)
+
+exception Expired
+
+val set : seconds_from_now:float -> unit
+val clear : unit -> unit
+val active : unit -> bool
+
+val tick : unit -> unit
+(** @raise Expired when a deadline is set and has passed. *)
+
+val check_now : unit -> unit
+(** Immediate (non-amortised) check. @raise Expired *)

@@ -1,0 +1,28 @@
+let table : (string, int) Hashtbl.t = Hashtbl.create 4096
+let reverse : (int, string) Hashtbl.t = Hashtbl.create 4096
+let next = ref (-1)
+
+let intern s =
+  match Hashtbl.find_opt table s with
+  | Some h -> h
+  | None ->
+    let h = !next in
+    decr next;
+    Hashtbl.replace table s h;
+    Hashtbl.replace reverse h s;
+    h
+
+let find_opt s = Hashtbl.find_opt table s
+
+let lookup h =
+  match Hashtbl.find_opt reverse h with
+  | Some s -> s
+  | None -> raise Not_found
+
+let is_handle v = v < 0 && Hashtbl.mem reverse v
+let size () = Hashtbl.length table
+
+let reset () =
+  Hashtbl.reset table;
+  Hashtbl.reset reverse;
+  next := -1

@@ -1,0 +1,28 @@
+(** Global string interner.
+
+    Strings (edge labels, constants such as ["Japan"], node names from data
+    files) are interned to negative integers so that they can live in the
+    same [int] value space as plain numeric node identifiers. The
+    dictionary is a process-wide singleton, mirroring the role of a
+    catalog in a database system. *)
+
+val intern : string -> int
+(** [intern s] returns the negative handle for [s], allocating one on
+    first use. Idempotent: [intern s = intern s]. *)
+
+val find_opt : string -> int option
+(** [find_opt s] is the handle of [s] if it has been interned. *)
+
+val lookup : int -> string
+(** [lookup h] is the string behind handle [h].
+    @raise Not_found if [h] is not a dictionary handle. *)
+
+val is_handle : int -> bool
+(** [is_handle v] is true iff [v] is a valid interned-string handle. *)
+
+val size : unit -> int
+(** Number of interned strings. *)
+
+val reset : unit -> unit
+(** Forget all interned strings. Only for tests: invalidates every
+    previously returned handle. *)

@@ -1,0 +1,24 @@
+(** Hash indexes over tuple collections, keyed by a subset of columns.
+
+    Used by hash joins, antijoins and the per-worker local engine. *)
+
+type t
+
+val build : Schema.t -> string list -> Tuple.t Seq.t -> t
+(** [build schema key_cols tuples] indexes [tuples] (laid out per
+    [schema]) by their projection on [key_cols].
+    @raise Schema.Schema_error if a key column is absent. *)
+
+val probe : t -> Tuple.t -> Tuple.t list
+(** [probe idx key] returns the tuples whose key projection equals [key]
+    (a tuple of the key columns, in the order given to {!build}). *)
+
+val probe_with : t -> Schema.t -> string list -> Tuple.t -> Tuple.t list
+(** [probe_with idx s cols tu] projects [tu] (laid out per [s]) on [cols]
+    and probes. [cols] must name the key columns in index key order. *)
+
+val mem : t -> Tuple.t -> bool
+val cardinal : t -> int
+(** Number of indexed tuples. *)
+
+val key_positions : t -> int array

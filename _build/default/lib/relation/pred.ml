@@ -1,0 +1,99 @@
+type t =
+  | True
+  | Eq_const of string * Value.t
+  | Neq_const of string * Value.t
+  | Eq_col of string * string
+  | Lt_const of string * Value.t
+  | Gt_const of string * Value.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let columns p =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let visit c =
+    if not (Hashtbl.mem seen c) then begin
+      Hashtbl.replace seen c ();
+      out := c :: !out
+    end
+  in
+  let rec go = function
+    | True -> ()
+    | Eq_const (c, _) | Neq_const (c, _) | Lt_const (c, _) | Gt_const (c, _) -> visit c
+    | Eq_col (a, b) ->
+      visit a;
+      visit b
+    | And (a, b) | Or (a, b) ->
+      go a;
+      go b
+    | Not a -> go a
+  in
+  go p;
+  List.rev !out
+
+let compile schema p =
+  let pos c = Schema.index_of schema c in
+  let rec comp = function
+    | True -> fun _ -> true
+    | Eq_const (c, v) ->
+      let i = pos c in
+      fun tu -> tu.(i) = v
+    | Neq_const (c, v) ->
+      let i = pos c in
+      fun tu -> tu.(i) <> v
+    | Eq_col (a, b) ->
+      let i = pos a and j = pos b in
+      fun tu -> tu.(i) = tu.(j)
+    | Lt_const (c, v) ->
+      let i = pos c in
+      fun tu -> tu.(i) < v
+    | Gt_const (c, v) ->
+      let i = pos c in
+      fun tu -> tu.(i) > v
+    | And (a, b) ->
+      let fa = comp a and fb = comp b in
+      fun tu -> fa tu && fb tu
+    | Or (a, b) ->
+      let fa = comp a and fb = comp b in
+      fun tu -> fa tu || fb tu
+    | Not a ->
+      let fa = comp a in
+      fun tu -> not (fa tu)
+  in
+  comp p
+
+let rename mapping p =
+  let ren c = match List.assoc_opt c mapping with Some fresh -> fresh | None -> c in
+  let rec go = function
+    | True -> True
+    | Eq_const (c, v) -> Eq_const (ren c, v)
+    | Neq_const (c, v) -> Neq_const (ren c, v)
+    | Lt_const (c, v) -> Lt_const (ren c, v)
+    | Gt_const (c, v) -> Gt_const (ren c, v)
+    | Eq_col (a, b) -> Eq_col (ren a, ren b)
+    | And (a, b) -> And (go a, go b)
+    | Or (a, b) -> Or (go a, go b)
+    | Not a -> Not (go a)
+  in
+  go p
+
+let conj preds =
+  match List.filter (fun p -> p <> True) preds with
+  | [] -> True
+  | p :: rest -> List.fold_left (fun acc q -> And (acc, q)) p rest
+
+let equal (a : t) (b : t) = a = b
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Eq_const (c, v) -> Format.fprintf ppf "%s=%a" c Value.pp v
+  | Neq_const (c, v) -> Format.fprintf ppf "%s<>%a" c Value.pp v
+  | Lt_const (c, v) -> Format.fprintf ppf "%s<%a" c Value.pp v
+  | Gt_const (c, v) -> Format.fprintf ppf "%s>%a" c Value.pp v
+  | Eq_col (a, b) -> Format.fprintf ppf "%s=%s" a b
+  | And (a, b) -> Format.fprintf ppf "(%a && %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a || %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "!(%a)" pp a
+
+let to_string p = Format.asprintf "%a" pp p

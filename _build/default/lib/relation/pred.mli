@@ -1,0 +1,32 @@
+(** Selection predicates (the [f] of the mu-RA filter sigma_f).
+
+    Predicates are first-order boolean combinations of comparisons between
+    columns and constants. They are compiled against a schema into a
+    closure over raw tuples before evaluation. *)
+
+type t =
+  | True
+  | Eq_const of string * Value.t  (** column = constant *)
+  | Neq_const of string * Value.t
+  | Eq_col of string * string  (** column = column *)
+  | Lt_const of string * Value.t  (** numeric comparison on plain ints *)
+  | Gt_const of string * Value.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val columns : t -> string list
+(** Columns mentioned, without duplicates, in first-mention order. *)
+
+val compile : Schema.t -> t -> Tuple.t -> bool
+(** @raise Schema.Schema_error if a mentioned column is absent. *)
+
+val rename : (string * string) list -> t -> t
+(** Apply a column renaming to the columns mentioned by the predicate. *)
+
+val conj : t list -> t
+(** Conjunction of a list, simplifying [True]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,48 @@
+let parse_field s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 -> n
+  | Some _ | None -> Value.of_string s
+
+let split_ws line =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+  |> List.filter (fun s -> s <> "")
+
+let fold_lines path f =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          if String.length line > 0 && line.[0] <> '#' then f line
+        done
+      with End_of_file -> ())
+
+let load_with path schema arity =
+  let r = Rel.create schema in
+  fold_lines path (fun line ->
+      match split_ws line with
+      | fields when List.length fields = arity ->
+        ignore (Rel.add r (Array.of_list (List.map parse_field fields)))
+      | [] -> ()
+      | _ -> failwith (Printf.sprintf "%s: bad line %S (expected %d fields)" path line arity));
+  r
+
+let load_edges ?(src = "src") ?(trg = "trg") path =
+  load_with path (Schema.of_list [ src; trg ]) 2
+
+let load_labelled_edges ?(src = "src") ?(pred = "pred") ?(trg = "trg") path =
+  load_with path (Schema.of_list [ src; pred; trg ]) 3
+
+let save path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc ("# columns: " ^ String.concat "\t" (Schema.cols (Rel.schema r)) ^ "\n");
+      Rel.iter
+        (fun tu ->
+          output_string oc
+            (String.concat "\t" (Array.to_list (Array.map Value.to_string tu)) ^ "\n"))
+        r)

@@ -1,0 +1,23 @@
+(** Reading and writing relations as text files.
+
+    Two formats, both whitespace-separated, one tuple per line, lines
+    starting with ['#'] ignored:
+    - edge lists: [src dst] — loaded with schema [(src, trg)];
+    - labelled edge lists: [src label dst] — loaded with schema
+      [(src, pred, trg)], the label interned as a symbol.
+
+    Fields that parse as nonnegative integers become plain values; all
+    other fields are interned. *)
+
+val parse_field : string -> Value.t
+
+val load_edges : ?src:string -> ?trg:string -> string -> Rel.t
+(** [load_edges path] reads an unlabelled edge list.
+    @raise Sys_error / Failure on IO or format errors. *)
+
+val load_labelled_edges : ?src:string -> ?pred:string -> ?trg:string -> string -> Rel.t
+(** [load_labelled_edges path] reads a labelled edge list. *)
+
+val save : string -> Rel.t -> unit
+(** One line per tuple, fields separated by a single tab, preceded by a
+    ["# columns: ..."] header line. *)

@@ -1,0 +1,79 @@
+exception Schema_error of string
+
+type t = { names : string array }
+
+let err fmt = Format.kasprintf (fun s -> raise (Schema_error s)) fmt
+
+let check_distinct names =
+  let seen = Hashtbl.create (Array.length names) in
+  Array.iter
+    (fun n ->
+      if Hashtbl.mem seen n then err "duplicate column %S" n;
+      Hashtbl.replace seen n ())
+    names
+
+let of_array names =
+  check_distinct names;
+  { names = Array.copy names }
+
+let of_list l = of_array (Array.of_list l)
+let cols s = Array.to_list s.names
+let to_array s = s.names
+let arity s = Array.length s.names
+let mem s n = Array.exists (String.equal n) s.names
+
+let index_of s n =
+  let rec go i =
+    if i >= Array.length s.names then err "column %S not in schema %s" n (String.concat "," (cols s))
+    else if String.equal s.names.(i) n then i
+    else go (i + 1)
+  in
+  go 0
+
+let positions s names = Array.of_list (List.map (index_of s) names)
+let equal_ordered a b = a.names = b.names
+
+let equal_names a b =
+  arity a = arity b && Array.for_all (fun n -> mem b n) a.names
+
+let common a b = List.filter (fun n -> mem b n) (cols a)
+
+let minus s dropped =
+  List.iter (fun d -> ignore (index_of s d)) dropped;
+  of_array (Array.of_list (List.filter (fun n -> not (List.mem n dropped)) (cols s)))
+
+let restrict s keep =
+  List.iter (fun k -> ignore (index_of s k)) keep;
+  of_list keep
+
+let append_distinct a b =
+  of_array (Array.append a.names (Array.of_list (List.filter (fun n -> not (mem a n)) (cols b))))
+
+let concat a b =
+  (match common a b with
+  | [] -> ()
+  | c :: _ -> err "schemas overlap on %S" c);
+  of_array (Array.append a.names b.names)
+
+let rename mapping s =
+  let sources = List.map fst mapping in
+  check_distinct (Array.of_list sources);
+  List.iter (fun (o, _) -> ignore (index_of s o)) mapping;
+  let renamed =
+    Array.map (fun n -> match List.assoc_opt n mapping with Some fresh -> fresh | None -> n) s.names
+  in
+  (try check_distinct renamed
+   with Schema_error _ -> err "rename produces duplicate columns in %s" (String.concat "," (cols s)));
+  { names = renamed }
+
+let reorder_positions ~from ~into =
+  if not (equal_names from into) then
+    err "incompatible schemas %s vs %s" (String.concat "," (cols from)) (String.concat "," (cols into));
+  Array.map (index_of from) into.names
+
+let pp ppf s =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") Format.pp_print_string)
+    s.names
+
+let to_string s = Format.asprintf "%a" pp s

@@ -1,0 +1,67 @@
+(** Relation schemas: ordered sequences of distinct column names.
+
+    Semantically a mu-RA relation is a set of mappings from column names to
+    values, so column order is irrelevant to equality of relations; the
+    order here is a physical storage layout. Operations that combine two
+    relations ({!Rel.union}, {!Rel.diff}, ...) accept any column order and
+    permute tuples as needed (see {!reorder_positions}). *)
+
+type t
+
+exception Schema_error of string
+
+val of_list : string list -> t
+(** @raise Schema_error on duplicate column names. *)
+
+val of_array : string array -> t
+val cols : t -> string list
+val to_array : t -> string array
+(** The returned array must not be mutated. *)
+
+val arity : t -> int
+val mem : t -> string -> bool
+
+val index_of : t -> string -> int
+(** Position of a column. @raise Schema_error if absent. *)
+
+val positions : t -> string list -> int array
+(** Positions of several columns, in the order given.
+    @raise Schema_error if any is absent. *)
+
+val equal_ordered : t -> t -> bool
+(** Same columns in the same order. *)
+
+val equal_names : t -> t -> bool
+(** Same set of column names, order ignored. *)
+
+val common : t -> t -> string list
+(** Columns present in both, in the order of the first schema. *)
+
+val minus : t -> string list -> t
+(** [minus s dropped] removes columns; dropping an absent column is an
+    error. @raise Schema_error *)
+
+val restrict : t -> string list -> t
+(** [restrict s keep] keeps exactly [keep], in [keep]'s order.
+    @raise Schema_error if any is absent. *)
+
+val append_distinct : t -> t -> t
+(** [append_distinct a b] is [a] followed by the columns of [b] not in
+    [a]. *)
+
+val concat : t -> t -> t
+(** Concatenation of disjoint schemas. @raise Schema_error on overlap. *)
+
+val rename : (string * string) list -> t -> t
+(** [rename [(old, fresh); ...] s] renames columns. Renaming an absent
+    column, renaming to an already-present name, or renaming the same
+    source twice is an error. @raise Schema_error *)
+
+val reorder_positions : from:t -> into:t -> int array
+(** [reorder_positions ~from ~into] gives, for each column of [into], its
+    position in [from], so that [Tuple.project] converts a [from]-layout
+    tuple into an [into]-layout tuple. Requires [equal_names from into].
+    @raise Schema_error *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

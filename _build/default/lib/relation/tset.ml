@@ -1,0 +1,118 @@
+(* Open-addressing (linear probing) hash set of int arrays.
+
+   Empty slots hold the shared zero-length array atom. Genuine zero-arity
+   tuples therefore cannot live in the table and are tracked by the
+   [has_unit] flag instead. *)
+
+type t = {
+  mutable slots : Tuple.t array;
+  mutable count : int; (* occupied slots, excluding the unit tuple *)
+  mutable mask : int;
+  mutable has_unit : bool;
+}
+
+let empty_slot : Tuple.t = [||]
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 16
+
+let create ?(capacity = 16) () =
+  let size = next_pow2 (max 16 (capacity * 2)) in
+  { slots = Array.make size empty_slot; count = 0; mask = size - 1; has_unit = false }
+
+let cardinal s = s.count + if s.has_unit then 1 else 0
+let is_empty s = cardinal s = 0
+
+let rec find_slot slots mask tu h =
+  let i = h land mask in
+  let rec probe i =
+    let cur = Array.unsafe_get slots i in
+    if Array.length cur = 0 then i
+    else if Tuple.equal cur tu then i
+    else probe ((i + 1) land mask)
+  in
+  probe i
+
+and resize s =
+  let old = s.slots in
+  let size = (s.mask + 1) * 2 in
+  let slots = Array.make size empty_slot in
+  let mask = size - 1 in
+  Array.iter
+    (fun tu ->
+      if Array.length tu > 0 then begin
+        let i = find_slot slots mask tu (Tuple.hash tu) in
+        Array.unsafe_set slots i tu
+      end)
+    old;
+  s.slots <- slots;
+  s.mask <- mask
+
+let add s tu =
+  Deadline.tick ();
+  if Array.length tu = 0 then
+    if s.has_unit then false
+    else begin
+      s.has_unit <- true;
+      true
+    end
+  else begin
+    if s.count * 4 > (s.mask + 1) * 3 then resize s;
+    let i = find_slot s.slots s.mask tu (Tuple.hash tu) in
+    if Array.length (Array.unsafe_get s.slots i) > 0 then false
+    else begin
+      Array.unsafe_set s.slots i tu;
+      s.count <- s.count + 1;
+      true
+    end
+  end
+
+let mem s tu =
+  if Array.length tu = 0 then s.has_unit
+  else
+    let i = find_slot s.slots s.mask tu (Tuple.hash tu) in
+    Array.length (Array.unsafe_get s.slots i) > 0
+
+let iter f s =
+  if s.has_unit then f [||];
+  Array.iter (fun tu -> if Array.length tu > 0 then f tu) s.slots
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun tu -> acc := f tu !acc) s;
+  !acc
+
+exception Found
+
+let exists p s =
+  try
+    iter (fun tu -> if p tu then raise Found) s;
+    false
+  with Found -> true
+
+let for_all p s = not (exists (fun tu -> not (p tu)) s)
+let to_list s = fold List.cons s []
+
+let to_array s =
+  let arr = Array.make (cardinal s) empty_slot in
+  let i = ref 0 in
+  iter
+    (fun tu ->
+      arr.(!i) <- tu;
+      incr i)
+    s;
+  arr
+
+let to_seq s = Array.to_seq (to_array s)
+
+let of_list l =
+  let s = create ~capacity:(List.length l) () in
+  List.iter (fun tu -> ignore (add s tu)) l;
+  s
+
+let copy s =
+  { slots = Array.copy s.slots; count = s.count; mask = s.mask; has_unit = s.has_unit }
+
+let add_all dst src = fold (fun tu n -> if add dst tu then n + 1 else n) src 0
+let equal a b = cardinal a = cardinal b && for_all (mem b) a

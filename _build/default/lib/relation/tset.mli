@@ -1,0 +1,35 @@
+(** Mutable hash sets of tuples.
+
+    Open-addressing set specialised for [int array] keys; this is the
+    storage behind every {!Rel.t} and the workhorse of semi-naive fixpoint
+    evaluation (union / membership / difference of deltas). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val add : t -> Tuple.t -> bool
+(** [add s tu] inserts [tu]; returns [true] iff it was not already
+    present. The array is stored as-is and must not be mutated after. *)
+
+val mem : t -> Tuple.t -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+val iter : (Tuple.t -> unit) -> t -> unit
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val exists : (Tuple.t -> bool) -> t -> bool
+val for_all : (Tuple.t -> bool) -> t -> bool
+val to_list : t -> Tuple.t list
+val to_array : t -> Tuple.t array
+
+(** Eagerly materialised sequence (safe against later mutation). *)
+val to_seq : t -> Tuple.t Seq.t
+val of_list : Tuple.t list -> t
+val copy : t -> t
+
+val add_all : t -> t -> int
+(** [add_all dst src] inserts every tuple of [src] into [dst]; returns the
+    number of tuples that were new. *)
+
+val equal : t -> t -> bool
+(** Set equality (same cardinality and membership). *)

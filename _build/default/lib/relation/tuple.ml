@@ -1,0 +1,39 @@
+type t = int array
+
+let arity = Array.length
+
+let equal a b =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec eq i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && eq (i + 1)) in
+  eq 0
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec cmp i =
+      if i >= la then 0
+      else
+        let c = Int.compare (Array.unsafe_get a i) (Array.unsafe_get b i) in
+        if c <> 0 then c else cmp (i + 1)
+    in
+    cmp 0
+
+let hash t =
+  let h = ref 0x345678 in
+  for i = 0 to Array.length t - 1 do
+    h := (!h * 1000003) lxor Value.hash (Array.unsafe_get t i)
+  done;
+  !h land max_int
+
+let project positions tu = Array.map (fun i -> Array.unsafe_get tu i) positions
+let concat = Array.append
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Value.pp)
+    t
+
+let to_string t = Format.asprintf "%a" pp t

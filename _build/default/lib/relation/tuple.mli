@@ -1,0 +1,23 @@
+(** Tuples: fixed-arity rows of {!Value.t}, stored unboxed as [int array].
+
+    A tuple on its own carries no column names; its interpretation is given
+    by the {!Schema.t} of the relation that holds it. Tuples must be
+    treated as immutable once inserted into a relation. *)
+
+type t = int array
+
+val arity : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val hash : t -> int
+(** Order-dependent combination of {!Value.hash} over the components. *)
+
+val project : int array -> t -> t
+(** [project positions tu] extracts the components of [tu] at [positions],
+    in order. *)
+
+val concat : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,20 @@
+type t = int
+
+let of_int n =
+  if n < 0 then invalid_arg "Value.of_int: negative";
+  n
+
+let of_string = Dict.intern
+let is_symbol v = v < 0
+let to_string v = if v < 0 then (try Dict.lookup v with Not_found -> Printf.sprintf "?%d" v) else string_of_int v
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+let equal = Int.equal
+let compare = Int.compare
+
+(* splitmix64-style finalizer restricted to OCaml's 63-bit ints *)
+let hash v =
+  let h = v * 0x1E3779B97F4A7C15 in
+  let h = h lxor (h lsr 30) in
+  let h = h * 0x3F58476D1CE4E5B9 in
+  let h = h lxor (h lsr 27) in
+  h land max_int

@@ -1,0 +1,28 @@
+(** Values stored in relations.
+
+    A value is an [int]. Nonnegative ints are plain node/data identifiers
+    used directly (e.g. generated graph nodes). Negative ints are handles
+    produced by {!Dict.intern} for strings (labels, constants, names read
+    from data files). This split keeps tuples unboxed while still allowing
+    symbolic constants. *)
+
+type t = int
+
+val of_int : int -> t
+(** [of_int n] uses a nonnegative integer directly as a value.
+    @raise Invalid_argument if [n < 0]. *)
+
+val of_string : string -> t
+(** [of_string s] interns [s] in the global dictionary. *)
+
+val is_symbol : t -> bool
+(** [is_symbol v] is true iff [v] was produced by {!of_string}. *)
+
+val to_string : t -> string
+(** Human-readable form: the interned string, or the decimal integer. *)
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int

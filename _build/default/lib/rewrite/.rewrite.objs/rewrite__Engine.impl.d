@@ -1,0 +1,1 @@
+lib/rewrite/engine.ml: Hashtbl List Mura Printf Queue Relation Rules String Term

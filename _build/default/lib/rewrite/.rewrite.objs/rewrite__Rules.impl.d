@@ -1,0 +1,1 @@
+lib/rewrite/rules.ml: Fcond List Mura Patterns Relation Shapes Stabilizer Term Typing

@@ -1,0 +1,1 @@
+lib/rewrite/shapes.ml: Fcond Mura Patterns Relation Term Typing

@@ -1,0 +1,1 @@
+lib/rewrite/shapes.mli: Mura

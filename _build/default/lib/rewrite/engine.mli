@@ -1,0 +1,25 @@
+(** The rewrite engine: bounded exploration of the space of semantically
+    equivalent logical plans (the MuRewriter component of Fig. 3).
+
+    Rules are applied at every position of the term; the reachable set is
+    deduplicated up to renaming of internal working columns and recursion
+    variables, and capped at [max_plans]. *)
+
+val apply_everywhere :
+  Mura.Typing.env -> Rules.rule -> Mura.Term.t -> Mura.Term.t list
+(** All single applications of one rule, at any position. *)
+
+val explore :
+  ?rules:Rules.rule list -> ?max_plans:int -> Mura.Typing.env -> Mura.Term.t ->
+  Mura.Term.t list
+(** Transitive closure of single-step rewriting, starting term included.
+    [max_plans] defaults to 200. *)
+
+val optimize :
+  ?rules:Rules.rule list -> ?max_plans:int -> cost:(Mura.Term.t -> float) ->
+  Mura.Typing.env -> Mura.Term.t -> Mura.Term.t
+(** Explore and return the cheapest plan according to [cost]. *)
+
+val canonical_key : Mura.Term.t -> string
+(** Deduplication key: the term printed with internal ["_m*"] columns and
+    ["_X*"] variables renamed in first-occurrence order. *)

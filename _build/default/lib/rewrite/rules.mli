@@ -1,0 +1,36 @@
+(** The MuRewriter's rewrite rules (Sec. III of the paper).
+
+    Classical relational-algebra pushdowns (filters through renamings,
+    (anti)projections, joins and unions) plus the five fixpoint-specific
+    rules leveraged from the mu-RA paper:
+    - pushing filters into fixpoints (on stable columns),
+    - pushing joins into fixpoints,
+    - merging fixpoints,
+    - pushing antiprojections into fixpoints,
+    - reversing a fixpoint (pure closures).
+
+    Each rule is a local rewrite at the root of a term, returning the
+    (possibly empty) list of alternative forms. All rules are
+    semantics-preserving; the engine applies them at every position. *)
+
+type rule = { name : string; apply : Mura.Typing.env -> Mura.Term.t -> Mura.Term.t list }
+
+val select_merge : rule
+val select_through_rename : rule
+val select_through_antiproject : rule
+val select_through_project : rule
+val select_through_join : rule
+val select_through_union : rule
+val select_through_antijoin : rule
+val antiproject_merge : rule
+
+val push_filter_into_fix : rule
+(** Guarded by the stabilizer: only fires when every filtered column is
+    stable in the fixpoint. *)
+
+val reverse_closure : rule
+val push_join_into_fix : rule
+val merge_fixpoints : rule
+val push_antiproject_into_fix : rule
+
+val all : rule list

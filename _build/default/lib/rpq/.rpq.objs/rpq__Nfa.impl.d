@@ -1,0 +1,1 @@
+lib/rpq/nfa.ml: Array Format Hashtbl List Regex

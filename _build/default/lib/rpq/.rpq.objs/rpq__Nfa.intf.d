@@ -1,0 +1,1 @@
+lib/rpq/nfa.mli: Format Regex

@@ -1,0 +1,1 @@
+lib/rpq/query.ml: Buffer Format Fun Hashtbl List Mura Printf Regex Relation String

@@ -1,0 +1,1 @@
+lib/rpq/query.mli: Format Mura Regex

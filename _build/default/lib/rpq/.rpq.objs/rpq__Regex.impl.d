@@ -1,0 +1,1 @@
+lib/rpq/regex.ml: Format Hashtbl List String

@@ -1,0 +1,127 @@
+type sym = { label : string; inverse : bool }
+
+type t = {
+  size : int;
+  start : int;
+  accepting : bool array;
+  delta : (sym * int) list array;
+}
+
+(* Thompson construction with explicit epsilon edges, then epsilon
+   elimination. *)
+type builder = {
+  mutable nstates : int;
+  mutable eps : (int * int) list;
+  mutable edges : (int * sym * int) list;
+}
+
+let fresh b =
+  let s = b.nstates in
+  b.nstates <- s + 1;
+  s
+
+let rec build b (e : Regex.t) : int * int =
+  match e with
+  | Label l ->
+    let s = fresh b and t = fresh b in
+    b.edges <- (s, { label = l; inverse = false }, t) :: b.edges;
+    (s, t)
+  | Inv inner -> (
+    match Regex.push_inverses (Regex.Inv inner) with
+    | Regex.Inv (Regex.Label l) ->
+      let s = fresh b and t = fresh b in
+      b.edges <- (s, { label = l; inverse = true }, t) :: b.edges;
+      (s, t)
+    | pushed -> build b pushed)
+  | Seq (x, y) ->
+    let sx, tx = build b x in
+    let sy, ty = build b y in
+    b.eps <- (tx, sy) :: b.eps;
+    (sx, ty)
+  | Alt (x, y) ->
+    let s = fresh b and t = fresh b in
+    let sx, tx = build b x in
+    let sy, ty = build b y in
+    b.eps <- (s, sx) :: (s, sy) :: (tx, t) :: (ty, t) :: b.eps;
+    (s, t)
+  | Plus x ->
+    let sx, tx = build b x in
+    b.eps <- (tx, sx) :: b.eps;
+    (sx, tx)
+  | Star x ->
+    let s = fresh b and t = fresh b in
+    let sx, tx = build b x in
+    b.eps <- (s, sx) :: (tx, t) :: (s, t) :: (t, s) :: b.eps;
+    (s, t)
+  | Opt x ->
+    let s = fresh b and t = fresh b in
+    let sx, tx = build b x in
+    b.eps <- (s, sx) :: (tx, t) :: (s, t) :: b.eps;
+    (s, t)
+
+let of_regex e =
+  let b = { nstates = 0; eps = []; edges = [] } in
+  let start, accept = build b e in
+  let n = b.nstates in
+  (* epsilon closure by fixpoint over a reachability matrix *)
+  let closure = Array.init n (fun _ -> Array.make n false) in
+  Array.iteri (fun i row -> row.(i) <- true) closure;
+  List.iter (fun (x, y) -> closure.(x).(y) <- true) b.eps;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if closure.(i).(j) then
+          for k = 0 to n - 1 do
+            if closure.(j).(k) && not (closure.(i).(k)) then begin
+              closure.(i).(k) <- true;
+              changed := true
+            end
+          done
+      done
+    done
+  done;
+  let delta = Array.make n [] in
+  for q = 0 to n - 1 do
+    List.iter
+      (fun (s, sym, t) ->
+        if closure.(q).(s) && not (List.mem (sym, t) delta.(q)) then delta.(q) <- (sym, t) :: delta.(q))
+      b.edges
+  done;
+  let accepting = Array.init n (fun q -> closure.(q).(accept)) in
+  { size = n; start; accepting; delta }
+
+let size a = a.size
+let start a = a.start
+let is_accepting a q = a.accepting.(q)
+let accepts_empty a = a.accepting.(a.start)
+let transitions a q = a.delta.(q)
+
+let symbols a =
+  let seen = Hashtbl.create 8 in
+  Array.iter (List.iter (fun (s, _) -> Hashtbl.replace seen s ())) a.delta;
+  Hashtbl.fold (fun s () acc -> s :: acc) seen []
+
+let accepts a word =
+  let rec step states = function
+    | [] -> List.exists (is_accepting a) states
+    | sym :: rest ->
+      let next =
+        List.concat_map
+          (fun q -> List.filter_map (fun (s, t) -> if s = sym then Some t else None) a.delta.(q))
+          states
+      in
+      step (List.sort_uniq compare next) rest
+  in
+  step [ a.start ] word
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>NFA(%d states, start %d)" a.size a.start;
+  for q = 0 to a.size - 1 do
+    Format.fprintf ppf "@,%d%s:" q (if a.accepting.(q) then "*" else "");
+    List.iter
+      (fun (s, t) -> Format.fprintf ppf " %s%s->%d" (if s.inverse then "-" else "") s.label t)
+      a.delta.(q)
+  done;
+  Format.fprintf ppf "@]"

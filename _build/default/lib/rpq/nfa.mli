@@ -1,0 +1,30 @@
+(** Nondeterministic finite automata over edge symbols, compiled from
+    regular path expressions.
+
+    Used by the Pregel/GraphX baseline: evaluating an RPQ by message
+    passing traverses the product of the graph and this automaton. The
+    automaton is epsilon-free (Thompson construction followed by closure
+    elimination). *)
+
+type sym = { label : string; inverse : bool }
+(** One traversal step: follow an edge with this label, forwards or
+    (when [inverse]) backwards. *)
+
+type t
+
+val of_regex : Regex.t -> t
+val size : t -> int
+val start : t -> int
+val is_accepting : t -> int -> bool
+val accepts_empty : t -> bool
+
+val transitions : t -> int -> (sym * int) list
+(** Outgoing transitions of a state. *)
+
+val symbols : t -> sym list
+(** All distinct symbols used. *)
+
+val accepts : t -> sym list -> bool
+(** Run the automaton on a word (test helper). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,239 @@
+module Term = Mura.Term
+module Patterns = Mura.Patterns
+module Pred = Relation.Pred
+module Value = Relation.Value
+
+type endpoint = Var of string | Const of string
+type atom = { sub : endpoint; path : Regex.t; obj : endpoint }
+type t = { heads : string list; atoms : atom list }
+
+exception Translation_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Translation_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let trim = String.trim
+
+let parse_endpoint s =
+  if String.length s > 1 && s.[0] = '?' then Var (String.sub s 1 (String.length s - 1))
+  else if s = "" then raise (Regex.Parse_error "empty endpoint")
+  else Const s
+
+let split_top_commas s =
+  (* split on commas that are not inside parentheses *)
+  let parts = ref [] and buf = Buffer.create 32 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+        incr depth;
+        Buffer.add_char buf c
+      | ')' ->
+        decr depth;
+        Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map trim !parts
+
+let parse_atom s =
+  (* endpoint path endpoint — endpoints are the first and last
+     whitespace-separated tokens; everything between is the path. *)
+  let words = String.split_on_char ' ' s |> List.filter (fun w -> w <> "") in
+  match words with
+  | sub :: (_ :: _ :: _ as rest) ->
+    let rec split_last acc = function
+      | [ last ] -> (List.rev acc, last)
+      | w :: tl -> split_last (w :: acc) tl
+      | [] -> assert false
+    in
+    let middle, obj = split_last [] rest in
+    { sub = parse_endpoint sub; path = Regex.parse (String.concat " " middle); obj = parse_endpoint obj }
+  | _ -> raise (Regex.Parse_error (Printf.sprintf "malformed atom %S" s))
+
+let parse s =
+  match
+    let arrow =
+      match String.index_opt s '<' with
+      | Some i when i + 1 < String.length s && s.[i + 1] = '-' -> Some i
+      | _ -> None
+    in
+    arrow
+  with
+  | None -> raise (Regex.Parse_error (Printf.sprintf "missing '<-' in query %S" s))
+  | Some i ->
+    let head_str = String.sub s 0 i in
+    let body_str = String.sub s (i + 2) (String.length s - i - 2) in
+    let heads =
+      List.map
+        (fun h ->
+          match parse_endpoint h with
+          | Var v -> v
+          | Const c -> raise (Regex.Parse_error (Printf.sprintf "head %S is not a variable" c)))
+        (split_top_commas head_str)
+    in
+    let atoms = List.map parse_atom (split_top_commas body_str) in
+    { heads; atoms }
+
+(* ------------------------------------------------------------------ *)
+(* Translation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Strip the empty word: [strip e] is [(r, eps)] such that
+   e ≡ (ε if eps) ∪ r, with r (when present) unable to match ε. *)
+let rec strip (e : Regex.t) : Regex.t option * bool =
+  match e with
+  | Label _ -> (Some e, false)
+  | Inv a -> (
+    match strip a with
+    | Some r, eps -> (Some (Regex.Inv r), eps)
+    | None, eps -> (None, eps))
+  | Seq (a, b) -> (
+    let ra, ea = strip a and rb, eb = strip b in
+    let candidates =
+      List.filter_map Fun.id
+        [
+          (match (ra, rb) with Some x, Some y -> Some (Regex.Seq (x, y)) | _ -> None);
+          (if eb then ra else None);
+          (if ea then rb else None);
+        ]
+    in
+    match candidates with
+    | [] -> (None, ea && eb)
+    | c :: cs -> (Some (List.fold_left (fun acc x -> Regex.Alt (acc, x)) c cs), ea && eb))
+  | Alt (a, b) -> (
+    let ra, ea = strip a and rb, eb = strip b in
+    match (ra, rb) with
+    | Some x, Some y -> (Some (Regex.Alt (x, y)), ea || eb)
+    | Some x, None | None, Some x -> (Some x, ea || eb)
+    | None, None -> (None, ea || eb))
+  | Plus a -> (
+    match strip a with
+    | Some r, eps -> (Some (Regex.Plus r), eps)
+    | None, eps -> (None, eps))
+  | Star a -> (
+    match strip a with
+    | Some r, _ -> (Some (Regex.Plus r), true)
+    | None, _ -> (None, true))
+  | Opt a ->
+    let r, _ = strip a in
+    (r, true)
+
+let rec translate ~edge_rel (e : Regex.t) : Term.t =
+  match e with
+  | Label l -> Patterns.edge ~rel:edge_rel l
+  | Inv (Label l) -> Patterns.edge_inv ~rel:edge_rel l
+  | Inv a -> translate ~edge_rel (Regex.push_inverses (Regex.Inv a))
+  | Seq (a, b) -> Patterns.compose (translate ~edge_rel a) (translate ~edge_rel b)
+  | Alt (a, b) -> Term.Union (translate ~edge_rel a, translate ~edge_rel b)
+  | Plus a -> Patterns.closure (translate ~edge_rel a)
+  | Star _ | Opt _ -> fail "internal: star/opt must be stripped before translation"
+
+let path_term ?(edge_rel = "E") e =
+  match strip e with
+  | Some r, false -> translate ~edge_rel r
+  | Some _, true | None, _ ->
+    fail "path %s can match the empty word, which UCRPQ-to-RA translation does not support"
+      (Regex.to_string e)
+
+(* Numeric constants denote plain node identifiers; anything else is an
+   interned symbol — matching how Rel_io loads data files. *)
+let const_value c =
+  match int_of_string_opt c with Some n when n >= 0 -> n | Some _ | None -> Value.of_string c
+
+let atom_term ?(edge_rel = "E") { sub; path; obj } =
+  let base = path_term ~edge_rel path in
+  (* bind the source endpoint *)
+  let t, src_col =
+    match sub with
+    | Var x -> (Term.rename1 Patterns.src x base, x)
+    | Const c ->
+      ( Term.Antiproject
+          ([ Patterns.src ], Term.Select (Pred.Eq_const (Patterns.src, const_value c), base)),
+        "" )
+  in
+  match obj with
+  | Var y when y = src_col ->
+    (* ?x path ?x: equate endpoints then keep one column *)
+    let tmp = Term.fresh_col () in
+    Term.Antiproject
+      ([ tmp ], Term.Select (Pred.Eq_col (src_col, tmp), Term.rename1 Patterns.trg tmp t))
+  | Var y -> Term.rename1 Patterns.trg y t
+  | Const c ->
+    Term.Antiproject
+      ([ Patterns.trg ], Term.Select (Pred.Eq_const (Patterns.trg, const_value c), t))
+
+let vars q =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let visit = function
+    | Var v ->
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.replace seen v ();
+        out := v :: !out
+      end
+    | Const _ -> ()
+  in
+  List.iter
+    (fun a ->
+      visit a.sub;
+      visit a.obj)
+    q.atoms;
+  List.rev !out
+
+let to_term ?(edge_rel = "E") q =
+  (match q.atoms with [] -> fail "query has no atoms" | _ -> ());
+  let bound = vars q in
+  List.iter
+    (fun h -> if not (List.mem h bound) then fail "head variable ?%s is not bound by any atom" h)
+    q.heads;
+  let joined = Term.join_all (List.map (atom_term ~edge_rel) q.atoms) in
+  if List.length q.heads = List.length bound then joined else Term.Project (q.heads, joined)
+
+(* split on the standalone keyword "union" *)
+let split_union s =
+  let words = String.split_on_char ' ' s in
+  let rec go current acc = function
+    | [] -> List.rev (String.concat " " (List.rev current) :: acc)
+    | "union" :: rest -> go [] (String.concat " " (List.rev current) :: acc) rest
+    | w :: rest -> go (w :: current) acc rest
+  in
+  go [] [] words
+
+let parse_union s = List.map parse (split_union s)
+
+let union_to_term ?(edge_rel = "E") branches =
+  match branches with
+  | [] -> fail "empty union"
+  | first :: rest ->
+    List.iter
+      (fun q ->
+        if q.heads <> first.heads then
+          fail "union branches disagree on heads: [%s] vs [%s]"
+            (String.concat "," first.heads) (String.concat "," q.heads))
+      rest;
+    (* to_term leaves each branch with exactly the head columns; the
+       union reconciles column orders by name *)
+    Term.union_all (List.map (to_term ~edge_rel) branches)
+
+let pp_endpoint ppf = function
+  | Var v -> Format.fprintf ppf "?%s" v
+  | Const c -> Format.pp_print_string ppf c
+
+let pp ppf q =
+  Format.fprintf ppf "%s <- %s"
+    (String.concat ", " (List.map (fun h -> "?" ^ h) q.heads))
+    (String.concat ", "
+       (List.map
+          (fun a ->
+            Format.asprintf "%a %s %a" pp_endpoint a.sub (Regex.to_string a.path) pp_endpoint
+              a.obj)
+          q.atoms))
+
+let to_string q = Format.asprintf "%a" pp q

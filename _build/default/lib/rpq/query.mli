@@ -1,0 +1,56 @@
+(** UCRPQ queries and their translation to mu-RA (the Query2Mu component
+    of the paper's architecture, Fig. 3).
+
+    Concrete syntax, as in the paper's figures:
+    {v ?x, ?y <- ?x isMarriedTo/knows+ ?y, ?y livesIn Japan v}
+    A query is a head (output variables) and a conjunction of atoms; each
+    atom relates two endpoints (a variable [?x] or a constant) by a
+    regular path expression.
+
+    The translation targets a labelled edge relation (default name ["E"])
+    with schema [(src, pred, trg)]: each atom becomes a mu-RA term whose
+    columns are the atom's variables; the conjunction is a natural join;
+    the head is a projection. Fixpoints are produced by [+] via
+    {!Mura.Patterns.closure}. *)
+
+type endpoint = Var of string | Const of string
+
+type atom = { sub : endpoint; path : Regex.t; obj : endpoint }
+
+type t = { heads : string list; atoms : atom list }
+
+exception Translation_error of string
+
+val parse : string -> t
+(** @raise Regex.Parse_error on malformed input. *)
+
+val parse_union : string -> t list
+(** Parse a union of CRPQs, written as conjunctive queries separated by
+    the keyword [union]:
+    {v ?x <- ?x a+ C union ?x <- ?x b+ C v}
+    All branches must have the same head variables.
+    @raise Regex.Parse_error *)
+
+val union_to_term : ?edge_rel:string -> t list -> Mura.Term.t
+(** Union of the branch translations.
+    @raise Translation_error on empty list or mismatched heads. *)
+
+val path_term : ?edge_rel:string -> Regex.t -> Mura.Term.t
+(** Binary (src, trg) relation of a path expression.
+    @raise Translation_error when the expression can match the empty
+    path (no identity relation in RA). *)
+
+val atom_term : ?edge_rel:string -> atom -> Mura.Term.t
+(** Term whose columns are the atom's variables (constants are filtered
+    out and dropped). *)
+
+val to_term : ?edge_rel:string -> t -> Mura.Term.t
+(** Full Query2Mu translation.
+    @raise Translation_error on empty-path expressions, heads not bound
+    by any atom, or an empty atom list. *)
+
+val vars : t -> string list
+(** Variables appearing in the atoms, without duplicates. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

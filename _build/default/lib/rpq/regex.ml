@@ -1,0 +1,186 @@
+type t =
+  | Label of string
+  | Inv of t
+  | Seq of t * t
+  | Alt of t * t
+  | Plus of t
+  | Star of t
+  | Opt of t
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token = TLabel of string | TMinus | TSlash | TBar | TPlus | TStar | TQuest | TLpar | TRpar
+
+let is_label_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':' || c = '.' || c = '\''
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '-' -> go (i + 1) (TMinus :: acc)
+      | '/' -> go (i + 1) (TSlash :: acc)
+      | '|' -> go (i + 1) (TBar :: acc)
+      | '+' -> go (i + 1) (TPlus :: acc)
+      | '*' -> go (i + 1) (TStar :: acc)
+      | '?' -> go (i + 1) (TQuest :: acc)
+      | '(' -> go (i + 1) (TLpar :: acc)
+      | ')' -> go (i + 1) (TRpar :: acc)
+      | c when is_label_char c ->
+        let j = ref i in
+        while !j < n && is_label_char s.[!j] do
+          incr j
+        done;
+        go !j (TLabel (String.sub s i (!j - i)) :: acc)
+      | c -> fail "unexpected character %C in path expression %S" c s
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Recursive-descent parser                                            *)
+(*   alt  := juxt ('|' juxt)*                                          *)
+(*   juxt := seq seq*          -- juxtaposition is alternation, as in   *)
+(*                                the paper's (isL dw subClassOf) lists *)
+(*   seq  := post ('/' post)*                                          *)
+(*   post := atom ('+'|'*'|'?')*                                       *)
+(*   atom := '-' atom | label | '(' alt ')'                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse s =
+  let tokens = ref (tokenize s) in
+  let peek () = match !tokens with [] -> None | t :: _ -> Some t in
+  let advance () = match !tokens with [] -> () | _ :: rest -> tokens := rest in
+  let rec alt () =
+    let left = juxt () in
+    match peek () with
+    | Some TBar ->
+      advance ();
+      Alt (left, alt ())
+    | _ -> left
+  and juxt () =
+    let left = seq () in
+    match peek () with
+    | Some (TLabel _ | TMinus | TLpar) -> Alt (left, juxt ())
+    | _ -> left
+  and seq () =
+    let left = post () in
+    match peek () with
+    | Some TSlash ->
+      advance ();
+      Seq (left, seq ())
+    | _ -> left
+  and post () =
+    let a = ref (atom ()) in
+    let continue = ref true in
+    while !continue do
+      match peek () with
+      | Some TPlus ->
+        advance ();
+        a := Plus !a
+      | Some TStar ->
+        advance ();
+        a := Star !a
+      | Some TQuest ->
+        advance ();
+        a := Opt !a
+      | _ -> continue := false
+    done;
+    !a
+  and atom () =
+    match peek () with
+    | Some TMinus ->
+      advance ();
+      Inv (atom_postfix ())
+    | Some (TLabel l) ->
+      advance ();
+      Label l
+    | Some TLpar ->
+      advance ();
+      let inner = alt () in
+      (match peek () with
+      | Some TRpar ->
+        advance ();
+        inner
+      | _ -> fail "missing ')' in %S" s)
+    | Some _ | None -> fail "unexpected token in %S" s
+  and atom_postfix () =
+    (* after '-', allow a single atom possibly with postfix operators so
+       that -a+ reads as (-a)+ the way the paper's queries use it *)
+    let a = atom () in
+    a
+  in
+  let result = alt () in
+  (match !tokens with [] -> () | _ -> fail "trailing tokens in %S" s);
+  result
+
+let rec nullable = function
+  | Label _ | Inv _ -> false
+  | Seq (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+  | Plus a -> nullable a
+  | Star _ | Opt _ -> true
+
+let labels r =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Label l ->
+      if not (Hashtbl.mem seen l) then begin
+        Hashtbl.replace seen l ();
+        out := l :: !out
+      end
+    | Inv a | Plus a | Star a | Opt a -> go a
+    | Seq (a, b) | Alt (a, b) ->
+      go a;
+      go b
+  in
+  go r;
+  List.rev !out
+
+let rec push_inverses = function
+  | Label _ as l -> l
+  | Inv (Label _) as l -> l
+  | Inv (Inv a) -> push_inverses a
+  | Inv (Seq (a, b)) -> Seq (push_inverses (Inv b), push_inverses (Inv a))
+  | Inv (Alt (a, b)) -> Alt (push_inverses (Inv a), push_inverses (Inv b))
+  | Inv (Plus a) -> Plus (push_inverses (Inv a))
+  | Inv (Star a) -> Star (push_inverses (Inv a))
+  | Inv (Opt a) -> Opt (push_inverses (Inv a))
+  | Seq (a, b) -> Seq (push_inverses a, push_inverses b)
+  | Alt (a, b) -> Alt (push_inverses a, push_inverses b)
+  | Plus a -> Plus (push_inverses a)
+  | Star a -> Star (push_inverses a)
+  | Opt a -> Opt (push_inverses a)
+
+let equal (a : t) (b : t) = a = b
+
+let rec pp ppf = function
+  | Label l -> Format.pp_print_string ppf l
+  | Inv a -> Format.fprintf ppf "-%a" pp_atom a
+  | Seq (a, b) -> Format.fprintf ppf "%a/%a" pp_seq_operand a pp_seq_operand b
+  | Alt (a, b) -> Format.fprintf ppf "%a|%a" pp a pp b
+  | Plus a -> Format.fprintf ppf "%a+" pp_atom a
+  | Star a -> Format.fprintf ppf "%a*" pp_atom a
+  | Opt a -> Format.fprintf ppf "%a?" pp_atom a
+
+and pp_atom ppf = function
+  | (Label _ | Inv _) as a -> pp ppf a
+  | a -> Format.fprintf ppf "(%a)" pp a
+
+and pp_seq_operand ppf = function
+  | Alt _ as a -> Format.fprintf ppf "(%a)" pp a
+  | a -> pp ppf a
+
+let to_string r = Format.asprintf "%a" pp r

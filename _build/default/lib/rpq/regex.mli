@@ -1,0 +1,46 @@
+(** Regular path expressions — the path language of UCRPQs.
+
+    Concrete syntax (used by {!parse} and by {!Query.parse}):
+    - [a]        edge labelled [a] (labels may contain letters, digits,
+                 [_], [:], ['.'] and ['']);
+    - [-a]       inverse edge (traversed target-to-source);
+    - [e1/e2]    concatenation;
+    - [e1|e2]    alternation;
+    - [e+]       one or more;
+    - [e*]       zero or more;
+    - [e?]       optional;
+    - parentheses for grouping.
+
+    [*] and [?] introduce the empty path, which relational algebra has no
+    identity relation for; they are supported wherever they can be
+    expanded away inside a concatenation or alternation (e.g. [a*/b]
+    becomes [b | a+/b]). A query whose whole path can match the empty
+    word is rejected at translation time. *)
+
+type t =
+  | Label of string
+  | Inv of t
+  | Seq of t * t
+  | Alt of t * t
+  | Plus of t
+  | Star of t
+  | Opt of t
+
+exception Parse_error of string
+
+val parse : string -> t
+(** @raise Parse_error *)
+
+val nullable : t -> bool
+(** Can the expression match the empty path? *)
+
+val labels : t -> string list
+(** All labels mentioned, without duplicates. *)
+
+val push_inverses : t -> t
+(** Normalise so that [Inv] applies to labels only
+    (-(a/b) = -b/-a, -(e+) = (-e)+, ...). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/gen_terms.ml: List Mura Pred QCheck2 Rel Relation Schema

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Cost Float List Mura Pred QCheck2 QCheck_alcotest Rel Relation Rewrite Schema Value

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Array Datalog Distsim List Mura Pred QCheck2 QCheck_alcotest Rel Relation Rpq Schema String Value

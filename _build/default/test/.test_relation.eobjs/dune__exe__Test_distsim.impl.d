@@ -1,0 +1,1 @@
+test/test_distsim.ml: Alcotest Array Deadline Distsim Hashtbl List Pred QCheck2 QCheck_alcotest Rel Relation Schema Tset

@@ -1,0 +1,1 @@
+test/test_graphgen.ml: Alcotest Array Dict Graphgen Hashtbl List Mura Option Pred Printf Rel Relation Value

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Graphgen Harness Lazy List Mura Option Printexc Relation Rpq String Value

@@ -1,0 +1,1 @@
+test/test_localdb.ml: Alcotest Gen_terms List Localdb Mura Pred QCheck2 QCheck_alcotest Rel Relation Schema String

@@ -1,0 +1,1 @@
+test/test_mura.ml: Agg Alcotest Array Eval Fcond Gen_terms Hashtbl List Mura Patterns Pred QCheck2 QCheck_alcotest Rel Relation Result Schema Stabilizer Term Typing Value

@@ -1,0 +1,1 @@
+test/test_physical.ml: Alcotest Array Distsim Gen_terms List Mura Physical Pred Printf QCheck2 QCheck_alcotest Rel Relation Schema String Value

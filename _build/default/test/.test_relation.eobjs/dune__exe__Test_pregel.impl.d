@@ -1,0 +1,1 @@
+test/test_pregel.ml: Alcotest Distsim List Mura Pred Pregel QCheck2 QCheck_alcotest Rel Relation Rpq Schema Value

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Dict Filename List Pred QCheck2 QCheck_alcotest Rel Rel_io Relation Schema Sys Tset Tuple Value

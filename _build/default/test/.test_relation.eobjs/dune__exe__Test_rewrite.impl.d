@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Cost Gen_terms List Mura Pred QCheck2 QCheck_alcotest Rel Relation Rewrite Rpq Schema Value

@@ -1,0 +1,1 @@
+test/test_rpq.ml: Alcotest List Mura QCheck2 QCheck_alcotest Rel Relation Rpq Schema Value

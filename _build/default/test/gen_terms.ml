@@ -1,0 +1,53 @@
+(* Shared QCheck generators: random binary path-algebra terms over the
+   relations E and S (both with schema (src, trg)), exercising
+   composition, union, selection, inversion and closures in arbitrary
+   nesting. Used by several suites to cross-check engines. *)
+
+open Relation
+module Term = Mura.Term
+module P = Mura.Patterns
+
+let schema = Schema.of_list [ "src"; "trg" ]
+
+let graph_gen ?(max_node = 9) ?(max_edges = 25) () =
+  let open QCheck2.Gen in
+  let edge = pair (int_range 0 max_node) (int_range 0 max_node) in
+  let+ edges = list_size (int_range 1 max_edges) edge in
+  Rel.of_tuples schema (List.map (fun (s, t) -> [| s; t |]) edges)
+
+let invert t = Term.Rename ([ ("src", "trg"); ("trg", "src") ], t)
+
+(* Terms are built to always have schema (src, trg) and satisfy F_cond,
+   so every engine accepts them. *)
+let term_gen ?(depth = 3) () =
+  let open QCheck2.Gen in
+  let base = oneofl [ Term.Rel "E"; Term.Rel "S" ] in
+  let rec go d =
+    if d = 0 then base
+    else
+      let sub = go (d - 1) in
+      let sub2 = go (d - 1) in
+      oneof
+        [
+          base;
+          map2 P.compose sub sub2;
+          map2 (fun a b -> Term.Union (a, b)) sub sub2;
+          map P.closure sub;
+          map P.closure_rev sub;
+          map invert sub;
+          map2
+            (fun v t -> Term.Select (Pred.Eq_const ("src", v), t))
+            (int_range 0 9) sub;
+          map2
+            (fun v t -> Term.Select (Pred.Eq_const ("trg", v), t))
+            (int_range 0 9) sub;
+        ]
+  in
+  go depth
+
+let env_gen =
+  let open QCheck2.Gen in
+  let+ e = graph_gen () and+ s = graph_gen ~max_edges:10 () in
+  [ ("E", e); ("S", s) ]
+
+let term_and_env_gen = QCheck2.Gen.pair (term_gen ()) env_gen

@@ -1,0 +1,122 @@
+(* Tests for the cost estimator: sanity of cardinality estimates and the
+   plan-ranking behaviour the rewriter relies on. *)
+
+open Relation
+module Term = Mura.Term
+module P = Mura.Patterns
+module Stats = Cost.Stats
+module Estimate = Cost.Estimate
+
+let sch = Schema.of_list
+let check_bool = Alcotest.(check bool)
+
+let a = Value.of_string "a"
+let b = Value.of_string "b"
+
+let chain n label start =
+  List.init n (fun i -> [ start + i; label; start + i + 1 ])
+
+let labelled =
+  Rel.of_list (sch [ "src"; "pred"; "trg" ]) (chain 30 a 0 @ chain 10 b 100)
+
+let tables = [ ("E", labelled) ]
+let stats = Stats.of_tables tables
+
+let test_stats_basics () =
+  Alcotest.(check (option int)) "count" (Some 40) (Stats.count stats "E");
+  Alcotest.(check (option int)) "distinct pred" (Some 2) (Stats.distinct stats "E" "pred");
+  Alcotest.(check (option int)) "unknown rel" None (Stats.count stats "nope");
+  Alcotest.(check (option int)) "unknown col" None (Stats.distinct stats "E" "zzz")
+
+let test_select_estimate () =
+  let whole = Estimate.cardinality stats (Term.Rel "E") in
+  let filtered =
+    Estimate.cardinality stats (Term.Select (Pred.Eq_const ("pred", a), Term.Rel "E"))
+  in
+  check_bool "filter shrinks" true (filtered < whole);
+  check_bool "about half" true (filtered >= whole /. 4. && filtered <= whole)
+
+let test_join_estimate () =
+  let e2 =
+    Term.Antiproject
+      ( [ "m" ],
+        Term.Join
+          ( Term.rename1 "trg" "m" (Term.Antiproject ([ "pred" ], Term.Rel "E")),
+            Term.rename1 "src" "m" (Term.Antiproject ([ "pred" ], Term.Rel "E")) ) )
+  in
+  let est = Estimate.cardinality stats e2 in
+  check_bool "2-paths bounded" true (est >= 1. && est <= 40. *. 40.)
+
+let test_fix_estimate_grows () =
+  let base = Estimate.cardinality stats (P.edge "a") in
+  let closure = Estimate.cardinality stats (P.closure (P.edge "a")) in
+  check_bool "closure >= base" true (closure >= base);
+  (* capped: not astronomically larger than the domain *)
+  check_bool "closure capped" true (closure <= 1e9)
+
+let test_ranking_filter_push () =
+  (* pushed filter must be estimated cheaper than filtering afterwards *)
+  let unpushed = Term.Select (Pred.Eq_const ("src", 0), P.closure (P.edge "a")) in
+  let pushed =
+    P.closure_from (Term.Select (Pred.Eq_const ("src", 0), P.edge "a")) (P.edge "a")
+  in
+  check_bool "pushed filter cheaper" true
+    (Estimate.cost stats pushed < Estimate.cost stats unpushed)
+
+let test_ranking_merge () =
+  let joined = Rewrite.Shapes.mk_compose (P.closure (P.edge "a")) (P.closure (P.edge "b")) in
+  let merged =
+    Rewrite.Shapes.mk_merged ~first:(P.edge "a") ~second:(P.edge "b")
+  in
+  check_bool "merged fixpoint cheaper than join of closures" true
+    (Estimate.cost stats merged < Estimate.cost stats joined)
+
+let test_estimator_total () =
+  (* the estimator must never raise, whatever the term *)
+  let terms =
+    [
+      Term.Rel "unknown";
+      Term.Var "X";
+      Term.Fix ("X", Term.Var "X");
+      Term.Union (Term.Rel "E", Term.Rel "E");
+      Term.Antijoin (Term.Rel "E", Term.Rel "unknown");
+      P.closure (P.edge "nolabel");
+    ]
+  in
+  List.iter (fun t -> ignore (Estimate.cost stats t)) terms
+
+let prop_estimates_positive =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"estimates are positive and finite"
+       (QCheck2.Gen.oneofl
+          [
+            Term.Rel "E";
+            P.edge "a";
+            P.closure (P.edge "a");
+            Rewrite.Shapes.mk_merged ~first:(P.edge "a") ~second:(P.edge "b");
+            Term.Select (Pred.Eq_const ("src", 3), P.closure (P.edge "a"));
+            Term.Antiproject ([ "src" ], P.closure (P.edge "a"));
+          ])
+       (fun t ->
+         let c = Estimate.cost stats t and card = Estimate.cardinality stats t in
+         c > 0. && card > 0. && Float.is_finite c && Float.is_finite card))
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "stats",
+        [ Alcotest.test_case "basics" `Quick test_stats_basics ] );
+      ( "estimates",
+        [
+          Alcotest.test_case "select" `Quick test_select_estimate;
+          Alcotest.test_case "join" `Quick test_join_estimate;
+          Alcotest.test_case "fixpoint" `Quick test_fix_estimate_grows;
+          Alcotest.test_case "total" `Quick test_estimator_total;
+          prop_estimates_positive;
+        ] );
+      ( "ranking",
+        [
+          Alcotest.test_case "filter push" `Quick test_ranking_filter_push;
+          Alcotest.test_case "merge fixpoints" `Quick test_ranking_merge;
+        ] );
+    ]

@@ -1,0 +1,310 @@
+(* Tests for the Datalog baseline: parser, centralized semi-naive
+   evaluation, magic specialization, GPS decomposability, and the
+   distributed modes — all cross-checked against the mu-RA engine. *)
+
+open Relation
+module Ast = Datalog.Ast
+module Parse = Datalog.Parse
+module Eval = Datalog.Eval
+module Dist = Datalog.Dist
+module Magic = Datalog.Magic
+
+let sch = Schema.of_list
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Datalog answers are named after the query's variables; compare
+   positionally against mu-RA results. *)
+let check_rel msg expected actual =
+  let expected = Eval.positional expected and actual = Eval.positional actual in
+  if not (Rel.equal expected actual) then
+    Alcotest.failf "%s:@.expected %a@.got %a" msg Rel.pp_full expected Rel.pp_full actual
+
+let edges = Rel.of_list (sch [ "src"; "trg" ]) [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ]; [ 2; 5 ]; [ 5; 1 ] ]
+
+let tc_program = "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- tc(X, Y), edge(Y, Z).\n?- tc(X, Y)."
+
+let expected_tc =
+  Mura.Eval.eval (Mura.Eval.env [ ("E", edges) ]) (Mura.Patterns.closure (Mura.Term.Rel "E"))
+
+let test_parse () =
+  let p = Parse.program tc_program in
+  check_int "two rules" 2 (List.length p.rules);
+  Alcotest.(check (list string)) "idb" [ "tc" ] (Ast.idb_preds p);
+  Alcotest.(check (list string)) "edb" [ "edge" ] (Ast.edb_preds p);
+  check_bool "recursive" true (Ast.is_recursive p "tc");
+  (* constants of each kind *)
+  let q = Parse.atom "p(X, 3, \"lbl\", japan)" in
+  check_int "arity" 4 (List.length q.args);
+  check_bool "var" true (List.nth q.args 0 = Ast.Var "X");
+  check_bool "int const" true (List.nth q.args 1 = Ast.Const 3);
+  check_bool "string const" true (List.nth q.args 2 = Ast.Const (Value.of_string "lbl"));
+  check_bool "lowercase const" true (List.nth q.args 3 = Ast.Const (Value.of_string "japan"))
+
+let test_parse_errors () =
+  let expect_fail s =
+    match Parse.program s with
+    | (_ : Ast.program) -> Alcotest.failf "expected parse error for %S" s
+    | exception Parse.Parse_error _ -> ()
+  in
+  expect_fail "p(X) :- q(X)";
+  (* missing dot *)
+  expect_fail "p(X) :- q(X). ?- p(X). ?- p(X).";
+  (* double query *)
+  expect_fail "p(X, Y) :- q(X). ?- p(X, Y).";
+  (* unsafe head *)
+  expect_fail "p(X) :- q(X). ?- p(X, Y)." (* arity clash *)
+
+let test_eval_tc () =
+  let p = Parse.program tc_program in
+  let result = Eval.run [ ("edge", edges) ] p in
+  check_rel "transitive closure" expected_tc result
+
+let test_eval_bound_query () =
+  let p = Parse.program "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- tc(X, Y), edge(Y, Z).\n?- tc(1, Y)." in
+  let result = Eval.run [ ("edge", edges) ] p in
+  let expected = Rel.project [ "trg" ] (Rel.select (Pred.Eq_const ("src", 1)) expected_tc) in
+  check_bool "bound query" true (Rel.cardinal result = Rel.cardinal expected)
+
+let test_eval_nonlinear () =
+  (* doubling rule: tc(X,Z) :- tc(X,Y), tc(Y,Z) — non-linear datalog is
+     fine for the engine *)
+  let p = Parse.program "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- tc(X, Y), tc(Y, Z).\n?- tc(X, Y)." in
+  check_rel "nonlinear tc" expected_tc (Eval.run [ ("edge", edges) ] p)
+
+let test_eval_same_generation () =
+  let parent = Rel.of_list (sch [ "src"; "trg" ]) [ [ 0; 1 ]; [ 0; 2 ]; [ 1; 3 ]; [ 2; 4 ] ] in
+  let p =
+    Parse.program
+      "sg(X, Y) :- edge(P, X), edge(P, Y).\n\
+       sg(X, Y) :- edge(A, X), sg(A, B), edge(B, Y).\n\
+       ?- sg(X, Y)."
+  in
+  let expected = Mura.Eval.eval (Mura.Eval.env [ ("E", parent) ]) (Mura.Patterns.same_generation ()) in
+  check_rel "same generation" expected (Eval.run [ ("edge", parent) ] p)
+
+let test_pivot_analysis () =
+  let p = Parse.program tc_program in
+  Alcotest.(check (option int)) "left-linear tc pivots on arg 0" (Some 0) (Dist.pivot_of p "tc");
+  (* right-linear: pivot on arg 1 *)
+  let pr = Parse.program "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- edge(X, Y), tc(Y, Z).\n?- tc(X, Z)." in
+  Alcotest.(check (option int)) "right-linear pivots on arg 1" (Some 1) (Dist.pivot_of pr "tc");
+  (* same generation: no pivot *)
+  let sg =
+    Parse.program
+      "sg(X, Y) :- edge(P, X), edge(P, Y).\nsg(X, Y) :- edge(A, X), sg(A, B), edge(B, Y).\n?- sg(X, Y)."
+  in
+  Alcotest.(check (option int)) "same generation has no pivot" None (Dist.pivot_of sg "sg")
+
+let test_magic_specialization () =
+  let p = Parse.program "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- tc(X, Y), edge(Y, Z).\n?- tc(1, Y)." in
+  let sp = Magic.specialize p in
+  (* the closure predicate became unary (bound-free adornment) *)
+  check_bool "program changed" true (Ast.to_string sp <> Ast.to_string p);
+  check_bool "bf predicate introduced" true
+    (List.exists (fun (r : Ast.rule) -> List.length r.head.args = 1) sp.rules);
+  check_rel "specialized result unchanged"
+    (Eval.run [ ("edge", edges) ] p)
+    (Eval.run [ ("edge", edges) ] sp);
+  (* right-bound query must NOT be specialised (left-linear program) *)
+  let pr = Parse.program "tc(X, Y) :- edge(X, Y).\ntc(X, Z) :- tc(X, Y), edge(Y, Z).\n?- tc(X, 4)." in
+  check_bool "right constant not pushed" true (Ast.to_string (Magic.specialize pr) = Ast.to_string pr)
+
+let test_dist_bigdatalog_decomposable () =
+  let cluster = Distsim.Cluster.make ~workers:4 () in
+  let config = Dist.default_config cluster in
+  let p = Parse.program tc_program in
+  let result, report = Dist.run config [ ("edge", edges) ] p in
+  check_rel "distributed tc" expected_tc result;
+  check_bool "pivot used" true (List.mem_assoc "tc" report.pivots && List.assoc "tc" report.pivots = Some 0)
+
+let test_dist_global_loop () =
+  let cluster = Distsim.Cluster.make ~workers:4 () in
+  let config = Dist.default_config ~mode:Dist.Myria cluster in
+  let p = Parse.program tc_program in
+  let m = Distsim.Cluster.metrics cluster in
+  let result, report = Dist.run config [ ("edge", edges) ] p in
+  check_rel "myria tc" expected_tc result;
+  check_bool "several rounds" true (report.rounds > 3);
+  check_bool "shuffles every round" true (m.Distsim.Metrics.shuffles >= report.rounds - 2)
+
+let test_dist_memory_failure () =
+  let cluster = Distsim.Cluster.make ~workers:2 () in
+  let config = { (Dist.default_config ~mode:Dist.Myria cluster) with max_facts = 5 } in
+  let p = Parse.program tc_program in
+  match Dist.run config [ ("edge", edges) ] p with
+  | (_ : Rel.t * Dist.report) -> Alcotest.fail "expected Engine_failure"
+  | exception Dist.Engine_failure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Stratified negation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_negation_parse_and_stratify () =
+  let p =
+    Parse.program
+      "tc(X, Y) :- edge(X, Y).\n\
+       tc(X, Z) :- tc(X, Y), edge(Y, Z).\n\
+       unreachable(X, Y) :- node(X), node(Y), !tc(X, Y).\n\
+       ?- unreachable(X, Y)."
+  in
+  check_int "one negated atom" 1
+    (List.length (List.find (fun (r : Ast.rule) -> r.head.pred = "unreachable") p.rules).neg);
+  (match Ast.stratify p with
+  | [ [ "tc" ]; [ "unreachable" ] ] -> ()
+  | strata ->
+    Alcotest.failf "unexpected strata: %s"
+      (String.concat " | " (List.map (String.concat ",") strata)));
+  (* 'not' keyword is accepted too *)
+  let p2 = Parse.program "p(X) :- node(X), not q(X).\nq(X) :- edge(X, X).\n?- p(X)." in
+  check_int "not keyword" 1 (List.length (List.hd p2.rules).neg)
+
+let test_negation_rejects_unstratifiable () =
+  match Parse.program "p(X) :- node(X), !q(X).\nq(X) :- node(X), !p(X).\n?- p(X)." with
+  | (_ : Ast.program) -> Alcotest.fail "expected stratification failure"
+  | exception Parse.Parse_error _ -> ()
+
+let test_negation_unsafe_rejected () =
+  match Parse.program "p(X) :- node(X), !q(X, Y).\nq(X, Y) :- edge(X, Y).\n?- p(X)." with
+  | (_ : Ast.program) -> Alcotest.fail "expected safety failure"
+  | exception Parse.Parse_error _ -> ()
+
+let test_negation_semantics () =
+  (* unreachable pairs = all pairs minus the transitive closure *)
+  let nodes =
+    Rel.of_list (sch [ "n" ]) (List.sort_uniq compare (Rel.fold (fun tu acc -> [ tu.(0) ] :: [ tu.(1) ] :: acc) edges []))
+  in
+  let p =
+    Parse.program
+      "tc(X, Y) :- edge(X, Y).\n\
+       tc(X, Z) :- tc(X, Y), edge(Y, Z).\n\
+       unreachable(X, Y) :- node(X), node(Y), !tc(X, Y).\n\
+       ?- unreachable(X, Y)."
+  in
+  let db = [ ("edge", edges); ("node", nodes) ] in
+  let result = Eval.run db p in
+  let n = Rel.cardinal nodes in
+  check_int "complement size" ((n * n) - Rel.cardinal expected_tc) (Rel.cardinal result);
+  (* distributed modes agree *)
+  List.iter
+    (fun mode ->
+      let cluster = Distsim.Cluster.make ~workers:3 () in
+      let dist, _ = Dist.run (Dist.default_config ~mode cluster) db p in
+      check_rel "distributed negation" result dist)
+    [ Dist.Bigdatalog; Dist.Myria ]
+
+let test_negation_edb_atom () =
+  (* negation directly over an extensional relation *)
+  let blocked = Rel.of_list (sch [ "n" ]) [ [ 1 ] ] in
+  let p = Parse.program "out(X, Y) :- edge(X, Y), !blocked(X).\n?- out(X, Y)." in
+  let result = Eval.run [ ("edge", edges); ("blocked", blocked) ] p in
+  check_rel "edges not starting at 1"
+    (Rel.select (Pred.Not (Pred.Eq_const ("src", 1))) edges)
+    result
+
+let test_of_rpq () =
+  let a = Value.of_string "a" and b = Value.of_string "b" in
+  let g =
+    Rel.of_list (sch [ "src"; "pred"; "trg" ])
+      [ [ 0; a; 1 ]; [ 1; a; 2 ]; [ 2; b; 3 ]; [ 1; b; 4 ] ]
+  in
+  let q = Rpq.Query.parse "?x, ?y <- ?x a+/b ?y" in
+  let program = Datalog.Of_rpq.program q in
+  let dl = Eval.run (Datalog.Of_rpq.db_of_edges g) program in
+  let mu = Mura.Eval.eval (Mura.Eval.env [ ("E", g) ]) (Rpq.Query.to_term q) in
+  check_bool "datalog ≡ mu-RA on a+/b" true (Rel.cardinal dl = Rel.cardinal mu)
+
+let random_labelled_gen =
+  let a = Value.of_string "a" and b = Value.of_string "b" in
+  let open QCheck2.Gen in
+  let edge = triple (int_range 0 7) (oneofl [ a; b ]) (int_range 0 7) in
+  let+ edges = list_size (int_range 1 25) edge in
+  Rel.of_tuples (sch [ "src"; "pred"; "trg" ])
+    (List.map (fun (s, p, t) -> [| s; p; t |]) edges)
+
+let query_pool =
+  [
+    "?x, ?y <- ?x a+ ?y";
+    "?x <- ?x a+ 3";
+    "?x <- 0 a+ ?x";
+    "?x, ?y <- ?x a+/b ?y";
+    "?x, ?y <- ?x b/a+ ?y";
+    "?x, ?y <- ?x a+/b+ ?y";
+    "?x, ?y <- ?x (a/-b)+ ?y";
+  ]
+
+let prop_datalog_eq_mura =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"datalog ≡ mu-RA on RPQs"
+       QCheck2.Gen.(pair random_labelled_gen (oneofl query_pool))
+       (fun (g, qs) ->
+         let q = Rpq.Query.parse qs in
+         let dl = Eval.run (Datalog.Of_rpq.db_of_edges g) (Datalog.Of_rpq.program q) in
+         let mu = Mura.Eval.eval (Mura.Eval.env [ ("E", g) ]) (Rpq.Query.to_term q) in
+         Rel.equal (Rel.of_tset (Rel.schema dl) (Rel.tuples dl))
+           (Rel.of_tset (Rel.schema dl) (Rel.tuples mu))))
+
+let prop_dist_eq_central =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:40 ~name:"distributed datalog ≡ centralized"
+       QCheck2.Gen.(triple random_labelled_gen (oneofl query_pool) (int_range 1 4))
+       (fun (g, qs, workers) ->
+         let q = Rpq.Query.parse qs in
+         let program = Datalog.Of_rpq.program q in
+         let db = Datalog.Of_rpq.db_of_edges g in
+         let central = Eval.run db program in
+         List.for_all
+           (fun mode ->
+             let cluster = Distsim.Cluster.make ~workers () in
+             let config = Dist.default_config ~mode cluster in
+             let dist, _ = Dist.run config db program in
+             Rel.equal central dist)
+           [ Dist.Bigdatalog; Dist.Myria ]))
+
+let prop_magic_preserves =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:40 ~name:"magic specialization preserves results"
+       QCheck2.Gen.(pair random_labelled_gen (oneofl [ "?x <- 0 a+ ?x"; "?x <- 1 (a/-b)+ ?x" ]))
+       (fun (g, qs) ->
+         let program = Datalog.Of_rpq.program (Rpq.Query.parse qs) in
+         let db = Datalog.Of_rpq.db_of_edges g in
+         Rel.equal (Eval.run db program) (Eval.run db (Magic.specialize program))))
+
+let () =
+  Alcotest.run "datalog"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "basics" `Quick test_parse;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "transitive closure" `Quick test_eval_tc;
+          Alcotest.test_case "bound query" `Quick test_eval_bound_query;
+          Alcotest.test_case "nonlinear" `Quick test_eval_nonlinear;
+          Alcotest.test_case "same generation" `Quick test_eval_same_generation;
+        ] );
+      ( "optimization",
+        [
+          Alcotest.test_case "pivot analysis" `Quick test_pivot_analysis;
+          Alcotest.test_case "magic specialization" `Quick test_magic_specialization;
+        ] );
+      ( "distributed",
+        [
+          Alcotest.test_case "decomposable plan" `Quick test_dist_bigdatalog_decomposable;
+          Alcotest.test_case "global loop" `Quick test_dist_global_loop;
+          Alcotest.test_case "memory failure" `Quick test_dist_memory_failure;
+        ] );
+      ( "stratified negation",
+        [
+          Alcotest.test_case "parse & stratify" `Quick test_negation_parse_and_stratify;
+          Alcotest.test_case "unstratifiable rejected" `Quick test_negation_rejects_unstratifiable;
+          Alcotest.test_case "unsafe rejected" `Quick test_negation_unsafe_rejected;
+          Alcotest.test_case "semantics" `Quick test_negation_semantics;
+          Alcotest.test_case "EDB negation" `Quick test_negation_edb_atom;
+        ] );
+      ( "rpq translation",
+        [ Alcotest.test_case "a+/b" `Quick test_of_rpq ] );
+      ("properties", [ prop_datalog_eq_mura; prop_dist_eq_central; prop_magic_preserves ]);
+    ]

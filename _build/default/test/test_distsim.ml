@@ -1,0 +1,266 @@
+(* Tests for the distributed runtime: partitioning invariants, narrow vs
+   wide operations, metering. *)
+
+open Relation
+module Dds = Distsim.Dds
+module Cluster = Distsim.Cluster
+module Metrics = Distsim.Metrics
+
+let sch = Schema.of_list
+let rel schema rows = Rel.of_list (sch schema) rows
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let check_rel msg expected actual =
+  if not (Rel.equal expected actual) then
+    Alcotest.failf "%s:@.expected %a@.got %a" msg Rel.pp_full expected Rel.pp_full actual
+
+let edges = rel [ "src"; "trg" ] [ [ 1; 2 ]; [ 2; 3 ]; [ 1; 3 ]; [ 3; 4 ]; [ 4; 1 ]; [ 5; 5 ] ]
+
+let test_roundtrip () =
+  let c = Cluster.make ~workers:4 () in
+  let d = Dds.of_rel c edges in
+  check_int "cardinal" (Rel.cardinal edges) (Dds.cardinal d);
+  check_rel "collect" edges (Dds.collect d);
+  check_int "partitions" 4 (Dds.num_partitions d)
+
+let test_hash_partitioning_colocates () =
+  let c = Cluster.make ~workers:3 () in
+  let d = Dds.of_rel ~by:[ "src" ] c edges in
+  (* each src value lives on exactly one worker *)
+  let owners = Hashtbl.create 8 in
+  for w = 0 to Dds.num_partitions d - 1 do
+    Tset.iter
+      (fun tu ->
+        match Hashtbl.find_opt owners tu.(0) with
+        | Some w' when w' <> w -> Alcotest.failf "src %d on two workers" tu.(0)
+        | _ -> Hashtbl.replace owners tu.(0) w)
+      (Dds.partition d w)
+  done;
+  check_bool "partitioned" true (Dds.partitioning d = Dds.Hashed [ "src" ])
+
+let test_filter_narrow () =
+  let c = Cluster.make ~workers:4 () in
+  let m = Cluster.metrics c in
+  let d = Dds.of_rel ~by:[ "src" ] c edges in
+  let shuffles_before = m.Metrics.shuffles in
+  let f = Dds.filter (Pred.Eq_const ("src", 1)) d in
+  check_int "no new shuffle" shuffles_before m.Metrics.shuffles;
+  check_int "filtered" 2 (Dds.cardinal f);
+  check_bool "partitioning preserved" true (Dds.partitioning f = Dds.Hashed [ "src" ])
+
+let test_repartition_noop_and_move () =
+  let c = Cluster.make ~workers:4 () in
+  let m = Cluster.metrics c in
+  let d = Dds.of_rel ~by:[ "src" ] c edges in
+  let before = m.Metrics.shuffles in
+  let same = Dds.repartition ~by:[ "src" ] d in
+  check_int "noop repartition" before m.Metrics.shuffles;
+  check_bool "same value" true (same == d);
+  let moved = Dds.repartition ~by:[ "trg" ] d in
+  check_int "one shuffle" (before + 1) m.Metrics.shuffles;
+  check_rel "content preserved" edges (Dds.collect moved)
+
+let test_distinct () =
+  let c = Cluster.make ~workers:4 () in
+  (* craft duplicates across partitions via arbitrary placement of a
+     relation with repeated insertion patterns: use set_union_local of two
+     differently-partitioned copies *)
+  let a = Dds.of_rel ~by:[ "src" ] c edges in
+  let b = Dds.of_rel ~by:[ "trg" ] c edges in
+  let u = Dds.set_union_local a b in
+  check_bool "dups across partitions" true (Dds.cardinal u >= Rel.cardinal edges);
+  let d = Dds.distinct u in
+  check_int "distinct collapses" (Rel.cardinal edges) (Dds.cardinal d);
+  check_rel "same set" edges (Dds.collect d)
+
+let test_distinct_free_when_hashed () =
+  let c = Cluster.make ~workers:4 () in
+  let m = Cluster.metrics c in
+  let d = Dds.of_rel ~by:[ "src" ] c edges in
+  let before = m.Metrics.shuffles in
+  let d' = Dds.distinct d in
+  check_int "free distinct" before m.Metrics.shuffles;
+  check_bool "same" true (d' == d)
+
+let test_join_broadcast () =
+  let c = Cluster.make ~workers:4 () in
+  let m = Cluster.metrics c in
+  let d = Dds.of_rel ~by:[ "src" ] c edges in
+  let small = Rel.rename [ ("src", "trg"); ("trg", "nxt") ] edges in
+  let before_b = m.Metrics.broadcasts in
+  let j = Dds.join_broadcast d small in
+  check_int "one broadcast" (before_b + 1) m.Metrics.broadcasts;
+  let expected = Rel.natural_join edges small in
+  check_rel "broadcast join = local join" expected (Dds.collect j);
+  check_bool "left partitioning preserved" true (Dds.partitioning j = Dds.Hashed [ "src" ])
+
+let test_join_shuffle () =
+  let c = Cluster.make ~workers:4 () in
+  let d = Dds.of_rel c edges in
+  let other = Rel.rename [ ("src", "trg"); ("trg", "nxt") ] edges in
+  let od = Dds.of_rel c other in
+  let j = Dds.join_shuffle d od in
+  check_rel "shuffle join = local join" (Rel.natural_join edges other) (Dds.collect j)
+
+let test_antijoin_modes () =
+  let c = Cluster.make ~workers:3 () in
+  let d = Dds.of_rel c edges in
+  let sinks = rel [ "trg" ] [ [ 3 ]; [ 4 ] ] in
+  let expected = Rel.antijoin edges sinks in
+  check_rel "broadcast anti" expected (Dds.collect (Dds.antijoin_broadcast d sinks));
+  let d2 = Dds.of_rel c edges in
+  let sd = Dds.of_rel c sinks in
+  check_rel "shuffle anti" expected (Dds.collect (Dds.antijoin_shuffle d2 sd))
+
+let test_set_diff_local () =
+  let c = Cluster.make ~workers:4 () in
+  let a = Dds.of_rel ~by:[ "src" ] c edges in
+  let sub = rel [ "src"; "trg" ] [ [ 1; 2 ]; [ 5; 5 ] ] in
+  let b = Dds.of_rel ~by:[ "src" ] c sub in
+  check_rel "co-partitioned diff" (Rel.diff edges sub) (Dds.collect (Dds.set_diff_local a b))
+
+let test_rename () =
+  let c = Cluster.make ~workers:2 () in
+  let d = Dds.of_rel ~by:[ "src" ] c edges in
+  let r = Dds.rename [ ("src", "a") ] d in
+  check_bool "schema renamed" true (Schema.equal_ordered (Dds.schema r) (sch [ "a"; "trg" ]));
+  check_bool "partitioning renamed" true (Dds.partitioning r = Dds.Hashed [ "a" ]);
+  check_rel "values unchanged" (Rel.rename [ ("src", "a") ] edges) (Dds.collect r)
+
+let test_single_worker () =
+  let c = Cluster.make ~workers:1 () in
+  let d = Dds.of_rel ~by:[ "src" ] c edges in
+  check_rel "all ops on one worker"
+    (Rel.natural_join edges (Rel.rename [ ("src", "trg"); ("trg", "n") ] edges))
+    (Dds.collect (Dds.join_shuffle d (Dds.of_rel c (Rel.rename [ ("src", "trg"); ("trg", "n") ] edges))))
+
+let test_parallel_domains () =
+  (* same results with real multicore execution *)
+  let c = Cluster.make ~parallel:true ~workers:4 () in
+  let d = Dds.of_rel ~by:[ "src" ] c edges in
+  let j = Dds.join_broadcast d (Rel.rename [ ("src", "trg"); ("trg", "n") ] edges) in
+  check_rel "parallel join"
+    (Rel.natural_join edges (Rel.rename [ ("src", "trg"); ("trg", "n") ] edges))
+    (Dds.collect j)
+
+let test_broadcast_token_metered_once () =
+  let c = Cluster.make ~workers:4 () in
+  let m = Cluster.metrics c in
+  let d = Dds.of_rel ~by:[ "src" ] c edges in
+  let bc = Dds.broadcast c (Rel.rename [ ("src", "trg"); ("trg", "n") ] edges) in
+  let before = m.Metrics.broadcasts in
+  ignore (Dds.join_bcast d bc);
+  ignore (Dds.join_bcast d bc);
+  ignore (Dds.join_bcast d bc);
+  check_int "no re-broadcast" before m.Metrics.broadcasts
+
+let test_metrics_accounting () =
+  let m = Metrics.create () in
+  Metrics.record_shuffle m ~records:100 ~bytes:3200;
+  Metrics.record_shuffle m ~records:50 ~bytes:1600;
+  Metrics.record_broadcast m ~records:10;
+  Metrics.record_superstep m;
+  check_int "shuffles" 2 m.Metrics.shuffles;
+  check_int "records" 150 m.Metrics.shuffled_records;
+  check_int "bytes" 4800 m.Metrics.shuffled_bytes;
+  check_int "broadcast records" 10 m.Metrics.broadcast_records;
+  check_int "supersteps" 1 m.Metrics.supersteps;
+  check_bool "sim time grows" true (m.Metrics.sim_time_ns > 0.);
+  let acc = Metrics.create () in
+  Metrics.add acc m;
+  Metrics.add acc m;
+  check_int "accumulated" 4 acc.Metrics.shuffles;
+  Metrics.reset m;
+  check_int "reset" 0 m.Metrics.shuffles;
+  check_int "tuple bytes" (16 + 24) (Metrics.tuple_bytes 3)
+
+let test_deadline () =
+  Deadline.set ~seconds_from_now:3600.;
+  Deadline.check_now ();
+  (* far future: ticks pass *)
+  for _ = 1 to 100_000 do
+    Deadline.tick ()
+  done;
+  Deadline.set ~seconds_from_now:(-1.);
+  (match Deadline.check_now () with
+  | () -> Alcotest.fail "expected Expired"
+  | exception Deadline.Expired -> ());
+  (* amortised tick also fires *)
+  (match
+     for _ = 1 to 100_000 do
+       Deadline.tick ()
+     done
+   with
+  | () -> Alcotest.fail "expected Expired from tick"
+  | exception Deadline.Expired -> ());
+  Deadline.clear ();
+  check_bool "cleared" false (Deadline.active ());
+  Deadline.check_now ()
+
+(* property: any pipeline of distributed ops agrees with the centralized
+   kernel *)
+let random_graph_gen =
+  let open QCheck2.Gen in
+  let edge = pair (int_range 0 12) (int_range 0 12) in
+  let+ edges = list_size (int_range 0 40) edge in
+  Rel.of_tuples (sch [ "src"; "trg" ]) (List.map (fun (s, t) -> [| s; t |]) edges)
+
+let qtest name gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:100 ~name gen prop)
+
+let prop_distributed_join =
+  qtest "distributed ≡ centralized join"
+    QCheck2.Gen.(triple random_graph_gen random_graph_gen (int_range 1 6))
+    (fun (a, b, workers) ->
+      let c = Cluster.make ~workers () in
+      let b' = Rel.rename [ ("src", "trg"); ("trg", "nxt") ] b in
+      let expected = Rel.natural_join a b' in
+      let shuffled = Dds.collect (Dds.join_shuffle (Dds.of_rel c a) (Dds.of_rel c b')) in
+      let broadcast = Dds.collect (Dds.join_broadcast (Dds.of_rel c a) b') in
+      Rel.equal expected shuffled && Rel.equal expected broadcast)
+
+let prop_distinct_after_union =
+  qtest "union+distinct ≡ set union"
+    QCheck2.Gen.(triple random_graph_gen random_graph_gen (int_range 1 6))
+    (fun (a, b, workers) ->
+      let c = Cluster.make ~workers () in
+      let u = Dds.union_distinct (Dds.of_rel ~by:[ "src" ] c a) (Dds.of_rel ~by:[ "trg" ] c b) in
+      Rel.equal (Rel.union a b) (Dds.collect u)
+      && Dds.cardinal u = Rel.cardinal (Rel.union a b))
+
+let () =
+  Alcotest.run "distsim"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "hash colocation" `Quick test_hash_partitioning_colocates;
+          Alcotest.test_case "single worker" `Quick test_single_worker;
+          Alcotest.test_case "parallel domains" `Quick test_parallel_domains;
+        ] );
+      ( "narrow",
+        [
+          Alcotest.test_case "filter" `Quick test_filter_narrow;
+          Alcotest.test_case "set_diff_local" `Quick test_set_diff_local;
+          Alcotest.test_case "rename" `Quick test_rename;
+        ] );
+      ( "wide",
+        [
+          Alcotest.test_case "repartition" `Quick test_repartition_noop_and_move;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          Alcotest.test_case "distinct free when hashed" `Quick test_distinct_free_when_hashed;
+        ] );
+      ( "joins",
+        [
+          Alcotest.test_case "broadcast join" `Quick test_join_broadcast;
+          Alcotest.test_case "shuffle join" `Quick test_join_shuffle;
+          Alcotest.test_case "antijoins" `Quick test_antijoin_modes;
+          Alcotest.test_case "broadcast token" `Quick test_broadcast_token_metered_once;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "accounting" `Quick test_metrics_accounting;
+          Alcotest.test_case "deadline" `Quick test_deadline;
+        ] );
+      ("properties", [ prop_distributed_join; prop_distinct_after_union ]);
+    ]

@@ -1,0 +1,150 @@
+(* Tests for the dataset generators. *)
+
+open Relation
+module G = Graphgen.Generators
+module Rng = Graphgen.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_rng_determinism () =
+  let a = Rng.create 99 and b = Rng.create 99 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 100 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.int a 1000 <> Rng.int c 1000 then differs := true
+  done;
+  check_bool "different seeds differ" true !differs
+
+let test_rng_ranges () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    check_bool "bounded" true (v >= 0 && v < 7);
+    let f = Rng.float rng in
+    check_bool "unit float" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_zipf () =
+  let rng = Rng.create 5 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 5000 do
+    let k = Rng.zipf rng ~n:10 ~s:1.0 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check_bool "rank 0 most frequent" true (counts.(0) > counts.(5));
+  check_bool "heavy head" true (counts.(0) > 800)
+
+let test_erdos_renyi () =
+  let g = G.erdos_renyi ~seed:3 ~nodes:500 ~p:0.004 () in
+  let m = Rel.cardinal g in
+  (* expected ~ 0.004 * 500 * 499 / 2 ≈ 499 (the paper's sizing) *)
+  check_bool (Printf.sprintf "edge count %d near expectation" m) true (m > 350 && m < 600);
+  Rel.iter (fun tu -> check_bool "no self loop" true (tu.(0) <> tu.(1))) g;
+  check_bool "deterministic" true (Rel.equal g (G.erdos_renyi ~seed:3 ~nodes:500 ~p:0.004 ()))
+
+let test_random_tree () =
+  let t = G.random_tree ~seed:4 ~nodes:200 () in
+  check_int "n-1 edges" 199 (Rel.cardinal t);
+  (* every node except the root has exactly one parent *)
+  let indeg = Hashtbl.create 256 in
+  Rel.iter
+    (fun tu -> Hashtbl.replace indeg tu.(1) (1 + Option.value ~default:0 (Hashtbl.find_opt indeg tu.(1))))
+    t;
+  Hashtbl.iter (fun _ d -> check_int "one parent" 1 d) indeg;
+  check_int "199 children" 199 (Hashtbl.length indeg);
+  check_bool "root 0 has no parent" true (not (Hashtbl.mem indeg 0));
+  (* parent ids are smaller than child ids by construction *)
+  Rel.iter (fun tu -> check_bool "parent < child" true (tu.(0) < tu.(1))) t
+
+let test_chain_cycle () =
+  let c = G.chain ~nodes:10 in
+  check_int "chain edges" 9 (Rel.cardinal c);
+  let y = G.cycle ~nodes:10 in
+  check_int "cycle edges" 10 (Rel.cardinal y);
+  check_bool "closing edge" true (Rel.mem y [| 9; 0 |])
+
+let test_add_labels () =
+  let g = G.chain ~nodes:50 in
+  let lg = G.add_labels ~seed:8 ~labels:[ "a"; "b"; "c" ] g in
+  check_int "same edge count" 49 (Rel.cardinal lg);
+  check_int "three labels used" 3 (Rel.distinct_count lg "pred")
+
+let test_labelled_chain () =
+  let lc = G.labelled_chain ~labels:[ "a"; "b" ] ~segment:5 in
+  check_int "10 edges" 10 (Rel.cardinal lc);
+  let a_edges = Rel.select (Pred.Eq_const ("pred", Value.of_string "a")) lc in
+  check_int "5 a-edges" 5 (Rel.cardinal a_edges);
+  (* a^n b^n paths exist: anbn over this chain must be non-empty *)
+  let res =
+    Mura.Eval.eval (Mura.Eval.env [ ("R", lc) ]) (Mura.Patterns.anbn ~a:"a" ~b:"b" ())
+  in
+  check_bool "anbn nonempty" true (Rel.cardinal res > 0);
+  check_bool "perfect middle match" true (Rel.mem res [| 0; 10 |])
+
+let test_preferential_attachment () =
+  let g = G.preferential_attachment ~seed:5 ~nodes:300 ~edges_per_node:2 () in
+  check_bool "enough edges" true (Rel.cardinal g > 300);
+  (* hubs exist: max in-degree well above the average *)
+  let indeg = Hashtbl.create 256 in
+  Rel.iter
+    (fun tu -> Hashtbl.replace indeg tu.(1) (1 + Option.value ~default:0 (Hashtbl.find_opt indeg tu.(1))))
+    g;
+  let maxd = Hashtbl.fold (fun _ d acc -> max d acc) indeg 0 in
+  check_bool "hub present" true (maxd > 8)
+
+let test_yago_like () =
+  let g = Graphgen.Yago_like.generate ~seed:1 ~scale:2000 () in
+  check_bool "substantial graph" true (Rel.cardinal g > 5000);
+  (* all constants used by the queries exist *)
+  List.iter
+    (fun c ->
+      match Dict.find_opt c with
+      | Some h ->
+        check_bool (c ^ " appears") true
+          (Rel.exists (fun tu -> tu.(0) = h || tu.(2) = h) g)
+      | None -> Alcotest.failf "constant %s never interned" c)
+    Graphgen.Yago_like.constants;
+  (* isLocatedIn chains reach depth > 1 (isL+ non-trivial) *)
+  let isl = Value.of_string "isLocatedIn" in
+  let edges =
+    Rel.antiproject [ "pred" ] (Rel.select (Pred.Eq_const ("pred", isl)) g)
+  in
+  let tc = Mura.Eval.eval (Mura.Eval.env [ ("E", edges) ]) (Mura.Patterns.closure (Mura.Term.Rel "E")) in
+  check_bool "isLocatedIn+ bigger than isLocatedIn" true (Rel.cardinal tc > Rel.cardinal edges)
+
+let test_uniprot_like () =
+  let g = Graphgen.Uniprot_like.generate ~seed:2 ~scale:20_000 () in
+  let m = Rel.cardinal g in
+  check_bool (Printf.sprintf "edge count %d near scale" m) true (m > 12_000 && m <= 21_000);
+  check_int "seven predicates" 7 (Rel.distinct_count g "pred");
+  check_bool "keyword constant available" true (Graphgen.Uniprot_like.some_keyword g <> None);
+  check_bool "publication constant available" true (Graphgen.Uniprot_like.some_publication g <> None)
+
+let () =
+  Alcotest.run "graphgen"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "zipf" `Quick test_rng_zipf;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "erdos-renyi" `Quick test_erdos_renyi;
+          Alcotest.test_case "random tree" `Quick test_random_tree;
+          Alcotest.test_case "chain/cycle" `Quick test_chain_cycle;
+          Alcotest.test_case "add labels" `Quick test_add_labels;
+          Alcotest.test_case "labelled chain" `Quick test_labelled_chain;
+          Alcotest.test_case "preferential attachment" `Quick test_preferential_attachment;
+        ] );
+      ( "knowledge graphs",
+        [
+          Alcotest.test_case "yago-like" `Quick test_yago_like;
+          Alcotest.test_case "uniprot-like" `Quick test_uniprot_like;
+        ] );
+    ]

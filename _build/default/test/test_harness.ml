@@ -1,0 +1,223 @@
+(* Integration tests: every system driver produces the same result sizes
+   on common workloads; the harness reports failures/timeouts cleanly. *)
+
+open Relation
+module S = Harness.Systems
+module Q = Harness.Queries
+module R = Harness.Runner
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let small_yago = lazy (Graphgen.Yago_like.generate ~seed:1 ~scale:800 ())
+
+let result_size = function
+  | S.Success s -> Some s.result_size
+  | S.Failed _ | S.Timeout _ -> None
+
+let test_systems_agree_on_query text =
+  let w = S.of_ucrpq (Lazy.force small_yago) text in
+  let outcomes =
+    List.map
+      (fun (sys : S.system) -> (sys.name, R.run_one ~timeout_s:120. sys w))
+      (S.all ())
+  in
+  let sizes = List.filter_map (fun (n, o) -> Option.map (fun s -> (n, s)) (result_size o)) outcomes in
+  check_bool "at least four systems answered" true (List.length sizes >= 4);
+  match sizes with
+  | [] -> Alcotest.fail "no system answered"
+  | (_, first) :: rest ->
+    List.iter
+      (fun (name, s) ->
+        if s <> first then
+          Alcotest.failf "%s disagrees: %d vs %d on %s" name s first text)
+      rest
+
+let test_simple_filter_query () = test_systems_agree_on_query "?x <- ?x isLocatedIn+ Japan"
+let test_left_filter_query () = test_systems_agree_on_query "?x <- Japan dealsWith+ ?x"
+let test_concat_query () = test_systems_agree_on_query "?x, ?y <- ?x livesIn/isLocatedIn+ ?y"
+
+let test_mu_only_workload () =
+  (* same generation on a small tree: no UCRPQ form, so GraphX must
+     report an unsupported failure while the others agree *)
+  let tree = Graphgen.Generators.random_tree ~seed:2 ~nodes:300 () in
+  let w = Q.same_generation_workload tree in
+  let dist = R.run_one (S.dist_mu_ra ()) w in
+  let central = R.run_one (S.centralized_mu_ra ()) w in
+  let big = R.run_one (S.bigdatalog ()) w in
+  (match (result_size dist, result_size central, result_size big) with
+  | Some a, Some b, Some c when a = b && b = c -> ()
+  | a, b, c ->
+    Alcotest.failf "disagreement: dist=%s central=%s big=%s"
+      (match a with Some n -> string_of_int n | None -> "fail")
+      (match b with Some n -> string_of_int n | None -> "fail")
+      (match c with Some n -> string_of_int n | None -> "fail"));
+  match R.run_one (S.graphx ()) w with
+  | S.Failed _ -> ()
+  | _ -> Alcotest.fail "graphx should not support mu-only workloads"
+
+let test_reach_and_anbn () =
+  let g = Graphgen.Generators.erdos_renyi ~seed:3 ~nodes:300 ~p:0.005 () in
+  let w = Q.reach_workload g (Value.of_int 0) in
+  (match (result_size (R.run_one (S.dist_mu_ra ()) w), result_size (R.run_one (S.bigdatalog ()) w)) with
+  | Some a, Some b -> check_int "reach agreement" a b
+  | _ -> Alcotest.fail "reach failed");
+  let lg = Graphgen.Generators.labelled_chain ~labels:[ "a"; "b" ] ~segment:6 in
+  let w2 = Q.anbn_workload lg ~a:"a" ~b:"b" in
+  match (result_size (R.run_one (S.dist_mu_ra ()) w2), result_size (R.run_one (S.bigdatalog ()) w2)) with
+  | Some a, Some b -> check_int "anbn agreement" a b
+  | _ -> Alcotest.fail "anbn failed"
+
+(* exhaustive agreement: all 25 Yago + 24 Uniprot queries, three engines *)
+let agreement_over specs graph =
+  let systems = [ S.dist_mu_ra (); S.centralized_mu_ra (); S.bigdatalog () ] in
+  List.iter
+    (fun (q : Q.spec) ->
+      let w = S.of_ucrpq graph q.text in
+      let sizes =
+        List.filter_map
+          (fun (sys : S.system) -> result_size (R.run_one ~timeout_s:60. sys w))
+          systems
+      in
+      match sizes with
+      | a :: rest when List.for_all (( = ) a) rest && List.length sizes = 3 -> ()
+      | _ ->
+        Alcotest.failf "%s: disagreement or failure (%s)" q.id
+          (String.concat ","
+             (List.map
+                (fun (sys : S.system) -> R.cell_text (R.run_one ~timeout_s:60. sys w))
+                systems)))
+    specs
+
+let test_all_yago_queries_agree () =
+  agreement_over Q.yago (Graphgen.Yago_like.generate ~seed:9 ~scale:500 ())
+
+let test_all_uniprot_queries_agree () =
+  let g = Graphgen.Uniprot_like.generate ~seed:10 ~scale:1_200 () in
+  agreement_over (Q.uniprot g) g
+
+let test_query_sets_parse () =
+  List.iter
+    (fun (q : Q.spec) ->
+      match Rpq.Query.parse q.text with
+      | (_ : Rpq.Query.t) -> ()
+      | exception e -> Alcotest.failf "%s does not parse: %s" q.id (Printexc.to_string e))
+    Q.yago;
+  let uniprot_graph = Graphgen.Uniprot_like.generate ~seed:5 ~scale:2_000 () in
+  List.iter
+    (fun (q : Q.spec) ->
+      match Rpq.Query.to_term (Rpq.Query.parse q.text) with
+      | (_ : Mura.Term.t) -> ()
+      | exception e -> Alcotest.failf "%s does not translate: %s" q.id (Printexc.to_string e))
+    (Q.uniprot uniprot_graph);
+  check_int "25 yago queries" 25 (List.length Q.yago);
+  check_int "24 uniprot queries" 24 (List.length (Q.uniprot uniprot_graph))
+
+let test_every_yago_query_translates () =
+  List.iter
+    (fun (q : Q.spec) ->
+      match Rpq.Query.to_term (Rpq.Query.parse q.text) with
+      | t -> check_bool (q.id ^ " has a fixpoint") true (Mura.Term.fix_count t >= 1)
+      | exception e -> Alcotest.failf "%s: %s" q.id (Printexc.to_string e))
+    Q.yago
+
+let test_classification () =
+  let classes text = Q.classify (Rpq.Query.parse text) in
+  let check_classes msg expected text =
+    Alcotest.(check (list string)) msg
+      (List.map Q.class_name expected)
+      (List.map Q.class_name (classes text))
+  in
+  (* the paper's defining examples for each class *)
+  check_classes "C1" [ Q.C1 ] "?x, ?y <- ?x a+ ?y";
+  check_classes "C2" [ Q.C2 ] "?x <- ?x a+ C";
+  check_classes "C3" [ Q.C3 ] "?x <- C a+ ?x";
+  check_classes "C4" [ Q.C4 ] "?x, ?y <- ?x a+/b ?y";
+  check_classes "C5" [ Q.C5 ] "?x, ?y <- ?x b/a+ ?y";
+  check_classes "C6" [ Q.C6 ] "?x, ?y <- ?x a+/b+ ?y";
+  (* the paper's combined example: ?x <- C a/b+ ?x is C3 and C5 *)
+  check_classes "C3+C5 combination" [ Q.C3; Q.C5 ] "?x <- C a/b+ ?x";
+  (* alternation containing a closure is recursive *)
+  check_classes "closure inside alternation" [ Q.C1 ] "?x, ?y <- ?x (a b+)+ ?y";
+  (* no recursion: no classes *)
+  check_classes "no recursion" [] "?x, ?y <- ?x a/b ?y"
+
+let test_union_workload_agreement () =
+  let g = Lazy.force small_yago in
+  let text = "?x <- ?x isLocatedIn+ Japan union ?x <- ?x isLocatedIn+ Germany" in
+  let w = S.of_ucrpq g text in
+  let outcomes =
+    List.map
+      (fun (sys : S.system) -> (sys.name, R.run_one ~timeout_s:60. sys w))
+      [ S.dist_mu_ra (); S.centralized_mu_ra (); S.bigdatalog (); S.graphx () ]
+  in
+  let sizes = List.filter_map (fun (n, o) -> Option.map (fun s -> (n, s)) (result_size o)) outcomes in
+  check_int "all four answered" 4 (List.length sizes);
+  match sizes with
+  | (_, first) :: rest ->
+    List.iter (fun (n, s) -> if s <> first then Alcotest.failf "%s disagrees on union" n) rest
+  | [] -> Alcotest.fail "nobody answered"
+
+let test_concat_closure_builder () =
+  Alcotest.(check string) "n=3" "?x, ?y <- ?x a1+/a2+/a3+ ?y"
+    (Q.concat_closure ~labels:[ "a1"; "a2"; "a3" ]);
+  let g = Graphgen.Generators.labelled_chain ~labels:[ "a1"; "a2" ] ~segment:4 in
+  let w = S.of_ucrpq g (Q.concat_closure ~labels:[ "a1"; "a2" ]) in
+  match (result_size (R.run_one (S.dist_mu_ra ()) w), result_size (R.run_one (S.bigdatalog ()) w)) with
+  | Some a, Some b ->
+    check_int "concat closures agree" a b;
+    check_bool "nonempty" true (a > 0)
+  | _ -> Alcotest.fail "concat closure failed"
+
+let test_timeout_reporting () =
+  let w = S.of_ucrpq (Lazy.force small_yago) "?a, ?b <- ?a isLocatedIn+ ?b" in
+  match R.run_one ~timeout_s:0.000001 (S.dist_mu_ra ()) w with
+  | S.Timeout _ -> ()
+  | o -> Alcotest.failf "expected timeout, got %s" (R.cell_text o)
+
+let test_failure_reporting () =
+  let w = S.of_ucrpq (Lazy.force small_yago) "?a, ?b <- ?a isLocatedIn+ ?b" in
+  match R.run_one (S.myria ~max_facts:3 ()) w with
+  | S.Failed _ -> ()
+  | o -> Alcotest.failf "expected failure, got %s" (R.cell_text o)
+
+let test_runner_matrix_and_table () =
+  let g = Lazy.force small_yago in
+  let systems = [ S.dist_mu_ra (); S.centralized_mu_ra () ] in
+  let workloads =
+    [ ("Q19", S.of_ucrpq g "?a <- ?a isLocatedIn+/isLocatedIn Japan") ]
+  in
+  let rows = R.run_matrix ~systems workloads in
+  check_int "one row" 1 (List.length rows);
+  check_int "two cells" 2 (List.length (List.hd rows).cells);
+  (* table printing must not raise *)
+  R.print_table ~title:"test" ~columns:(List.map (fun (s : S.system) -> s.name) systems) rows
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "cross-system agreement",
+        [
+          Alcotest.test_case "right filter" `Slow test_simple_filter_query;
+          Alcotest.test_case "left filter" `Slow test_left_filter_query;
+          Alcotest.test_case "concatenation" `Slow test_concat_query;
+          Alcotest.test_case "mu-only workloads" `Slow test_mu_only_workload;
+          Alcotest.test_case "reach + anbn" `Slow test_reach_and_anbn;
+          Alcotest.test_case "all 25 yago queries" `Slow test_all_yago_queries_agree;
+          Alcotest.test_case "all 24 uniprot queries" `Slow test_all_uniprot_queries_agree;
+        ] );
+      ( "query sets",
+        [
+          Alcotest.test_case "parse" `Quick test_query_sets_parse;
+          Alcotest.test_case "yago translation" `Quick test_every_yago_query_translates;
+          Alcotest.test_case "classification" `Quick test_classification;
+          Alcotest.test_case "union workload" `Quick test_union_workload_agreement;
+          Alcotest.test_case "concat closures" `Quick test_concat_closure_builder;
+        ] );
+      ( "outcomes",
+        [
+          Alcotest.test_case "timeout" `Quick test_timeout_reporting;
+          Alcotest.test_case "failure" `Quick test_failure_reporting;
+          Alcotest.test_case "matrix/table" `Quick test_runner_matrix_and_table;
+        ] );
+    ]

@@ -1,0 +1,248 @@
+(* Tests for the physical plan generator: all three fixpoint plans agree
+   with the centralized evaluator, plan selection follows the stabilizer,
+   and the communication profiles match the paper's claims (P_plw does a
+   constant number of shuffles; P_gld shuffles every iteration). *)
+
+open Relation
+module Term = Mura.Term
+module Exec = Physical.Exec
+module Cluster = Distsim.Cluster
+module Metrics = Distsim.Metrics
+
+let sch = Schema.of_list
+let rel schema rows = Rel.of_list (sch schema) rows
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let check_rel msg expected actual =
+  if not (Rel.equal expected actual) then
+    Alcotest.failf "%s:@.expected %a@.got %a" msg Rel.pp_full expected Rel.pp_full actual
+
+(* a graph with two long chains and a cycle, to force several iterations *)
+let edges =
+  rel [ "src"; "trg" ]
+    [
+      [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ]; [ 4; 5 ]; [ 5; 6 ];
+      [ 10; 11 ]; [ 11; 12 ]; [ 12; 10 ];
+      [ 3; 10 ]; [ 6; 1 ];
+    ]
+
+let closure_term = Mura.Patterns.closure (Term.Rel "E")
+let expected_closure = Mura.Eval.eval (Mura.Eval.env [ ("E", edges) ]) closure_term
+
+let session ?force_plan ?(workers = 4) () =
+  let cluster = Cluster.make ~workers () in
+  let config = { (Exec.default_config cluster) with force_plan } in
+  Exec.session config [ ("E", edges) ]
+
+let test_plan_agreement plan () =
+  let ctx = match plan with None -> session () | Some p -> session ~force_plan:p () in
+  check_rel "plan agreement" expected_closure (Exec.run ctx closure_term)
+
+let test_auto_selection_stable () =
+  let ctx = session () in
+  ignore (Exec.run ctx closure_term);
+  match (Exec.report ctx).fixpoints with
+  | [ fr ] ->
+    check_bool "P_plw selected" true (fr.plan = Exec.P_plw_s);
+    Alcotest.(check (list string)) "stable column" [ "src" ] fr.stable;
+    Alcotest.(check (list string)) "partitioned by it" [ "src" ] fr.partitioned_by;
+    check_int "result size" (Rel.cardinal expected_closure) fr.result_size
+  | l -> Alcotest.failf "expected one fixpoint report, got %d" (List.length l)
+
+let test_auto_selection_unstable () =
+  (* same-generation: neither column is stable -> P_gld *)
+  let ctx = session () in
+  ignore (Exec.run ctx (Mura.Patterns.same_generation ()));
+  match (Exec.report ctx).fixpoints with
+  | [ fr ] ->
+    check_bool "P_gld selected" true (fr.plan = Exec.P_gld);
+    Alcotest.(check (list string)) "no stable column" [] fr.stable
+  | l -> Alcotest.failf "expected one fixpoint report, got %d" (List.length l)
+
+let shuffles_of_run plan term =
+  let ctx = session ~force_plan:plan () in
+  let plan = Some plan in
+  ignore plan;
+  (* preload the table so the initial distribution is not counted *)
+  ignore (Exec.exec_dds ctx (Term.Rel "E"));
+  let m = Cluster.metrics (Exec.config_of ctx).Exec.cluster in
+  let before = m.Metrics.shuffles in
+  let result = Exec.run ctx term in
+  check_rel "result while counting" expected_closure result;
+  let iterations = match (Exec.report ctx).fixpoints with fr :: _ -> fr.iterations | [] -> 0 in
+  (m.Metrics.shuffles - before, iterations)
+
+let test_communication_profile () =
+  let gld_shuffles, gld_iters = shuffles_of_run Exec.P_gld closure_term in
+  let plw_shuffles, plw_iters = shuffles_of_run Exec.P_plw_s closure_term in
+  check_bool "several iterations" true (gld_iters > 3 && plw_iters > 3);
+  (* P_gld: at least one shuffle per iteration *)
+  check_bool
+    (Printf.sprintf "gld shuffles (%d) >= iterations (%d)" gld_shuffles gld_iters)
+    true (gld_shuffles >= gld_iters);
+  (* P_plw^s: constant shuffle count — the stable repartition plus the
+     final collect, regardless of iteration count *)
+  check_bool (Printf.sprintf "plw shuffles (%d) <= 3" plw_shuffles) true (plw_shuffles <= 3);
+  check_bool "plw < gld" true (plw_shuffles < gld_shuffles)
+
+let test_plw_disjoint_partitions () =
+  (* with the stable repartitioning, local fixpoints are disjoint: total
+     = sum of partition sizes with no duplicates (Sec. IV-A2) *)
+  let ctx = session ~force_plan:Exec.P_plw_s () in
+  let d = Exec.exec_dds ctx closure_term in
+  let sum = Array.fold_left ( + ) 0 (Distsim.Dds.partition_sizes d) in
+  check_int "no cross-worker duplicates" (Rel.cardinal expected_closure) sum
+
+let test_filtered_closure_all_plans () =
+  let term = Term.Select (Pred.Eq_const ("src", 1), closure_term) in
+  let expected = Mura.Eval.eval (Mura.Eval.env [ ("E", edges) ]) term in
+  List.iter
+    (fun plan ->
+      let ctx = session ~force_plan:plan () in
+      check_rel (Exec.plan_name plan) expected (Exec.run ctx term))
+    [ Exec.P_gld; Exec.P_plw_s; Exec.P_plw_pg ]
+
+let test_nonrecursive_operators () =
+  let ctx = session () in
+  let t =
+    Term.Union
+      ( Term.Select (Pred.Gt_const ("src", 3), Term.Rel "E"),
+        Term.Rename ([ ("src", "trg"); ("trg", "src") ], Term.Rel "E") )
+  in
+  let expected = Mura.Eval.eval (Mura.Eval.env [ ("E", edges) ]) t in
+  check_rel "union of filter and rename" expected (Exec.run ctx t)
+
+let test_explain () =
+  let ctx = session () in
+  let term = Term.Select (Pred.Eq_const ("src", 1), closure_term) in
+  let text = Exec.explain ctx term in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "mentions fixpoint plan" true (contains "plan=P_plw^s");
+  check_bool "mentions stable column" true (contains "stable=[src]");
+  check_bool "mentions repartition" true (contains "repartition constant part by [src]");
+  check_bool "mentions scan" true (contains "TableScan E");
+  (* explain does not execute: no fixpoint report recorded *)
+  check_int "no execution" 0 (List.length (Exec.report ctx).fixpoints)
+
+let test_resource_limit () =
+  let cluster = Cluster.make ~workers:2 () in
+  let config = { (Exec.default_config cluster) with max_tuples = 10 } in
+  let ctx = Exec.session config [ ("E", edges) ] in
+  match Exec.run ctx closure_term with
+  | (_ : Rel.t) -> Alcotest.fail "expected Resource_limit"
+  | exception Exec.Resource_limit _ -> ()
+
+let test_same_generation_plans () =
+  let parent = rel [ "src"; "trg" ] [ [ 0; 1 ]; [ 0; 2 ]; [ 1; 3 ]; [ 2; 4 ]; [ 4; 5 ]; [ 3; 6 ] ] in
+  let term = Mura.Patterns.same_generation () in
+  let expected = Mura.Eval.eval (Mura.Eval.env [ ("E", parent) ]) term in
+  List.iter
+    (fun plan ->
+      let cluster = Cluster.make ~workers:3 () in
+      let ctx = Exec.session { (Exec.default_config cluster) with force_plan = plan } [ ("E", parent) ] in
+      check_rel "same generation" expected (Exec.run ctx term))
+    [ None; Some Exec.P_gld; Some Exec.P_plw_s; Some Exec.P_plw_pg ]
+
+let random_graph_gen =
+  let open QCheck2.Gen in
+  let edge = pair (int_range 0 12) (int_range 0 12) in
+  let+ edges = list_size (int_range 1 40) edge in
+  Rel.of_tuples (sch [ "src"; "trg" ]) (List.map (fun (s, t) -> [| s; t |]) edges)
+
+let qtest name gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:60 ~name gen prop)
+
+let prop_all_plans_agree =
+  qtest "all plans ≡ centralized on random closures"
+    QCheck2.Gen.(triple random_graph_gen random_graph_gen (int_range 1 5))
+    (fun (e, s, workers) ->
+      let term = Mura.Patterns.closure_from (Term.Rel "S") (Term.Rel "E") in
+      let expected = Mura.Eval.eval (Mura.Eval.env [ ("E", e); ("S", s) ]) term in
+      List.for_all
+        (fun plan ->
+          let cluster = Cluster.make ~workers () in
+          let ctx =
+            Exec.session
+              { (Exec.default_config cluster) with force_plan = plan }
+              [ ("E", e); ("S", s) ]
+          in
+          Rel.equal expected (Exec.run ctx term))
+        [ None; Some Exec.P_gld; Some Exec.P_plw_s; Some Exec.P_plw_pg ])
+
+let prop_reach_all_plans =
+  qtest "reach: all plans agree" random_graph_gen (fun e ->
+      let term = Mura.Patterns.reach (Value.of_int 0) in
+      let expected = Mura.Eval.eval (Mura.Eval.env [ ("E", e) ]) term in
+      List.for_all
+        (fun plan ->
+          let cluster = Cluster.make ~workers:3 () in
+          let ctx =
+            Exec.session { (Exec.default_config cluster) with force_plan = plan } [ ("E", e) ]
+          in
+          Rel.equal expected (Exec.run ctx term))
+        [ None; Some Exec.P_gld; Some Exec.P_plw_s; Some Exec.P_plw_pg ])
+
+let test_distributed_shortest_paths () =
+  let rng_edges =
+    List.init 60 (fun i -> [| i mod 17; (i * 7) mod 17; 1 + (i mod 5) |])
+  in
+  let rel = Rel.of_tuples (sch [ "src"; "trg"; "weight" ]) rng_edges in
+  let env = Mura.Eval.env [ ("E", rel) ] in
+  let expected = Mura.Agg.shortest_paths env ~edges:"E" in
+  let cluster = Cluster.make ~workers:4 () in
+  let m = Cluster.metrics cluster in
+  let result = Physical.Agg_exec.shortest_paths cluster rel in
+  check_rel "distributed ≡ centralized shortest paths" expected result;
+  (* P_plw-style: one broadcast, constant shuffles *)
+  check_bool "one broadcast" true (m.Metrics.broadcasts = 1);
+  check_bool "constant shuffles" true (m.Metrics.shuffles <= 2)
+
+let prop_random_terms_all_plans =
+  qtest "random terms: every plan ≡ centralized"
+    QCheck2.Gen.(pair Gen_terms.term_and_env_gen (int_range 1 4))
+    (fun ((t, tables), workers) ->
+      let expected = Mura.Eval.eval (Mura.Eval.env tables) t in
+      List.for_all
+        (fun plan ->
+          let cluster = Cluster.make ~workers () in
+          let ctx =
+            Exec.session { (Exec.default_config cluster) with force_plan = plan } tables
+          in
+          Rel.equal expected (Exec.run ctx t))
+        [ None; Some Exec.P_gld; Some Exec.P_plw_s; Some Exec.P_plw_pg ])
+
+let () =
+  Alcotest.run "physical"
+    [
+      ( "plans",
+        [
+          Alcotest.test_case "P_gld" `Quick (test_plan_agreement (Some Exec.P_gld));
+          Alcotest.test_case "P_plw^s" `Quick (test_plan_agreement (Some Exec.P_plw_s));
+          Alcotest.test_case "P_plw^pg" `Quick (test_plan_agreement (Some Exec.P_plw_pg));
+          Alcotest.test_case "auto selection" `Quick (test_plan_agreement None);
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "stable -> P_plw" `Quick test_auto_selection_stable;
+          Alcotest.test_case "unstable -> P_gld" `Quick test_auto_selection_unstable;
+        ] );
+      ( "communication",
+        [
+          Alcotest.test_case "profiles" `Quick test_communication_profile;
+          Alcotest.test_case "plw disjointness" `Quick test_plw_disjoint_partitions;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "filtered closure" `Quick test_filtered_closure_all_plans;
+          Alcotest.test_case "non-recursive ops" `Quick test_nonrecursive_operators;
+          Alcotest.test_case "resource limit" `Quick test_resource_limit;
+          Alcotest.test_case "explain" `Quick test_explain;
+          Alcotest.test_case "distributed shortest paths" `Quick test_distributed_shortest_paths;
+          Alcotest.test_case "same generation" `Quick test_same_generation_plans;
+        ] );
+      ("properties", [ prop_all_plans_agree; prop_reach_all_plans; prop_random_terms_all_plans ]);
+    ]

@@ -1,0 +1,119 @@
+(* Tests for the Pregel/GraphX baseline: NFA-product traversal agrees
+   with the mu-RA evaluation of the same RPQ. *)
+
+open Relation
+module Engine = Pregel.Engine
+module Cluster = Distsim.Cluster
+
+let sch = Schema.of_list
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let check_rel msg expected actual =
+  if not (Rel.equal expected actual) then
+    Alcotest.failf "%s:@.expected %a@.got %a" msg Rel.pp_full expected Rel.pp_full actual
+
+let a = Value.of_string "a"
+let b = Value.of_string "b"
+
+let graph =
+  Rel.of_list (sch [ "src"; "pred"; "trg" ])
+    [ [ 0; a; 1 ]; [ 1; a; 2 ]; [ 2; b; 3 ]; [ 1; b; 4 ]; [ 4; a; 2 ]; [ 3; a; 0 ] ]
+
+let config ?(workers = 3) () = Engine.default_config (Cluster.make ~workers ())
+
+let mu_of_path path_text =
+  Rpq.Query.path_term (Rpq.Regex.parse path_text)
+
+let mu_eval path_text = Mura.Eval.eval (Mura.Eval.env [ ("E", graph) ]) (mu_of_path path_text)
+
+let pregel_eval ?source ?target path_text =
+  let g = Engine.load (config ()) graph in
+  fst (Engine.eval_rpq ?source ?target g (Rpq.Regex.parse path_text))
+
+let test_load () =
+  let g = Engine.load (config ()) graph in
+  check_int "vertices" 5 (Engine.vertices g);
+  check_int "edges" 6 (Engine.edges g)
+
+let test_single_label () = check_rel "a edges" (mu_eval "a") (pregel_eval "a")
+let test_closure () = check_rel "a+" (mu_eval "a+") (pregel_eval "a+")
+let test_seq () = check_rel "a/b" (mu_eval "a/b") (pregel_eval "a/b")
+let test_inverse () = check_rel "(a/-a)+" (mu_eval "(a/-a)+") (pregel_eval "(a/-a)+")
+
+let test_source_seed () =
+  let full = mu_eval "a+" in
+  let seeded = pregel_eval ~source:0 "a+" in
+  check_rel "source seeding = filter" (Rel.select (Pred.Eq_const ("src", 0)) full) seeded
+
+let test_target_filter () =
+  let full = mu_eval "a+" in
+  let filtered = pregel_eval ~target:2 "a+" in
+  check_rel "target filtering" (Rel.select (Pred.Eq_const ("trg", 2)) full) filtered
+
+let test_supersteps_and_messages () =
+  let g = Engine.load (config ()) graph in
+  let _, stats = Engine.eval_rpq g (Rpq.Regex.parse "a+") in
+  check_bool "multiple supersteps" true (stats.supersteps > 1);
+  check_bool "messages flowed" true (stats.messages > 0);
+  check_bool "state recorded" true (stats.state_pairs > 0)
+
+let test_state_budget_failure () =
+  let cluster = Cluster.make ~workers:2 () in
+  let config = { (Engine.default_config cluster) with max_state = 3 } in
+  let g = Engine.load config graph in
+  match Engine.eval_rpq g (Rpq.Regex.parse "a+") with
+  | (_ : Rel.t * Engine.stats) -> Alcotest.fail "expected Engine_failure"
+  | exception Engine.Engine_failure _ -> ()
+
+let test_empty_word_rejected () =
+  let g = Engine.load (config ()) graph in
+  match Engine.eval_rpq g (Rpq.Regex.parse "a*") with
+  | (_ : Rel.t * Engine.stats) -> Alcotest.fail "expected Translation_error"
+  | exception Rpq.Query.Translation_error _ -> ()
+
+let random_labelled_gen =
+  let open QCheck2.Gen in
+  let edge = triple (int_range 0 7) (oneofl [ a; b ]) (int_range 0 7) in
+  let+ edges = list_size (int_range 1 25) edge in
+  Rel.of_tuples (sch [ "src"; "pred"; "trg" ])
+    (List.map (fun (s, p, t) -> [| s; p; t |]) edges)
+
+let path_pool = [ "a"; "a+"; "a/b"; "(a/-b)+"; "a|b"; "(a b)+"; "-a+"; "a+/b+" ]
+
+let prop_pregel_eq_mura =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:80 ~name:"pregel ≡ mu-RA on RPQs"
+       QCheck2.Gen.(triple random_labelled_gen (oneofl path_pool) (int_range 1 4))
+       (fun (g, path, workers) ->
+         let term = Rpq.Query.path_term (Rpq.Regex.parse path) in
+         let expected = Mura.Eval.eval (Mura.Eval.env [ ("E", g) ]) term in
+         let cluster = Cluster.make ~workers () in
+         let engine = Engine.load (Engine.default_config cluster) g in
+         let actual, _ = Engine.eval_rpq engine (Rpq.Regex.parse path) in
+         Rel.equal expected actual))
+
+let () =
+  Alcotest.run "pregel"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "load" `Quick test_load;
+          Alcotest.test_case "single label" `Quick test_single_label;
+          Alcotest.test_case "closure" `Quick test_closure;
+          Alcotest.test_case "sequence" `Quick test_seq;
+          Alcotest.test_case "inverse" `Quick test_inverse;
+        ] );
+      ( "endpoints",
+        [
+          Alcotest.test_case "source seed" `Quick test_source_seed;
+          Alcotest.test_case "target filter" `Quick test_target_filter;
+        ] );
+      ( "budget & stats",
+        [
+          Alcotest.test_case "supersteps/messages" `Quick test_supersteps_and_messages;
+          Alcotest.test_case "state budget" `Quick test_state_budget_failure;
+          Alcotest.test_case "empty word" `Quick test_empty_word_rejected;
+        ] );
+      ("properties", [ prop_pregel_eq_mura ]);
+    ]

@@ -1,0 +1,321 @@
+(* Unit and property tests for the relation kernel. *)
+
+open Relation
+
+let sch = Schema.of_list
+let rel schema rows = Rel.of_list (sch schema) rows
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let check_rel msg expected actual =
+  if not (Rel.equal expected actual) then
+    Alcotest.failf "%s:@.expected %a@.got %a" msg Rel.pp_full expected Rel.pp_full actual
+
+(* ------------------------------------------------------------------ *)
+(* Dict / Value                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_dict_roundtrip () =
+  let h = Dict.intern "Japan" in
+  check_bool "negative handle" true (h < 0);
+  check_int "idempotent" h (Dict.intern "Japan");
+  Alcotest.(check string) "lookup" "Japan" (Dict.lookup h);
+  check_bool "is_handle" true (Dict.is_handle h)
+
+let test_value_kinds () =
+  let v = Value.of_int 42 in
+  check_bool "int not symbol" false (Value.is_symbol v);
+  Alcotest.(check string) "int print" "42" (Value.to_string v);
+  let s = Value.of_string "label" in
+  check_bool "symbol" true (Value.is_symbol s);
+  Alcotest.(check string) "symbol print" "label" (Value.to_string s);
+  Alcotest.check_raises "negative int rejected" (Invalid_argument "Value.of_int: negative")
+    (fun () -> ignore (Value.of_int (-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Tset                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_tset_basic () =
+  let s = Tset.create () in
+  check_bool "add new" true (Tset.add s [| 1; 2 |]);
+  check_bool "add dup" false (Tset.add s [| 1; 2 |]);
+  check_bool "add other" true (Tset.add s [| 2; 1 |]);
+  check_int "cardinal" 2 (Tset.cardinal s);
+  check_bool "mem" true (Tset.mem s [| 1; 2 |]);
+  check_bool "not mem" false (Tset.mem s [| 1; 3 |])
+
+let test_tset_unit_tuple () =
+  let s = Tset.create () in
+  check_bool "empty tuple absent" false (Tset.mem s [||]);
+  check_bool "add unit" true (Tset.add s [||]);
+  check_bool "re-add unit" false (Tset.add s [||]);
+  check_bool "mem unit" true (Tset.mem s [||]);
+  check_int "cardinal with unit" 1 (Tset.cardinal s)
+
+let test_tset_growth () =
+  let s = Tset.create () in
+  for i = 0 to 9_999 do
+    ignore (Tset.add s [| i; i * 2; i mod 7 |])
+  done;
+  check_int "all distinct" 10_000 (Tset.cardinal s);
+  for i = 0 to 9_999 do
+    if not (Tset.mem s [| i; i * 2; i mod 7 |]) then Alcotest.failf "lost tuple %d" i
+  done;
+  let copied = Tset.copy s in
+  ignore (Tset.add copied [| -1; -1; -1 |]);
+  check_int "copy is independent" 10_000 (Tset.cardinal s)
+
+let test_tset_add_all () =
+  let a = Tset.of_list [ [| 1 |]; [| 2 |] ] in
+  let b = Tset.of_list [ [| 2 |]; [| 3 |] ] in
+  check_int "added" 1 (Tset.add_all a b);
+  check_int "merged size" 3 (Tset.cardinal a);
+  check_bool "set equality" true (Tset.equal a (Tset.of_list [ [| 3 |]; [| 2 |]; [| 1 |] ]))
+
+(* ------------------------------------------------------------------ *)
+(* Schema                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_schema_basics () =
+  let s = sch [ "a"; "b"; "c" ] in
+  check_int "arity" 3 (Schema.arity s);
+  check_int "index" 1 (Schema.index_of s "b");
+  check_bool "mem" true (Schema.mem s "c");
+  Alcotest.check_raises "duplicate rejected" (Schema.Schema_error "duplicate column \"a\"")
+    (fun () -> ignore (sch [ "a"; "a" ]))
+
+let test_schema_ops () =
+  let s = sch [ "a"; "b"; "c" ] in
+  check_bool "minus" true (Schema.equal_ordered (Schema.minus s [ "b" ]) (sch [ "a"; "c" ]));
+  check_bool "restrict order" true
+    (Schema.equal_ordered (Schema.restrict s [ "c"; "a" ]) (sch [ "c"; "a" ]));
+  check_bool "equal_names unordered" true (Schema.equal_names s (sch [ "c"; "a"; "b" ]));
+  check_bool "not equal_names" false (Schema.equal_names s (sch [ "a"; "b" ]));
+  let renamed = Schema.rename [ ("a", "x") ] s in
+  check_bool "rename" true (Schema.equal_ordered renamed (sch [ "x"; "b"; "c" ]));
+  Alcotest.(check (list string)) "common" [ "b"; "c" ]
+    (Schema.common s (sch [ "c"; "d"; "b" ]))
+
+let test_schema_rename_errors () =
+  let s = sch [ "a"; "b" ] in
+  let expect_err f = match f () with
+    | exception Schema.Schema_error _ -> ()
+    | _ -> Alcotest.fail "expected Schema_error"
+  in
+  expect_err (fun () -> Schema.rename [ ("z", "x") ] s);
+  expect_err (fun () -> Schema.rename [ ("a", "b") ] s);
+  expect_err (fun () -> Schema.rename [ ("a", "x"); ("a", "y") ] s)
+
+let test_schema_reorder () =
+  let from = sch [ "a"; "b"; "c" ] and into = sch [ "c"; "a"; "b" ] in
+  let perm = Schema.reorder_positions ~from ~into in
+  Alcotest.(check (array int)) "perm" [| 2; 0; 1 |] perm;
+  Alcotest.(check (array int)) "apply" [| 30; 10; 20 |] (Tuple.project perm [| 10; 20; 30 |])
+
+(* ------------------------------------------------------------------ *)
+(* Rel operators                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let e_rel () = rel [ "src"; "trg" ] [ [ 1; 2 ]; [ 2; 3 ]; [ 1; 3 ]; [ 3; 4 ] ]
+
+let test_select () =
+  let r = e_rel () in
+  check_rel "src=1"
+    (rel [ "src"; "trg" ] [ [ 1; 2 ]; [ 1; 3 ] ])
+    (Rel.select (Pred.Eq_const ("src", 1)) r);
+  check_rel "src=trg empty" (Rel.create (sch [ "src"; "trg" ]))
+    (Rel.select (Pred.Eq_col ("src", "trg")) r);
+  check_rel "and"
+    (rel [ "src"; "trg" ] [ [ 1; 2 ] ])
+    (Rel.select (Pred.And (Eq_const ("src", 1), Eq_const ("trg", 2))) r);
+  check_rel "or / not"
+    (rel [ "src"; "trg" ] [ [ 1; 2 ]; [ 2; 3 ]; [ 1; 3 ] ])
+    (Rel.select (Pred.Not (Eq_const ("src", 3))) r)
+
+let test_project_antiproject () =
+  let r = e_rel () in
+  check_rel "project src" (rel [ "src" ] [ [ 1 ]; [ 2 ]; [ 3 ] ]) (Rel.project [ "src" ] r);
+  check_rel "antiproject trg = project src" (Rel.project [ "src" ] r)
+    (Rel.antiproject [ "trg" ] r);
+  check_int "dedup happened" 3 (Rel.cardinal (Rel.project [ "src" ] r))
+
+let test_rename () =
+  let r = e_rel () in
+  let swapped = Rel.rename [ ("src", "trg"); ("trg", "src") ] r in
+  check_rel "swap columns = inverse edges"
+    (rel [ "src"; "trg" ] [ [ 2; 1 ]; [ 3; 2 ]; [ 3; 1 ]; [ 4; 3 ] ])
+    swapped
+
+let test_join () =
+  let r = e_rel () in
+  let s = Rel.rename [ ("src", "trg"); ("trg", "dst2") ] (e_rel ()) in
+  (* join on trg: paths of length 2 *)
+  let j = Rel.natural_join r s in
+  check_rel "2-paths"
+    (rel [ "src"; "trg"; "dst2" ]
+       [ [ 1; 2; 3 ]; [ 2; 3; 4 ]; [ 1; 3; 4 ] ])
+    j
+
+let test_join_cartesian () =
+  let a = rel [ "a" ] [ [ 1 ]; [ 2 ] ] in
+  let b = rel [ "b" ] [ [ 10 ]; [ 20 ] ] in
+  check_rel "product"
+    (rel [ "a"; "b" ] [ [ 1; 10 ]; [ 1; 20 ]; [ 2; 10 ]; [ 2; 20 ] ])
+    (Rel.natural_join a b)
+
+let test_antijoin () =
+  let r = e_rel () in
+  let sinks = rel [ "trg" ] [ [ 3 ] ] in
+  check_rel "edges not into 3"
+    (rel [ "src"; "trg" ] [ [ 1; 2 ]; [ 3; 4 ] ])
+    (Rel.antijoin r sinks);
+  (* no shared columns: keeps left iff right empty *)
+  let empty1 = Rel.create (sch [ "zz" ]) in
+  check_rel "right empty keeps all" r (Rel.antijoin r empty1);
+  check_rel "right nonempty drops all" (Rel.create (sch [ "src"; "trg" ]))
+    (Rel.antijoin r (rel [ "zz" ] [ [ 0 ] ]))
+
+let test_union_diff_reorder () =
+  let a = rel [ "x"; "y" ] [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = rel [ "y"; "x" ] [ [ 2; 1 ]; [ 6; 5 ] ] in
+  check_rel "union permutes" (rel [ "x"; "y" ] [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ] ]) (Rel.union a b);
+  check_rel "diff permutes" (rel [ "x"; "y" ] [ [ 3; 4 ] ]) (Rel.diff a b);
+  check_rel "inter permutes" (rel [ "x"; "y" ] [ [ 1; 2 ] ]) (Rel.inter a b);
+  check_bool "equal modulo order" true
+    (Rel.equal a (rel [ "y"; "x" ] [ [ 2; 1 ]; [ 4; 3 ] ]))
+
+let test_distinct_count () =
+  let r = e_rel () in
+  check_int "src distinct" 3 (Rel.distinct_count r "src");
+  check_int "trg distinct" 3 (Rel.distinct_count r "trg")
+
+let test_rel_io () =
+  let path = Filename.temp_file "distmura" ".edges" in
+  let r = rel [ "src"; "trg" ] [ [ 1; 2 ]; [ 7; 8 ] ] in
+  Rel_io.save path r;
+  let back = Rel_io.load_edges path in
+  check_rel "roundtrip" r back;
+  Sys.remove path
+
+let test_rel_io_labelled () =
+  let path = Filename.temp_file "distmura" ".nt" in
+  let oc = open_out path in
+  output_string oc "# comment\n1 knows 2\n2 likes 3\n";
+  close_out oc;
+  let r = Rel_io.load_labelled_edges path in
+  check_int "two edges" 2 (Rel.cardinal r);
+  let knows = Rel.select (Pred.Eq_const ("pred", Value.of_string "knows")) r in
+  check_int "one knows" 1 (Rel.cardinal knows);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let small_rel_gen cols =
+  let open QCheck2.Gen in
+  let tuple = array_size (pure (List.length cols)) (int_range 0 8) in
+  let+ rows = list_size (int_range 0 25) tuple in
+  Rel.of_tuples (sch cols) rows
+
+let qtest name gen prop = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:200 ~name gen prop)
+
+let prop_union_commutes =
+  qtest "union commutative"
+    QCheck2.Gen.(pair (small_rel_gen [ "a"; "b" ]) (small_rel_gen [ "a"; "b" ]))
+    (fun (r, s) -> Rel.equal (Rel.union r s) (Rel.union s r))
+
+let prop_join_commutes =
+  qtest "join commutative modulo layout"
+    QCheck2.Gen.(pair (small_rel_gen [ "a"; "b" ]) (small_rel_gen [ "b"; "c" ]))
+    (fun (r, s) -> Rel.equal (Rel.natural_join r s) (Rel.natural_join s r))
+
+let prop_join_assoc =
+  qtest "join associative"
+    QCheck2.Gen.(
+      triple (small_rel_gen [ "a"; "b" ]) (small_rel_gen [ "b"; "c" ]) (small_rel_gen [ "c"; "d" ]))
+    (fun (r, s, t) ->
+      Rel.equal
+        (Rel.natural_join (Rel.natural_join r s) t)
+        (Rel.natural_join r (Rel.natural_join s t)))
+
+let prop_diff_union =
+  qtest "a = (a\\b) ∪ (a∩b)"
+    QCheck2.Gen.(pair (small_rel_gen [ "a"; "b" ]) (small_rel_gen [ "a"; "b" ]))
+    (fun (r, s) -> Rel.equal r (Rel.union (Rel.diff r s) (Rel.inter r s)))
+
+let prop_antijoin_select =
+  qtest "antijoin = filter by non-membership"
+    QCheck2.Gen.(pair (small_rel_gen [ "a"; "b" ]) (small_rel_gen [ "b" ]))
+    (fun (r, s) ->
+      let expected =
+        Rel.of_tuples (sch [ "a"; "b" ])
+          (List.filter (fun tu -> not (Rel.mem s [| tu.(1) |])) (Rel.to_list r))
+      in
+      Rel.equal expected (Rel.antijoin r s))
+
+let prop_select_idempotent =
+  qtest "select idempotent" (small_rel_gen [ "a"; "b" ]) (fun r ->
+      let p = Pred.Eq_const ("a", 3) in
+      Rel.equal (Rel.select p r) (Rel.select p (Rel.select p r)))
+
+let prop_tset_mem_after_add =
+  qtest "tset: added tuples are members"
+    QCheck2.Gen.(list_size (int_range 0 100) (array_size (pure 2) (int_range 0 50)))
+    (fun rows ->
+      let s = Tset.of_list rows in
+      List.for_all (Tset.mem s) rows
+      && Tset.cardinal s
+         = List.length
+             (List.sort_uniq compare (List.map Array.to_list rows)))
+
+let () =
+  Alcotest.run "relation"
+    [
+      ( "dict-value",
+        [
+          Alcotest.test_case "dict roundtrip" `Quick test_dict_roundtrip;
+          Alcotest.test_case "value kinds" `Quick test_value_kinds;
+        ] );
+      ( "tset",
+        [
+          Alcotest.test_case "basic" `Quick test_tset_basic;
+          Alcotest.test_case "unit tuple" `Quick test_tset_unit_tuple;
+          Alcotest.test_case "growth" `Quick test_tset_growth;
+          Alcotest.test_case "add_all" `Quick test_tset_add_all;
+          prop_tset_mem_after_add;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basics" `Quick test_schema_basics;
+          Alcotest.test_case "ops" `Quick test_schema_ops;
+          Alcotest.test_case "rename errors" `Quick test_schema_rename_errors;
+          Alcotest.test_case "reorder" `Quick test_schema_reorder;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "select" `Quick test_select;
+          Alcotest.test_case "project/antiproject" `Quick test_project_antiproject;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "join" `Quick test_join;
+          Alcotest.test_case "cartesian" `Quick test_join_cartesian;
+          Alcotest.test_case "antijoin" `Quick test_antijoin;
+          Alcotest.test_case "union/diff reorder" `Quick test_union_diff_reorder;
+          Alcotest.test_case "distinct count" `Quick test_distinct_count;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "edge roundtrip" `Quick test_rel_io;
+          Alcotest.test_case "labelled" `Quick test_rel_io_labelled;
+        ] );
+      ( "properties",
+        [
+          prop_union_commutes;
+          prop_join_commutes;
+          prop_join_assoc;
+          prop_diff_union;
+          prop_antijoin_select;
+          prop_select_idempotent;
+        ] );
+    ]

@@ -1,0 +1,299 @@
+(* Tests for the MuRewriter: every rule is exercised on the query shape
+   it targets, and property tests check that exploration only ever
+   produces semantically equivalent plans. *)
+
+open Relation
+module Term = Mura.Term
+module P = Mura.Patterns
+module Shapes = Rewrite.Shapes
+module Rules = Rewrite.Rules
+module Engine = Rewrite.Engine
+
+let sch = Schema.of_list
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let check_rel msg expected actual =
+  if not (Rel.equal expected actual) then
+    Alcotest.failf "%s:@.expected %a@.got %a" msg Rel.pp_full expected Rel.pp_full actual
+
+let a = Value.of_string "a"
+let b = Value.of_string "b"
+
+let labelled =
+  Rel.of_list (sch [ "src"; "pred"; "trg" ])
+    [
+      [ 0; a; 1 ]; [ 1; a; 2 ]; [ 2; a; 3 ];
+      [ 3; b; 4 ]; [ 4; b; 5 ]; [ 1; b; 6 ]; [ 6; a; 2 ];
+    ]
+
+let tables = [ ("E", labelled) ]
+let tenv = Mura.Typing.env [ ("E", sch [ "src"; "pred"; "trg" ]) ]
+let env = Mura.Eval.env tables
+let eval t = Mura.Eval.eval env t
+
+let ea = P.edge "a"
+let eb = P.edge "b"
+
+(* ------------------------------------------------------------------ *)
+(* Shape recognition                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_shapes_compose () =
+  let c = Shapes.mk_compose ea eb in
+  match Shapes.as_compose c with
+  | Some { left; right; _ } ->
+    check_bool "left" true (Term.equal left ea);
+    check_bool "right" true (Term.equal right eb)
+  | None -> Alcotest.fail "compose not recognised"
+
+let test_shapes_closure () =
+  (match Shapes.as_closure (P.closure ea) with
+  | Some { base; dir = Shapes.Right } -> check_bool "base" true (Term.equal base ea)
+  | _ -> Alcotest.fail "right closure not recognised");
+  (match Shapes.as_closure (P.closure_rev ea) with
+  | Some { dir = Shapes.Left; _ } -> ()
+  | _ -> Alcotest.fail "left closure not recognised");
+  (* a seeded fixpoint is not a pure closure *)
+  check_bool "seeded is not closure" true
+    (Shapes.as_closure (P.closure_from eb ea) = None);
+  (match Shapes.as_seeded (P.closure_from eb ea) with
+  | Some { seed; step; dir = Shapes.Right } ->
+    check_bool "seed" true (Term.equal seed eb);
+    check_bool "step" true (Term.equal step ea)
+  | _ -> Alcotest.fail "seeded not recognised")
+
+(* ------------------------------------------------------------------ *)
+(* Individual rules                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rule_fires rule t = Rules.(rule.apply) tenv t <> []
+
+let assert_equiv msg original rewritten =
+  check_rel msg (eval original) (eval rewritten)
+
+let test_reverse_closure () =
+  match Rules.(reverse_closure.apply) tenv (P.closure ea) with
+  | [ reversed ] ->
+    check_bool "direction flipped" true
+      (match Shapes.as_closure reversed with Some { dir = Shapes.Left; _ } -> true | _ -> false);
+    assert_equiv "reversal preserves semantics" (P.closure ea) reversed
+  | _ -> Alcotest.fail "reverse did not fire once"
+
+let test_push_filter_into_fix () =
+  (* sigma_{src=0}(a+) : src is stable in the right-appending closure *)
+  let t = Term.Select (Pred.Eq_const ("src", 0), P.closure ea) in
+  (match Rules.(push_filter_into_fix.apply) tenv t with
+  | [ pushed ] ->
+    check_bool "filter disappeared from top" true
+      (match pushed with Term.Fix _ -> true | _ -> false);
+    assert_equiv "push filter src" t pushed
+  | _ -> Alcotest.fail "expected one rewrite");
+  (* trg is NOT stable: the rule must not fire directly *)
+  let t2 = Term.Select (Pred.Eq_const ("trg", 5), P.closure ea) in
+  check_bool "no unsound push" false (rule_fires Rules.push_filter_into_fix t2);
+  (* ... but after reversal it is: exploration finds the pushed plan *)
+  let plans = Engine.explore tenv t2 in
+  let pushed_plan =
+    List.exists
+      (function
+        | Term.Fix (_, body) -> (
+          match Mura.Fcond.split ~var:"_probe" body with
+          | _ -> Term.fix_count (Term.Fix ("_", body)) = 1
+          | exception _ -> false)
+        | _ -> false)
+      plans
+  in
+  check_bool "reversal+push reachable" true pushed_plan;
+  List.iter (fun p -> assert_equiv "explored plan equivalent" t2 p) plans
+
+let test_push_join_into_fix () =
+  (* b / a+ : concatenation to the left of a recursion (class C5) *)
+  let t = Shapes.mk_compose eb (P.closure ea) in
+  let rewrites = Rules.(push_join_into_fix.apply) tenv t in
+  check_int "one rewrite" 1 (List.length rewrites);
+  let pushed = List.hd rewrites in
+  check_bool "result is a single fixpoint" true (Term.fix_count pushed = 1);
+  assert_equiv "push join left-concat" t pushed;
+  (* a+ / b : concatenation to the right (class C4) *)
+  let t2 = Shapes.mk_compose (P.closure ea) eb in
+  (match Rules.(push_join_into_fix.apply) tenv t2 with
+  | [ pushed2 ] -> assert_equiv "push join right-concat" t2 pushed2
+  | _ -> Alcotest.fail "expected one rewrite")
+
+let test_merge_fixpoints () =
+  (* a+/b+ : concatenation of recursions (class C6) *)
+  let t = Shapes.mk_compose (P.closure ea) (P.closure eb) in
+  let merged =
+    match Rules.(merge_fixpoints.apply) tenv t with
+    | [ m ] -> m
+    | _ -> Alcotest.fail "merge did not fire once"
+  in
+  check_int "two fixpoints became one" 1 (Term.fix_count merged);
+  assert_equiv "merge preserves semantics" t merged
+
+let test_push_antiproject_into_fix () =
+  (* ?y <- ?x a+ ?y : keep destinations only *)
+  let t = Term.Antiproject ([ "src" ], P.closure ea) in
+  (match Rules.(push_antiproject_into_fix.apply) tenv t with
+  | [ pushed ] ->
+    assert_equiv "push antiproject src" t pushed;
+    (* the pushed fixpoint computes unary tuples *)
+    check_bool "unary fixpoint" true
+      (match pushed with
+      | Term.Fix (_, _) -> Schema.arity (Mura.Typing.infer tenv pushed) = 1
+      | _ -> false)
+  | _ -> Alcotest.fail "expected one rewrite");
+  let t2 = Term.Antiproject ([ "trg" ], P.closure_rev ea) in
+  match Rules.(push_antiproject_into_fix.apply) tenv t2 with
+  | [ pushed2 ] -> assert_equiv "push antiproject trg" t2 pushed2
+  | _ -> Alcotest.fail "expected one rewrite"
+
+let test_select_antijoin_and_antiproject_merge () =
+  (* select pushes through the left of an antijoin *)
+  let t =
+    Term.Select (Pred.Eq_const ("src", 0), Term.Antijoin (ea, Term.Project ([ "src" ], eb)))
+  in
+  (match Rules.(select_through_antijoin.apply) tenv t with
+  | [ pushed ] -> assert_equiv "select through antijoin" t pushed
+  | _ -> Alcotest.fail "expected one rewrite");
+  (* cascaded antiprojections merge *)
+  let t2 =
+    Term.Antiproject ([ "src" ], Term.Antiproject ([ "trg" ], Term.Rel "E"))
+  in
+  match Rules.(antiproject_merge.apply) tenv t2 with
+  | [ merged ] ->
+    assert_equiv "antiproject merge" t2 merged;
+    check_bool "single node" true
+      (match merged with Term.Antiproject (c, Term.Rel "E") -> List.sort compare c = [ "src"; "trg" ] | _ -> false)
+  | _ -> Alcotest.fail "expected one rewrite"
+
+let test_classical_pushdowns () =
+  let t =
+    Term.Select
+      ( Pred.Eq_const ("x", 0),
+        Term.Rename ([ ("src", "x") ], Term.Antiproject ([ "pred" ], Term.Rel "E")) )
+  in
+  let plans = Engine.explore tenv t in
+  check_bool "several plans" true (List.length plans > 1);
+  List.iter (fun p -> assert_equiv "classical pushdown equivalence" t p) plans;
+  (* at least one plan has the select directly on E *)
+  let rec select_on_rel = function
+    | Term.Select (_, Term.Rel _) -> true
+    | Term.Select (_, u) | Term.Project (_, u) | Term.Antiproject (_, u) | Term.Rename (_, u) ->
+      select_on_rel u
+    | Term.Join (x, y) | Term.Antijoin (x, y) | Term.Union (x, y) ->
+      select_on_rel x || select_on_rel y
+    | Term.Fix (_, body) -> select_on_rel body
+    | Term.Rel _ | Term.Var _ | Term.Cst _ -> false
+  in
+  check_bool "select pushed to the scan" true (List.exists select_on_rel plans)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: UCRPQ -> rewrite -> best plan                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_optimize_with_cost () =
+  let stats = Cost.Stats.of_tables tables in
+  let cost t = Cost.Estimate.cost stats t in
+  (* C2-style query: filter to the right of a recursion *)
+  let q = Rpq.Query.parse "?x <- ?x a+ 3" in
+  let original = Rpq.Query.to_term q in
+  let best = Engine.optimize ~cost tenv original in
+  assert_equiv "optimized plan equivalent" original best;
+  check_bool "optimization changed the plan" true (not (Term.equal best original));
+  check_bool "optimized is at most as costly" true (cost best <= cost original)
+
+let test_explore_bounded () =
+  let t = Shapes.mk_compose (P.closure ea) (P.closure eb) in
+  let plans = Engine.explore ~max_plans:5 tenv t in
+  check_bool "bounded" true (List.length plans <= 5)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let random_labelled_gen =
+  let open QCheck2.Gen in
+  let edge = triple (int_range 0 7) (oneofl [ a; b ]) (int_range 0 7) in
+  let+ edges = list_size (int_range 1 25) edge in
+  Rel.of_tuples (sch [ "src"; "pred"; "trg" ])
+    (List.map (fun (s, p, t) -> [| s; p; t |]) edges)
+
+let query_pool =
+  [
+    "?x, ?y <- ?x a+ ?y";
+    "?x <- ?x a+ 3";
+    "?x <- 0 a+ ?x";
+    "?x, ?y <- ?x a+/b ?y";
+    "?x, ?y <- ?x b/a+ ?y";
+    "?x, ?y <- ?x a+/b+ ?y";
+    "?y <- ?x a+ ?y";
+    "?x <- ?x a+ ?y";
+    "?x, ?y <- ?x (a/-b)+ ?y";
+    "?x, ?y <- ?x -a/(b/-b)+ ?y";
+  ]
+
+let prop_all_plans_equivalent =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"every explored plan is equivalent"
+       QCheck2.Gen.(pair random_labelled_gen (oneofl query_pool))
+       (fun (g, qs) ->
+         let term = Rpq.Query.to_term (Rpq.Query.parse qs) in
+         let env = Mura.Eval.env [ ("E", g) ] in
+         let expected = Mura.Eval.eval env term in
+         let plans = Engine.explore ~max_plans:40 tenv term in
+         List.for_all (fun p -> Rel.equal expected (Mura.Eval.eval env p)) plans))
+
+let prop_optimized_equivalent =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:60 ~name:"optimized plan is equivalent"
+       QCheck2.Gen.(pair random_labelled_gen (oneofl query_pool))
+       (fun (g, qs) ->
+         let term = Rpq.Query.to_term (Rpq.Query.parse qs) in
+         let env = Mura.Eval.env [ ("E", g) ] in
+         let stats = Cost.Stats.of_tables [ ("E", g) ] in
+         let best = Engine.optimize ~max_plans:40 ~cost:(Cost.Estimate.cost stats) tenv term in
+         Rel.equal (Mura.Eval.eval env term) (Mura.Eval.eval env best)))
+
+let prop_random_terms_rewrites_sound =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:40 ~name:"random terms: explored plans all equivalent"
+       Gen_terms.term_and_env_gen (fun (t, tables) ->
+         let tenv =
+           Mura.Typing.env (List.map (fun (n, r) -> (n, Rel.schema r)) tables)
+         in
+         let env = Mura.Eval.env tables in
+         let expected = Mura.Eval.eval env t in
+         List.for_all
+           (fun p -> Rel.equal expected (Mura.Eval.eval env p))
+           (Engine.explore ~max_plans:25 tenv t)))
+
+let () =
+  Alcotest.run "rewrite"
+    [
+      ( "shapes",
+        [
+          Alcotest.test_case "compose" `Quick test_shapes_compose;
+          Alcotest.test_case "closure/seeded" `Quick test_shapes_closure;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "reverse closure" `Quick test_reverse_closure;
+          Alcotest.test_case "push filter" `Quick test_push_filter_into_fix;
+          Alcotest.test_case "push join" `Quick test_push_join_into_fix;
+          Alcotest.test_case "merge fixpoints" `Quick test_merge_fixpoints;
+          Alcotest.test_case "push antiproject" `Quick test_push_antiproject_into_fix;
+          Alcotest.test_case "classical pushdowns" `Quick test_classical_pushdowns;
+          Alcotest.test_case "antijoin/antiproject rules" `Quick
+            test_select_antijoin_and_antiproject_merge;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "optimize with cost" `Quick test_optimize_with_cost;
+          Alcotest.test_case "bounded exploration" `Quick test_explore_bounded;
+        ] );
+      ( "properties",
+        [ prop_all_plans_equivalent; prop_optimized_equivalent; prop_random_terms_rewrites_sound ]
+      );
+    ]

@@ -1,0 +1,270 @@
+(* Tests for the UCRPQ frontend: path-expression parsing, Query2Mu
+   translation, and the NFA compiler. *)
+
+open Relation
+module Term = Mura.Term
+module Regex = Rpq.Regex
+module Query = Rpq.Query
+module Nfa = Rpq.Nfa
+
+let sch = Schema.of_list
+let check_bool = Alcotest.(check bool)
+
+let check_rel msg expected actual =
+  if not (Rel.equal expected actual) then
+    Alcotest.failf "%s:@.expected %a@.got %a" msg Rel.pp_full expected Rel.pp_full actual
+
+(* ------------------------------------------------------------------ *)
+(* Regex parsing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_basics () =
+  check_bool "label" true (Regex.parse "knows" = Regex.Label "knows");
+  check_bool "inverse" true (Regex.parse "-knows" = Regex.Inv (Regex.Label "knows"));
+  check_bool "seq" true
+    (Regex.parse "a/b" = Regex.Seq (Regex.Label "a", Regex.Label "b"));
+  check_bool "plus" true (Regex.parse "a+" = Regex.Plus (Regex.Label "a"));
+  check_bool "group plus" true
+    (Regex.parse "(a/b)+" = Regex.Plus (Regex.Seq (Regex.Label "a", Regex.Label "b")));
+  check_bool "alt bar" true (Regex.parse "a|b" = Regex.Alt (Regex.Label "a", Regex.Label "b"));
+  (* juxtaposition inside groups is alternation, as in the paper's
+     (isL dw subClassOf)+ *)
+  check_bool "juxtaposition alternation" true
+    (Regex.parse "(a b)+" = Regex.Plus (Regex.Alt (Regex.Label "a", Regex.Label "b")));
+  check_bool "inv of plus binds atom" true
+    (Regex.parse "-a+" = Regex.Plus (Regex.Inv (Regex.Label "a")));
+  check_bool "namespaced label" true
+    (Regex.parse "rdfs:subClassOf" = Regex.Label "rdfs:subClassOf")
+
+let test_parse_errors () =
+  let expect_fail s =
+    match Regex.parse s with
+    | (_ : Regex.t) -> Alcotest.failf "expected parse error for %S" s
+    | exception Regex.Parse_error _ -> ()
+  in
+  expect_fail "";
+  expect_fail "(a";
+  expect_fail "a/";
+  expect_fail "+a";
+  expect_fail "a&b"
+
+let test_nullable_and_inverses () =
+  check_bool "a+ not nullable" false (Regex.nullable (Regex.parse "a+"));
+  check_bool "a* nullable" true (Regex.nullable (Regex.parse "a*"));
+  check_bool "a? nullable" true (Regex.nullable (Regex.parse "a?"));
+  check_bool "a*/b not nullable" false (Regex.nullable (Regex.parse "a*/b"));
+  check_bool "push inverse over seq" true
+    (Regex.push_inverses (Regex.Inv (Regex.parse "a/b"))
+    = Regex.Seq (Regex.Inv (Regex.Label "b"), Regex.Inv (Regex.Label "a")));
+  Alcotest.(check (list string)) "labels" [ "a"; "b" ] (Regex.labels (Regex.parse "a/b+/a"))
+
+(* ------------------------------------------------------------------ *)
+(* Translation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let knows = Value.of_string "knows"
+let likes = Value.of_string "likes"
+
+(* 0 -knows-> 1 -knows-> 2 -likes-> 3 ; 0 -likes-> 3 ; 4 -knows-> 2 *)
+let graph =
+  Rel.of_list (sch [ "src"; "pred"; "trg" ])
+    [ [ 0; knows; 1 ]; [ 1; knows; 2 ]; [ 2; likes; 3 ]; [ 0; likes; 3 ]; [ 4; knows; 2 ] ]
+
+let env = Mura.Eval.env [ ("E", graph) ]
+let eval t = Mura.Eval.eval env t
+let rel2 rows = Rel.of_list (sch [ "x"; "y" ]) rows
+
+let run_query s = eval (Query.to_term (Query.parse s))
+
+let test_single_edge () =
+  check_rel "?x knows ?y"
+    (rel2 [ [ 0; 1 ]; [ 1; 2 ]; [ 4; 2 ] ])
+    (run_query "?x, ?y <- ?x knows ?y")
+
+let test_closure_query () =
+  check_rel "?x knows+ ?y"
+    (rel2 [ [ 0; 1 ]; [ 1; 2 ]; [ 4; 2 ]; [ 0; 2 ] ])
+    (run_query "?x, ?y <- ?x knows+ ?y")
+
+let test_seq_and_const () =
+  check_rel "?x knows/likes ?y"
+    (rel2 [ [ 1; 3 ]; [ 4; 3 ] ])
+    (run_query "?x, ?y <- ?x knows/likes ?y");
+  (* constant object *)
+  let r = eval (Query.to_term (Query.parse "?x <- ?x knows+/likes 3")) in
+  check_rel "?x knows+/likes 3" (Rel.of_list (sch [ "x" ]) [ [ 1 ]; [ 0 ]; [ 4 ] ]) r
+
+let test_inverse_query () =
+  check_rel "?x -knows ?y = inverted edges"
+    (rel2 [ [ 1; 0 ]; [ 2; 1 ]; [ 2; 4 ] ])
+    (run_query "?x, ?y <- ?x -knows ?y")
+
+let test_conjunction () =
+  (* ?x knows ?y and ?y likes ?z *)
+  let q = Query.parse "?x, ?z <- ?x knows ?y, ?y likes ?z" in
+  let r = eval (Query.to_term q) in
+  check_rel "join of atoms" (Rel.of_list (sch [ "x"; "z" ]) [ [ 1; 3 ]; [ 4; 3 ] ]) r
+
+let test_star_expansion () =
+  (* a*/b = b | a+/b *)
+  check_rel "knows*/likes"
+    (rel2 [ [ 2; 3 ]; [ 0; 3 ]; [ 1; 3 ]; [ 4; 3 ] ])
+    (run_query "?x, ?y <- ?x knows*/likes ?y")
+
+let test_alternation_query () =
+  check_rel "(knows|likes)"
+    (rel2 [ [ 0; 1 ]; [ 1; 2 ]; [ 4; 2 ]; [ 2; 3 ]; [ 0; 3 ] ])
+    (run_query "?x, ?y <- ?x knows|likes ?y")
+
+let test_same_var_atom () =
+  (* add a loop edge to make the result non-empty *)
+  let g = Rel.copy graph in
+  ignore (Rel.add g [| 5; knows; 5 |]);
+  let env = Mura.Eval.env [ ("E", g) ] in
+  let r = Mura.Eval.eval env (Query.to_term (Query.parse "?x <- ?x knows+ ?x")) in
+  check_rel "self loop" (Rel.of_list (sch [ "x" ]) [ [ 5 ] ]) r
+
+let test_translation_errors () =
+  let expect_fail s =
+    match Query.to_term (Query.parse s) with
+    | (_ : Term.t) -> Alcotest.failf "expected translation error for %S" s
+    | exception Query.Translation_error _ -> ()
+  in
+  expect_fail "?x, ?y <- ?x knows* ?y";
+  (* head not bound *)
+  expect_fail "?z <- ?x knows ?y"
+
+let test_union_query () =
+  let text = "?x, ?y <- ?x knows ?y union ?x, ?y <- ?y likes ?x" in
+  let branches = Query.parse_union text in
+  Alcotest.(check int) "two branches" 2 (List.length branches);
+  let r = eval (Query.union_to_term branches) in
+  check_rel "union of branches"
+    (rel2 [ [ 0; 1 ]; [ 1; 2 ]; [ 4; 2 ]; [ 3; 2 ]; [ 3; 0 ] ])
+    r;
+  (* single query: parse_union is the identity *)
+  Alcotest.(check int) "no union -> one branch" 1
+    (List.length (Query.parse_union "?x <- ?x knows ?y"));
+  (* mismatched heads rejected *)
+  (match Query.union_to_term (Query.parse_union "?x <- ?x knows ?y union ?y <- ?x knows ?y") with
+  | (_ : Term.t) -> Alcotest.fail "expected mismatched-head error"
+  | exception Query.Translation_error _ -> ())
+
+let test_query_roundtrip_pp () =
+  let q = Query.parse "?x, ?y <- ?x knows+/likes ?y, ?y -likes C" in
+  let q' = Query.parse (Query.to_string q) in
+  check_bool "pp/parse roundtrip" true (q = q')
+
+(* ------------------------------------------------------------------ *)
+(* NFA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sym l = { Nfa.label = l; inverse = false }
+let isym l = { Nfa.label = l; inverse = true }
+
+let test_nfa_basics () =
+  let a = Nfa.of_regex (Regex.parse "a/b") in
+  check_bool "ab" true (Nfa.accepts a [ sym "a"; sym "b" ]);
+  check_bool "not a" false (Nfa.accepts a [ sym "a" ]);
+  check_bool "not empty" false (Nfa.accepts_empty a)
+
+let test_nfa_plus_star () =
+  let p = Nfa.of_regex (Regex.parse "a+") in
+  check_bool "a" true (Nfa.accepts p [ sym "a" ]);
+  check_bool "aaa" true (Nfa.accepts p [ sym "a"; sym "a"; sym "a" ]);
+  check_bool "empty rejected" false (Nfa.accepts_empty p);
+  let s = Nfa.of_regex (Regex.parse "a*") in
+  check_bool "star empty" true (Nfa.accepts_empty s);
+  check_bool "star aa" true (Nfa.accepts s [ sym "a"; sym "a" ])
+
+let test_nfa_alt_inverse () =
+  let a = Nfa.of_regex (Regex.parse "(a/-b)+") in
+  check_bool "a -b" true (Nfa.accepts a [ sym "a"; isym "b" ]);
+  check_bool "a -b a -b" true (Nfa.accepts a [ sym "a"; isym "b"; sym "a"; isym "b" ]);
+  check_bool "a a rejected" false (Nfa.accepts a [ sym "a"; sym "a" ])
+
+(* property: NFA word acceptance agrees with a direct regex matcher *)
+let rec matches (r : Regex.t) (w : Nfa.sym list) : bool =
+  match r with
+  | Label l -> w = [ sym l ]
+  | Inv (Label l) -> w = [ isym l ]
+  | Inv a -> matches (Regex.push_inverses (Regex.Inv a)) w
+  | Seq (a, b) ->
+    let rec splits pre post =
+      matches a (List.rev pre) && matches b post
+      || match post with [] -> false | x :: rest -> splits (x :: pre) rest
+    in
+    splits [] w
+  | Alt (a, b) -> matches a w || matches b w
+  | Plus a ->
+    let rec one_or_more pre post =
+      (matches a (List.rev pre) && (post = [] || matches (Plus a) post))
+      || match post with [] -> false | x :: rest -> one_or_more (x :: pre) rest
+    in
+    (match w with
+    | [] -> Regex.nullable a
+    | x :: rest -> one_or_more [ x ] rest)
+  | Star a -> w = [] || matches (Plus a) w
+  | Opt a -> w = [] || matches a w
+
+let regex_gen =
+  let open QCheck2.Gen in
+  let base = oneof [ map (fun l -> Regex.Label l) (oneofl [ "a"; "b"; "c" ]);
+                     map (fun l -> Regex.Inv (Regex.Label l)) (oneofl [ "a"; "b" ]) ] in
+  let rec expr n =
+    if n = 0 then base
+    else
+      oneof
+        [
+          base;
+          map2 (fun a b -> Regex.Seq (a, b)) (expr (n - 1)) (expr (n - 1));
+          map2 (fun a b -> Regex.Alt (a, b)) (expr (n - 1)) (expr (n - 1));
+          map (fun a -> Regex.Plus a) (expr (n - 1));
+          map (fun a -> Regex.Star a) (expr (n - 1));
+          map (fun a -> Regex.Opt a) (expr (n - 1));
+        ]
+  in
+  expr 3
+
+let word_gen =
+  QCheck2.Gen.(
+    list_size (int_range 0 4)
+      (oneof [ map sym (oneofl [ "a"; "b"; "c" ]); map isym (oneofl [ "a"; "b" ]) ]))
+
+let prop_nfa_matches_regex =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"NFA ≡ direct regex matching"
+       (QCheck2.Gen.pair regex_gen word_gen)
+       (fun (r, w) -> Nfa.accepts (Nfa.of_regex r) w = matches r w))
+
+let () =
+  Alcotest.run "rpq"
+    [
+      ( "regex",
+        [
+          Alcotest.test_case "parse basics" `Quick test_parse_basics;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "nullable/inverses" `Quick test_nullable_and_inverses;
+        ] );
+      ( "query2mu",
+        [
+          Alcotest.test_case "single edge" `Quick test_single_edge;
+          Alcotest.test_case "closure" `Quick test_closure_query;
+          Alcotest.test_case "seq + const" `Quick test_seq_and_const;
+          Alcotest.test_case "inverse" `Quick test_inverse_query;
+          Alcotest.test_case "conjunction" `Quick test_conjunction;
+          Alcotest.test_case "star expansion" `Quick test_star_expansion;
+          Alcotest.test_case "alternation" `Quick test_alternation_query;
+          Alcotest.test_case "same-var atom" `Quick test_same_var_atom;
+          Alcotest.test_case "union query" `Quick test_union_query;
+          Alcotest.test_case "translation errors" `Quick test_translation_errors;
+          Alcotest.test_case "pp roundtrip" `Quick test_query_roundtrip_pp;
+        ] );
+      ( "nfa",
+        [
+          Alcotest.test_case "basics" `Quick test_nfa_basics;
+          Alcotest.test_case "plus/star" `Quick test_nfa_plus_star;
+          Alcotest.test_case "alt/inverse" `Quick test_nfa_alt_inverse;
+          prop_nfa_matches_regex;
+        ] );
+    ]
