@@ -173,7 +173,8 @@ module Fig7 = struct
     let rows = R.run_matrix ~timeout_s:!timeout ~systems (yago_workloads picks) in
     R.print_table ~title:"running times (s)"
       ~columns:(List.map (fun (s : S.system) -> s.name) systems)
-      rows
+      rows;
+    R.write_json ~name:"fig7" rows
 end
 
 module Fig9 = struct
@@ -193,6 +194,7 @@ module Fig9 = struct
     R.print_table ~title:"running times (s)" ~extra:[ tuples_col ]
       ~columns:(List.map (fun (s : S.system) -> s.name) systems)
       rows;
+    R.write_json ~name:"fig9" rows;
     class_summary ~systems rows Q.yago
 end
 
@@ -229,7 +231,8 @@ module Fig10 = struct
     let rows = R.run_matrix ~timeout_s:!timeout ~systems workloads in
     R.print_table ~title:"running times (s)"
       ~columns:(List.map (fun (s : S.system) -> s.name) systems)
-      rows
+      rows;
+    R.write_json ~name:"fig10" rows
 end
 
 (* ------------------------------------------------------------------ *)
@@ -262,7 +265,8 @@ module Fig11 = struct
     let rows = R.run_matrix ~timeout_s:!timeout ~systems workloads in
     R.print_table ~title:"running times (s)"
       ~columns:(List.map (fun (s : S.system) -> s.name) systems)
-      rows
+      rows;
+    R.write_json ~name:"fig11" rows
 end
 
 (* ------------------------------------------------------------------ *)
@@ -286,7 +290,8 @@ module Fig12 = struct
     let rows = R.run_matrix ~timeout_s:!timeout ~systems workloads in
     R.print_table ~title:"running times (s); 'fail' = memory budget exceeded"
       ~columns:(List.map (fun (s : S.system) -> s.name) systems)
-      rows
+      rows;
+    R.write_json ~name:"fig12" rows
 end
 
 (* ------------------------------------------------------------------ *)
@@ -316,6 +321,7 @@ module Fig13 = struct
     R.print_table ~title:"running times (s)" ~extra:[ tuples_col ]
       ~columns:(List.map (fun (s : S.system) -> s.name) systems)
       rows;
+    R.write_json ~name:"fig13" rows;
     class_summary ~systems rows (Q.uniprot g)
 end
 
@@ -328,7 +334,8 @@ module Fig14 = struct
     let rows = R.run_matrix ~timeout_s:!timeout ~systems (uniprot_workloads g) in
     R.print_table ~title:"running times (s); Myria fails when a closure exceeds its budget"
       ~columns:(List.map (fun (s : S.system) -> s.name) systems)
-      rows
+      rows;
+    R.write_json ~name:"fig14" rows
 end
 
 module Fig8 = struct
@@ -346,6 +353,7 @@ module Fig8 = struct
         (fun scale ->
           let g = Graphgen.Uniprot_like.generate ~seed:33 ~scale () in
           let rows = R.run_matrix ~timeout_s:!timeout ~systems (uniprot_workloads g) in
+          R.write_json ~name:(Printf.sprintf "fig8_scale%d" scale) rows;
           (string_of_int (Rel.cardinal g) ^ " edges", rows))
         scales
     in
@@ -456,7 +464,35 @@ module Micro = struct
              let db = Localdb.Instance.create () in
              Localdb.Instance.register db "E" (chain_rel 300);
              ignore (Localdb.Instance.query db (Mura.Patterns.closure (Term.Rel "E")))));
+      Test.make ~name:"trace-span-disabled"
+        (Staged.stage (fun () ->
+             ignore (Sys.opaque_identity (Trace.span Trace.disabled "noop" (fun () -> 42)))));
     ]
+
+  (* Tracing must be free when disabled: a [Trace.span] through the
+     disabled collector is one match and a closure call. Assert the
+     per-call overhead over a bare closure call stays in the noise
+     (generous bound — a regression to "always allocate an event"
+     would be hundreds of ns). *)
+  let zero_cost_assertion () =
+    let n = 2_000_000 in
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to n do
+        ignore (Sys.opaque_identity (f ()))
+      done;
+      Unix.gettimeofday () -. t0
+    in
+    let bare () = Sys.opaque_identity 42 in
+    let spanned () = Trace.span Trace.disabled "noop" (fun () -> Sys.opaque_identity 42) in
+    ignore (time bare);
+    (* warm up *)
+    let t_bare = time bare and t_span = time spanned in
+    let per_call_ns = (t_span -. t_bare) /. float_of_int n *. 1e9 in
+    heading "%-28s %12.1f ns/call overhead vs bare call" "trace-disabled-overhead" per_call_ns;
+    if per_call_ns > 150. then
+      failwith
+        (Printf.sprintf "disabled tracing is not zero-cost: %.1f ns/call overhead" per_call_ns)
 
   let run () =
     section "Micro-benchmarks (bechamel: ns per run)";
@@ -475,7 +511,8 @@ module Micro = struct
             | Some [ est ] -> heading "%-28s %12.0f ns/run" name est
             | _ -> heading "%-28s (no estimate)" name)
           results)
-      (tests ())
+      (tests ());
+    zero_cost_assertion ()
 end
 
 (* ------------------------------------------------------------------ *)
@@ -516,6 +553,26 @@ let () =
     Sys.argv;
   let to_run = if !requested = [] then List.map fst experiments else List.rev !requested in
   if !quick then timeout := Float.min !timeout 5.;
+  (* BENCH_TRACE=1 captures a Chrome trace per experiment, written next
+     to the BENCH_*.json outputs, and prints the per-operator rollup. *)
+  let tracing = Sys.getenv_opt "BENCH_TRACE" = Some "1" in
+  let run_one name =
+    if not tracing then (List.assoc name experiments) ()
+    else begin
+      Trace.install (Trace.make ());
+      Fun.protect
+        ~finally:(fun () ->
+          let tr = Trace.get () in
+          let file = Printf.sprintf "bench_trace_%s.json" name in
+          Trace.Chrome.write tr file;
+          Printf.printf "\ntrace: %d events written to %s (open in Perfetto)\n"
+            (List.length (Trace.events tr))
+            file;
+          R.print_trace_rollup ();
+          Trace.uninstall ())
+        (List.assoc name experiments)
+    end
+  in
   let t0 = Unix.gettimeofday () in
-  List.iter (fun name -> (List.assoc name experiments) ()) to_run;
+  List.iter run_one to_run;
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

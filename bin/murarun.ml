@@ -44,8 +44,10 @@ let system_of = function
   | "graphx" -> S.graphx ()
   | other -> failwith ("unknown system " ^ other)
 
-let run gen graph_file labels query system all_systems workers timeout show explain_only =
+let run gen graph_file labels query system all_systems workers timeout show explain_only
+    trace_file =
   try
+    if trace_file <> None then Trace.install (Trace.make ());
     let graph = load_graph gen graph_file labels in
     Printf.printf "graph: %d edges\n" (Relation.Rel.cardinal graph);
     let w = S.of_ucrpq graph query in
@@ -78,6 +80,23 @@ let run gen graph_file labels query system all_systems workers timeout show expl
             sys.name s.wall_s s.result_size s.shuffles s.shuffled_records s.supersteps
         | o -> Printf.printf "%-22s %s\n" sys.name (R.cell_text o))
       systems;
+    (match trace_file with
+    | None -> ()
+    | Some file ->
+      let tr = Trace.get () in
+      let hint =
+        if Filename.check_suffix file ".jsonl" then (
+          Trace.Jsonl.write tr file;
+          "flat JSONL event log")
+        else (
+          Trace.Chrome.write tr file;
+          "open in chrome://tracing or Perfetto")
+      in
+      Printf.printf "\ntrace: %d events written to %s (%s)\n\n"
+        (List.length (Trace.events tr))
+        file hint;
+      R.print_trace_rollup ();
+      Trace.uninstall ());
     if show > 0 then begin
       (* display a sample of the answers with the reference engine *)
       let term = Rpq.Query.to_term (Rpq.Query.parse query) in
@@ -96,7 +115,10 @@ let run gen graph_file labels query system all_systems workers timeout show expl
     0
   with
   | Exit -> 0
-  | Failure msg | Rpq.Regex.Parse_error msg | Rpq.Query.Translation_error msg ->
+  | Failure msg
+  | Sys_error msg
+  | Rpq.Regex.Parse_error msg
+  | Rpq.Query.Translation_error msg ->
     Printf.eprintf "error: %s\n" msg;
     1
 
@@ -128,10 +150,16 @@ let () =
   let explain =
     Arg.(value & flag & info [ "explain" ] ~doc:"Show the optimized logical and physical plans instead of executing.")
   in
+  let trace_file =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Capture an execution trace: Chrome trace_event JSON (open in chrome://tracing or \
+                 Perfetto), or a flat JSONL event log if FILE ends in .jsonl. Also prints the \
+                 per-operator/per-iteration rollup.")
+  in
   let term =
     Term.(
       const run $ gen $ graph_file $ labels $ query $ system $ all_systems $ workers $ timeout
-      $ show $ explain)
+      $ show $ explain $ trace_file)
   in
   let info =
     Cmd.info "murarun" ~version:"1.0"

@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI gate: formatting (when the formatter is available), full build, tests.
+# Run from the repository root:  sh ci/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if command -v ocamlformat >/dev/null 2>&1 && [ -f .ocamlformat ]; then
+  echo "== dune fmt (check) =="
+  dune build @fmt || {
+    echo "formatting check failed — run 'dune fmt' and commit the result" >&2
+    exit 1
+  }
+else
+  echo "== dune fmt skipped (ocamlformat not installed or no .ocamlformat) =="
+fi
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "ci/check.sh: all checks passed"

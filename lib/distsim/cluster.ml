@@ -2,7 +2,12 @@ type t = { workers : int; parallel : bool; metrics : Metrics.t }
 
 let make ?(parallel = false) ~workers () =
   if workers < 1 then invalid_arg "Cluster.make: workers < 1";
-  { workers; parallel; metrics = Metrics.create () }
+  let c = { workers; parallel; metrics = Metrics.create () } in
+  (* wire the ambient tracer's simulated clock to this cluster's metered
+     time, so every event carries a deterministic timestamp *)
+  let m = c.metrics in
+  Trace.set_sim_clock (Trace.get ()) (fun () -> m.Metrics.sim_time_ns);
+  c
 
 let workers c = c.workers
 let parallel c = c.parallel
@@ -13,12 +18,19 @@ let clock_ns () = Unix.gettimeofday () *. 1e9
 type 'a outcome = Value of 'a | Error of exn
 
 let run_stage c f =
+  let tr = Trace.get () in
+  Trace.span tr ~cat:"stage" ~attrs:[ ("workers", Trace.Int c.workers) ] "stage" @@ fun () ->
   let n = c.workers in
   let timed w =
-    let t0 = clock_ns () in
-    let r = try Value (f w) with e -> Error e in
-    let t1 = clock_ns () in
-    (r, t1 -. t0)
+    let body () =
+      let t0 = clock_ns () in
+      let r = try Value (f w) with e -> Error e in
+      let t1 = clock_ns () in
+      (r, t1 -. t0)
+    in
+    (* worker-side events (e.g. localdb spans inside mapPartitions) land
+       on the worker's own track *)
+    if Trace.enabled tr then Trace.with_tid (w + 1) body else body ()
   in
   let results =
     if c.parallel && n > 1 then begin
@@ -30,4 +42,5 @@ let run_stage c f =
   in
   let max_ns = Array.fold_left (fun acc (_, t) -> Float.max acc t) 0. results in
   Metrics.record_stage c.metrics ~max_worker_ns:max_ns;
+  Trace.set_attr tr "max_worker_ns" (Trace.Float max_ns);
   Array.map (fun (r, _) -> match r with Value v -> v | Error e -> raise e) results

@@ -27,6 +27,35 @@ let same_hashing a b =
 let target_of ~positions ~workers tu =
   if workers = 1 then 0 else Tuple.hash (Tuple.project positions tu) mod workers
 
+(* Metered communication, mirrored into the ambient tracer: every
+   shuffle/broadcast becomes a point event attributed (via the open-span
+   stack) to the operator and fixpoint iteration that caused it. *)
+let meter_shuffle cluster ~op ~records ~bytes =
+  Metrics.record_shuffle (Cluster.metrics cluster) ~records ~bytes;
+  Trace.instant (Trace.get ()) ~cat:"shuffle"
+    ~attrs:[ ("op", Trace.Str op); ("records", Trace.Int records); ("bytes", Trace.Int bytes) ]
+    "shuffle"
+
+let meter_broadcast cluster ~op ~records =
+  Metrics.record_broadcast (Cluster.metrics cluster) ~records;
+  Trace.instant (Trace.get ()) ~cat:"shuffle"
+    ~attrs:[ ("op", Trace.Str op); ("records", Trace.Int records) ]
+    "broadcast"
+
+(* Partition-skew attributes (max/mean partition size) on the enclosing
+   span; only computed when tracing is on. *)
+let record_skew tr parts =
+  if Trace.enabled tr then begin
+    let sizes = Array.map Tset.cardinal parts in
+    let total = Array.fold_left ( + ) 0 sizes in
+    let mx = Array.fold_left max 0 sizes in
+    let mean = float_of_int total /. float_of_int (max 1 (Array.length sizes)) in
+    Trace.set_attr tr "out_records" (Trace.Int total);
+    Trace.set_attr tr "max_partition" (Trace.Int mx);
+    Trace.set_attr tr "skew"
+      (Trace.Float (if mean > 0. then float_of_int mx /. mean else 1.))
+  end
+
 (* Exchange a full dataset by key: returns fresh partitions and the
    number of tuples that changed worker. *)
 let exchange parts ~positions ~workers =
@@ -44,6 +73,8 @@ let exchange parts ~positions ~workers =
   (fresh, !moved)
 
 let of_rel ?by cluster rel =
+  let tr = Trace.get () in
+  Trace.span tr ~cat:"dds" "dds.of_rel" @@ fun () ->
   let workers = Cluster.workers cluster in
   let schema = Rel.schema rel in
   let parts = Array.init workers (fun _ -> Tset.create ()) in
@@ -59,8 +90,9 @@ let of_rel ?by cluster rel =
         w := (!w + 1) mod workers)
       rel);
   let records = Rel.cardinal rel in
-  Metrics.record_shuffle (Cluster.metrics cluster) ~records
+  meter_shuffle cluster ~op:"of_rel" ~records
     ~bytes:(records * Metrics.tuple_bytes (Schema.arity schema));
+  record_skew tr parts;
   {
     cluster;
     schema;
@@ -77,10 +109,11 @@ let empty cluster schema =
   }
 
 let collect d =
+  Trace.span (Trace.get ()) ~cat:"dds" "dds.collect" @@ fun () ->
   let out = Tset.create ~capacity:(cardinal d) () in
   Array.iter (fun p -> ignore (Tset.add_all out p)) d.parts;
   let records = Tset.cardinal out in
-  Metrics.record_shuffle (Cluster.metrics d.cluster) ~records
+  meter_shuffle d.cluster ~op:"collect" ~records
     ~bytes:(records * Metrics.tuple_bytes (Schema.arity d.schema));
   Rel.of_tset d.schema out
 
@@ -99,13 +132,16 @@ let first_tuples d n =
    with Exit -> ());
   List.rev !acc
 
-let map_partitions ?(partitioning = Arbitrary) ~schema f d =
+let map_partitions ?(op = "map_partitions") ?(partitioning = Arbitrary) ~schema f d =
+  let tr = Trace.get () in
+  Trace.span tr ~cat:"dds" ("dds." ^ op) @@ fun () ->
   let parts = Cluster.run_stage d.cluster (fun w -> f w d.parts.(w)) in
+  record_skew tr parts;
   { d with schema; parts; partitioning }
 
 let filter p d =
   let keep = Pred.compile d.schema p in
-  map_partitions ~partitioning:d.partitioning ~schema:d.schema
+  map_partitions ~op:"filter" ~partitioning:d.partitioning ~schema:d.schema
     (fun _ part ->
       let out = Tset.create () in
       Tset.iter (fun tu -> if keep tu then ignore (Tset.add out tu)) part;
@@ -136,6 +172,7 @@ let relayout_set ~from ~into part =
 
 let set_union_local a b =
   if num_partitions a <> num_partitions b then invalid_arg "Dds.set_union_local: partition counts";
+  Trace.span (Trace.get ()) ~cat:"dds" "dds.union_local" @@ fun () ->
   let parts =
     Cluster.run_stage a.cluster (fun w ->
         let out = Tset.copy a.parts.(w) in
@@ -149,6 +186,7 @@ let set_union_local a b =
 
 let set_diff_local a b =
   if num_partitions a <> num_partitions b then invalid_arg "Dds.set_diff_local: partition counts";
+  Trace.span (Trace.get ()) ~cat:"dds" "dds.diff_local" @@ fun () ->
   let parts =
     Cluster.run_stage a.cluster (fun w ->
         let rhs = relayout_set ~from:b.schema ~into:a.schema b.parts.(w) in
@@ -188,7 +226,7 @@ type broadcast = Rel.t
 
 let broadcast cluster rel =
   let records = Rel.cardinal rel * max 1 (Cluster.workers cluster - 1) in
-  Metrics.record_broadcast (Cluster.metrics cluster) ~records;
+  meter_broadcast cluster ~op:"broadcast" ~records;
   rel
 
 let broadcast_value b = b
@@ -197,7 +235,7 @@ let join_bcast d rel =
   let right_schema = Rel.schema rel in
   let out_schema = Schema.append_distinct d.schema right_schema in
   let right = Rel.tuples rel in
-  map_partitions ~partitioning:d.partitioning ~schema:out_schema
+  map_partitions ~op:"join_bcast" ~partitioning:d.partitioning ~schema:out_schema
     (fun _ part ->
       local_join_sets ~left_schema:d.schema ~right_schema ~out_schema part right)
     d
@@ -211,7 +249,7 @@ let antijoin_bcast d rel =
   | _ ->
     let idx = Relation.Index.build (Rel.schema rel) shared (Tset.to_seq (Rel.tuples rel)) in
     let key = Schema.positions d.schema shared in
-    map_partitions ~partitioning:d.partitioning ~schema:d.schema
+    map_partitions ~op:"antijoin_bcast" ~partitioning:d.partitioning ~schema:d.schema
       (fun _ part ->
         let out = Tset.create () in
         Tset.iter
@@ -226,11 +264,14 @@ let antijoin_broadcast d rel = antijoin_bcast d (broadcast d.cluster rel)
 let repartition ~by d =
   if same_hashing d.partitioning (Hashed by) then d
   else begin
+    let tr = Trace.get () in
+    Trace.span tr ~cat:"dds" "dds.repartition" @@ fun () ->
     let workers = Cluster.workers d.cluster in
     let positions = Schema.positions d.schema by in
     let parts, moved = exchange d.parts ~positions ~workers in
-    Metrics.record_shuffle (Cluster.metrics d.cluster) ~records:moved
+    meter_shuffle d.cluster ~op:"repartition" ~records:moved
       ~bytes:(moved * Metrics.tuple_bytes (Schema.arity d.schema));
+    record_skew tr parts;
     { d with parts; partitioning = Hashed by }
   end
 
@@ -240,6 +281,7 @@ let distinct d =
   | Arbitrary -> repartition ~by:(Schema.cols d.schema) d
 
 let join_shuffle a b =
+  Trace.span (Trace.get ()) ~cat:"dds" "dds.join_shuffle" @@ fun () ->
   let shared = Schema.common a.schema b.schema in
   match shared with
   | [] ->
@@ -262,9 +304,11 @@ let join_shuffle a b =
           local_join_sets ~left_schema:a.schema ~right_schema:b.schema ~out_schema a'.parts.(w)
             b'.parts.(w))
     in
+    record_skew (Trace.get ()) parts;
     { a with schema = out_schema; parts; partitioning = Hashed shared }
 
 let antijoin_shuffle a b =
+  Trace.span (Trace.get ()) ~cat:"dds" "dds.antijoin_shuffle" @@ fun () ->
   let shared = Schema.common a.schema b.schema in
   match shared with
   | [] ->

@@ -54,11 +54,12 @@ val rename : (string * string) list -> t -> t
     along with the schema. *)
 
 val map_partitions :
-  ?partitioning:partitioning -> schema:Relation.Schema.t ->
+  ?op:string -> ?partitioning:partitioning -> schema:Relation.Schema.t ->
   (int -> Relation.Tset.t -> Relation.Tset.t) -> t -> t
 (** [map_partitions ~schema f d] applies [f worker_index partition] on
     every worker. The default resulting partitioning is [Arbitrary];
-    callers asserting preservation pass it explicitly. *)
+    callers asserting preservation pass it explicitly. [?op] labels the
+    operation's span in the ambient trace (default ["map_partitions"]). *)
 
 val set_union_local : t -> t -> t
 (** Partition-wise set union (the SetRDD union: no shuffle). Schemas must

@@ -53,6 +53,71 @@ let print_table ?(extra = []) ~title ~columns rows =
   print_row (List.map (fun w -> String.make w '-') widths);
   List.iter print_row body
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (BENCH_<name>.json) and trace rollups      *)
+(* ------------------------------------------------------------------ *)
+
+(* Row labels follow the "Q1   [C1,C2]" convention of the bench harness;
+   recover the query id and class list when present. *)
+let split_label label =
+  match (String.index_opt label '[', String.index_opt label ']') with
+  | Some i, Some j when j > i ->
+    let q = String.trim (String.sub label 0 i) in
+    let classes =
+      String.sub label (i + 1) (j - i - 1)
+      |> String.split_on_char ','
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    (q, classes)
+  | _ -> (String.trim label, [])
+
+let outcome_json (o : Systems.outcome) =
+  let open Trace.Json in
+  match o with
+  | Systems.Success s ->
+    obj
+      [
+        ("status", str "success");
+        ("wall_s", num s.wall_s);
+        ("sim_s", num s.sim_s);
+        ("result_size", string_of_int s.result_size);
+        ("shuffles", string_of_int s.shuffles);
+        ("shuffled_records", string_of_int s.shuffled_records);
+        ("broadcast_records", string_of_int s.broadcast_records);
+        ("supersteps", string_of_int s.supersteps);
+      ]
+  | Systems.Failed msg -> obj [ ("status", str "failed"); ("error", str msg) ]
+  | Systems.Timeout t -> obj [ ("status", str "timeout"); ("after_s", num t) ]
+
+let rows_json rows =
+  let open Trace.Json in
+  let row_json row =
+    let query, classes = split_label row.label in
+    obj
+      [
+        ("label", str row.label);
+        ("query", str query);
+        ("classes", "[" ^ String.concat "," (List.map str classes) ^ "]");
+        ( "systems",
+          obj (List.map (fun (name, o) -> (name, outcome_json o)) row.cells) );
+      ]
+  in
+  "[" ^ String.concat ",\n" (List.map row_json rows) ^ "]\n"
+
+let write_json ?(dir = ".") ~name rows =
+  let file = Filename.concat dir (Printf.sprintf "BENCH_%s.json" name) in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (rows_json rows))
+
+(* Per-operator / per-iteration rollup of the ambient trace, for display
+   after a traced run (murarun --trace, BENCH_TRACE=1). *)
+let print_trace_rollup () =
+  let tr = Trace.get () in
+  if Trace.enabled tr then print_string (Trace.Rollup.to_string tr)
+
 let print_series ~title ~x_label blocks =
   Printf.printf "\n== %s ==\n" title;
   List.iter

@@ -26,3 +26,21 @@ val print_table :
 
 val print_series : title:string -> x_label:string -> (string * row list) list -> unit
 (** For figure-style output: one block per x value. *)
+
+(** {1 Machine-readable results and trace rollups} *)
+
+val split_label : string -> string * string list
+(** ["Q1  [C1,C2]"] → [("Q1", ["C1"; "C2"])]; labels without a class
+    bracket return the trimmed label and an empty list. *)
+
+val rows_json : row list -> string
+(** JSON array: one object per row with the query id, its classes and a
+    per-system object carrying the outcome (status, wall/sim time and
+    communication metrics). *)
+
+val write_json : ?dir:string -> name:string -> row list -> unit
+(** Write {!rows_json} to [BENCH_<name>.json] in [dir] (default ["."]). *)
+
+val print_trace_rollup : unit -> unit
+(** Print the ambient trace's per-operator and per-iteration rollup
+    tables (no-op when tracing is disabled). *)

@@ -125,23 +125,32 @@ and run_fix db vars x body =
             else Plan.Map (Tuple.project (Schema.reorder_positions ~from:s ~into:schema), p))
           recs
       in
+      let tr = Trace.get () in
+      Trace.span tr ~cat:"localdb" ~attrs:[ ("var", Trace.Str x) ] "localdb.fix" @@ fun () ->
+      let rounds = ref 0 in
       let rec loop () =
+        incr rounds;
         let fresh = Tset.create () in
         List.iter
           (fun p ->
             let produced = Plan.run p in
             Tset.iter (fun tu -> if not (Tset.mem all tu) then ignore (Tset.add fresh tu)) produced)
           rec_plans;
+        Trace.instant tr ~cat:"localdb"
+          ~attrs:[ ("round", Trace.Int !rounds); ("fresh", Trace.Int (Tset.cardinal fresh)) ]
+          "localdb.round";
         if not (Tset.is_empty fresh) then begin
           ignore (Tset.add_all all fresh);
           work := fresh;
           loop ()
         end
       in
-      loop ());
+      loop ();
+      Trace.set_attr tr "rounds" (Trace.Int !rounds));
     Rel.of_tset schema all
 
 let query db term =
+  Trace.span (Trace.get ()) ~cat:"localdb" "localdb.query" @@ fun () ->
   let plan, schema = compile db [] term in
   Rel.of_tset schema (Plan.run plan)
 

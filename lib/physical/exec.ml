@@ -78,7 +78,7 @@ let project_narrow d keep =
     | Dds.Hashed cols when List.for_all (fun c -> List.mem c keep) cols -> Dds.Hashed cols
     | Dds.Hashed _ | Dds.Arbitrary -> Dds.Arbitrary
   in
-  Dds.map_partitions ~partitioning ~schema:out_schema
+  Dds.map_partitions ~op:"project" ~partitioning ~schema:out_schema
     (fun _ part ->
       let out = Tset.create ~capacity:(Tset.cardinal part) () in
       Tset.iter (fun tu -> ignore (Tset.add out (Tuple.project pos tu))) part;
@@ -87,11 +87,28 @@ let project_narrow d keep =
 
 let keep_of_drop schema drop = List.filter (fun c -> not (List.mem c drop)) (Schema.cols schema)
 
+(* Span label for one physical operator (trace category "op"): the
+   per-operator rollup groups communication and stage time under these. *)
+let op_label (t : Term.t) =
+  match t with
+  | Rel n -> "Rel " ^ n
+  | Cst _ -> "Cst"
+  | Var x -> "Var " ^ x
+  | Select _ -> "Select"
+  | Project _ -> "Project"
+  | Antiproject _ -> "Antiproject"
+  | Rename _ -> "Rename"
+  | Join _ -> "Join"
+  | Antijoin _ -> "Antijoin"
+  | Union _ -> "Union"
+  | Fix (x, _) -> "Fix " ^ x
+
 (* ------------------------------------------------------------------ *)
 (* Distributed evaluation of non-recursive operators                   *)
 (* ------------------------------------------------------------------ *)
 
 let rec exec_dds ctx (term : Term.t) : Dds.t =
+  Trace.span (Trace.get ()) ~cat:"op" (op_label term) @@ fun () ->
   let d =
     match term with
     | Rel n -> (
@@ -139,7 +156,7 @@ and relayout_dds d out_schema =
   if Schema.equal_ordered (Dds.schema d) out_schema then d
   else
     let perm = Schema.reorder_positions ~from:(Dds.schema d) ~into:out_schema in
-    Dds.map_partitions ~schema:out_schema
+    Dds.map_partitions ~op:"relayout" ~schema:out_schema
       (fun _ part ->
         let out = Tset.create ~capacity:(Tset.cardinal part) () in
         Tset.iter (fun tu -> ignore (Tset.add out (Tuple.project perm tu))) part;
@@ -272,6 +289,15 @@ and exec_fix ctx var body : Dds.t =
       in
       let partitioned_by = if ctx.config.use_stable_partitioning then stable else [] in
       let result, iterations =
+        Trace.span (Trace.get ()) ~cat:"fixpoint"
+          ~attrs:
+            [
+              ("var", Trace.Str var);
+              ("plan", Trace.Str (plan_name plan));
+              ("stable", Trace.Str (String.concat "," stable));
+            ]
+          "fixpoint"
+        @@ fun () ->
         match plan with
         | P_gld -> run_gld ctx ~var ~init ~recs
         | P_plw_s -> run_plw_s ctx ~var ~init ~recs ~stable:partitioned_by
@@ -305,6 +331,10 @@ and run_gld ctx ~var ~init ~recs =
     incr iterations;
     if !iterations > ctx.config.max_iterations then
       raise (Resource_limit "max iterations exceeded (P_gld)");
+    Trace.span (Trace.get ()) ~cat:"fixpoint"
+      ~attrs:[ ("var", Trace.Str var); ("i", Trace.Int !iterations) ]
+      "iteration"
+    @@ fun () ->
     Metrics.record_superstep m;
     let produced =
       match List.map (fun f -> f !delta) branch_fns with
@@ -339,6 +369,10 @@ and run_plw_s ctx ~var ~init ~recs ~stable =
     incr iterations;
     if !iterations > ctx.config.max_iterations then
       raise (Resource_limit "max iterations exceeded (P_plw^s)");
+    Trace.span (Trace.get ()) ~cat:"fixpoint"
+      ~attrs:[ ("var", Trace.Str var); ("i", Trace.Int !iterations) ]
+      "iteration"
+    @@ fun () ->
     Metrics.record_superstep m;
     let produced =
       match List.map (fun f -> f !delta) branch_fns with
@@ -379,8 +413,11 @@ and run_plw_pg ctx ~var ~body ~init ~stable =
       (fun n ->
         match List.assoc_opt n ctx.tables with
         | Some r ->
-          Metrics.record_broadcast m
-            ~records:(Rel.cardinal r * max 1 (Cluster.workers ctx.config.cluster - 1));
+          let records = Rel.cardinal r * max 1 (Cluster.workers ctx.config.cluster - 1) in
+          Metrics.record_broadcast m ~records;
+          Trace.instant (Trace.get ()) ~cat:"shuffle"
+            ~attrs:[ ("op", Trace.Str "plw_pg.table"); ("records", Trace.Int records) ]
+            "broadcast";
           Some (n, r)
         | None -> None)
       rels_needed
@@ -403,7 +440,11 @@ and run_plw_pg ctx ~var ~body ~init ~stable =
     | exception (Localdb.To_sql.Unsupported _ | Mura.Typing.Type_error _) -> None
   in
   let result =
-    Dds.map_partitions
+    Trace.span (Trace.get ()) ~cat:"fixpoint"
+      ~attrs:[ ("var", Trace.Str var); ("i", Trace.Int 1) ]
+      "iteration"
+    @@ fun () ->
+    Dds.map_partitions ~op:"local_fixpoint"
       ~partitioning:(match stable with [] -> Dds.Arbitrary | _ -> Dds.Hashed stable)
       ~schema
       (fun _ part ->

@@ -56,6 +56,14 @@ let load config rel =
   (* shipping the graph to the workers is one initial exchange *)
   Metrics.record_shuffle (Cluster.metrics config.cluster) ~records:!n_edges
     ~bytes:(!n_edges * Metrics.tuple_bytes 3);
+  Trace.instant (Trace.get ()) ~cat:"shuffle"
+    ~attrs:
+      [
+        ("op", Trace.Str "pregel.load");
+        ("records", Trace.Int !n_edges);
+        ("bytes", Trace.Int (!n_edges * Metrics.tuple_bytes 3));
+      ]
+    "shuffle";
   { config; parts; n_vertices = Hashtbl.length vertex_set; n_edges = !n_edges }
 
 let vertices g = g.n_vertices
@@ -104,6 +112,10 @@ let eval_rpq ?source ?target g regex =
   let pending = ref (List.length initial) in
   while !pending > 0 do
     incr supersteps;
+    Trace.span (Trace.get ()) ~cat:"pregel"
+      ~attrs:[ ("i", Trace.Int !supersteps); ("pending", Trace.Int !pending) ]
+      "superstep"
+    @@ fun () ->
     Metrics.record_superstep m;
     if !supersteps > config.max_supersteps then raise (Engine_failure "superstep budget exceeded");
     (* compute phase: one stage across workers *)
@@ -176,8 +188,17 @@ let eval_rpq ?source ?target g regex =
           out)
       outboxes;
     total_messages := !total_messages + !count;
-    if !count > 0 then
+    if !count > 0 then begin
       Metrics.record_shuffle m ~records:!crossing ~bytes:(!crossing * Metrics.tuple_bytes 3);
+      Trace.instant (Trace.get ()) ~cat:"shuffle"
+        ~attrs:
+          [
+            ("op", Trace.Str "pregel.messages");
+            ("records", Trace.Int !crossing);
+            ("bytes", Trace.Int (!crossing * Metrics.tuple_bytes 3));
+          ]
+        "shuffle"
+    end;
     if !total_messages > config.max_state then
       raise (Engine_failure (Printf.sprintf "message budget exceeded (%d)" !total_messages));
     pending := !count
@@ -188,6 +209,14 @@ let eval_rpq ?source ?target g regex =
   Array.iter (fun r -> Tset.iter (fun tu -> ignore (Rel.add out tu)) r) results;
   let records = Rel.cardinal out in
   Metrics.record_shuffle m ~records ~bytes:(records * Metrics.tuple_bytes 2);
+  Trace.instant (Trace.get ()) ~cat:"shuffle"
+    ~attrs:
+      [
+        ("op", Trace.Str "pregel.gather");
+        ("records", Trace.Int records);
+        ("bytes", Trace.Int (records * Metrics.tuple_bytes 2));
+      ]
+    "shuffle";
   let out =
     match target with
     | Some t -> Rel.select (Relation.Pred.Eq_const ("trg", t)) out
