@@ -516,6 +516,170 @@ module Micro = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Fixpoint hot path: domain pool + prepared broadcast joins           *)
+(* ------------------------------------------------------------------ *)
+
+module MicroFixpoint = struct
+  (* Times one TC fixpoint under {sequential, parallel-pool} ×
+     {prepared, unprepared} broadcast joins, plus the stage-dispatch
+     overhead of the persistent pool against the old per-stage
+     Domain.spawn. Acts as the hot-path regression gate: the four runs
+     must agree on results and on the deterministic communication
+     counters (plan shape unchanged), and — at full bench scale — the
+     prepared joins must be >= 2x faster and pool dispatch cheaper than
+     spawning.
+
+     The workload is single-source reachability over a long path graph:
+     many iterations with a tiny frontier delta against a broadcast of
+     the whole edge set — exactly the regime where the unprepared join
+     rescans O(|G|) per iteration and the prepared one probes O(|delta|). *)
+
+  let path_graph n =
+    Rel.of_tuples
+      (Relation.Schema.of_list [ "src"; "trg" ])
+      (List.init (n - 1) (fun i -> [| i; i + 1 |]))
+
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+
+  type run = {
+    tuples : int;
+    iterations : int;
+    wall_s : float;
+    shuffles : int;
+    shuffled_records : int;
+    broadcasts : int;
+    broadcast_records : int;
+  }
+
+  let measure g term ~parallel ~prepared =
+    let cluster = Distsim.Cluster.make ~parallel ~workers:4 () in
+    let config =
+      {
+        (Physical.Exec.default_config cluster) with
+        force_plan = Some Physical.Exec.P_plw_s;
+        use_prepared_broadcast = prepared;
+      }
+    in
+    let ctx = Physical.Exec.session config [ ("E", g) ] in
+    let result, wall_s = time (fun () -> Physical.Exec.run ctx term) in
+    let m = Distsim.Cluster.metrics cluster in
+    let iterations =
+      match (Physical.Exec.report ctx).Physical.Exec.fixpoints with
+      | f :: _ -> f.Physical.Exec.iterations
+      | [] -> 0
+    in
+    Distsim.Cluster.shutdown cluster;
+    {
+      tuples = Rel.cardinal result;
+      iterations;
+      wall_s;
+      shuffles = m.Distsim.Metrics.shuffles;
+      shuffled_records = m.Distsim.Metrics.shuffled_records;
+      broadcasts = m.Distsim.Metrics.broadcasts;
+      broadcast_records = m.Distsim.Metrics.broadcast_records;
+    }
+
+  let counters r = (r.shuffles, r.shuffled_records, r.broadcasts, r.broadcast_records)
+
+  (* Dispatch overhead of one trivial parallel stage: persistent pool vs
+     the old spawn-per-stage scheme (4 workers, driver doubles as worker
+     0, 3 remote workers either way). *)
+  let dispatch_overhead () =
+    let stages = sc 400 40 in
+    let cluster = Distsim.Cluster.make ~parallel:true ~workers:4 () in
+    ignore (Distsim.Cluster.run_stage cluster (fun w -> w));
+    (* warm-up *)
+    let (), t_pool =
+      time (fun () ->
+          for _ = 1 to stages do
+            ignore (Distsim.Cluster.run_stage cluster (fun w -> w))
+          done)
+    in
+    Distsim.Cluster.shutdown cluster;
+    let (), t_spawn =
+      time (fun () ->
+          for _ = 1 to stages do
+            let domains = Array.init 3 (fun i -> Domain.spawn (fun () -> i + 1)) in
+            ignore (Array.map Domain.join domains)
+          done)
+    in
+    (stages, t_pool /. float_of_int stages *. 1e6, t_spawn /. float_of_int stages *. 1e6)
+
+  let run () =
+    section "micro_fixpoint — fixpoint hot path (domain pool + prepared broadcast joins)";
+    let n = sc 2_500 150 in
+    let g = path_graph n in
+    let term = Mura.Patterns.reach (Relation.Value.of_int 0) in
+    heading "single-source TC over a %d-node path (%d edges), P_plw^s, 4 workers" n (Rel.cardinal g);
+    let combos =
+      [
+        ("seq_unprepared", false, false);
+        ("seq_prepared", false, true);
+        ("pool_unprepared", true, false);
+        ("pool_prepared", true, true);
+      ]
+    in
+    let runs = List.map (fun (name, parallel, prepared) -> (name, measure g term ~parallel ~prepared)) combos in
+    heading "%-16s %10s %8s %10s %10s %12s" "variant" "tuples" "iters" "time(s)" "shuffles" "bcast rec";
+    List.iter
+      (fun (name, r) ->
+        heading "%-16s %10d %8d %10.3f %10d %12d" name r.tuples r.iterations r.wall_s r.shuffles
+          r.broadcast_records)
+      runs;
+    let get name = List.assoc name runs in
+    let seq_u = get "seq_unprepared" and seq_p = get "seq_prepared" in
+    let pool_u = get "pool_unprepared" and pool_p = get "pool_prepared" in
+    let speedup_seq = seq_u.wall_s /. Float.max 1e-9 seq_p.wall_s in
+    let speedup_pool = pool_u.wall_s /. Float.max 1e-9 pool_p.wall_s in
+    let results_identical = List.for_all (fun (_, r) -> r.tuples = seq_u.tuples) runs in
+    let counters_identical = List.for_all (fun (_, r) -> counters r = counters seq_u) runs in
+    let stages, pool_us, spawn_us = dispatch_overhead () in
+    heading "prepared-broadcast speedup: %.2fx sequential, %.2fx pool" speedup_seq speedup_pool;
+    heading "stage dispatch (%d trivial stages): pool %.1f us/stage, spawn-per-stage %.1f us/stage"
+      stages pool_us spawn_us;
+    let oc = open_out "BENCH_fixpoint_hotpath.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let run_json r =
+          Printf.sprintf
+            "{\"tuples\":%d,\"iterations\":%d,\"wall_s\":%.6f,\"shuffles\":%d,\"shuffled_records\":%d,\"broadcasts\":%d,\"broadcast_records\":%d}"
+            r.tuples r.iterations r.wall_s r.shuffles r.shuffled_records r.broadcasts
+            r.broadcast_records
+        in
+        Printf.fprintf oc
+          "{\"name\":\"fixpoint_hotpath\",\"quick\":%b,\"graph_nodes\":%d,\"edges\":%d,\n\
+           \"runs\":{%s},\n\
+           \"prepared_speedup_seq\":%.3f,\"prepared_speedup_pool\":%.3f,\n\
+           \"results_identical\":%b,\"counters_identical\":%b,\n\
+           \"dispatch\":{\"stages\":%d,\"pool_us_per_stage\":%.2f,\"spawn_us_per_stage\":%.2f,\"pool_below_spawn\":%b}}\n"
+          !quick n (Rel.cardinal g)
+          (String.concat "," (List.map (fun (name, r) -> Printf.sprintf "\"%s\":%s" name (run_json r)) runs))
+          speedup_seq speedup_pool results_identical counters_identical stages pool_us spawn_us
+          (pool_us < spawn_us));
+    heading "wrote BENCH_fixpoint_hotpath.json";
+    (* hard gates: correctness always; performance only at full scale
+       (quick mode is a smoke test where the workload is too small for
+       stable ratios) *)
+    if not results_identical then failwith "micro_fixpoint: result sizes differ across variants";
+    if not counters_identical then
+      failwith "micro_fixpoint: shuffle/broadcast counters differ across variants (plan shape changed)";
+    if not !quick then begin
+      if speedup_seq < 2.0 then
+        failwith
+          (Printf.sprintf "micro_fixpoint: prepared broadcast join speedup %.2fx < 2x" speedup_seq);
+      if pool_us >= spawn_us then
+        failwith
+          (Printf.sprintf
+             "micro_fixpoint: pool dispatch (%.1f us/stage) not below Domain.spawn baseline (%.1f us/stage)"
+             pool_us spawn_us)
+    end
+end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -532,6 +696,7 @@ let experiments =
     ("fig8", Fig8.run);
     ("ablation", Ablation.run);
     ("micro", Micro.run);
+    ("micro_fixpoint", MicroFixpoint.run);
   ]
 
 let () =

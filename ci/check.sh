@@ -21,4 +21,11 @@ dune build @all
 echo "== dune runtest =="
 dune runtest
 
+# fixpoint hot-path regression gate: quick-scale run of the pool +
+# prepared-broadcast micro bench; a crash or a counter/result mismatch
+# across the four variants fails the build (the >=2x speedup and
+# pool-vs-spawn dispatch gates only apply at full bench scale)
+echo "== bench micro_fixpoint (--quick) =="
+dune exec bench/main.exe -- --quick micro_fixpoint
+
 echo "ci/check.sh: all checks passed"

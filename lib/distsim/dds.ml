@@ -57,9 +57,11 @@ let record_skew tr parts =
   end
 
 (* Exchange a full dataset by key: returns fresh partitions and the
-   number of tuples that changed worker. *)
+   number of tuples that changed worker. Partitions are presized to the
+   mean post-exchange size (skewed partitions still resize). *)
 let exchange parts ~positions ~workers =
-  let fresh = Array.init workers (fun _ -> Tset.create ()) in
+  let total = Array.fold_left (fun acc p -> acc + Tset.cardinal p) 0 parts in
+  let fresh = Array.init workers (fun _ -> Tset.create ~capacity:((total / workers) + 1) ()) in
   let moved = ref 0 in
   Array.iteri
     (fun w p ->
@@ -77,7 +79,9 @@ let of_rel ?by cluster rel =
   Trace.span tr ~cat:"dds" "dds.of_rel" @@ fun () ->
   let workers = Cluster.workers cluster in
   let schema = Rel.schema rel in
-  let parts = Array.init workers (fun _ -> Tset.create ()) in
+  let parts =
+    Array.init workers (fun _ -> Tset.create ~capacity:((Rel.cardinal rel / workers) + 1) ())
+  in
   (match by with
   | Some cols ->
     let positions = Schema.positions schema cols in
@@ -175,8 +179,10 @@ let set_union_local a b =
   Trace.span (Trace.get ()) ~cat:"dds" "dds.union_local" @@ fun () ->
   let parts =
     Cluster.run_stage a.cluster (fun w ->
+        let rhs = relayout_set ~from:b.schema ~into:a.schema b.parts.(w) in
         let out = Tset.copy a.parts.(w) in
-        ignore (Tset.add_all out (relayout_set ~from:b.schema ~into:a.schema b.parts.(w)));
+        Tset.reserve out (Tset.cardinal out + Tset.cardinal rhs);
+        ignore (Tset.add_all out rhs);
         out)
   in
   let partitioning =
@@ -190,36 +196,51 @@ let set_diff_local a b =
   let parts =
     Cluster.run_stage a.cluster (fun w ->
         let rhs = relayout_set ~from:b.schema ~into:a.schema b.parts.(w) in
-        let out = Tset.create () in
+        let out = Tset.create ~capacity:(Tset.cardinal a.parts.(w)) () in
         Tset.iter (fun tu -> if not (Tset.mem rhs tu) then ignore (Tset.add out tu)) a.parts.(w);
         out)
   in
   { a with parts }
 
-let local_join_sets ~left_schema ~right_schema ~out_schema left right =
+(* Per-partition hash join. [index_side] picks the side the hash index
+   is built on (and therefore which side is scanned): [`Auto] compares
+   cardinals — the right choice for one-shot joins — while a caller
+   holding a [prepared] index over the right side passes it explicitly
+   and no comparison (or per-call index build) happens at all. *)
+let local_join_sets ?prepared ?(index_side = `Auto) ~left_schema ~right_schema left right =
   let shared = Schema.common left_schema right_schema in
   let extra_cols = List.filter (fun c -> not (Schema.mem left_schema c)) (Schema.cols right_schema) in
   let extra_pos = Schema.positions right_schema extra_cols in
-  let out = Tset.create () in
+  let out = Tset.create ~capacity:(max (Tset.cardinal left) 16) () in
   let emit lt rt = ignore (Tset.add out (Tuple.concat lt (Tuple.project extra_pos rt))) in
   (match shared with
   | [] -> Tset.iter (fun lt -> Tset.iter (fun rt -> emit lt rt) right) left
   | _ ->
-    (* index the smaller side: semi-naive loops join a small delta
-       against a large stable relation every iteration *)
-    let l_key = Schema.positions left_schema shared in
-    if Tset.cardinal right <= Tset.cardinal left then begin
-      let idx = Relation.Index.build right_schema shared (Tset.to_seq right) in
+    let side =
+      match (prepared, index_side) with
+      | Some _, _ -> `Right (* a prepared index is always over the right side *)
+      | None, `Left -> `Left
+      | None, `Right -> `Right
+      | None, `Auto ->
+        (* index the smaller side: semi-naive loops join a small delta
+           against a large stable relation every iteration *)
+        if Tset.cardinal right <= Tset.cardinal left then `Right else `Left
+    in
+    (match side with
+    | `Right ->
+      let idx =
+        match prepared with
+        | Some idx -> idx
+        | None -> Relation.Index.build right_schema shared (Tset.to_seq right)
+      in
+      let l_key = Schema.positions left_schema shared in
       Tset.iter (fun lt -> List.iter (emit lt) (Relation.Index.probe idx (Tuple.project l_key lt))) left
-    end
-    else begin
+    | `Left ->
       let idx = Relation.Index.build left_schema shared (Tset.to_seq left) in
       let r_key = Schema.positions right_schema shared in
       Tset.iter
         (fun rt -> List.iter (fun lt -> emit lt rt) (Relation.Index.probe idx (Tuple.project r_key rt)))
-        right
-    end);
-  ignore out_schema;
+        right));
   out
 
 type broadcast = Rel.t
@@ -236,8 +257,7 @@ let join_bcast d rel =
   let out_schema = Schema.append_distinct d.schema right_schema in
   let right = Rel.tuples rel in
   map_partitions ~op:"join_bcast" ~partitioning:d.partitioning ~schema:out_schema
-    (fun _ part ->
-      local_join_sets ~left_schema:d.schema ~right_schema ~out_schema part right)
+    (fun _ part -> local_join_sets ~left_schema:d.schema ~right_schema part right)
     d
 
 let antijoin_bcast d rel =
@@ -251,7 +271,63 @@ let antijoin_bcast d rel =
     let key = Schema.positions d.schema shared in
     map_partitions ~op:"antijoin_bcast" ~partitioning:d.partitioning ~schema:d.schema
       (fun _ part ->
-        let out = Tset.create () in
+        let out = Tset.create ~capacity:(Tset.cardinal part) () in
+        Tset.iter
+          (fun tu -> if not (Relation.Index.mem idx (Tuple.project key tu)) then ignore (Tset.add out tu))
+          part;
+        out)
+      d
+
+(* Prepared broadcast joins: the probe index over the constant
+   (broadcast) side is built exactly once — at preparation time, on the
+   driver, so worker domains share the immutable structure — and reused
+   by every subsequent join, instead of being rebuilt (or worse, the
+   whole broadcast relation rescanned) on every fixpoint iteration.
+   Per-iteration work drops from O(|broadcast|) to O(|delta| * fanout). *)
+type prepared_bcast = {
+  b_rel : Rel.t;
+  b_shared : string list; (* join columns the handle was prepared for *)
+  b_index : Relation.Index.t option; (* None iff [b_shared] is empty *)
+}
+
+let prepare_bcast ~for_schema b =
+  let right_schema = Rel.schema b in
+  let shared = Schema.common for_schema right_schema in
+  let index =
+    match shared with
+    | [] -> None
+    | _ -> Some (Relation.Index.build right_schema shared (Tset.to_seq (Rel.tuples b)))
+  in
+  { b_rel = b; b_shared = shared; b_index = index }
+
+let check_prepared ~op p schema =
+  if Schema.common schema (Rel.schema p.b_rel) <> p.b_shared then
+    invalid_arg
+      (Printf.sprintf "Dds.%s: handle prepared for join columns [%s], dataset shares [%s]" op
+         (String.concat "," p.b_shared)
+         (String.concat "," (Schema.common schema (Rel.schema p.b_rel))))
+
+let join_bcast_prepared d p =
+  check_prepared ~op:"join_bcast_prepared" p d.schema;
+  let right_schema = Rel.schema p.b_rel in
+  let out_schema = Schema.append_distinct d.schema right_schema in
+  let right = Rel.tuples p.b_rel in
+  map_partitions ~op:"join_bcast" ~partitioning:d.partitioning ~schema:out_schema
+    (fun _ part ->
+      local_join_sets ?prepared:p.b_index ~left_schema:d.schema ~right_schema part right)
+    d
+
+let antijoin_bcast_prepared d p =
+  check_prepared ~op:"antijoin_bcast_prepared" p d.schema;
+  match p.b_index with
+  | None ->
+    if Rel.is_empty p.b_rel then d
+    else map_partitions ~partitioning:d.partitioning ~schema:d.schema (fun _ _ -> Tset.create ()) d
+  | Some idx ->
+    let key = Schema.positions d.schema p.b_shared in
+    map_partitions ~op:"antijoin_bcast" ~partitioning:d.partitioning ~schema:d.schema
+      (fun _ part ->
+        let out = Tset.create ~capacity:(Tset.cardinal part) () in
         Tset.iter
           (fun tu -> if not (Relation.Index.mem idx (Tuple.project key tu)) then ignore (Tset.add out tu))
           part;
@@ -301,8 +377,7 @@ let join_shuffle a b =
     let out_schema = Schema.append_distinct a.schema b.schema in
     let parts =
       Cluster.run_stage a.cluster (fun w ->
-          local_join_sets ~left_schema:a.schema ~right_schema:b.schema ~out_schema a'.parts.(w)
-            b'.parts.(w))
+          local_join_sets ~left_schema:a.schema ~right_schema:b.schema a'.parts.(w) b'.parts.(w))
     in
     record_skew (Trace.get ()) parts;
     { a with schema = out_schema; parts; partitioning = Hashed shared }
@@ -321,9 +396,9 @@ let antijoin_shuffle a b =
     let b_key = Schema.positions b.schema shared in
     let parts =
       Cluster.run_stage a.cluster (fun w ->
-          let keys = Tset.create () in
+          let keys = Tset.create ~capacity:(Tset.cardinal b'.parts.(w)) () in
           Tset.iter (fun tu -> ignore (Tset.add keys (Tuple.project b_key tu))) b'.parts.(w);
-          let out = Tset.create () in
+          let out = Tset.create ~capacity:(Tset.cardinal a'.parts.(w)) () in
           Tset.iter
             (fun tu -> if not (Tset.mem keys (Tuple.project key tu)) then ignore (Tset.add out tu))
             a'.parts.(w);

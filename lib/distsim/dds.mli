@@ -91,6 +91,36 @@ val join_broadcast : t -> Relation.Rel.t -> t
 
 val antijoin_broadcast : t -> Relation.Rel.t -> t
 
+(** {2 Prepared broadcast joins}
+
+    [join_bcast] picks its hash-index side per partition by comparing
+    cardinals, so a fixpoint joining a shrinking delta against a large
+    broadcast relation ends up indexing the delta and {e rescanning the
+    whole broadcast relation on every iteration} — O(|broadcast|) per
+    iteration. A {!prepared_bcast} handle builds the index over the
+    constant side exactly once (driver-side; the immutable index is then
+    shared by all worker domains) and every subsequent join only probes
+    it: O(|delta| * fanout) per iteration. Preparation meters nothing —
+    the communication was already paid by {!broadcast}, so shuffle and
+    broadcast counters are identical to the unprepared plan. *)
+
+type prepared_bcast
+
+val prepare_bcast : for_schema:Relation.Schema.t -> broadcast -> prepared_bcast
+(** [prepare_bcast ~for_schema b] indexes the broadcast relation by the
+    columns it shares with [for_schema] (the schema of the datasets that
+    will be joined against it — constant across a fixpoint's
+    iterations). *)
+
+val join_bcast_prepared : t -> prepared_bcast -> t
+(** Like {!join_bcast}, probing the prepared index; no per-call index
+    build or side choice.
+    @raise Invalid_argument if the dataset's shared columns differ from
+    the ones the handle was prepared for. *)
+
+val antijoin_bcast_prepared : t -> prepared_bcast -> t
+(** Like {!antijoin_bcast}, reusing the prepared index. *)
+
 (** {1 Wide operations} *)
 
 val repartition : by:string list -> t -> t

@@ -20,6 +20,7 @@ type config = {
   max_iterations : int;
   max_tuples : int;
   use_stable_partitioning : bool;
+  use_prepared_broadcast : bool;
 }
 
 let default_config cluster =
@@ -30,6 +31,7 @@ let default_config cluster =
     max_iterations = 100_000;
     max_tuples = 500_000_000;
     use_stable_partitioning = true;
+    use_prepared_broadcast = true;
   }
 
 exception Resource_limit of string
@@ -216,6 +218,23 @@ and compile_branch ctx ~var ~join_mode branch : Dds.t -> Dds.t =
         let recursive, const = if Term.has_free_var var a then (a, b) else (b, a) in
         let f = go recursive in
         (match join_mode with
+        | `Broadcast when ctx.config.use_prepared_broadcast ->
+          (* prepared handle: index over the broadcast side built once at
+             the first iteration (the delta schema is loop-invariant)
+             and probed by every later one *)
+          let bc = Dds.broadcast ctx.config.cluster (eval_const ctx const) in
+          let prepared = ref None in
+          fun delta ->
+            let left = f delta in
+            let p =
+              match !prepared with
+              | Some p -> p
+              | None ->
+                let p = Dds.prepare_bcast ~for_schema:(Dds.schema left) bc in
+                prepared := Some p;
+                p
+            in
+            Dds.join_bcast_prepared left p
         | `Broadcast ->
           let bc = Dds.broadcast ctx.config.cluster (eval_const ctx const) in
           fun delta -> Dds.join_bcast (f delta) bc
@@ -244,6 +263,20 @@ and compile_branch ctx ~var ~join_mode branch : Dds.t -> Dds.t =
         if Term.has_free_var var b then err "fixpoint on %s is not positive" var;
         let f = go a in
         (match join_mode with
+        | `Broadcast when ctx.config.use_prepared_broadcast ->
+          let bc = Dds.broadcast ctx.config.cluster (eval_const ctx b) in
+          let prepared = ref None in
+          fun delta ->
+            let left = f delta in
+            let p =
+              match !prepared with
+              | Some p -> p
+              | None ->
+                let p = Dds.prepare_bcast ~for_schema:(Dds.schema left) bc in
+                prepared := Some p;
+                p
+            in
+            Dds.antijoin_bcast_prepared left p
         | `Broadcast ->
           let bc = Dds.broadcast ctx.config.cluster (eval_const ctx b) in
           fun delta -> Dds.antijoin_bcast (f delta) bc

@@ -37,6 +37,14 @@ type config = {
   use_stable_partitioning : bool;
       (** ablation knob: when [false], P_plw skips the stable-column
           repartitioning of Sec. IV-A2 and pays a final distinct *)
+  use_prepared_broadcast : bool;
+      (** when [true] (default), P_plw's broadcast joins/antijoins build
+          the index over the constant side once per fixpoint
+          ({!Distsim.Dds.prepare_bcast}) and probe it every iteration;
+          when [false] each iteration re-derives the join strategy and
+          may rescan the whole broadcast relation (the pre-optimisation
+          behaviour, kept as a bench/regression knob). Plan shape and
+          communication counters are identical either way. *)
 }
 
 val default_config : Distsim.Cluster.t -> config

@@ -34,9 +34,8 @@ let rec find_slot slots mask tu h =
   in
   probe i
 
-and resize s =
+and resize_to s size =
   let old = s.slots in
-  let size = (s.mask + 1) * 2 in
   let slots = Array.make size empty_slot in
   let mask = size - 1 in
   Array.iter
@@ -48,6 +47,15 @@ and resize s =
     old;
   s.slots <- slots;
   s.mask <- mask
+
+and resize s = resize_to s ((s.mask + 1) * 2)
+
+(* Grow the table so [n] entries fit under the 3/4 load factor without
+   any further rehash (a no-op when already big enough). *)
+let reserve s n =
+  let rec fit size = if n * 4 > size * 3 then fit (size * 2) else size in
+  let size = fit (s.mask + 1) in
+  if size > s.mask + 1 then resize_to s size
 
 let add s tu =
   Deadline.tick ();

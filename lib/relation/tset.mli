@@ -8,6 +8,12 @@ type t
 
 val create : ?capacity:int -> unit -> t
 
+val reserve : t -> int -> unit
+(** [reserve s n] grows the table so that [n] elements fit without any
+    further internal resize; a no-op when the table is already large
+    enough. Used to presize hot-path outputs (joins, unions, exchanges)
+    whose cardinality is known or well-estimated up front. *)
+
 val add : t -> Tuple.t -> bool
 (** [add s tu] inserts [tu]; returns [true] iff it was not already
     present. The array is stored as-is and must not be mutated after. *)

@@ -16,7 +16,7 @@
 
 type value = Str of string | Int of int | Float of float | Bool of bool
 type attrs = (string * value) list
-type kind = Span | Instant
+type kind = Span | Instant | Counter
 
 type event = {
   id : int; (* allocation order = open order *)
@@ -190,6 +190,32 @@ let instant t ?(cat = "") ?(attrs = []) name =
             attrs;
           })
 
+(* A named gauge sample (e.g. worker-pool occupancy). Rendered by the
+   Chrome exporter as a counter track ("ph":"C"). *)
+let counter t ?(cat = "") ?(attrs = []) name v =
+  match t with
+  | Disabled -> ()
+  | Enabled s ->
+    let tid = Domain.DLS.get tid_key in
+    locked s (fun () ->
+        let parent = match !(stack_of s tid) with [] -> -1 | top :: _ -> top.oid in
+        let id = s.next_id in
+        s.next_id <- id + 1;
+        push_event s
+          {
+            id;
+            parent;
+            name;
+            cat;
+            tid;
+            wall_start_us = now_us ();
+            wall_dur_us = 0.;
+            sim_start_ns = s.sim_clock ();
+            sim_dur_ns = 0.;
+            kind = Counter;
+            attrs = ("value", Float v) :: attrs;
+          })
+
 (* Attach an attribute to the innermost open span of the current track
    (e.g. a result computed inside the span body, like partition skew). *)
 let set_attr t key v =
@@ -292,6 +318,7 @@ module Chrome = struct
     match e.kind with
     | Span -> Json.obj (common @ [ ("ph", Json.str "X"); ("dur", Json.num dur) ])
     | Instant -> Json.obj (common @ [ ("ph", Json.str "i"); ("s", Json.str "t") ])
+    | Counter -> Json.obj (common @ [ ("ph", Json.str "C") ])
 
   let thread_name_json tid name =
     Json.obj
@@ -344,7 +371,7 @@ module Jsonl = struct
         ("name", Json.str e.name);
         ("cat", Json.str e.cat);
         ("tid", string_of_int e.tid);
-        ("kind", Json.str (match e.kind with Span -> "span" | Instant -> "instant"));
+        ("kind", Json.str (match e.kind with Span -> "span" | Instant -> "instant" | Counter -> "counter"));
         ("wall_start_us", Json.num e.wall_start_us);
         ("wall_dur_us", Json.num e.wall_dur_us);
         ("sim_start_ns", Json.num e.sim_start_ns);

@@ -14,7 +14,7 @@
 
 type value = Str of string | Int of int | Float of float | Bool of bool
 type attrs = (string * value) list
-type kind = Span | Instant
+type kind = Span | Instant | Counter
 
 type event = {
   id : int;  (** allocation order = open order *)
@@ -61,6 +61,12 @@ val span : t -> ?cat:string -> ?attrs:attrs -> string -> (unit -> 'a) -> 'a
 
 val instant : t -> ?cat:string -> ?attrs:attrs -> string -> unit
 (** Record a point event (e.g. one shuffle, with record/byte counts). *)
+
+val counter : t -> ?cat:string -> ?attrs:attrs -> string -> float -> unit
+(** [counter t name v] records a named gauge sample (the value is stored
+    in the ["value"] attribute); the Chrome exporter renders the series
+    as a counter track. Used by the worker-domain pool to expose its
+    occupancy over time. *)
 
 val set_attr : t -> string -> value -> unit
 (** Attach an attribute to the innermost open span of the current track

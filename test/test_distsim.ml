@@ -198,6 +198,93 @@ let test_deadline () =
   check_bool "cleared" false (Deadline.active ());
   Deadline.check_now ()
 
+(* ---- persistent worker-domain pool ---- *)
+
+let test_pool_lifecycle () =
+  let c = Cluster.make ~parallel:true ~workers:4 () in
+  check_int "three pool domains" 3 (Cluster.pool_size c);
+  Alcotest.(check (array int)) "stage on pool" [| 0; 1; 4; 9 |]
+    (Cluster.run_stage c (fun w -> w * w));
+  Alcotest.(check (array int)) "pool reused" [| 1; 2; 3; 4 |]
+    (Cluster.run_stage c (fun w -> w + 1));
+  Cluster.shutdown c;
+  check_int "pool joined" 0 (Cluster.pool_size c);
+  Alcotest.(check (array int)) "sequential after shutdown" [| 0; 2; 4; 6 |]
+    (Cluster.run_stage c (fun w -> 2 * w));
+  Cluster.shutdown c (* idempotent *)
+
+let test_pool_survives_exception () =
+  let c = Cluster.make ~parallel:true ~workers:4 () in
+  (match Cluster.run_stage c (fun w -> if w = 2 then failwith "boom" else w) with
+  | _ -> Alcotest.fail "expected the worker exception on the driver"
+  | exception Failure msg -> Alcotest.(check string) "re-raised on driver" "boom" msg);
+  check_int "pool still alive" 3 (Cluster.pool_size c);
+  Alcotest.(check (array int)) "pool still serves stages" [| 0; 10; 20; 30 |]
+    (Cluster.run_stage c (fun w -> 10 * w));
+  Cluster.shutdown c
+
+(* ---- pool + prepared joins through the physical layer ---- *)
+
+module Exec = Physical.Exec
+module Patterns = Mura.Patterns
+
+(* deterministic graph with cycles, diamonds and a tail *)
+let tier1_graph =
+  Rel.of_tuples (sch [ "src"; "trg" ])
+    (List.init 60 (fun i -> [| i mod 17; (i * 7 + 3) mod 17 |]))
+
+let run_physical ~parallel ~prepared ?plan term =
+  let c = Cluster.make ~parallel ~workers:4 () in
+  let config =
+    { (Exec.default_config c) with Exec.force_plan = plan; use_prepared_broadcast = prepared }
+  in
+  let ctx = Exec.session config [ ("E", tier1_graph) ] in
+  let r = Exec.run ctx term in
+  let m = Cluster.metrics c in
+  let counters =
+    ( m.Metrics.shuffles,
+      m.Metrics.shuffled_records,
+      m.Metrics.shuffled_bytes,
+      m.Metrics.broadcasts,
+      m.Metrics.broadcast_records )
+  in
+  Cluster.shutdown c;
+  (List.sort compare (Rel.to_list r), counters)
+
+let tier1_queries =
+  [
+    ("closure", Patterns.closure (Mura.Term.Rel "E"), [ None; Some Exec.P_gld ]);
+    ( "reach",
+      Patterns.reach (Value.of_int 0),
+      [ None; Some Exec.P_gld; Some Exec.P_plw_s; Some Exec.P_plw_pg ] );
+    ("same_generation", Patterns.same_generation (), [ None; Some Exec.P_gld ]);
+  ]
+
+let test_pool_matches_sequential () =
+  List.iter
+    (fun (name, term, plans) ->
+      List.iter
+        (fun plan ->
+          let seq, _ = run_physical ~parallel:false ~prepared:true ?plan term in
+          let par, _ = run_physical ~parallel:true ~prepared:true ?plan term in
+          if seq <> par then Alcotest.failf "%s: parallel pool diverged from sequential" name)
+        plans)
+    tier1_queries
+
+let test_prepared_metering_parity () =
+  (* the prepared index is a pure driver-side cache: results and every
+     communication counter must be bit-identical to the unprepared plan *)
+  List.iter
+    (fun (name, term, plans) ->
+      List.iter
+        (fun plan ->
+          let r_p, m_p = run_physical ~parallel:false ~prepared:true ?plan term in
+          let r_u, m_u = run_physical ~parallel:false ~prepared:false ?plan term in
+          if r_p <> r_u then Alcotest.failf "%s: prepared result differs" name;
+          if m_p <> m_u then Alcotest.failf "%s: prepared counters differ" name)
+        plans)
+    tier1_queries
+
 (* property: any pipeline of distributed ops agrees with the centralized
    kernel *)
 let random_graph_gen =
@@ -228,6 +315,34 @@ let prop_distinct_after_union =
       Rel.equal (Rel.union a b) (Dds.collect u)
       && Dds.cardinal u = Rel.cardinal (Rel.union a b))
 
+let prop_prepared_bcast_join =
+  qtest "prepared ≡ naive broadcast join/antijoin"
+    QCheck2.Gen.(triple random_graph_gen random_graph_gen (int_range 1 6))
+    (fun (a, b, workers) ->
+      let c = Cluster.make ~workers () in
+      let b' = Rel.rename [ ("src", "trg"); ("trg", "nxt") ] b in
+      let d = Dds.of_rel c a in
+      let bc = Dds.broadcast c b' in
+      let p = Dds.prepare_bcast ~for_schema:(Dds.schema d) bc in
+      Rel.equal (Rel.natural_join a b') (Dds.collect (Dds.join_bcast_prepared d p))
+      && Rel.equal (Rel.antijoin a b') (Dds.collect (Dds.antijoin_bcast_prepared d p))
+      (* reuse across "iterations": same handle, different probe side *)
+      && Rel.equal
+           (Rel.natural_join (Rel.select (Pred.Eq_const ("src", 1)) a) b')
+           (Dds.collect
+              (Dds.join_bcast_prepared (Dds.filter (Pred.Eq_const ("src", 1)) d) p)))
+
+let prop_prepared_bcast_disjoint =
+  qtest "prepared broadcast with no shared columns"
+    QCheck2.Gen.(triple random_graph_gen random_graph_gen (int_range 1 6))
+    (fun (a, b, workers) ->
+      let c = Cluster.make ~workers () in
+      let b' = Rel.rename [ ("src", "x"); ("trg", "y") ] b in
+      let d = Dds.of_rel c a in
+      let p = Dds.prepare_bcast ~for_schema:(Dds.schema d) (Dds.broadcast c b') in
+      Rel.equal (Rel.natural_join a b') (Dds.collect (Dds.join_bcast_prepared d p))
+      && Rel.equal (Rel.antijoin a b') (Dds.collect (Dds.antijoin_bcast_prepared d p)))
+
 let () =
   Alcotest.run "distsim"
     [
@@ -237,6 +352,13 @@ let () =
           Alcotest.test_case "hash colocation" `Quick test_hash_partitioning_colocates;
           Alcotest.test_case "single worker" `Quick test_single_worker;
           Alcotest.test_case "parallel domains" `Quick test_parallel_domains;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_pool_lifecycle;
+          Alcotest.test_case "survives worker exception" `Quick test_pool_survives_exception;
+          Alcotest.test_case "pool ≡ sequential on tier-1 queries" `Quick test_pool_matches_sequential;
+          Alcotest.test_case "prepared metering parity" `Quick test_prepared_metering_parity;
         ] );
       ( "narrow",
         [
@@ -262,5 +384,11 @@ let () =
           Alcotest.test_case "accounting" `Quick test_metrics_accounting;
           Alcotest.test_case "deadline" `Quick test_deadline;
         ] );
-      ("properties", [ prop_distributed_join; prop_distinct_after_union ]);
+      ( "properties",
+        [
+          prop_distributed_join;
+          prop_distinct_after_union;
+          prop_prepared_bcast_join;
+          prop_prepared_bcast_disjoint;
+        ] );
     ]

@@ -66,6 +66,21 @@ let test_tset_growth () =
   ignore (Tset.add copied [| -1; -1; -1 |]);
   check_int "copy is independent" 10_000 (Tset.cardinal s)
 
+let test_tset_reserve () =
+  let s = Tset.create () in
+  ignore (Tset.add s [| 1; 1 |]);
+  Tset.reserve s 5_000;
+  check_int "reserve keeps contents" 1 (Tset.cardinal s);
+  check_bool "still member" true (Tset.mem s [| 1; 1 |]);
+  for i = 0 to 4_999 do
+    ignore (Tset.add s [| i; i + 1 |])
+  done;
+  check_int "all present after presize" 5_001 (Tset.cardinal s);
+  Tset.reserve s 10;
+  (* shrinking request: no-op *)
+  check_int "never shrinks" 5_001 (Tset.cardinal s);
+  check_bool "member after no-op" true (Tset.mem s [| 4_999; 5_000 |])
+
 let test_tset_add_all () =
   let a = Tset.of_list [ [| 1 |]; [| 2 |] ] in
   let b = Tset.of_list [ [| 2 |]; [| 3 |] ] in
@@ -283,6 +298,7 @@ let () =
           Alcotest.test_case "basic" `Quick test_tset_basic;
           Alcotest.test_case "unit tuple" `Quick test_tset_unit_tuple;
           Alcotest.test_case "growth" `Quick test_tset_growth;
+          Alcotest.test_case "reserve" `Quick test_tset_reserve;
           Alcotest.test_case "add_all" `Quick test_tset_add_all;
           prop_tset_mem_after_add;
         ] );

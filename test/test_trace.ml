@@ -269,6 +269,34 @@ let test_sim_clock_monotonic () =
         Alcotest.failf "instant %s has a duration" e.Trace.name)
     evs
 
+let test_counter_events () =
+  let tr = Trace.make () in
+  Trace.counter tr ~cat:"pool" "pool.occupancy" 3.;
+  Trace.counter tr "pool.occupancy" 0.;
+  (match Trace.events tr with
+  | [ a; b ] ->
+    check_bool "kind is Counter" true (a.Trace.kind = Trace.Counter);
+    check_bool "value attr" true (List.assoc_opt "value" a.Trace.attrs = Some (Trace.Float 3.));
+    check_bool "second sample" true (List.assoc_opt "value" b.Trace.attrs = Some (Trace.Float 0.))
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs));
+  match field "traceEvents" (parse_json (Trace.Chrome.to_string tr)) with
+  | Some (Arr evs) ->
+    check_bool "exported with phase C" true (List.exists (fun e -> field "ph" e = Some (Str "C")) evs)
+  | _ -> Alcotest.fail "missing traceEvents"
+
+(* a traced parallel stage samples the domain pool's occupancy *)
+let test_pool_occupancy_sampled () =
+  let tr, () =
+    traced (fun () ->
+        let c = Distsim.Cluster.make ~parallel:true ~workers:4 () in
+        ignore (Distsim.Cluster.run_stage c (fun w -> w));
+        Distsim.Cluster.shutdown c)
+  in
+  check_bool "pool.occupancy counter present" true
+    (List.exists
+       (fun (e : Trace.event) -> e.Trace.kind = Trace.Counter && e.Trace.name = "pool.occupancy")
+       (Trace.events tr))
+
 (* ------------------------------------------------------------------ *)
 (* Rollup: the paper's shuffle asymmetry, observed from the trace      *)
 (* ------------------------------------------------------------------ *)
@@ -367,7 +395,7 @@ let test_chrome_json () =
             | _ -> Alcotest.fail "dur not a non-negative number")
           | "i" -> (
             match get "s" with Str _ -> () | _ -> Alcotest.fail "instant scope missing")
-          | "M" -> ()
+          | "C" | "M" -> ()
           | other -> Alcotest.failf "unexpected phase %S" other)
         events)
     [ `Wall; `Sim ]
@@ -411,6 +439,8 @@ let () =
           Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
           Alcotest.test_case "metrics unperturbed" `Quick test_metrics_unperturbed;
           Alcotest.test_case "sim clock monotonic" `Quick test_sim_clock_monotonic;
+          Alcotest.test_case "counter events" `Quick test_counter_events;
+          Alcotest.test_case "pool occupancy sampled" `Quick test_pool_occupancy_sampled;
         ] );
       ( "rollup",
         [
