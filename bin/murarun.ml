@@ -44,28 +44,34 @@ let system_of = function
   | "graphx" -> S.graphx ()
   | other -> failwith ("unknown system " ^ other)
 
+let force_plan_of = function
+  | "gld" -> Some Physical.Exec.P_gld
+  | "plw-s" -> Some Physical.Exec.P_plw_s
+  | "plw-pg" -> Some Physical.Exec.P_plw_pg
+  | _ -> None
+
 let run gen graph_file labels query system all_systems workers timeout show explain_only
-    trace_file =
+    analyze report_file compare_plans trace_file =
   try
     if trace_file <> None then Trace.install (Trace.make ());
     let graph = load_graph gen graph_file labels in
     Printf.printf "graph: %d edges\n" (Relation.Rel.cardinal graph);
     let w = S.of_ucrpq graph query in
     if explain_only then begin
-      let term = Rpq.Query.union_to_term (Rpq.Query.parse_union query) in
-      let tables = [ ("E", graph) ] in
-      let tenv = Mura.Typing.env [ ("E", Relation.Rel.schema graph) ] in
-      let stats = Cost.Stats.of_tables tables in
-      let best =
-        Rewrite.Engine.optimize ~max_plans:120 ~cost:(Cost.Estimate.cost stats) tenv term
+      Printf.printf "\n%s" (R.explain ~workers ~graph ~query ());
+      raise Exit
+    end;
+    if analyze || report_file <> None then begin
+      let a =
+        R.analyze ~workers ~timeout_s:timeout ?force_plan:(force_plan_of system)
+          ~compare_plans ~graph ~query ()
       in
-      Printf.printf "\nlogical plan (after rewriting):\n  %s\n\nphysical plan:\n%s"
-        (Mura.Term.to_string best)
-        (Physical.Exec.explain
-           (Physical.Exec.session
-              (Physical.Exec.default_config (Distsim.Cluster.make ~workers ()))
-              tables)
-           best);
+      if analyze then R.print_analysis a;
+      (match report_file with
+      | Some file ->
+        R.write_report ~file a;
+        Printf.printf "\nreport written to %s\n" file
+      | None -> ());
       raise Exit
     end;
     let systems =
@@ -150,6 +156,23 @@ let () =
   let explain =
     Arg.(value & flag & info [ "explain" ] ~doc:"Show the optimized logical and physical plans instead of executing.")
   in
+  let analyze =
+    Arg.(value & flag & info [ "analyze" ]
+           ~doc:"EXPLAIN ANALYZE: execute with per-operator instrumentation and print the \
+                 annotated plan (actual rows, estimated rows, q-error per node), the ranked \
+                 mis-estimates and the per-worker skew/straggler table. Honors --system for \
+                 forcing a fixpoint plan (gld, plw-s, plw-pg).")
+  in
+  let report_file =
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE.json"
+           ~doc:"Write the machine-readable run report (query, plans, metrics, histograms, \
+                 per-operator actuals, q-errors) as JSON. Implies an analyzed execution.")
+  in
+  let compare_plans =
+    Arg.(value & flag & info [ "compare-plans" ]
+           ~doc:"With --analyze: also execute the runner-up logical plan and report when the \
+                 actual cost ordering disagrees with the estimated one.")
+  in
   let trace_file =
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
            ~doc:"Capture an execution trace: Chrome trace_event JSON (open in chrome://tracing or \
@@ -159,7 +182,7 @@ let () =
   let term =
     Term.(
       const run $ gen $ graph_file $ labels $ query $ system $ all_systems $ workers $ timeout
-      $ show $ explain $ trace_file)
+      $ show $ explain $ analyze $ report_file $ compare_plans $ trace_file)
   in
   let info =
     Cmd.info "murarun" ~version:"1.0"

@@ -21,6 +21,37 @@ dune build @all
 echo "== dune runtest =="
 dune runtest
 
+# EXPLAIN ANALYZE smoke: an analyzed run must print the annotated plan
+# and skew table, and the JSON run report must parse and contain the
+# required sections (metrics, per-operator actuals, straggler ratio)
+echo "== murarun --analyze smoke =="
+report=$(mktemp /tmp/murarun_report.XXXXXX.json)
+trap 'rm -f "$report"' EXIT
+out=$(dune exec bin/murarun.exe -- --gen er:2000:0.002 --labels a \
+        --query "?x, ?y <- ?x a+ ?y" --analyze --report "$report")
+for needle in "rows=" "est=" "err=" "straggler"; do
+  case "$out" in
+    *"$needle"*) ;;
+    *) echo "--analyze output missing '$needle'" >&2; exit 1 ;;
+  esac
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$report" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+for key in ("query", "metrics", "operators", "straggler_ratio", "q_error"):
+    assert key in r, f"report missing key {key!r}"
+assert r["operators"]["rows"] >= 0, "root operator has no actual cardinality"
+assert r["metrics"]["per_worker_ns"], "report missing per-worker totals"
+EOF
+else
+  for key in '"metrics"' '"operators"' '"straggler_ratio"' '"q_error"'; do
+    grep -q "$key" "$report" || { echo "report missing $key" >&2; exit 1; }
+  done
+fi
+echo "report OK: $report"
+
 # fixpoint hot-path regression gate: quick-scale run of the pool +
 # prepared-broadcast micro bench; a crash or a counter/result mismatch
 # across the four variants fails the build (the >=2x speedup and

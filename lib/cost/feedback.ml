@@ -1,0 +1,123 @@
+module Term = Mura.Term
+module Fcond = Mura.Fcond
+
+type estimate = { path : string; label : string; est_card : float }
+
+type mismatch = {
+  m_path : string;
+  m_label : string;
+  m_est : float;
+  m_actual : float;
+  m_q : float;
+}
+
+let child path i = path ^ "." ^ string_of_int i
+
+let label (t : Term.t) =
+  match t with
+  | Rel n -> "Rel " ^ n
+  | Cst _ -> "Cst"
+  | Var x -> "Var " ^ x
+  | Select _ -> "Select"
+  | Project _ -> "Project"
+  | Antiproject _ -> "Antiproject"
+  | Rename _ -> "Rename"
+  | Join _ -> "Join"
+  | Antijoin _ -> "Antijoin"
+  | Union _ -> "Union"
+  | Fix (x, _) -> "Fix " ^ x
+
+(* Clamp both sides to >= 1 tuple: the q-error of "estimated 0, got 0"
+   is 1 (perfect), and empty-vs-something degrades gracefully instead of
+   dividing by zero. *)
+let q_error ~est ~actual =
+  let e = Float.max est 1. and a = Float.max actual 1. in
+  Float.max (e /. a) (a /. e)
+
+let estimates stats term =
+  let rec walk vars path acc (t : Term.t) =
+    let e = Estimate.term ~vars stats t in
+    let acc = { path; label = label t; est_card = e.Estimate.card } :: acc in
+    match t with
+    | Term.Rel _ | Term.Cst _ | Term.Var _ -> acc
+    | Term.Select (_, u) | Term.Project (_, u) | Term.Antiproject (_, u) | Term.Rename (_, u)
+      ->
+      walk vars (child path 0) acc u
+    | Term.Join (a, b) | Term.Antijoin (a, b) | Term.Union (a, b) ->
+      let acc = walk vars (child path 0) acc a in
+      walk vars (child path 1) acc b
+    | Term.Fix (x, body) -> (
+      match Fcond.split ~var:x body with
+      | exception Fcond.Not_fcond _ -> acc
+      | consts, recs ->
+        (* inside the loop the variable is bound to the fixpoint's own
+           estimate: branch estimates are per-full-result, which is what
+           the accumulated per-iteration actuals approximate *)
+        let vars' = (x, e) :: vars in
+        List.fold_left
+          (fun (i, acc) u -> (i + 1, walk vars' (child path i) acc u))
+          (0, acc) (consts @ recs)
+        |> snd)
+  in
+  List.rev (walk [] "0" [] term)
+
+let compare_actuals stats term ~actuals =
+  let ests = estimates stats term in
+  List.filter_map
+    (fun e ->
+      match List.assoc_opt e.path actuals with
+      | None -> None
+      | Some rows ->
+        let actual = float_of_int rows in
+        Some
+          {
+            m_path = e.path;
+            m_label = e.label;
+            m_est = e.est_card;
+            m_actual = actual;
+            m_q = q_error ~est:e.est_card ~actual;
+          })
+    ests
+  |> List.sort (fun a b -> compare b.m_q a.m_q)
+
+let query_q_error mismatches = List.fold_left (fun acc m -> Float.max acc m.m_q) 1. mismatches
+
+let summary ?(top = 5) mismatches =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "query q-error (max over operators): %.2f\n" (query_q_error mismatches);
+  let rec take n = function x :: tl when n > 0 -> x :: take (n - 1) tl | _ -> [] in
+  (match take top mismatches with
+  | [] -> Buffer.add_string buf "no operators compared\n"
+  | worst ->
+    Printf.bprintf buf "worst mis-estimates:\n";
+    List.iter
+      (fun m ->
+        Printf.bprintf buf "  %-14s [%s] est=%.0f actual=%.0f q=%.2f\n" m.m_label m.m_path
+          m.m_est m.m_actual m.m_q)
+      worst);
+  Buffer.contents buf
+
+(* --- plan-ordering feedback ---------------------------------------- *)
+
+let ordering_hook : (string -> unit) ref = ref (fun _ -> ())
+
+let argmin costs =
+  match costs with
+  | [] -> None
+  | (n0, c0) :: tl ->
+    Some (List.fold_left (fun (n, c) (n', c') -> if c' < c then (n', c') else (n, c)) (n0, c0) tl)
+
+let check_plan_ordering ~est_costs ~actual_costs =
+  match (argmin est_costs, argmin actual_costs) with
+  | Some (chosen, est_c), Some (best, act_best) when not (String.equal chosen best) ->
+    let act_chosen =
+      match List.assoc_opt chosen actual_costs with Some c -> c | None -> Float.nan
+    in
+    let msg =
+      Printf.sprintf
+        "cost model ranked %S cheapest (est %.3g) but %S was actually cheapest (%.3g vs %.3g)"
+        chosen est_c best act_best act_chosen
+    in
+    !ordering_hook msg;
+    Some msg
+  | _ -> None

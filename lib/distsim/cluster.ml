@@ -176,5 +176,17 @@ let run_stage c f =
   in
   let max_ns = Array.fold_left (fun acc (_, t) -> Float.max acc t) 0. results in
   Metrics.record_stage c.metrics ~max_worker_ns:max_ns;
+  Array.iteri (fun w (_, t) -> Metrics.record_worker_time c.metrics ~worker:w ~ns:t) results;
+  (* straggler ratio of this stage: max / median worker time (1.0 when
+     perfectly balanced; single-worker stages are 1.0 by definition) *)
+  let median_ns =
+    let times = Array.map snd results in
+    Array.sort compare times;
+    times.(Array.length times / 2)
+  in
+  let straggler = if median_ns > 0. then max_ns /. median_ns else 1. in
+  Metrics.record_straggler c.metrics ~ratio:straggler;
   Trace.set_attr tr "max_worker_ns" (Trace.Float max_ns);
+  Trace.set_attr tr "median_worker_ns" (Trace.Float median_ns);
+  Trace.set_attr tr "straggler" (Trace.Float straggler);
   Array.map (fun (r, _) -> match r with Value v -> v | Error e -> raise e) results

@@ -42,9 +42,16 @@ let meter_broadcast cluster ~op ~records =
     ~attrs:[ ("op", Trace.Str op); ("records", Trace.Int records) ]
     "broadcast"
 
-(* Partition-skew attributes (max/mean partition size) on the enclosing
-   span; only computed when tracing is on. *)
-let record_skew tr parts =
+(* Partition statistics after a stage produced fresh partitions: sizes
+   always feed the cluster's skew histograms (O(workers), each cardinal
+   is O(1)); the max/mean skew attributes are only attached to the
+   enclosing span when tracing is on. *)
+let record_skew ?cluster tr parts =
+  (match cluster with
+  | None -> ()
+  | Some c ->
+    let m = Cluster.metrics c in
+    Array.iteri (fun w p -> Metrics.record_partition_size m ~worker:w ~records:(Tset.cardinal p)) parts);
   if Trace.enabled tr then begin
     let sizes = Array.map Tset.cardinal parts in
     let total = Array.fold_left ( + ) 0 sizes in
@@ -96,7 +103,7 @@ let of_rel ?by cluster rel =
   let records = Rel.cardinal rel in
   meter_shuffle cluster ~op:"of_rel" ~records
     ~bytes:(records * Metrics.tuple_bytes (Schema.arity schema));
-  record_skew tr parts;
+  record_skew ~cluster tr parts;
   {
     cluster;
     schema;
@@ -140,7 +147,7 @@ let map_partitions ?(op = "map_partitions") ?(partitioning = Arbitrary) ~schema 
   let tr = Trace.get () in
   Trace.span tr ~cat:"dds" ("dds." ^ op) @@ fun () ->
   let parts = Cluster.run_stage d.cluster (fun w -> f w d.parts.(w)) in
-  record_skew tr parts;
+  record_skew ~cluster:d.cluster tr parts;
   { d with schema; parts; partitioning }
 
 let filter p d =
@@ -347,7 +354,7 @@ let repartition ~by d =
     let parts, moved = exchange d.parts ~positions ~workers in
     meter_shuffle d.cluster ~op:"repartition" ~records:moved
       ~bytes:(moved * Metrics.tuple_bytes (Schema.arity d.schema));
-    record_skew tr parts;
+    record_skew ~cluster:d.cluster tr parts;
     { d with parts; partitioning = Hashed by }
   end
 
@@ -379,7 +386,7 @@ let join_shuffle a b =
       Cluster.run_stage a.cluster (fun w ->
           local_join_sets ~left_schema:a.schema ~right_schema:b.schema a'.parts.(w) b'.parts.(w))
     in
-    record_skew (Trace.get ()) parts;
+    record_skew ~cluster:a.cluster (Trace.get ()) parts;
     { a with schema = out_schema; parts; partitioning = Hashed shared }
 
 let antijoin_shuffle a b =

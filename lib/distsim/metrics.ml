@@ -1,3 +1,90 @@
+(* Fixed-bucket log2 histograms: cheap enough to stay on in the hot
+   path (one clz-style bucket lookup and an increment per sample), rich
+   enough for skew and straggler percentiles in run reports. *)
+module Hist = struct
+  let n_buckets = 48
+
+  type t = {
+    counts : int array;
+    mutable n : int;
+    mutable sum : float;
+    mutable vmin : float;
+    mutable vmax : float;
+  }
+
+  let create () =
+    { counts = Array.make n_buckets 0; n = 0; sum = 0.; vmin = infinity; vmax = neg_infinity }
+
+  let reset h =
+    Array.fill h.counts 0 n_buckets 0;
+    h.n <- 0;
+    h.sum <- 0.;
+    h.vmin <- infinity;
+    h.vmax <- neg_infinity
+
+  (* bucket 0 holds [0, 1); bucket b >= 1 holds [2^(b-1), 2^b) *)
+  let bucket_of v =
+    if v < 1. then 0
+    else min (n_buckets - 1) (1 + int_of_float (Float.log2 v))
+
+  let bucket_hi b = if b = 0 then 1. else Float.pow 2. (float_of_int b)
+
+  let add h v =
+    let v = Float.max 0. v in
+    h.counts.(bucket_of v) <- h.counts.(bucket_of v) + 1;
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v
+
+  let count h = h.n
+  let total h = h.sum
+  let min_value h = if h.n = 0 then 0. else h.vmin
+  let max_value h = if h.n = 0 then 0. else h.vmax
+  let mean h = if h.n = 0 then 0. else h.sum /. float_of_int h.n
+
+  (* Upper-bound estimate of the p-th percentile (p in [0, 100]): the
+     upper edge of the bucket containing the rank-th sample, clamped to
+     the exact observed [min, max]. An empty histogram reports 0; a
+     histogram whose samples all fell into one bucket degenerates to the
+     exact max (the clamp). *)
+  let percentile h p =
+    if h.n = 0 then 0.
+    else begin
+      let rank =
+        let r = int_of_float (ceil (p /. 100. *. float_of_int h.n)) in
+        if r < 1 then 1 else if r > h.n then h.n else r
+      in
+      let b = ref 0 and seen = ref 0 in
+      (try
+         for i = 0 to n_buckets - 1 do
+           seen := !seen + h.counts.(i);
+           if !seen >= rank then begin
+             b := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      Float.max h.vmin (Float.min h.vmax (bucket_hi !b))
+    end
+
+  let merge acc h =
+    Array.iteri (fun i c -> acc.counts.(i) <- acc.counts.(i) + c) h.counts;
+    acc.n <- acc.n + h.n;
+    acc.sum <- acc.sum +. h.sum;
+    if h.n > 0 then begin
+      if h.vmin < acc.vmin then acc.vmin <- h.vmin;
+      if h.vmax > acc.vmax then acc.vmax <- h.vmax
+    end
+
+  let buckets h =
+    let acc = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if h.counts.(i) > 0 then acc := (bucket_hi i, h.counts.(i)) :: !acc
+    done;
+    !acc
+end
+
 type t = {
   mutable shuffles : int;
   mutable shuffled_records : int;
@@ -7,6 +94,11 @@ type t = {
   mutable supersteps : int;
   mutable stages : int;
   mutable sim_time_ns : float;
+  worker_ns : Hist.t;
+  partition_records : Hist.t;
+  straggler : Hist.t;
+  mutable per_worker_ns : float array;
+  mutable per_worker_records : float array;
 }
 
 let create () =
@@ -19,6 +111,11 @@ let create () =
     supersteps = 0;
     stages = 0;
     sim_time_ns = 0.;
+    worker_ns = Hist.create ();
+    partition_records = Hist.create ();
+    straggler = Hist.create ();
+    per_worker_ns = [||];
+    per_worker_records = [||];
   }
 
 let reset m =
@@ -29,7 +126,25 @@ let reset m =
   m.broadcast_records <- 0;
   m.supersteps <- 0;
   m.stages <- 0;
-  m.sim_time_ns <- 0.
+  m.sim_time_ns <- 0.;
+  Hist.reset m.worker_ns;
+  Hist.reset m.partition_records;
+  Hist.reset m.straggler;
+  m.per_worker_ns <- [||];
+  m.per_worker_records <- [||]
+
+let ensure_workers arr w =
+  if Array.length arr > w then arr
+  else begin
+    let fresh = Array.make (w + 1) 0. in
+    Array.blit arr 0 fresh 0 (Array.length arr);
+    fresh
+  end
+
+let merge_per_worker a b =
+  let out = ensure_workers a (max 0 (Array.length b - 1)) in
+  Array.iteri (fun i v -> out.(i) <- out.(i) +. v) b;
+  out
 
 let add acc m =
   acc.shuffles <- acc.shuffles + m.shuffles;
@@ -39,7 +154,12 @@ let add acc m =
   acc.broadcast_records <- acc.broadcast_records + m.broadcast_records;
   acc.supersteps <- acc.supersteps + m.supersteps;
   acc.stages <- acc.stages + m.stages;
-  acc.sim_time_ns <- acc.sim_time_ns +. m.sim_time_ns
+  acc.sim_time_ns <- acc.sim_time_ns +. m.sim_time_ns;
+  Hist.merge acc.worker_ns m.worker_ns;
+  Hist.merge acc.partition_records m.partition_records;
+  Hist.merge acc.straggler m.straggler;
+  acc.per_worker_ns <- merge_per_worker acc.per_worker_ns m.per_worker_ns;
+  acc.per_worker_records <- merge_per_worker acc.per_worker_records m.per_worker_records
 
 (* 8 bytes per field plus a fixed header, roughly Spark's unsafe row. *)
 let tuple_bytes arity = 16 + (8 * arity)
@@ -51,6 +171,18 @@ let ns_per_broadcast_record = 60.
 let record_stage m ~max_worker_ns =
   m.stages <- m.stages + 1;
   m.sim_time_ns <- m.sim_time_ns +. max_worker_ns
+
+let record_worker_time m ~worker ~ns =
+  Hist.add m.worker_ns ns;
+  m.per_worker_ns <- ensure_workers m.per_worker_ns worker;
+  m.per_worker_ns.(worker) <- m.per_worker_ns.(worker) +. ns
+
+let record_straggler m ~ratio = Hist.add m.straggler ratio
+
+let record_partition_size m ~worker ~records =
+  Hist.add m.partition_records (float_of_int records);
+  m.per_worker_records <- ensure_workers m.per_worker_records worker;
+  m.per_worker_records.(worker) <- m.per_worker_records.(worker) +. float_of_int records
 
 let record_shuffle m ~records ~bytes =
   m.shuffles <- m.shuffles + 1;
@@ -65,6 +197,8 @@ let record_broadcast m ~records =
   m.sim_time_ns <- m.sim_time_ns +. (float_of_int records *. ns_per_broadcast_record)
 
 let record_superstep m = m.supersteps <- m.supersteps + 1
+
+let straggler_ratio m = Hist.max_value m.straggler
 
 let pp ppf m =
   Format.fprintf ppf

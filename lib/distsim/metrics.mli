@@ -6,7 +6,47 @@
     is observable directly in these counters, independently of wall-clock
     noise. [sim_time_ns] accumulates a simulated parallel time:
     per stage, the maximum per-worker compute time, plus a latency model
-    for each shuffle and broadcast. *)
+    for each shuffle and broadcast.
+
+    Beyond the scalar counters, every stage feeds three fixed-bucket
+    log2 histograms ({!Hist}): per-worker compute time, per-worker
+    output partition sizes, and the per-stage straggler ratio
+    (max / median worker time) — the raw material of the skew tables in
+    [murarun --analyze] and the JSON run reports. *)
+
+(** Fixed-bucket log2 histogram: bucket 0 holds [0, 1), bucket [b >= 1]
+    holds [2^(b-1), 2^b); 48 buckets cover any practical count or
+    nanosecond value. Adding a sample is O(1) and allocation-free. *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val reset : t -> unit
+  val add : t -> float -> unit
+  (** Negative samples are clamped to 0. *)
+
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+
+  val min_value : t -> float
+  (** Exact observed minimum; 0 when empty. *)
+
+  val max_value : t -> float
+  (** Exact observed maximum; 0 when empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile h p] for [p] in [0, 100]: an upper-bound estimate (the
+      upper edge of the bucket holding the rank-th sample) clamped to the
+      exact observed min/max. Empty histograms report 0; a single-bucket
+      histogram degenerates to the exact max. *)
+
+  val merge : t -> t -> unit
+  (** [merge acc h] accumulates [h] into [acc]. *)
+
+  val buckets : t -> (float * int) list
+  (** Non-empty buckets as [(upper_bound, count)], ascending. *)
+end
 
 type t = {
   mutable shuffles : int;  (** wide stages executed *)
@@ -17,12 +57,20 @@ type t = {
   mutable supersteps : int;  (** driver-coordinated rounds *)
   mutable stages : int;  (** all stages, narrow included *)
   mutable sim_time_ns : float;
+  worker_ns : Hist.t;  (** per-stage per-worker compute time *)
+  partition_records : Hist.t;  (** per-stage per-worker output sizes *)
+  straggler : Hist.t;  (** per-stage max/median worker time *)
+  mutable per_worker_ns : float array;
+      (** cumulative compute ns per worker index (grows on demand) *)
+  mutable per_worker_records : float array;
+      (** cumulative output records per worker index *)
 }
 
 val create : unit -> t
 val reset : t -> unit
 val add : t -> t -> unit
-(** [add acc m] accumulates [m] into [acc]. *)
+(** [add acc m] accumulates [m] into [acc] (histograms and per-worker
+    arrays merged elementwise). *)
 
 val tuple_bytes : int -> int
 (** Serialized size model for a tuple of the given arity. *)
@@ -35,9 +83,16 @@ val ns_per_shuffle_round : float
 val ns_per_broadcast_record : float
 
 val record_stage : t -> max_worker_ns:float -> unit
+val record_worker_time : t -> worker:int -> ns:float -> unit
+val record_straggler : t -> ratio:float -> unit
+val record_partition_size : t -> worker:int -> records:int -> unit
 val record_shuffle : t -> records:int -> bytes:int -> unit
 val record_broadcast : t -> records:int -> unit
 val record_superstep : t -> unit
+
+val straggler_ratio : t -> float
+(** Worst per-stage max/median worker-time ratio seen so far (1.0 is
+    perfectly balanced; 0 when no stage ran). *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -44,3 +44,62 @@ val write_json : ?dir:string -> name:string -> row list -> unit
 val print_trace_rollup : unit -> unit
 (** Print the ambient trace's per-operator and per-iteration rollup
     tables (no-op when tracing is disabled). *)
+
+(** {1 EXPLAIN and EXPLAIN ANALYZE} *)
+
+val explain : ?workers:int -> graph:Relation.Rel.t -> query:string -> unit -> string
+(** Optimize the UCRPQ and describe, without executing: the rewritten
+    logical plan and the physical plan [Physical.Exec] would choose
+    (the [murarun --explain] pipeline). *)
+
+type analysis = {
+  a_query : string;
+  a_system : string;
+  a_workers : int;
+  a_logical_plan : string;
+  a_physical_plan : string;
+  a_annotated_plan : string;
+      (** rendered tree with per-node [rows=… est=… err=… time=…] *)
+  a_tree : Physical.Exec.Analyze.node;
+  a_mismatches : Cost.Feedback.mismatch list;  (** worst q-error first *)
+  a_q_error : float;  (** max per-operator q-error *)
+  a_outcome : Systems.outcome;
+  a_metrics : Distsim.Metrics.t;
+  a_ordering : string option;
+      (** estimate-vs-actual plan-ordering disagreement, when checked *)
+}
+
+val analyze :
+  ?workers:int ->
+  ?timeout_s:float ->
+  ?force_plan:Physical.Exec.fixpoint_plan ->
+  ?compare_plans:bool ->
+  graph:Relation.Rel.t ->
+  query:string ->
+  unit ->
+  analysis
+(** EXPLAIN ANALYZE: optimize, execute with per-operator actuals enabled
+    ([collect_actuals]), join actuals against the cost estimator's
+    per-node cardinalities, and collect the cluster's skew/straggler
+    histograms. With [compare_plans] (default false) the two cheapest
+    logical plans are also executed and their actual sim-time ordering
+    checked against the estimated one ({!Cost.Feedback.check_plan_ordering},
+    which feeds [Cost.Feedback.ordering_hook]). *)
+
+val skew_table : Distsim.Metrics.t -> string
+(** Per-worker skew digest: straggler ratio, histogram percentiles for
+    worker compute time / partition sizes / per-stage straggler ratios,
+    and the cumulative per-worker totals. *)
+
+val print_analysis : analysis -> unit
+(** Annotated plan, ranked mis-estimates, skew table and (when present)
+    the plan-ordering disagreement, on stdout. *)
+
+val report_json : analysis -> string
+(** The machine-readable run report: query, system, plan strings,
+    outcome, metrics (scalar counters + histograms + per-worker totals +
+    straggler ratio), the per-operator actuals tree, and the q-error
+    ranking. *)
+
+val write_report : file:string -> analysis -> unit
+(** Write {!report_json} to [file]. *)

@@ -36,6 +36,17 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 type system = { name : string; short : string; run : timeout_s:float -> workload -> outcome }
 
+val guarded : timeout_s:float -> Distsim.Metrics.t option -> (unit -> int) -> outcome
+(** Wrap a runner body (returning the result size) with deadline
+    installation, failure capture and metric harvesting — the shared
+    execution envelope of every system driver, also used by
+    [Runner.analyze]. *)
+
+val optimize : (string * Relation.Rel.t) list -> Mura.Term.t -> Mura.Term.t
+(** The logical optimization shared by all mu-RA systems: MuRewriter
+    exploration ranked by the cost estimator over the actual table
+    statistics. *)
+
 (** {1 The systems} *)
 
 val dist_mu_ra : ?workers:int -> ?max_tuples:int -> unit -> system

@@ -21,6 +21,7 @@ type config = {
   max_tuples : int;
   use_stable_partitioning : bool;
   use_prepared_broadcast : bool;
+  collect_actuals : bool;
 }
 
 let default_config cluster =
@@ -32,29 +33,90 @@ let default_config cluster =
     max_tuples = 500_000_000;
     use_stable_partitioning = true;
     use_prepared_broadcast = true;
+    collect_actuals = false;
   }
 
 exception Resource_limit of string
 
 type fix_report = {
   var : string;
+  fix_path : string;
   plan : fixpoint_plan;
   stable : string list;
   partitioned_by : string list;
   iterations : int;
   result_size : int;
+  deltas : int list;
 }
 
 type report = { mutable fixpoints : fix_report list }
+
+(* EXPLAIN ANALYZE accumulator of one term-tree node, keyed by node path
+   (root "0", child [i] of [p] is [p ^ "." ^ i], Fix children = constant
+   branches then recursive ones in [Fcond.split] order — the convention
+   shared with [Localdb.Instance] and [Cost.Feedback]). For operators
+   inside a fixpoint loop, rows/ns accumulate over every iteration and
+   [o_count] records the number of applications. *)
+type op_actual = { mutable o_rows : int; mutable o_ns : float; mutable o_count : int }
+
+(* P_plw^pg local-plan actuals, aggregated across workers: rows are
+   summed, time is the max over workers (they run in parallel), rounds
+   is the max semi-naive round count. *)
+type local_actual = {
+  mutable l_rows : int;
+  mutable l_ns : float;
+  mutable l_rounds : int;
+  mutable l_workers : int;
+}
 
 type ctx = {
   config : config;
   tables : (string * Rel.t) list;
   cache : (string, Dds.t) Hashtbl.t;
   rpt : report;
+  actuals : (string, op_actual) Hashtbl.t option;
+  local_actuals : (string, (string, local_actual) Hashtbl.t) Hashtbl.t;
+      (* fix-node path -> local-plan path -> aggregate *)
+  local_plans : (string, Term.t) Hashtbl.t;  (* fix-node path -> local term *)
+  locals_mutex : Mutex.t;
 }
 
-let session config tables = { config; tables; cache = Hashtbl.create 16; rpt = { fixpoints = [] } }
+let session config tables =
+  {
+    config;
+    tables;
+    cache = Hashtbl.create 16;
+    rpt = { fixpoints = [] };
+    actuals = (if config.collect_actuals then Some (Hashtbl.create 64) else None);
+    local_actuals = Hashtbl.create 4;
+    local_plans = Hashtbl.create 4;
+    locals_mutex = Mutex.create ();
+  }
+
+let child path i = path ^ "." ^ string_of_int i
+
+let actual_of tbl path =
+  match Hashtbl.find_opt tbl path with
+  | Some a -> a
+  | None ->
+    let a = { o_rows = 0; o_ns = 0.; o_count = 0 } in
+    Hashtbl.replace tbl path a;
+    a
+
+(* Meter one evaluation into the node's accumulator. [Dds.cardinal] is a
+   driver-side fold over partition sizes: it moves no data and touches no
+   metrics, so analyzed runs keep bit-identical results and counters. *)
+let metered ctx path (card : 'a -> int) (f : unit -> 'a) : 'a =
+  match ctx.actuals with
+  | None -> f ()
+  | Some tbl ->
+    let t0 = Unix.gettimeofday () in
+    let d = f () in
+    let a = actual_of tbl path in
+    a.o_ns <- a.o_ns +. ((Unix.gettimeofday () -. t0) *. 1e9);
+    a.o_rows <- a.o_rows + card d;
+    a.o_count <- a.o_count + 1;
+    d
 let config_of ctx = ctx.config
 let report ctx = ctx.rpt
 let metrics ctx = Cluster.metrics ctx.config.cluster
@@ -109,9 +171,10 @@ let op_label (t : Term.t) =
 (* Distributed evaluation of non-recursive operators                   *)
 (* ------------------------------------------------------------------ *)
 
-let rec exec_dds ctx (term : Term.t) : Dds.t =
+let rec exec_at ctx ~path (term : Term.t) : Dds.t =
   Trace.span (Trace.get ()) ~cat:"op" (op_label term) @@ fun () ->
   let d =
+    metered ctx path Dds.cardinal @@ fun () ->
     match term with
     | Rel n -> (
       match Hashtbl.find_opt ctx.cache n with
@@ -127,14 +190,16 @@ let rec exec_dds ctx (term : Term.t) : Dds.t =
         d)
     | Cst r -> Dds.of_rel ctx.config.cluster r
     | Var x -> err "free recursive variable %S at top level" x
-    | Select (p, u) -> Dds.filter p (exec_dds ctx u)
-    | Project (keep, u) -> Dds.distinct (project_narrow (exec_dds ctx u) keep)
+    | Select (p, u) -> Dds.filter p (exec_at ctx ~path:(child path 0) u)
+    | Project (keep, u) ->
+      Dds.distinct (project_narrow (exec_at ctx ~path:(child path 0) u) keep)
     | Antiproject (drop, u) ->
-      let d = exec_dds ctx u in
+      let d = exec_at ctx ~path:(child path 0) u in
       Dds.distinct (project_narrow d (keep_of_drop (Dds.schema d) drop))
-    | Rename (m, u) -> Dds.rename m (exec_dds ctx u)
+    | Rename (m, u) -> Dds.rename m (exec_at ctx ~path:(child path 0) u)
     | Join (a, b) ->
-      let da = exec_dds ctx a and db = exec_dds ctx b in
+      let da = exec_at ctx ~path:(child path 0) a
+      and db = exec_at ctx ~path:(child path 1) b in
       let ca = Dds.cardinal da and cb = Dds.cardinal db in
       let threshold = ctx.config.broadcast_threshold in
       if cb <= ca && cb <= threshold then Dds.join_broadcast da (Dds.collect db)
@@ -145,12 +210,14 @@ let rec exec_dds ctx (term : Term.t) : Dds.t =
         relayout_dds joined out_schema
       else Dds.join_shuffle da db
     | Antijoin (a, b) ->
-      let da = exec_dds ctx a and db = exec_dds ctx b in
+      let da = exec_at ctx ~path:(child path 0) a
+      and db = exec_at ctx ~path:(child path 1) b in
       if Dds.cardinal db <= ctx.config.broadcast_threshold then
         Dds.antijoin_broadcast da (Dds.collect db)
       else Dds.antijoin_shuffle da db
-    | Union (a, b) -> Dds.union_distinct (exec_dds ctx a) (exec_dds ctx b)
-    | Fix (x, body) -> exec_fix ctx x body
+    | Union (a, b) ->
+      Dds.union_distinct (exec_at ctx ~path:(child path 0) a) (exec_at ctx ~path:(child path 1) b)
+    | Fix (x, body) -> exec_fix ctx ~path x body
   in
   check_size ctx d
 
@@ -168,9 +235,9 @@ and relayout_dds d out_schema =
 (* Evaluate a subterm that is constant in the recursive variable, for
    broadcasting. Terms containing fixpoints are evaluated distributed
    (they can be large intermediate results); plain ones centrally. *)
-and eval_const ctx term =
-  if Term.fix_count term > 0 then Dds.collect (exec_dds ctx term)
-  else Mura.Eval.eval (driver_env ctx) term
+and eval_const ctx ~path term =
+  if Term.fix_count term > 0 then Dds.collect (exec_at ctx ~path term)
+  else metered ctx path Rel.cardinal (fun () -> Mura.Eval.eval (driver_env ctx) term)
 
 (* ------------------------------------------------------------------ *)
 (* Recursive-branch compilation                                        *)
@@ -181,48 +248,59 @@ and eval_const ctx term =
    `Broadcast (P_plw: metered once here, then narrow per iteration) or
    `Shuffle (P_gld: the constant side is distributed and pre-partitioned;
    the delta side is shuffled on every application). *)
-and compile_branch ctx ~var ~join_mode branch : Dds.t -> Dds.t =
-  let rec go (t : Term.t) : Dds.t -> Dds.t =
+and compile_branch ctx ~var ~join_mode ~path branch : Dds.t -> Dds.t =
+  (* Per-iteration metering: each application of the compiled closure
+     accumulates its output size and time at the node's path, so the
+     annotated tree reports totals over all fixpoint iterations. *)
+  let wrap path f =
+    match ctx.actuals with None -> f | Some _ -> fun delta -> metered ctx path Dds.cardinal (fun () -> f delta)
+  in
+  let rec go ~path (t : Term.t) : Dds.t -> Dds.t =
     if not (Term.has_free_var var t) then begin
       match join_mode with
       | `Broadcast ->
-        let r = eval_const ctx t in
+        let r = eval_const ctx ~path t in
         let d = Dds.of_rel ctx.config.cluster r in
         fun _ -> d
       | `Shuffle ->
-        let d = exec_dds ctx t in
+        let d = exec_at ctx ~path t in
         fun _ -> d
     end
     else
+      wrap path
+      @@
       match t with
       | Term.Var x when String.equal x var -> fun delta -> delta
       | Term.Var x -> err "foreign recursive variable %S in branch" x
       | Term.Select (p, u) ->
-        let f = go u in
+        let f = go ~path:(child path 0) u in
         fun delta -> Dds.filter p (f delta)
       | Term.Project (keep, u) ->
-        let f = go u in
+        let f = go ~path:(child path 0) u in
         fun delta -> project_narrow (f delta) keep
       | Term.Antiproject (drop, u) ->
-        let f = go u in
+        let f = go ~path:(child path 0) u in
         fun delta ->
           let d = f delta in
           project_narrow d (keep_of_drop (Dds.schema d) drop)
       | Term.Rename (m, u) ->
-        let f = go u in
+        let f = go ~path:(child path 0) u in
         fun delta -> Dds.rename m (f delta)
       | Term.Join (a, b) ->
         (* Linearity: exactly one side mentions the variable. The output
            layout (which side comes first) is irrelevant: set operations
            reconcile layouts by column name. *)
-        let recursive, const = if Term.has_free_var var a then (a, b) else (b, a) in
-        let f = go recursive in
+        let (recursive, rpath), (const, cpath) =
+          if Term.has_free_var var a then ((a, child path 0), (b, child path 1))
+          else ((b, child path 1), (a, child path 0))
+        in
+        let f = go ~path:rpath recursive in
         (match join_mode with
         | `Broadcast when ctx.config.use_prepared_broadcast ->
           (* prepared handle: index over the broadcast side built once at
              the first iteration (the delta schema is loop-invariant)
              and probed by every later one *)
-          let bc = Dds.broadcast ctx.config.cluster (eval_const ctx const) in
+          let bc = Dds.broadcast ctx.config.cluster (eval_const ctx ~path:cpath const) in
           let prepared = ref None in
           fun delta ->
             let left = f delta in
@@ -236,10 +314,10 @@ and compile_branch ctx ~var ~join_mode branch : Dds.t -> Dds.t =
             in
             Dds.join_bcast_prepared left p
         | `Broadcast ->
-          let bc = Dds.broadcast ctx.config.cluster (eval_const ctx const) in
+          let bc = Dds.broadcast ctx.config.cluster (eval_const ctx ~path:cpath const) in
           fun delta -> Dds.join_bcast (f delta) bc
         | `Shuffle ->
-          let const_dds = exec_dds ctx const in
+          let const_dds = exec_at ctx ~path:cpath const in
           (* memoize the co-partitioned constant side across iterations:
              Spark keeps shuffle files of the stable side too *)
           let prepared = ref None in
@@ -261,10 +339,10 @@ and compile_branch ctx ~var ~join_mode branch : Dds.t -> Dds.t =
             Dds.join_shuffle left const_part)
       | Term.Antijoin (a, b) ->
         if Term.has_free_var var b then err "fixpoint on %s is not positive" var;
-        let f = go a in
+        let f = go ~path:(child path 0) a in
         (match join_mode with
         | `Broadcast when ctx.config.use_prepared_broadcast ->
-          let bc = Dds.broadcast ctx.config.cluster (eval_const ctx b) in
+          let bc = Dds.broadcast ctx.config.cluster (eval_const ctx ~path:(child path 1) b) in
           let prepared = ref None in
           fun delta ->
             let left = f delta in
@@ -278,37 +356,38 @@ and compile_branch ctx ~var ~join_mode branch : Dds.t -> Dds.t =
             in
             Dds.antijoin_bcast_prepared left p
         | `Broadcast ->
-          let bc = Dds.broadcast ctx.config.cluster (eval_const ctx b) in
+          let bc = Dds.broadcast ctx.config.cluster (eval_const ctx ~path:(child path 1) b) in
           fun delta -> Dds.antijoin_bcast (f delta) bc
         | `Shuffle ->
-          let const_dds = exec_dds ctx b in
+          let const_dds = exec_at ctx ~path:(child path 1) b in
           fun delta -> Dds.antijoin_shuffle (f delta) const_dds)
       | Term.Union _ -> err "internal: union inside a normalised branch"
       | Term.Fix (x, _) -> err "internal: recursive variable %s under nested fixpoint %s" var x
       | Term.Rel _ | Term.Cst _ -> assert false (* constant, handled above *)
   in
-  go branch
+  go ~path branch
 
 (* ------------------------------------------------------------------ *)
 (* Fixpoint plans                                                      *)
 (* ------------------------------------------------------------------ *)
 
-and exec_fix ctx var body : Dds.t =
+and exec_fix ctx ~path var body : Dds.t =
   let consts, recs = Fcond.split ~var body in
+  let n_consts = List.length consts in
+  (* child [i] of the Fix node: constant branches first, then the
+     recursive ones, in [Fcond.split] order *)
+  let branch_path i = child path (n_consts + i) in
   (match Fcond.(is_positive ~var body, is_linear ~var body, is_non_mutually_recursive ~var body)
    with
   | true, true, true -> ()
   | false, _, _ -> raise (Fcond.Not_fcond (Printf.sprintf "fixpoint on %s not positive" var))
   | _, false, _ -> raise (Fcond.Not_fcond (Printf.sprintf "fixpoint on %s not linear" var))
   | _, _, false -> raise (Fcond.Not_fcond (Printf.sprintf "fixpoint on %s mutually recursive" var)));
-  match consts with
+  match List.mapi (fun i c -> exec_at ctx ~path:(child path i) c) consts with
   | [] -> raise (Fcond.Not_fcond (Printf.sprintf "fixpoint on %s has no constant part" var))
-  | c0 :: crest ->
-    let init =
-      List.fold_left (fun acc c -> Dds.set_union_local acc (exec_dds ctx c)) (exec_dds ctx c0)
-        crest
-    in
-    (match recs with
+  | d0 :: drest -> (
+    let init = List.fold_left Dds.set_union_local d0 drest in
+    match recs with
     | [] -> Dds.distinct init
     | _ ->
       let stable =
@@ -321,7 +400,7 @@ and exec_fix ctx var body : Dds.t =
         | None -> if stable <> [] then P_plw_s else P_gld
       in
       let partitioned_by = if ctx.config.use_stable_partitioning then stable else [] in
-      let result, iterations =
+      let result, iterations, deltas =
         Trace.span (Trace.get ()) ~cat:"fixpoint"
           ~attrs:
             [
@@ -332,18 +411,20 @@ and exec_fix ctx var body : Dds.t =
           "fixpoint"
         @@ fun () ->
         match plan with
-        | P_gld -> run_gld ctx ~var ~init ~recs
-        | P_plw_s -> run_plw_s ctx ~var ~init ~recs ~stable:partitioned_by
-        | P_plw_pg -> run_plw_pg ctx ~var ~body ~init ~stable:partitioned_by
+        | P_gld -> run_gld ctx ~var ~init ~recs ~branch_path
+        | P_plw_s -> run_plw_s ctx ~var ~init ~recs ~stable:partitioned_by ~branch_path
+        | P_plw_pg -> run_plw_pg ctx ~var ~body ~init ~stable:partitioned_by ~path
       in
       ctx.rpt.fixpoints <-
         {
           var;
+          fix_path = path;
           plan;
           stable;
           partitioned_by;
           iterations;
           result_size = Dds.cardinal result;
+          deltas;
         }
         :: ctx.rpt.fixpoints;
       result)
@@ -352,13 +433,16 @@ and exec_fix ctx var body : Dds.t =
    result is kept hash-partitioned by the full schema so that the
    per-iteration difference costs exactly one shuffle of the produced
    tuples (plus whatever the joins shuffle). *)
-and run_gld ctx ~var ~init ~recs =
+and run_gld ctx ~var ~init ~recs ~branch_path =
   let m = Cluster.metrics ctx.config.cluster in
   let schema_cols = Schema.cols (Dds.schema init) in
-  let branch_fns = List.map (compile_branch ctx ~var ~join_mode:`Shuffle) recs in
+  let branch_fns =
+    List.mapi (fun i b -> compile_branch ctx ~var ~join_mode:`Shuffle ~path:(branch_path i) b) recs
+  in
   let x = ref (Dds.repartition ~by:schema_cols init) in
   let delta = ref !x in
   let iterations = ref 0 in
+  let deltas = ref [] in
   let continue = ref true in
   while !continue do
     incr iterations;
@@ -378,25 +462,32 @@ and run_gld ctx ~var ~init ~recs =
     let produced = relayout_dds produced (Dds.schema !x) in
     let produced = Dds.repartition ~by:schema_cols produced in
     let fresh = Dds.set_diff_local produced !x in
-    if Dds.cardinal fresh = 0 then continue := false
+    let fresh_n = Dds.cardinal fresh in
+    deltas := fresh_n :: !deltas;
+    if fresh_n = 0 then continue := false
     else begin
       x := check_size_dds ctx (Dds.set_union_local !x fresh);
       delta := fresh
     end
   done;
-  (!x, !iterations)
+  (!x, !iterations, List.rev !deltas)
 
 (* P_plw^s: repartition the constant part (by the stable columns when
    they exist), broadcast the variable part's relations once, then loop
    with narrow operations only. No distinct at the end when a stable
    repartitioning was applied (the local fixpoints are disjoint). *)
-and run_plw_s ctx ~var ~init ~recs ~stable =
+and run_plw_s ctx ~var ~init ~recs ~stable ~branch_path =
   let m = Cluster.metrics ctx.config.cluster in
-  let branch_fns = List.map (compile_branch ctx ~var ~join_mode:`Broadcast) recs in
+  let branch_fns =
+    List.mapi
+      (fun i b -> compile_branch ctx ~var ~join_mode:`Broadcast ~path:(branch_path i) b)
+      recs
+  in
   let init = match stable with [] -> init | _ -> Dds.repartition ~by:stable init in
   let x = ref init in
   let delta = ref init in
   let iterations = ref 0 in
+  let deltas = ref [] in
   let continue = ref true in
   while !continue do
     incr iterations;
@@ -415,7 +506,9 @@ and run_plw_s ctx ~var ~init ~recs ~stable =
     let produced = check_size_dds ctx produced in
     let produced = relayout_dds produced (Dds.schema !x) in
     let fresh = Dds.set_diff_local produced !x in
-    if Dds.cardinal fresh = 0 then continue := false
+    let fresh_n = Dds.cardinal fresh in
+    deltas := fresh_n :: !deltas;
+    if fresh_n = 0 then continue := false
     else begin
       x := check_size_dds ctx (Dds.set_union_local !x fresh);
       delta := fresh
@@ -431,11 +524,11 @@ and run_plw_s ctx ~var ~init ~recs ~stable =
         !x
     | [] -> Dds.distinct !x
   in
-  (result, !iterations)
+  (result, !iterations, List.rev !deltas)
 
 (* P_plw^pg: same distribution scheme; each worker runs its whole local
    fixpoint inside one mapPartitions call against its local database. *)
-and run_plw_pg ctx ~var ~body ~init ~stable =
+and run_plw_pg ctx ~var ~body ~init ~stable ~path =
   let m = Cluster.metrics ctx.config.cluster in
   let init = match stable with [] -> init | _ -> Dds.repartition ~by:stable init in
   let seed_name = "__seed" in
@@ -462,15 +555,46 @@ and run_plw_pg ctx ~var ~body ~init ~stable =
   let schema = Dds.schema init in
   (* the fixpoint is shipped to the local databases as SQL text (a WITH
      RECURSIVE statement), as the paper's PostgreSQL backend receives
-     it; terms outside the SQL dialect fall back to direct plans *)
+     it; terms outside the SQL dialect fall back to direct plans.
+     EXPLAIN ANALYZE forces the direct plans: the SQL engine exposes no
+     per-operator counters, the volcano executor does. Both paths compute
+     the same relation, so results are unchanged. *)
+  let analyzing = ctx.actuals <> None in
   let sql_text =
-    let tenv =
-      Mura.Typing.env
-        ((seed_name, schema) :: List.map (fun (n, r) -> (n, Rel.schema r)) broadcast_tables)
+    if analyzing then None
+    else
+      let tenv =
+        Mura.Typing.env
+          ((seed_name, schema) :: List.map (fun (n, r) -> (n, Rel.schema r)) broadcast_tables)
+      in
+      match Localdb.To_sql.of_term tenv local_term with
+      | sql -> Some sql
+      | exception (Localdb.To_sql.Unsupported _ | Mura.Typing.Type_error _) -> None
+  in
+  if analyzing then Hashtbl.replace ctx.local_plans path local_term;
+  let merge_local_actuals acts =
+    Mutex.lock ctx.locals_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock ctx.locals_mutex) @@ fun () ->
+    let tbl =
+      match Hashtbl.find_opt ctx.local_actuals path with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 32 in
+        Hashtbl.replace ctx.local_actuals path tbl;
+        tbl
     in
-    match Localdb.To_sql.of_term tenv local_term with
-    | sql -> Some sql
-    | exception (Localdb.To_sql.Unsupported _ | Mura.Typing.Type_error _) -> None
+    List.iter
+      (fun (a : Localdb.Instance.actual) ->
+        match Hashtbl.find_opt tbl a.path with
+        | Some acc ->
+          acc.l_rows <- acc.l_rows + a.rows;
+          acc.l_ns <- Float.max acc.l_ns a.ns;
+          acc.l_rounds <- max acc.l_rounds a.rounds;
+          acc.l_workers <- acc.l_workers + 1
+        | None ->
+          Hashtbl.replace tbl a.path
+            { l_rows = a.rows; l_ns = a.ns; l_rounds = a.rounds; l_workers = 1 })
+      acts
   in
   let result =
     Trace.span (Trace.get ()) ~cat:"fixpoint"
@@ -487,16 +611,23 @@ and run_plw_pg ctx ~var ~body ~init ~stable =
         let local_result =
           match sql_text with
           | Some sql -> Relation.Rel.relayout schema (Localdb.Sql.query db sql)
-          | None -> Localdb.Instance.query db local_term
+          | None ->
+            if analyzing then begin
+              let r, acts = Localdb.Instance.query_analyzed db local_term in
+              merge_local_actuals acts;
+              r
+            end
+            else Localdb.Instance.query db local_term
         in
         Rel.tuples local_result)
       init
   in
   let result = match stable with [] -> Dds.distinct result | _ -> result in
-  (result, 1)
+  (result, 1, [])
 
 and check_size_dds ctx d = check_size ctx d
 
+let exec_dds ctx term = exec_at ctx ~path:"0" term
 let run ctx term = Dds.collect (exec_dds ctx term)
 
 (* ------------------------------------------------------------------ *)
@@ -577,3 +708,156 @@ let explain ctx term =
   in
   go 0 term;
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Analyze = struct
+  type local_op = {
+    l_path : string;
+    l_label : string;
+    l_rows_total : int;
+    l_ns_max : float;
+    l_rounds : int;
+    l_workers : int;
+  }
+
+  type node = {
+    path : string;
+    label : string;
+    rows : int;
+    ns : float;
+    calls : int;
+    plan : string option;
+    iterations : int;
+    deltas : int list;
+    local : local_op list;
+    children : node list;
+  }
+
+  (* Numeric comparison of dotted node paths ("0.10" after "0.2"). *)
+  let path_compare a b =
+    let ints p = List.filter_map int_of_string_opt (String.split_on_char '.' p) in
+    compare (ints a) (ints b)
+
+  let term_children (t : Term.t) =
+    match t with
+    | Term.Rel _ | Term.Cst _ | Term.Var _ -> []
+    | Term.Select (_, u) | Term.Project (_, u) | Term.Antiproject (_, u) | Term.Rename (_, u) ->
+      [ u ]
+    | Term.Join (a, b) | Term.Antijoin (a, b) | Term.Union (a, b) -> [ a; b ]
+    | Term.Fix (x, body) -> (
+      match Fcond.split ~var:x body with
+      | consts, recs -> consts @ recs
+      | exception Fcond.Not_fcond _ -> [])
+
+  (* Path -> label map of a local-database plan, mirroring the path
+     assignment of [Localdb.Instance.compile] (same convention, and like
+     the instance it skips the Union nodes that [Fcond.split] dissolves). *)
+  let rec term_labels acc path (t : Term.t) =
+    let acc = (path, op_label t) :: acc in
+    List.fold_left
+      (fun (i, acc) u -> (i + 1, term_labels acc (child path i) u))
+      (0, acc) (term_children t)
+    |> snd
+
+  let local_ops ctx fixpath =
+    match Hashtbl.find_opt ctx.local_actuals fixpath with
+    | None -> []
+    | Some tbl ->
+      let labels =
+        match Hashtbl.find_opt ctx.local_plans fixpath with
+        | Some t -> term_labels [] "0" t
+        | None -> []
+      in
+      Hashtbl.fold
+        (fun p (a : local_actual) acc ->
+          {
+            l_path = p;
+            l_label = (match List.assoc_opt p labels with Some l -> l | None -> "?");
+            l_rows_total = a.l_rows;
+            l_ns_max = a.l_ns;
+            l_rounds = a.l_rounds;
+            l_workers = a.l_workers;
+          }
+          :: acc)
+        tbl []
+      |> List.sort (fun a b -> path_compare a.l_path b.l_path)
+
+  let tree ctx term =
+    let rec go path (t : Term.t) =
+      let rows, ns, calls =
+        match ctx.actuals with
+        | Some tbl -> (
+          match Hashtbl.find_opt tbl path with
+          | Some a -> (a.o_rows, a.o_ns, a.o_count)
+          | None -> (0, 0., 0))
+        | None -> (0, 0., 0)
+      in
+      let plan, iterations, deltas =
+        match t with
+        | Term.Fix _ -> (
+          match List.find_opt (fun r -> String.equal r.fix_path path) ctx.rpt.fixpoints with
+          | Some r -> (Some (plan_name r.plan), r.iterations, r.deltas)
+          | None -> (None, 0, []))
+        | _ -> (None, 0, [])
+      in
+      let children =
+        List.mapi (fun i u -> go (child path i) u) (term_children t)
+      in
+      {
+        path;
+        label = op_label t;
+        rows;
+        ns;
+        calls;
+        plan;
+        iterations;
+        deltas;
+        local = (match t with Term.Fix _ -> local_ops ctx path | _ -> []);
+        children;
+      }
+    in
+    go "0" term
+
+  let render ?(annot = fun (_ : string) -> "") root =
+    let buf = Buffer.create 512 in
+    let pp_deltas ds =
+      let n = List.length ds in
+      let shown = if n > 16 then List.filteri (fun i _ -> i < 16) ds else ds in
+      Printf.sprintf "[%s%s]"
+        (String.concat ";" (List.map string_of_int shown))
+        (if n > 16 then ";…" else "")
+    in
+    let rec go indent n =
+      Buffer.add_string buf (String.make (2 * indent) ' ');
+      Buffer.add_string buf n.label;
+      if n.calls = 0 then
+        (* evaluated as part of an enclosing constant subterm: the
+           nearest metered ancestor carries the actuals *)
+        Buffer.add_string buf " (folded into parent)"
+      else begin
+        Printf.bprintf buf " rows=%d" n.rows;
+        (match annot n.path with "" -> () | s -> Printf.bprintf buf " %s" s);
+        Printf.bprintf buf " time=%.3fms" (n.ns /. 1e6);
+        if n.calls > 1 then Printf.bprintf buf " calls=%d" n.calls
+      end;
+      (match n.plan with Some p -> Printf.bprintf buf " plan=%s" p | None -> ());
+      if n.iterations > 0 then
+        Printf.bprintf buf " iters=%d deltas=%s" n.iterations (pp_deltas n.deltas);
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun l ->
+          Buffer.add_string buf (String.make ((2 * indent) + 2) ' ');
+          Printf.bprintf buf "local %s [%s] rows=%d max_time=%.3fms" l.l_label l.l_path
+            l.l_rows_total (l.l_ns_max /. 1e6);
+          if l.l_rounds > 0 then Printf.bprintf buf " rounds=%d" l.l_rounds;
+          Printf.bprintf buf " workers=%d" l.l_workers;
+          Buffer.add_char buf '\n')
+        n.local;
+      List.iter (go (indent + 1)) n.children
+    in
+    go 0 root;
+    Buffer.contents buf
+end

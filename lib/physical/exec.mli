@@ -45,6 +45,13 @@ type config = {
           may rescan the whole broadcast relation (the pre-optimisation
           behaviour, kept as a bench/regression knob). Plan shape and
           communication counters are identical either way. *)
+  collect_actuals : bool;
+      (** when [true], EXPLAIN ANALYZE instrumentation is on: every
+          operator records its actual output cardinality and cumulative
+          time, fixpoints record their delta-size curves, and P_plw^pg
+          runs its local fixpoints on the instrumented volcano path.
+          Results and communication counters are bit-identical either
+          way; default [false] (zero overhead). *)
 }
 
 val default_config : Distsim.Cluster.t -> config
@@ -56,11 +63,20 @@ exception Resource_limit of string
 
 type fix_report = {
   var : string;
+  fix_path : string;
+      (** term-tree path of the [Fix] node (root "0"; child [i] of [p] is
+          [p ^ "." ^ i]; Fix children = constant branches then recursive
+          ones, in [Mura.Fcond.split] order — the convention shared with
+          [Localdb.Instance] and [Cost.Feedback]) *)
   plan : fixpoint_plan;
   stable : string list;  (** stable columns found by the stabilizer *)
   partitioned_by : string list;  (** actual repartitioning applied *)
   iterations : int;
   result_size : int;
+  deltas : int list;
+      (** per-iteration fresh-tuple counts, in iteration order (the last
+          entry is the empty delta that terminates the loop); [[]] for
+          P_plw^pg, whose single superstep hides the local rounds *)
 }
 
 type report = {
@@ -88,3 +104,44 @@ val explain : ctx -> Mura.Term.t -> string
 
 val run : ctx -> Mura.Term.t -> Relation.Rel.t
 (** [exec_dds] followed by a collect to the driver. *)
+
+(** EXPLAIN ANALYZE: the annotated plan tree of an executed term.
+
+    Only meaningful on a session created with [collect_actuals = true]
+    and after running the term; without instrumentation every actual
+    reads 0. Node addressing follows the shared path convention (see
+    {!type:fix_report}[.fix_path]), which is how per-path estimates from
+    [Cost.Feedback] join against these actuals. *)
+module Analyze : sig
+  type local_op = {
+    l_path : string;  (** path within the local plan (its own root "0") *)
+    l_label : string;
+    l_rows_total : int;  (** output rows summed over workers *)
+    l_ns_max : float;  (** slowest worker's cumulative time *)
+    l_rounds : int;  (** max semi-naive rounds (0 for non-Fix nodes) *)
+    l_workers : int;  (** workers that reported this operator *)
+  }
+  (** One operator of a P_plw^pg per-worker local plan, aggregated
+      across workers. *)
+
+  type node = {
+    path : string;
+    label : string;
+    rows : int;  (** actual output cardinality (summed over iterations) *)
+    ns : float;  (** cumulative time, inclusive of children *)
+    calls : int;  (** evaluations (iteration count for in-loop nodes) *)
+    plan : string option;  (** fixpoint plan name, [Fix] nodes only *)
+    iterations : int;  (** fixpoint iterations; 0 elsewhere *)
+    deltas : int list;  (** per-iteration fresh-tuple counts *)
+    local : local_op list;  (** P_plw^pg local-plan actuals *)
+    children : node list;
+  }
+
+  val tree : ctx -> Mura.Term.t -> node
+  (** Join the term tree with the actuals collected by the session. *)
+
+  val render : ?annot:(string -> string) -> node -> string
+  (** Indented annotated-plan text. [annot path] injects extra
+      per-node text right after [rows=] (the harness passes
+      "est=<estimate> err=<q-error>" from [Cost.Feedback]). *)
+end

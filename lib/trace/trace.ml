@@ -281,6 +281,8 @@ module Json = struct
 
   let obj fields =
     "{" ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields) ^ "}"
+
+  let arr items = "[" ^ String.concat "," items ^ "]"
 end
 
 (* ------------------------------------------------------------------ *)
@@ -403,6 +405,7 @@ module Rollup = struct
     mutable stages : int;
     mutable stage_sim_ns : float;
     mutable max_skew : float;
+    mutable max_straggler : float;
   }
 
   let fresh_row scope id =
@@ -418,6 +421,7 @@ module Rollup = struct
       stages = 0;
       stage_sim_ns = 0.;
       max_skew = 0.;
+      max_straggler = 0.;
     }
 
   let attr_int attrs k =
@@ -459,6 +463,9 @@ module Rollup = struct
     | _ -> ());
     (match attr_float e.attrs "skew" with
     | Some s when s > row.max_skew -> row.max_skew <- s
+    | _ -> ());
+    (match attr_float e.attrs "straggler" with
+    | Some s when s > row.max_straggler -> row.max_straggler <- s
     | _ -> ());
     if e.kind = Span then row.spans <- row.spans + 1
 
@@ -543,17 +550,18 @@ module Rollup = struct
 
   let pp_rows ppf rows =
     let header =
-      Printf.sprintf "%-32s %6s %8s %10s %12s %7s %10s %7s %12s %6s" "scope" "spans" "shuffles"
-        "sh.records" "sh.bytes" "bcasts" "bc.records" "stages" "stage sim ms" "skew"
+      Printf.sprintf "%-32s %6s %8s %10s %12s %7s %10s %7s %12s %6s %9s" "scope" "spans"
+        "shuffles" "sh.records" "sh.bytes" "bcasts" "bc.records" "stages" "stage sim ms" "skew"
+        "straggler"
     in
     Format.fprintf ppf "%s@." header;
     Format.fprintf ppf "%s@." (String.make (String.length header) '-');
     List.iter
       (fun r ->
-        Format.fprintf ppf "%-32s %6d %8d %10d %12d %7d %10d %7d %12.3f %6.2f@."
+        Format.fprintf ppf "%-32s %6d %8d %10d %12d %7d %10d %7d %12.3f %6.2f %9.2f@."
           (if String.length r.scope > 32 then String.sub r.scope 0 32 else r.scope)
           r.spans r.shuffles r.shuffled_records r.shuffled_bytes r.broadcasts r.broadcast_records
-          r.stages (r.stage_sim_ns /. 1e6) r.max_skew)
+          r.stages (r.stage_sim_ns /. 1e6) r.max_skew r.max_straggler)
       rows
 
   let to_string t =

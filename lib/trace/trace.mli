@@ -88,6 +88,7 @@ module Json : sig
   val num : float -> string
   val value : value -> string
   val obj : (string * string) list -> string
+  val arr : string list -> string
 end
 
 (** Chrome [trace_event] JSON, loadable in chrome://tracing or Perfetto.
@@ -120,6 +121,8 @@ module Rollup : sig
     mutable stages : int;
     mutable stage_sim_ns : float;
     mutable max_skew : float;  (** max over stages of max/mean partition size *)
+    mutable max_straggler : float;
+        (** max over stages of max/median worker compute time *)
   }
 
   val per_operator : event list -> row list

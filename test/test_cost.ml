@@ -101,6 +101,80 @@ let prop_estimates_positive =
          let c = Estimate.cost stats t and card = Estimate.cardinality stats t in
          c > 0. && card > 0. && Float.is_finite c && Float.is_finite card))
 
+(* --- estimate-vs-actual feedback ------------------------------------- *)
+
+module Feedback = Cost.Feedback
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_q_error_properties () =
+  check_float "exact" 1.0 (Feedback.q_error ~est:40. ~actual:40.);
+  check_float "symmetric over" 4.0 (Feedback.q_error ~est:40. ~actual:10.);
+  check_float "symmetric under" 4.0 (Feedback.q_error ~est:10. ~actual:40.);
+  (* empty sides clamp to one tuple instead of dividing by zero *)
+  check_float "zero actual" 40.0 (Feedback.q_error ~est:40. ~actual:0.);
+  check_float "both empty" 1.0 (Feedback.q_error ~est:0. ~actual:0.)
+
+let test_estimates_paths () =
+  let term = Term.Select (Pred.Eq_const ("pred", a), Term.Rel "E") in
+  let es = Feedback.estimates stats term in
+  check_bool "root first" true
+    (match es with { Feedback.path = "0"; _ } :: _ -> true | _ -> false);
+  check_bool "child addressed 0.0" true
+    (List.exists (fun (e : Feedback.estimate) -> e.path = "0.0" && e.label = "Rel E") es)
+
+let test_exact_scan_q_error () =
+  (* base-table scan estimate comes straight from the stats: q-error 1.0 *)
+  let ms =
+    Feedback.compare_actuals stats (Term.Rel "E")
+      ~actuals:[ ("0", Rel.cardinal labelled) ]
+  in
+  check_float "scan q-error" 1.0 (Feedback.query_q_error ms)
+
+let test_compare_actuals_ranking () =
+  let term = Term.Union (Term.Rel "E", Term.Rel "E") in
+  (* root actual matches the estimate poorly; children exactly *)
+  let ms =
+    Feedback.compare_actuals stats term
+      ~actuals:[ ("0", 1); ("0.0", 40); ("0.1", 40) ]
+  in
+  check_bool "worst first" true
+    (match ms with
+    | worst :: rest ->
+      worst.Feedback.m_path = "0"
+      && List.for_all (fun (m : Feedback.mismatch) -> m.m_q <= worst.m_q) rest
+    | [] -> false);
+  check_bool "unreported nodes skipped" true
+    (List.length
+       (Feedback.compare_actuals stats term ~actuals:[ ("0.1", 40) ])
+    = 1);
+  check_bool "summary mentions worst node" true
+    (let s = Feedback.summary ms in
+     String.length s > 0);
+  check_float "no actuals -> neutral q" 1.0 (Feedback.query_q_error [])
+
+let test_check_plan_ordering () =
+  let fired = ref [] in
+  Feedback.ordering_hook := (fun msg -> fired := msg :: !fired);
+  Fun.protect
+    ~finally:(fun () -> Feedback.ordering_hook := fun _ -> ())
+    (fun () ->
+      check_bool "agreement -> None" true
+        (Feedback.check_plan_ordering
+           ~est_costs:[ ("p1", 1.); ("p2", 2.) ]
+           ~actual_costs:[ ("p1", 0.1); ("p2", 0.4) ]
+        = None);
+      check_bool "no hook on agreement" true (!fired = []);
+      check_bool "empty -> None" true
+        (Feedback.check_plan_ordering ~est_costs:[] ~actual_costs:[] = None);
+      let d =
+        Feedback.check_plan_ordering
+          ~est_costs:[ ("p1", 1.); ("p2", 2.) ]
+          ~actual_costs:[ ("p1", 0.4); ("p2", 0.1) ]
+      in
+      check_bool "disagreement -> Some" true (d <> None);
+      check_bool "hook fired" true (List.length !fired = 1))
+
 let () =
   Alcotest.run "cost"
     [
@@ -118,5 +192,13 @@ let () =
         [
           Alcotest.test_case "filter push" `Quick test_ranking_filter_push;
           Alcotest.test_case "merge fixpoints" `Quick test_ranking_merge;
+        ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "q-error properties" `Quick test_q_error_properties;
+          Alcotest.test_case "estimate paths" `Quick test_estimates_paths;
+          Alcotest.test_case "exact scan" `Quick test_exact_scan_q_error;
+          Alcotest.test_case "mismatch ranking" `Quick test_compare_actuals_ranking;
+          Alcotest.test_case "plan ordering" `Quick test_check_plan_ordering;
         ] );
     ]

@@ -343,9 +343,151 @@ let prop_prepared_bcast_disjoint =
       Rel.equal (Rel.natural_join a b') (Dds.collect (Dds.join_bcast_prepared d p))
       && Rel.equal (Rel.antijoin a b') (Dds.collect (Dds.antijoin_bcast_prepared d p)))
 
+(* --- Metrics and histograms ----------------------------------------- *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_metrics_record_arithmetic () =
+  let m = Metrics.create () in
+  Metrics.record_shuffle m ~records:10 ~bytes:100;
+  check_int "shuffles" 1 m.Metrics.shuffles;
+  check_int "shuffled_records" 10 m.Metrics.shuffled_records;
+  check_int "shuffled_bytes" 100 m.Metrics.shuffled_bytes;
+  check_float "shuffle sim time"
+    (Metrics.ns_per_shuffle_round +. (10. *. Metrics.ns_per_shuffled_record))
+    m.Metrics.sim_time_ns;
+  Metrics.record_broadcast m ~records:5;
+  check_int "broadcasts" 1 m.Metrics.broadcasts;
+  check_int "broadcast_records" 5 m.Metrics.broadcast_records;
+  check_float "broadcast sim time"
+    (Metrics.ns_per_shuffle_round
+    +. (10. *. Metrics.ns_per_shuffled_record)
+    +. (5. *. Metrics.ns_per_broadcast_record))
+    m.Metrics.sim_time_ns;
+  Metrics.record_superstep m;
+  Metrics.record_stage m ~max_worker_ns:1000.;
+  check_int "supersteps" 1 m.Metrics.supersteps;
+  check_int "stages" 1 m.Metrics.stages
+
+let test_metrics_create_reset_add () =
+  let mk () =
+    let m = Metrics.create () in
+    m.Metrics.shuffles <- 1;
+    m.Metrics.shuffled_records <- 2;
+    m.Metrics.shuffled_bytes <- 3;
+    m.Metrics.broadcasts <- 4;
+    m.Metrics.broadcast_records <- 5;
+    m.Metrics.supersteps <- 6;
+    m.Metrics.stages <- 7;
+    m.Metrics.sim_time_ns <- 8.;
+    Metrics.record_worker_time m ~worker:1 ~ns:100.;
+    Metrics.record_partition_size m ~worker:1 ~records:50;
+    Metrics.record_straggler m ~ratio:2.5;
+    m
+  in
+  let acc = mk () and m = mk () in
+  Metrics.add acc m;
+  check_int "add shuffles" 2 acc.Metrics.shuffles;
+  check_int "add shuffled_records" 4 acc.Metrics.shuffled_records;
+  check_int "add shuffled_bytes" 6 acc.Metrics.shuffled_bytes;
+  check_int "add broadcasts" 8 acc.Metrics.broadcasts;
+  check_int "add broadcast_records" 10 acc.Metrics.broadcast_records;
+  check_int "add supersteps" 12 acc.Metrics.supersteps;
+  check_int "add stages" 14 acc.Metrics.stages;
+  check_float "add sim_time" 16. acc.Metrics.sim_time_ns;
+  check_int "add worker_ns samples" 2 (Metrics.Hist.count acc.Metrics.worker_ns);
+  check_float "add per-worker ns" 200. acc.Metrics.per_worker_ns.(1);
+  check_float "add per-worker records" 100. acc.Metrics.per_worker_records.(1);
+  check_float "straggler ratio survives add" 2.5 (Metrics.straggler_ratio acc);
+  Metrics.reset acc;
+  check_int "reset shuffles" 0 acc.Metrics.shuffles;
+  check_int "reset shuffled_records" 0 acc.Metrics.shuffled_records;
+  check_int "reset shuffled_bytes" 0 acc.Metrics.shuffled_bytes;
+  check_int "reset broadcasts" 0 acc.Metrics.broadcasts;
+  check_int "reset broadcast_records" 0 acc.Metrics.broadcast_records;
+  check_int "reset supersteps" 0 acc.Metrics.supersteps;
+  check_int "reset stages" 0 acc.Metrics.stages;
+  check_float "reset sim_time" 0. acc.Metrics.sim_time_ns;
+  check_int "reset hist" 0 (Metrics.Hist.count acc.Metrics.worker_ns);
+  check_float "reset straggler" 0. (Metrics.straggler_ratio acc);
+  check_int "reset per-worker" 0 (Array.length acc.Metrics.per_worker_ns)
+
+let test_tuple_bytes () =
+  check_int "arity 0" 16 (Metrics.tuple_bytes 0);
+  check_int "arity 2" 32 (Metrics.tuple_bytes 2);
+  check_int "arity 5" 56 (Metrics.tuple_bytes 5)
+
+let test_hist_empty () =
+  let h = Metrics.Hist.create () in
+  check_int "count" 0 (Metrics.Hist.count h);
+  check_float "p50 of empty" 0. (Metrics.Hist.percentile h 50.);
+  check_float "min" 0. (Metrics.Hist.min_value h);
+  check_float "max" 0. (Metrics.Hist.max_value h);
+  check_float "mean" 0. (Metrics.Hist.mean h);
+  check_bool "no buckets" true (Metrics.Hist.buckets h = [])
+
+let test_hist_single_bucket () =
+  let h = Metrics.Hist.create () in
+  (* all samples in bucket [4, 8): percentiles degenerate to the exact max *)
+  List.iter (Metrics.Hist.add h) [ 7.; 7.; 7.; 7.; 7. ];
+  check_int "count" 5 (Metrics.Hist.count h);
+  check_float "p1" 7. (Metrics.Hist.percentile h 1.);
+  check_float "p50" 7. (Metrics.Hist.percentile h 50.);
+  check_float "p100" 7. (Metrics.Hist.percentile h 100.);
+  check_float "mean" 7. (Metrics.Hist.mean h);
+  check_bool "one bucket" true (List.length (Metrics.Hist.buckets h) = 1)
+
+let test_hist_percentiles_ordered () =
+  let h = Metrics.Hist.create () in
+  for i = 0 to 99 do
+    Metrics.Hist.add h (float_of_int (i * 10))
+  done;
+  let p q = Metrics.Hist.percentile h q in
+  check_bool "p50 <= p90" true (p 50. <= p 90.);
+  check_bool "p90 <= p99" true (p 90. <= p 99.);
+  check_bool "p99 <= max" true (p 99. <= Metrics.Hist.max_value h);
+  check_float "max exact" 990. (Metrics.Hist.max_value h);
+  check_float "min exact" 0. (Metrics.Hist.min_value h);
+  (* negative samples clamp to 0 *)
+  Metrics.Hist.add h (-5.);
+  check_float "clamped min" 0. (Metrics.Hist.min_value h)
+
+let test_hist_merge () =
+  let a = Metrics.Hist.create () and b = Metrics.Hist.create () in
+  Metrics.Hist.add a 4.;
+  Metrics.Hist.add b 1000.;
+  Metrics.Hist.merge a b;
+  check_int "merged count" 2 (Metrics.Hist.count a);
+  check_float "merged total" 1004. (Metrics.Hist.total a);
+  check_float "merged min" 4. (Metrics.Hist.min_value a);
+  check_float "merged max" 1000. (Metrics.Hist.max_value a)
+
+let test_stage_feeds_histograms () =
+  let c = Cluster.make ~workers:4 () in
+  let m = Cluster.metrics c in
+  let d = Dds.of_rel c edges in
+  (* a narrow compute stage (run_stage) samples worker times/stragglers;
+     the partition-size histogram is fed by every exchange and stage *)
+  ignore (Dds.collect (Dds.filter (Pred.Eq_const ("src", 1)) d));
+  check_bool "worker times sampled" true (Metrics.Hist.count m.Metrics.worker_ns > 0);
+  check_bool "partition sizes sampled" true (Metrics.Hist.count m.Metrics.partition_records > 0);
+  check_bool "straggler ratio >= 1" true (Metrics.straggler_ratio m >= 1.);
+  check_int "one per-worker slot per worker" 4 (Array.length m.Metrics.per_worker_ns)
+
 let () =
   Alcotest.run "distsim"
     [
+      ( "metrics",
+        [
+          Alcotest.test_case "record arithmetic" `Quick test_metrics_record_arithmetic;
+          Alcotest.test_case "create/reset/add all fields" `Quick test_metrics_create_reset_add;
+          Alcotest.test_case "tuple_bytes" `Quick test_tuple_bytes;
+          Alcotest.test_case "hist empty" `Quick test_hist_empty;
+          Alcotest.test_case "hist single bucket" `Quick test_hist_single_bucket;
+          Alcotest.test_case "hist percentiles ordered" `Quick test_hist_percentiles_ordered;
+          Alcotest.test_case "hist merge" `Quick test_hist_merge;
+          Alcotest.test_case "stages feed histograms" `Quick test_stage_feeds_histograms;
+        ] );
       ( "basics",
         [
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
@@ -379,7 +521,7 @@ let () =
           Alcotest.test_case "antijoins" `Quick test_antijoin_modes;
           Alcotest.test_case "broadcast token" `Quick test_broadcast_token_metered_once;
         ] );
-      ( "metrics",
+      ( "accounting",
         [
           Alcotest.test_case "accounting" `Quick test_metrics_accounting;
           Alcotest.test_case "deadline" `Quick test_deadline;

@@ -193,6 +193,59 @@ let test_runner_matrix_and_table () =
   (* table printing must not raise *)
   R.print_table ~title:"test" ~columns:(List.map (fun (s : S.system) -> s.name) systems) rows
 
+(* --- EXPLAIN / EXPLAIN ANALYZE --------------------------------------- *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let analyze_graph = lazy (Graphgen.Generators.erdos_renyi ~seed:7 ~nodes:400 ~p:0.004 ())
+let analyze_query = "?x, ?y <- ?x a+ ?y"
+
+let analysis =
+  lazy
+    (R.analyze ~workers:4
+       ~graph:(Graphgen.Generators.add_labels ~labels:[ "a" ] (Lazy.force analyze_graph))
+       ~query:analyze_query ())
+
+let test_explain_text () =
+  let g = Graphgen.Generators.add_labels ~labels:[ "a" ] (Lazy.force analyze_graph) in
+  let s = R.explain ~graph:g ~query:analyze_query () in
+  check_bool "logical plan" true (contains s "logical plan");
+  check_bool "physical plan" true (contains s "physical plan")
+
+let test_analyze_annotated_plan () =
+  let a = Lazy.force analysis in
+  check_bool "actual rows annotated" true (contains a.R.a_annotated_plan "rows=");
+  check_bool "estimates annotated" true (contains a.R.a_annotated_plan "est=");
+  check_bool "q-errors annotated" true (contains a.R.a_annotated_plan "err=");
+  check_bool "ranked mis-estimates" true (a.R.a_mismatches <> []);
+  check_bool "query q-error >= 1" true (a.R.a_q_error >= 1.);
+  (* the analyzed run's root actual must match the plain outcome *)
+  match a.R.a_outcome with
+  | S.Success s -> check_int "tree root = result size" s.result_size a.R.a_tree.rows
+  | o -> Alcotest.failf "analyze outcome: %s" (R.cell_text o)
+
+let test_analyze_skew_table () =
+  let a = Lazy.force analysis in
+  let t = R.skew_table a.R.a_metrics in
+  check_bool "straggler ratio" true (contains t "straggler");
+  check_bool "per-worker rows" true (contains t "worker")
+
+let test_report_json_keys () =
+  let a = Lazy.force analysis in
+  let json = R.report_json a in
+  List.iter
+    (fun key -> check_bool ("report has " ^ key) true (contains json ("\"" ^ key ^ "\"")))
+    [
+      "query"; "system"; "workers"; "logical_plan"; "physical_plan"; "outcome"; "metrics";
+      "straggler_ratio"; "operators"; "q_error"; "mis_estimates"; "shuffled_records";
+      "worker_ns"; "per_worker_ns";
+    ];
+  (* print_analysis must not raise *)
+  R.print_analysis a
+
 let () =
   Alcotest.run "harness"
     [
@@ -219,5 +272,12 @@ let () =
           Alcotest.test_case "timeout" `Quick test_timeout_reporting;
           Alcotest.test_case "failure" `Quick test_failure_reporting;
           Alcotest.test_case "matrix/table" `Quick test_runner_matrix_and_table;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "explain" `Quick test_explain_text;
+          Alcotest.test_case "annotated plan" `Quick test_analyze_annotated_plan;
+          Alcotest.test_case "skew table" `Quick test_analyze_skew_table;
+          Alcotest.test_case "report json" `Quick test_report_json_keys;
         ] );
     ]

@@ -215,9 +215,99 @@ let prop_random_terms_all_plans =
           Rel.equal expected (Exec.run ctx t))
         [ None; Some Exec.P_gld; Some Exec.P_plw_s; Some Exec.P_plw_pg ])
 
+(* --- EXPLAIN ANALYZE ------------------------------------------------- *)
+
+let analyze_session ?force_plan () =
+  let cluster = Cluster.make ~workers:4 () in
+  let config = { (Exec.default_config cluster) with force_plan; collect_actuals = true } in
+  Exec.session config [ ("E", edges) ]
+
+let counters (m : Metrics.t) =
+  (m.shuffles, m.shuffled_records, m.shuffled_bytes, m.broadcasts, m.broadcast_records,
+   m.supersteps)
+
+let test_analyze_no_observable_effect () =
+  List.iter
+    (fun plan ->
+      let plain = session ~force_plan:plan () in
+      let analyzed = analyze_session ~force_plan:plan () in
+      let r_plain = Exec.run plain closure_term in
+      let r_analyzed = Exec.run analyzed closure_term in
+      check_rel "same result" r_plain r_analyzed;
+      check_bool "same communication counters" true
+        (counters (Exec.metrics plain) = counters (Exec.metrics analyzed)))
+    [ Exec.P_gld; Exec.P_plw_s; Exec.P_plw_pg ]
+
+let test_analyze_root_actual () =
+  List.iter
+    (fun plan ->
+      let ctx = analyze_session ~force_plan:plan () in
+      let result = Exec.run ctx closure_term in
+      let tree = Exec.Analyze.tree ctx closure_term in
+      check_int "root actual rows = |result|" (Rel.cardinal result) tree.Exec.Analyze.rows;
+      check_bool "root timed" true (tree.Exec.Analyze.ns > 0.);
+      check_int "root evaluated once" 1 tree.Exec.Analyze.calls)
+    [ Exec.P_gld; Exec.P_plw_s; Exec.P_plw_pg ]
+
+let test_analyze_deltas () =
+  let ctx = analyze_session ~force_plan:Exec.P_plw_s () in
+  ignore (Exec.run ctx closure_term);
+  match (Exec.report ctx).fixpoints with
+  | [ fr ] ->
+    check_int "one delta per iteration" fr.iterations (List.length fr.deltas);
+    check_bool "terminating empty delta" true (List.nth fr.deltas (fr.iterations - 1) = 0);
+    check_bool "fix path recorded" true (fr.fix_path <> "")
+  | l -> Alcotest.failf "expected one fixpoint report, got %d" (List.length l)
+
+let test_analyze_plw_pg_locals () =
+  let ctx = analyze_session ~force_plan:Exec.P_plw_pg () in
+  let result = Exec.run ctx closure_term in
+  let tree = Exec.Analyze.tree ctx closure_term in
+  let rec find_fix (n : Exec.Analyze.node) =
+    if n.plan <> None then Some n else List.find_map find_fix n.children
+  in
+  match find_fix tree with
+  | None -> Alcotest.fail "no fixpoint node in analyze tree"
+  | Some fix ->
+    check_bool "local plan actuals present" true (fix.Exec.Analyze.local <> []);
+    let root_local =
+      List.find (fun (l : Exec.Analyze.local_op) -> l.l_path = "0") fix.Exec.Analyze.local
+    in
+    (* the local fixpoints are disjoint: their result sizes sum to the
+       global result *)
+    check_int "local fix rows sum to result" (Rel.cardinal result) root_local.l_rows_total;
+    check_bool "semi-naive rounds seen" true (root_local.l_rounds > 0);
+    check_int "all workers reported" 4 root_local.l_workers
+
+let test_analyze_render () =
+  let ctx = analyze_session () in
+  ignore (Exec.run ctx closure_term);
+  let tree = Exec.Analyze.tree ctx closure_term in
+  let rendered =
+    Exec.Analyze.render ~annot:(fun path -> if path = "0" then "est=42 err=2.00" else "") tree
+  in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "has actual rows" true (contains rendered "rows=");
+  check_bool "annot injected" true (contains rendered "est=42 err=2.00");
+  check_bool "has iteration counts" true (contains rendered "iters=");
+  check_bool "has delta curve" true (contains rendered "deltas=[")
+
 let () =
   Alcotest.run "physical"
     [
+      ( "analyze",
+        [
+          Alcotest.test_case "results bit-identical with analyze" `Quick
+            test_analyze_no_observable_effect;
+          Alcotest.test_case "root actual = result cardinality" `Quick test_analyze_root_actual;
+          Alcotest.test_case "fixpoint deltas recorded" `Quick test_analyze_deltas;
+          Alcotest.test_case "plw_pg local actuals" `Quick test_analyze_plw_pg_locals;
+          Alcotest.test_case "render" `Quick test_analyze_render;
+        ] );
       ( "plans",
         [
           Alcotest.test_case "P_gld" `Quick (test_plan_agreement (Some Exec.P_gld));
