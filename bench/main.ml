@@ -679,6 +679,138 @@ module MicroFixpoint = struct
     end
 end
 
+module MicroShuffle = struct
+  (* Times the exchange path — one hash-repartition by a non-partitioning
+     column — sequential driver-side vs the two-phase pooled shuffle,
+     across worker counts and key-skew levels. Acts as the shuffle
+     regression gate: the two paths must produce bit-identical result
+     partitions and communication counters (always, --quick included);
+     at full bench scale on a multi-core host the pooled path must also
+     be >= 2x faster at 4 workers. On a single-core host the parallelism
+     gate is vacuous and skipped (recorded as host_cores in the JSON). *)
+
+  let time = MicroFixpoint.time
+
+  (* [src] unique (the initial partitioning key); a [skew] fraction of
+     tuples share one hot [trg] key, the rest spread uniformly — so the
+     repartition by [trg] funnels that fraction to a single worker. *)
+  let make_rel ~n ~skew =
+    let hot = int_of_float (skew *. float_of_int n) in
+    Rel.of_tuples
+      (Relation.Schema.of_list [ "src"; "trg" ])
+      (List.init n (fun i -> [| i; (if i < hot then 0 else (i * 3) + 1) |]))
+
+  type run = {
+    wall_s : float;
+    tuples : int;
+    shuffles : int;
+    shuffled_records : int;
+    shuffled_bytes : int;
+    parts : Relation.Tset.t array;
+    map_ns : float;
+    merge_ns : float;
+  }
+
+  let counters r = (r.shuffles, r.shuffled_records, r.shuffled_bytes)
+
+  let measure ~pooled ~workers ~iters rel =
+    let cluster = Distsim.Cluster.make ~parallel:pooled ~workers () in
+    let d = Distsim.Dds.of_rel ~by:[ "src" ] cluster rel in
+    ignore (Distsim.Dds.repartition ~by:[ "trg" ] d);
+    (* warm-up *)
+    Distsim.Metrics.reset (Distsim.Cluster.metrics cluster);
+    let last = ref d in
+    let (), wall_s =
+      time (fun () ->
+          for _ = 1 to iters do
+            last := Distsim.Dds.repartition ~by:[ "trg" ] d
+          done)
+    in
+    let out = !last in
+    let m = Distsim.Cluster.metrics cluster in
+    let parts =
+      Array.init (Distsim.Dds.num_partitions out) (Distsim.Dds.partition out)
+    in
+    Distsim.Cluster.shutdown cluster;
+    {
+      wall_s;
+      tuples = Distsim.Dds.cardinal out;
+      shuffles = m.Distsim.Metrics.shuffles;
+      shuffled_records = m.Distsim.Metrics.shuffled_records;
+      shuffled_bytes = m.Distsim.Metrics.shuffled_bytes;
+      parts;
+      map_ns = m.Distsim.Metrics.exchange_map_ns;
+      merge_ns = m.Distsim.Metrics.exchange_merge_ns;
+    }
+
+  let run () =
+    section "micro_shuffle — two-phase pooled exchange vs sequential driver-side";
+    let n = sc 60_000 2_000 in
+    let iters = sc 8 2 in
+    let host_cores = Domain.recommended_domain_count () in
+    heading "repartition %d tuples by [trg] x%d, host cores: %d" n iters host_cores;
+    heading "%8s %6s %14s %14s %9s %7s %9s" "workers" "skew" "seq tup/s" "pool tup/s" "speedup"
+      "parts=" "counters=";
+    let throughput r = float_of_int (n * iters) /. Float.max 1e-9 r.wall_s in
+    let rows =
+      List.concat_map
+        (fun workers ->
+          List.map
+            (fun skew ->
+              let rel = make_rel ~n ~skew in
+              let seq = measure ~pooled:false ~workers ~iters rel in
+              let pool = measure ~pooled:true ~workers ~iters rel in
+              let parts_ok =
+                Array.length seq.parts = Array.length pool.parts
+                && seq.tuples = pool.tuples
+                && Array.for_all2 Relation.Tset.equal seq.parts pool.parts
+              in
+              let counters_ok = counters seq = counters pool in
+              let speedup = throughput pool /. Float.max 1e-9 (throughput seq) in
+              heading "%8d %6.1f %14.0f %14.0f %8.2fx %7b %9b" workers skew (throughput seq)
+                (throughput pool) speedup parts_ok counters_ok;
+              (workers, skew, seq, pool, speedup, parts_ok, counters_ok))
+            [ 0.0; 0.5; 0.9 ])
+        [ 1; 2; 4 ]
+    in
+    let oc = open_out "BENCH_shuffle.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let row_json (workers, skew, seq, pool, speedup, parts_ok, counters_ok) =
+          Printf.sprintf
+            "{\"workers\":%d,\"skew\":%.1f,\"seq_tuples_per_s\":%.0f,\"pool_tuples_per_s\":%.0f,\"speedup\":%.3f,\"shuffled_records\":%d,\"shuffled_bytes\":%d,\"pool_map_ns\":%.0f,\"pool_merge_ns\":%.0f,\"partitions_identical\":%b,\"counters_identical\":%b}"
+            workers skew (throughput seq) (throughput pool) speedup seq.shuffled_records
+            seq.shuffled_bytes pool.map_ns pool.merge_ns parts_ok counters_ok
+        in
+        Printf.fprintf oc
+          "{\"name\":\"shuffle\",\"quick\":%b,\"tuples\":%d,\"iterations\":%d,\"host_cores\":%d,\n\
+           \"rows\":[%s]}\n"
+          !quick n iters host_cores
+          (String.concat ",\n" (List.map row_json rows)));
+    heading "wrote BENCH_shuffle.json";
+    (* hard gates: parity always; parallel speedup only at full scale on
+       a host that can actually run workers concurrently *)
+    List.iter
+      (fun (workers, skew, _, _, _, parts_ok, counters_ok) ->
+        if not parts_ok then
+          failwith
+            (Printf.sprintf "micro_shuffle: partitions differ (workers=%d skew=%.1f)" workers skew);
+        if not counters_ok then
+          failwith
+            (Printf.sprintf
+               "micro_shuffle: shuffle counters differ between paths (workers=%d skew=%.1f)"
+               workers skew))
+      rows;
+    if (not !quick) && host_cores >= 2 then
+      List.iter
+        (fun (workers, skew, _, _, speedup, _, _) ->
+          if workers = 4 && skew = 0.0 && speedup < 2.0 then
+            failwith
+              (Printf.sprintf "micro_shuffle: pooled speedup %.2fx < 2x at 4 workers" speedup))
+        rows
+end
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -697,6 +829,7 @@ let experiments =
     ("ablation", Ablation.run);
     ("micro", Micro.run);
     ("micro_fixpoint", MicroFixpoint.run);
+    ("micro_shuffle", MicroShuffle.run);
   ]
 
 let () =

@@ -59,4 +59,11 @@ echo "report OK: $report"
 echo "== bench micro_fixpoint (--quick) =="
 dune exec bench/main.exe -- --quick micro_fixpoint
 
+# shuffle parity gate: quick-scale run of the two-phase pooled exchange
+# micro bench; any drift between the pooled and sequential paths —
+# result partitions or shuffle counters — fails the build (the >=2x
+# pooled speedup gate only applies at full scale on multi-core hosts)
+echo "== bench micro_shuffle (--quick) =="
+dune exec bench/main.exe -- --quick micro_shuffle
+
 echo "ci/check.sh: all checks passed"

@@ -100,6 +100,7 @@ end
 type t = {
   workers : int;
   parallel : bool;
+  use_parallel_shuffle : bool;
   metrics : Metrics.t;
   mutable pool : Pool.t option;
 }
@@ -111,12 +112,12 @@ let shutdown c =
     c.pool <- None;
     Pool.shutdown p
 
-let make ?(parallel = false) ~workers () =
+let make ?(parallel = false) ?(use_parallel_shuffle = true) ~workers () =
   if workers < 1 then invalid_arg "Cluster.make: workers < 1";
   let pool =
     if parallel && workers > 1 then Some (Pool.create (workers - 1)) else None
   in
-  let c = { workers; parallel; metrics = Metrics.create (); pool } in
+  let c = { workers; parallel; use_parallel_shuffle; metrics = Metrics.create (); pool } in
   (* join the pool domains at process exit even when the owner never
      calls [shutdown] explicitly (tests, examples) *)
   if pool <> None then at_exit (fun () -> shutdown c);
@@ -128,6 +129,11 @@ let make ?(parallel = false) ~workers () =
 
 let workers c = c.workers
 let parallel c = c.parallel
+
+(* The two-phase shuffle only pays off when stages actually fan out:
+   sequential clusters and single-worker clusters keep the driver-side
+   exchange (also the [use_parallel_shuffle:false] regression baseline). *)
+let pooled_shuffle c = c.parallel && c.use_parallel_shuffle && c.workers > 1
 let metrics c = c.metrics
 let pool_size c = match c.pool with None -> 0 | Some p -> Pool.size p
 

@@ -19,11 +19,22 @@
 
 type t
 
-val make : ?parallel:bool -> workers:int -> unit -> t
-(** @raise Invalid_argument if [workers < 1]. *)
+val make : ?parallel:bool -> ?use_parallel_shuffle:bool -> workers:int -> unit -> t
+(** [use_parallel_shuffle] (default [true]) lets [Dds] run its exchanges
+    as two-phase map/merge stages on the worker pool instead of
+    sequentially on the driver; it only takes effect on parallel
+    multi-worker clusters (see {!pooled_shuffle}). Results and
+    communication counters are identical either way — the [false]
+    setting exists as the regression baseline for [bench micro_shuffle].
+    @raise Invalid_argument if [workers < 1]. *)
 
 val workers : t -> int
 val parallel : t -> bool
+
+val pooled_shuffle : t -> bool
+(** Whether exchanges should run as pooled two-phase shuffles: parallel
+    mode, more than one worker, and [use_parallel_shuffle] not disabled. *)
+
 val metrics : t -> Metrics.t
 (** The cluster-lifetime metric accumulator (reset between experiments
     with {!Metrics.reset}). *)

@@ -25,7 +25,7 @@ let same_hashing a b =
   match (a, b) with Hashed x, Hashed y -> x = y | (Arbitrary | Hashed _), _ -> false
 
 let target_of ~positions ~workers tu =
-  if workers = 1 then 0 else Tuple.hash (Tuple.project positions tu) mod workers
+  if workers = 1 then 0 else Tuple.hash_positions positions tu mod workers
 
 (* Metered communication, mirrored into the ambient tracer: every
    shuffle/broadcast becomes a point event attributed (via the open-span
@@ -63,10 +63,11 @@ let record_skew ?cluster tr parts =
       (Trace.Float (if mean > 0. then float_of_int mx /. mean else 1.))
   end
 
-(* Exchange a full dataset by key: returns fresh partitions and the
-   number of tuples that changed worker. Partitions are presized to the
-   mean post-exchange size (skewed partitions still resize). *)
-let exchange parts ~positions ~workers =
+(* Sequential exchange, the [parallel:false] fallback: route every
+   partition on the driver. Returns fresh partitions and the number of
+   tuples that changed worker. Partitions are presized to the mean
+   post-exchange size (skewed partitions still resize). *)
+let exchange_seq parts ~positions ~workers =
   let total = Array.fold_left (fun acc p -> acc + Tset.cardinal p) 0 parts in
   let fresh = Array.init workers (fun _ -> Tset.create ~capacity:((total / workers) + 1) ()) in
   let moved = ref 0 in
@@ -81,25 +82,197 @@ let exchange parts ~positions ~workers =
     parts;
   (fresh, !moved)
 
+(* Map-side output of the two-phase shuffle: one growable vector of
+   tuples per destination, each tuple paired with its full hash —
+   computed once while routing and reused by the merge-side set insert
+   ([Tset.add_hashed]), so no tuple is ever hashed twice. *)
+module Bucket = struct
+  type t = { mutable tuples : Tuple.t array; mutable hashes : int array; mutable len : int }
+
+  let create ~capacity () =
+    let cap = max capacity 8 in
+    { tuples = Array.make cap [||]; hashes = Array.make cap 0; len = 0 }
+
+  let push b tu h =
+    if b.len = Array.length b.tuples then begin
+      let cap = 2 * Array.length b.tuples in
+      let tuples = Array.make cap [||] and hashes = Array.make cap 0 in
+      Array.blit b.tuples 0 tuples 0 b.len;
+      Array.blit b.hashes 0 hashes 0 b.len;
+      b.tuples <- tuples;
+      b.hashes <- hashes
+    end;
+    Array.unsafe_set b.tuples b.len tu;
+    Array.unsafe_set b.hashes b.len h;
+    b.len <- b.len + 1
+end
+
+let clock_ns () = Unix.gettimeofday () *. 1e9
+
+(* Phase 2 (reduce side): destination [t] merges its incoming buckets in
+   source order — the same insertion sequence the sequential exchange
+   produces — into a set presized to the exact incoming volume. *)
+let merge_buckets ~workers routed t =
+  let incoming = ref 0 in
+  for src = 0 to workers - 1 do
+    incoming := !incoming + routed.(src).(t).Bucket.len
+  done;
+  let out = Tset.create ~capacity:!incoming () in
+  for src = 0 to workers - 1 do
+    let b = routed.(src).(t) in
+    for i = 0 to b.Bucket.len - 1 do
+      ignore (Tset.add_hashed out (Array.unsafe_get b.Bucket.tuples i) (Array.unsafe_get b.Bucket.hashes i))
+    done
+  done;
+  out
+
+(* Per-phase skew attribute on the open phase span: max/mean of the
+   per-worker record counts the phase produced or consumed. *)
+let phase_skew tr counts =
+  if Trace.enabled tr then begin
+    let total = Array.fold_left ( + ) 0 counts in
+    let mx = Array.fold_left max 0 counts in
+    let mean = float_of_int total /. float_of_int (max 1 (Array.length counts)) in
+    Trace.set_attr tr "records" (Trace.Int total);
+    Trace.set_attr tr "max_worker_records" (Trace.Int mx);
+    Trace.set_attr tr "skew" (Trace.Float (if mean > 0. then float_of_int mx /. mean else 1.))
+  end
+
+(* Two-phase pooled exchange. Phase 1 (map side): every worker routes its
+   own partition into [workers] destination buckets on the pool, hashing
+   the key columns in place and counting locally-moved records. Phase 2
+   (reduce side): every destination merges its incoming buckets, reusing
+   the map-side hashes. Moved counts, metered records and the resulting
+   partitions are bit-identical to [exchange_seq]. *)
+let exchange_pooled cluster parts ~positions ~workers =
+  let tr = Trace.get () in
+  let t0 = clock_ns () in
+  let routed, moved =
+    Trace.span tr ~cat:"dds" "dds.exchange.map" @@ fun () ->
+    let r =
+      Cluster.run_stage cluster (fun w ->
+          let p = parts.(w) in
+          let buckets =
+            Array.init workers (fun _ -> Bucket.create ~capacity:((Tset.cardinal p / workers) + 1) ())
+          in
+          let moved = ref 0 in
+          Tset.iter
+            (fun tu ->
+              let t = target_of ~positions ~workers tu in
+              if t <> w then incr moved;
+              Bucket.push buckets.(t) tu (Tuple.hash tu))
+            p;
+          (buckets, !moved))
+    in
+    let moved = Array.fold_left (fun acc (_, m) -> acc + m) 0 r in
+    phase_skew tr (Array.map (fun p -> Tset.cardinal p) parts);
+    if Trace.enabled tr then Trace.set_attr tr "moved" (Trace.Int moved);
+    (Array.map fst r, moved)
+  in
+  let t1 = clock_ns () in
+  let fresh =
+    Trace.span tr ~cat:"dds" "dds.exchange.merge" @@ fun () ->
+    let fresh = Cluster.run_stage cluster (fun t -> merge_buckets ~workers routed t) in
+    phase_skew tr (Array.map Tset.cardinal fresh);
+    fresh
+  in
+  Metrics.record_exchange_phases (Cluster.metrics cluster) ~map_ns:(t1 -. t0)
+    ~merge_ns:(clock_ns () -. t1);
+  (fresh, moved)
+
+let exchange cluster parts ~positions ~workers =
+  if Cluster.pooled_shuffle cluster then exchange_pooled cluster parts ~positions ~workers
+  else exchange_seq parts ~positions ~workers
+
+(* Parallel routing of a driver-side relation: every worker scans its
+   slice of the input set ([Tset.iter_slice] — the slices concatenate to
+   the sequential iteration order), routes into per-destination buckets,
+   and the merge phase assembles the partitions. Round-robin placement
+   depends on the global iteration index, so it is reconstructed from a
+   cheap parallel counting pass + prefix sums; the resulting partitions
+   are bit-identical to the sequential path's. *)
+let route_rel_pooled cluster ~workers ~by rel =
+  let tr = Trace.get () in
+  let ts = Rel.tuples rel in
+  let t0 = clock_ns () in
+  let routed =
+    Trace.span tr ~cat:"dds" "dds.exchange.map" @@ fun () ->
+    let route fill =
+      Cluster.run_stage cluster (fun w ->
+          let buckets =
+            Array.init workers (fun _ ->
+                Bucket.create ~capacity:((Rel.cardinal rel / (workers * workers)) + 1) ())
+          in
+          fill w buckets;
+          buckets)
+    in
+    let r =
+      match by with
+      | Some cols ->
+        let positions = Schema.positions (Rel.schema rel) cols in
+        route (fun w buckets ->
+            Tset.iter_slice
+              (fun tu -> Bucket.push buckets.(target_of ~positions ~workers tu) tu (Tuple.hash tu))
+              ts ~slice:w ~slices:workers)
+      | None ->
+        (* counting pass -> prefix sums -> global index of each slice *)
+        let counts =
+          Cluster.run_stage cluster (fun w ->
+              let n = ref 0 in
+              Tset.iter_slice (fun _ -> incr n) ts ~slice:w ~slices:workers;
+              !n)
+        in
+        let offsets = Array.make workers 0 in
+        for w = 1 to workers - 1 do
+          offsets.(w) <- offsets.(w - 1) + counts.(w - 1)
+        done;
+        route (fun w buckets ->
+            let i = ref offsets.(w) in
+            Tset.iter_slice
+              (fun tu ->
+                Bucket.push buckets.(!i mod workers) tu (Tuple.hash tu);
+                incr i)
+              ts ~slice:w ~slices:workers)
+    in
+    phase_skew tr (Array.map (fun buckets -> Array.fold_left (fun a b -> a + b.Bucket.len) 0 buckets) r);
+    r
+  in
+  let t1 = clock_ns () in
+  let parts =
+    Trace.span tr ~cat:"dds" "dds.exchange.merge" @@ fun () ->
+    let parts = Cluster.run_stage cluster (fun t -> merge_buckets ~workers routed t) in
+    phase_skew tr (Array.map Tset.cardinal parts);
+    parts
+  in
+  Metrics.record_exchange_phases (Cluster.metrics cluster) ~map_ns:(t1 -. t0)
+    ~merge_ns:(clock_ns () -. t1);
+  parts
+
 let of_rel ?by cluster rel =
   let tr = Trace.get () in
   Trace.span tr ~cat:"dds" "dds.of_rel" @@ fun () ->
   let workers = Cluster.workers cluster in
   let schema = Rel.schema rel in
   let parts =
-    Array.init workers (fun _ -> Tset.create ~capacity:((Rel.cardinal rel / workers) + 1) ())
+    if Cluster.pooled_shuffle cluster then route_rel_pooled cluster ~workers ~by rel
+    else begin
+      let parts =
+        Array.init workers (fun _ -> Tset.create ~capacity:((Rel.cardinal rel / workers) + 1) ())
+      in
+      (match by with
+      | Some cols ->
+        let positions = Schema.positions schema cols in
+        Rel.iter (fun tu -> ignore (Tset.add parts.(target_of ~positions ~workers tu) tu)) rel
+      | None ->
+        let w = ref 0 in
+        Rel.iter
+          (fun tu ->
+            ignore (Tset.add parts.(!w) tu);
+            w := (!w + 1) mod workers)
+          rel);
+      parts
+    end
   in
-  (match by with
-  | Some cols ->
-    let positions = Schema.positions schema cols in
-    Rel.iter (fun tu -> ignore (Tset.add parts.(target_of ~positions ~workers tu) tu)) rel
-  | None ->
-    let w = ref 0 in
-    Rel.iter
-      (fun tu ->
-        ignore (Tset.add parts.(!w) tu);
-        w := (!w + 1) mod workers)
-      rel);
   let records = Rel.cardinal rel in
   meter_shuffle cluster ~op:"of_rel" ~records
     ~bytes:(records * Metrics.tuple_bytes (Schema.arity schema));
@@ -120,9 +293,48 @@ let empty cluster schema =
   }
 
 let collect d =
-  Trace.span (Trace.get ()) ~cat:"dds" "dds.collect" @@ fun () ->
-  let out = Tset.create ~capacity:(cardinal d) () in
-  Array.iter (fun p -> ignore (Tset.add_all out p)) d.parts;
+  let tr = Trace.get () in
+  Trace.span tr ~cat:"dds" "dds.collect" @@ fun () ->
+  let out =
+    if Cluster.pooled_shuffle d.cluster then begin
+      (* map side: every worker snapshots + hashes its own partition in
+         parallel; the driver-side merge then only probes. *)
+      let t0 = clock_ns () in
+      let staged =
+        Trace.span tr ~cat:"dds" "dds.exchange.map" @@ fun () ->
+        let staged =
+          Cluster.run_stage d.cluster (fun w ->
+              let p = d.parts.(w) in
+              let b = Bucket.create ~capacity:(Tset.cardinal p) () in
+              Tset.iter (fun tu -> Bucket.push b tu (Tuple.hash tu)) p;
+              b)
+        in
+        phase_skew tr (Array.map (fun b -> b.Bucket.len) staged);
+        staged
+      in
+      let t1 = clock_ns () in
+      let out =
+        Trace.span tr ~cat:"dds" "dds.exchange.merge" @@ fun () ->
+        let total = Array.fold_left (fun acc b -> acc + b.Bucket.len) 0 staged in
+        let out = Tset.create ~capacity:total () in
+        Array.iter
+          (fun b ->
+            for i = 0 to b.Bucket.len - 1 do
+              ignore (Tset.add_hashed out b.Bucket.tuples.(i) b.Bucket.hashes.(i))
+            done)
+          staged;
+        out
+      in
+      Metrics.record_exchange_phases (Cluster.metrics d.cluster) ~map_ns:(t1 -. t0)
+        ~merge_ns:(clock_ns () -. t1);
+      out
+    end
+    else begin
+      let out = Tset.create ~capacity:(cardinal d) () in
+      Array.iter (fun p -> ignore (Tset.add_all out p)) d.parts;
+      out
+    end
+  in
   let records = Tset.cardinal out in
   meter_shuffle d.cluster ~op:"collect" ~records
     ~bytes:(records * Metrics.tuple_bytes (Schema.arity d.schema));
@@ -351,7 +563,7 @@ let repartition ~by d =
     Trace.span tr ~cat:"dds" "dds.repartition" @@ fun () ->
     let workers = Cluster.workers d.cluster in
     let positions = Schema.positions d.schema by in
-    let parts, moved = exchange d.parts ~positions ~workers in
+    let parts, moved = exchange d.cluster d.parts ~positions ~workers in
     meter_shuffle d.cluster ~op:"repartition" ~records:moved
       ~bytes:(moved * Metrics.tuple_bytes (Schema.arity d.schema));
     record_skew ~cluster:d.cluster tr parts;
@@ -368,15 +580,24 @@ let join_shuffle a b =
   let shared = Schema.common a.schema b.schema in
   match shared with
   | [] ->
-    (* Cartesian: broadcast the smaller side. *)
-    if cardinal a <= cardinal b then
-      let small = collect a in
-      let joined = join_broadcast b small in
-      (* layout: b-first; relayout to a-first convention *)
+    (* Cartesian: broadcast the smaller side. When [a] is the broadcast
+       side the join emits tuples directly in the a-first output layout
+       (prepending the broadcast tuple), so no relayout pass over the
+       result is needed. *)
+    if cardinal a <= cardinal b then begin
+      let small = broadcast a.cluster (collect a) in
+      let left = Rel.tuples (broadcast_value small) in
+      let n_left = Tset.cardinal left in
       let out_schema = Schema.append_distinct a.schema b.schema in
-      map_partitions ~schema:out_schema
-        (fun _ part -> relayout_set ~from:joined.schema ~into:out_schema part)
-        joined
+      map_partitions ~op:"join_bcast" ~schema:out_schema
+        (fun _ part ->
+          let out = Tset.create ~capacity:(max (Tset.cardinal part * n_left) 16) () in
+          Tset.iter
+            (fun bt -> Tset.iter (fun at -> ignore (Tset.add out (Tuple.concat at bt))) left)
+            part;
+          out)
+        b
+    end
     else join_broadcast a (collect b)
   | _ ->
     let a' = repartition ~by:shared a in
@@ -411,6 +632,7 @@ let antijoin_shuffle a b =
             a'.parts.(w);
           out)
     in
+    record_skew ~cluster:a.cluster (Trace.get ()) parts;
     { a with parts; partitioning = Hashed shared }
 
 let union_distinct a b = distinct (set_union_local a b)

@@ -9,7 +9,19 @@
     Narrow operations (filter, map_partitions, partition-wise set ops,
     broadcast joins) touch no network. Wide operations (repartition,
     distinct, shuffle join, collect) are metered on the owning cluster's
-    {!Metrics.t}. *)
+    {!Metrics.t}.
+
+    On a parallel cluster with {!Cluster.pooled_shuffle} enabled, wide
+    operations run as a {e two-phase shuffle} on the persistent worker
+    pool — a map phase (each worker routes its own partition into
+    per-destination buckets, hashing key columns in place and counting
+    moved records locally) and a merge phase (each destination merges
+    its incoming buckets into a presized set, reusing the map-side
+    hashes) — each phase with its own trace span ([dds.exchange.map] /
+    [dds.exchange.merge]) carrying per-phase skew attributes. Result
+    partitions and the metered records/bytes/moved counts are
+    bit-identical to the sequential driver-side exchange, which remains
+    the fallback (and the [use_parallel_shuffle:false] baseline). *)
 
 type partitioning =
   | Arbitrary  (** no placement guarantee *)
@@ -35,12 +47,17 @@ val partition_sizes : t -> int array
 
 val of_rel : ?by:string list -> Cluster.t -> Relation.Rel.t -> t
 (** Ship a driver-side relation to the workers: hash-partitioned [~by]
-    the given columns, or spread round-robin. Metered as one shuffle. *)
+    the given columns, or spread round-robin. Metered as one shuffle.
+    Pooled clusters route the input in parallel (each worker scans a
+    slice of the relation); round-robin placement is reconstructed from
+    a counting pass so partitions match the sequential path exactly. *)
 
 val empty : Cluster.t -> Relation.Schema.t -> t
 
 val collect : t -> Relation.Rel.t
-(** Gather all partitions to the driver (metered as one shuffle). *)
+(** Gather all partitions to the driver (metered as one shuffle). On
+    pooled clusters the per-partition snapshot + hashing runs on the
+    workers; only the final merge is driver-side. *)
 
 val first_tuples : t -> int -> Relation.Tuple.t list
 (** Up to [n] tuples for display; not metered. *)

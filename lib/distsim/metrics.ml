@@ -99,6 +99,8 @@ type t = {
   straggler : Hist.t;
   mutable per_worker_ns : float array;
   mutable per_worker_records : float array;
+  mutable exchange_map_ns : float;
+  mutable exchange_merge_ns : float;
 }
 
 let create () =
@@ -116,6 +118,8 @@ let create () =
     straggler = Hist.create ();
     per_worker_ns = [||];
     per_worker_records = [||];
+    exchange_map_ns = 0.;
+    exchange_merge_ns = 0.;
   }
 
 let reset m =
@@ -131,7 +135,9 @@ let reset m =
   Hist.reset m.partition_records;
   Hist.reset m.straggler;
   m.per_worker_ns <- [||];
-  m.per_worker_records <- [||]
+  m.per_worker_records <- [||];
+  m.exchange_map_ns <- 0.;
+  m.exchange_merge_ns <- 0.
 
 let ensure_workers arr w =
   if Array.length arr > w then arr
@@ -159,7 +165,9 @@ let add acc m =
   Hist.merge acc.partition_records m.partition_records;
   Hist.merge acc.straggler m.straggler;
   acc.per_worker_ns <- merge_per_worker acc.per_worker_ns m.per_worker_ns;
-  acc.per_worker_records <- merge_per_worker acc.per_worker_records m.per_worker_records
+  acc.per_worker_records <- merge_per_worker acc.per_worker_records m.per_worker_records;
+  acc.exchange_map_ns <- acc.exchange_map_ns +. m.exchange_map_ns;
+  acc.exchange_merge_ns <- acc.exchange_merge_ns +. m.exchange_merge_ns
 
 (* 8 bytes per field plus a fixed header, roughly Spark's unsafe row. *)
 let tuple_bytes arity = 16 + (8 * arity)
@@ -197,6 +205,10 @@ let record_broadcast m ~records =
   m.sim_time_ns <- m.sim_time_ns +. (float_of_int records *. ns_per_broadcast_record)
 
 let record_superstep m = m.supersteps <- m.supersteps + 1
+
+let record_exchange_phases m ~map_ns ~merge_ns =
+  m.exchange_map_ns <- m.exchange_map_ns +. map_ns;
+  m.exchange_merge_ns <- m.exchange_merge_ns +. merge_ns
 
 let straggler_ratio m = Hist.max_value m.straggler
 

@@ -64,6 +64,11 @@ type t = {
       (** cumulative compute ns per worker index (grows on demand) *)
   mutable per_worker_records : float array;
       (** cumulative output records per worker index *)
+  mutable exchange_map_ns : float;
+      (** wall time spent in the map (routing) phase of pooled two-phase
+          shuffles; 0 on the sequential exchange path *)
+  mutable exchange_merge_ns : float;
+      (** wall time spent in the merge phase of pooled two-phase shuffles *)
 }
 
 val create : unit -> t
@@ -89,6 +94,11 @@ val record_partition_size : t -> worker:int -> records:int -> unit
 val record_shuffle : t -> records:int -> bytes:int -> unit
 val record_broadcast : t -> records:int -> unit
 val record_superstep : t -> unit
+
+val record_exchange_phases : t -> map_ns:float -> merge_ns:float -> unit
+(** Accumulate the wall time of one pooled two-phase shuffle, split by
+    phase. Wall-clock (not deterministic), so excluded from the
+    counter-parity contract between the shuffle paths. *)
 
 val straggler_ratio : t -> float
 (** Worst per-stage max/median worker-time ratio seen so far (1.0 is

@@ -706,6 +706,11 @@ let explain ctx term =
         List.iter (go (indent + 2)) recs
       | exception Fcond.Not_fcond msg -> line (indent + 1) "! not F_cond: %s" msg)
   in
+  line 0 "Exchange: %s, %d workers"
+    (if Cluster.pooled_shuffle ctx.config.cluster then
+       "two-phase pooled shuffle (map/merge on worker pool)"
+     else "sequential driver-side")
+    (Cluster.workers ctx.config.cluster);
   go 0 term;
   Buffer.contents buf
 

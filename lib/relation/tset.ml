@@ -57,7 +57,10 @@ let reserve s n =
   let size = fit (s.mask + 1) in
   if size > s.mask + 1 then resize_to s size
 
-let add s tu =
+(* [h] must equal [Tuple.hash tu]: callers that already computed the
+   hash (e.g. the map side of a two-phase shuffle) pass it through so
+   the merge side never rehashes. *)
+let add_hashed s tu h =
   Deadline.tick ();
   if Array.length tu = 0 then
     if s.has_unit then false
@@ -67,7 +70,7 @@ let add s tu =
     end
   else begin
     if s.count * 4 > (s.mask + 1) * 3 then resize s;
-    let i = find_slot s.slots s.mask tu (Tuple.hash tu) in
+    let i = find_slot s.slots s.mask tu h in
     if Array.length (Array.unsafe_get s.slots i) > 0 then false
     else begin
       Array.unsafe_set s.slots i tu;
@@ -75,6 +78,8 @@ let add s tu =
       true
     end
   end
+
+let add s tu = add_hashed s tu (if Array.length tu = 0 then 0 else Tuple.hash tu)
 
 let mem s tu =
   if Array.length tu = 0 then s.has_unit
@@ -85,6 +90,21 @@ let mem s tu =
 let iter f s =
   if s.has_unit then f [||];
   Array.iter (fun tu -> if Array.length tu > 0 then f tu) s.slots
+
+(* Contiguous slice of the internal table: slice [k] of [n] scans slots
+   [k*size/n, (k+1)*size/n). The unit tuple belongs to slice 0, so the
+   concatenation of all slices in order visits exactly the tuples [iter]
+   visits, in the same sequence — the invariant the parallel routing of
+   [Dds.of_rel] relies on for bit-identical partitions. *)
+let iter_slice f s ~slice ~slices =
+  if slices < 1 || slice < 0 || slice >= slices then invalid_arg "Tset.iter_slice";
+  if slice = 0 && s.has_unit then f [||];
+  let size = s.mask + 1 in
+  let lo = slice * size / slices and hi = (slice + 1) * size / slices in
+  for i = lo to hi - 1 do
+    let tu = Array.unsafe_get s.slots i in
+    if Array.length tu > 0 then f tu
+  done
 
 let fold f s init =
   let acc = ref init in

@@ -18,10 +18,24 @@ val add : t -> Tuple.t -> bool
 (** [add s tu] inserts [tu]; returns [true] iff it was not already
     present. The array is stored as-is and must not be mutated after. *)
 
+val add_hashed : t -> Tuple.t -> int -> bool
+(** [add_hashed s tu h] is [add s tu] for a caller that already holds
+    [h = Tuple.hash tu] (e.g. the merge side of a two-phase shuffle,
+    reusing hashes computed while routing). Passing any other value for
+    [h] corrupts the set. *)
+
 val mem : t -> Tuple.t -> bool
 val cardinal : t -> int
 val is_empty : t -> bool
 val iter : (Tuple.t -> unit) -> t -> unit
+
+val iter_slice : (Tuple.t -> unit) -> t -> slice:int -> slices:int -> unit
+(** [iter_slice f s ~slice ~slices] visits the [slice]-th of [slices]
+    disjoint chunks of the set; the chunks in order visit exactly the
+    sequence [iter] visits. Lets parallel workers scan one shared set
+    without materialising sub-arrays.
+    @raise Invalid_argument unless [0 <= slice < slices]. *)
+
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
 val exists : (Tuple.t -> bool) -> t -> bool
 val for_all : (Tuple.t -> bool) -> t -> bool

@@ -28,6 +28,13 @@ let hash t =
   done;
   !h land max_int
 
+let hash_positions positions tu =
+  let h = ref 0x345678 in
+  for i = 0 to Array.length positions - 1 do
+    h := (!h * 1000003) lxor Value.hash (Array.unsafe_get tu (Array.unsafe_get positions i))
+  done;
+  !h land max_int
+
 let project positions tu = Array.map (fun i -> Array.unsafe_get tu i) positions
 let concat = Array.append
 

@@ -13,6 +13,11 @@ val compare : t -> t -> int
 val hash : t -> int
 (** Order-dependent combination of {!Value.hash} over the components. *)
 
+val hash_positions : int array -> t -> int
+(** [hash_positions positions tu] is exactly
+    [hash (project positions tu)] without materialising the subtuple —
+    the allocation-free key hash used to route tuples in shuffles. *)
+
 val project : int array -> t -> t
 (** [project positions tu] extracts the components of [tu] at [positions],
     in order. *)

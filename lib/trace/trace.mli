@@ -140,6 +140,12 @@ module Rollup : sig
   (** Shuffles occurring inside iteration spans, per fixpoint variable
       (0 for P_plw: its loop is shuffle-free). *)
 
+  val exchange_phases : event list -> (string * int * float) list
+  (** Two-phase-shuffle breakdown: for each phase span name
+      ([dds.exchange.map] / [dds.exchange.merge]), the number of phases
+      and their cumulative wall time in microseconds. Empty when every
+      exchange ran on the sequential driver-side path. *)
+
   val pp_rows : Format.formatter -> row list -> unit
 
   val to_string : t -> string

@@ -474,6 +474,116 @@ let test_stage_feeds_histograms () =
   check_bool "straggler ratio >= 1" true (Metrics.straggler_ratio m >= 1.);
   check_int "one per-worker slot per worker" 4 (Array.length m.Metrics.per_worker_ns)
 
+(* -------------------------------------------------------------- *)
+(* Two-phase pooled shuffle: parity with the sequential exchange   *)
+(* -------------------------------------------------------------- *)
+
+(* [src] unique; a [skew] fraction of tuples share one hot [trg] key, so
+   repartitioning by [trg] is both heavily skewed and moves most rows —
+   large enough to force bucket growth and Tset resizes on both paths. *)
+let big_rel ?(n = 400) ?(skew = 0.5) () =
+  let hot = int_of_float (skew *. float_of_int n) in
+  Rel.of_tuples
+    (sch [ "src"; "trg" ])
+    (List.init n (fun i -> [| i; (if i < hot then 7 else i * 3) |]))
+
+let shuffle_counters m =
+  Metrics.(m.shuffles, m.shuffled_records, m.shuffled_bytes, m.broadcasts, m.broadcast_records)
+
+(* Run [scenario] on a sequential and on a pooled cluster of the same
+   size; result partitions and communication counters must be
+   bit-identical (the contract the pooled exchange promises). *)
+let check_shuffle_parity name ?(workers = 4) scenario =
+  let run ~parallel =
+    let c = Cluster.make ~parallel ~workers () in
+    let d = scenario c in
+    let parts = Array.init (Dds.num_partitions d) (fun i -> Tset.copy (Dds.partition d i)) in
+    let cnt = shuffle_counters (Cluster.metrics c) in
+    Cluster.shutdown c;
+    (parts, cnt)
+  in
+  let seq_parts, seq_cnt = run ~parallel:false in
+  let pool_parts, pool_cnt = run ~parallel:true in
+  check_int (name ^ ": same partition count") (Array.length seq_parts) (Array.length pool_parts);
+  Array.iteri
+    (fun i p ->
+      check_bool (Printf.sprintf "%s: partition %d identical" name i) true
+        (Tset.equal p pool_parts.(i)))
+    seq_parts;
+  check_bool (name ^ ": counters identical") true (seq_cnt = pool_cnt)
+
+let test_shuffle_parity_repartition () =
+  let r = big_rel () in
+  check_shuffle_parity "repartition" (fun c ->
+      Dds.repartition ~by:[ "trg" ] (Dds.of_rel ~by:[ "src" ] c r))
+
+let test_shuffle_parity_of_rel () =
+  let r = big_rel ~skew:0.9 () in
+  check_shuffle_parity "of_rel hashed" (fun c -> Dds.of_rel ~by:[ "trg" ] c r);
+  check_shuffle_parity "of_rel round-robin" (fun c -> Dds.of_rel c r)
+
+let test_shuffle_parity_collect () =
+  let r = big_rel () in
+  let run ~parallel =
+    let c = Cluster.make ~parallel ~workers:4 () in
+    let out = Dds.collect (Dds.of_rel ~by:[ "src" ] c r) in
+    let cnt = shuffle_counters (Cluster.metrics c) in
+    Cluster.shutdown c;
+    (out, cnt)
+  in
+  let seq, seq_cnt = run ~parallel:false in
+  let pool, pool_cnt = run ~parallel:true in
+  check_rel "collect parity" seq pool;
+  check_bool "collect counters identical" true (seq_cnt = pool_cnt)
+
+let test_shuffle_parity_joins () =
+  let a = big_rel ~n:120 ~skew:0.3 () in
+  let b =
+    Rel.of_tuples (sch [ "trg"; "dst" ]) (List.init 90 (fun i -> [| i * 2; i + 1000 |]))
+  in
+  check_shuffle_parity "join_shuffle" (fun c ->
+      Dds.join_shuffle (Dds.of_rel ~by:[ "src" ] c a) (Dds.of_rel ~by:[ "dst" ] c b));
+  check_shuffle_parity "antijoin_shuffle" (fun c ->
+      Dds.antijoin_shuffle (Dds.of_rel ~by:[ "src" ] c a) (Dds.of_rel ~by:[ "dst" ] c b))
+
+let test_shuffle_parity_edges () =
+  let r = big_rel ~n:60 () in
+  check_shuffle_parity "workers=1" ~workers:1 (fun c ->
+      Dds.repartition ~by:[ "trg" ] (Dds.of_rel ~by:[ "src" ] c r));
+  let empty = Rel.of_tuples (sch [ "src"; "trg" ]) [] in
+  check_shuffle_parity "empty dataset" (fun c ->
+      Dds.repartition ~by:[ "trg" ] (Dds.of_rel ~by:[ "src" ] c empty));
+  check_shuffle_parity "empty round-robin" (fun c -> Dds.of_rel c empty)
+
+let test_shuffle_knob () =
+  check_bool "sequential cluster never pools" false
+    (Cluster.pooled_shuffle (Cluster.make ~workers:4 ()));
+  let c1 = Cluster.make ~parallel:true ~workers:1 () in
+  check_bool "single worker never pools" false (Cluster.pooled_shuffle c1);
+  Cluster.shutdown c1;
+  let cp = Cluster.make ~parallel:true ~workers:4 () in
+  check_bool "parallel multi-worker pools by default" true (Cluster.pooled_shuffle cp);
+  Cluster.shutdown cp;
+  let c = Cluster.make ~parallel:true ~use_parallel_shuffle:false ~workers:4 () in
+  check_bool "knob disables pooled shuffle" false (Cluster.pooled_shuffle c);
+  let r = big_rel ~n:80 () in
+  let d = Dds.repartition ~by:[ "trg" ] (Dds.of_rel ~by:[ "src" ] c r) in
+  check_rel "knob-off results still correct" r (Dds.collect d);
+  Cluster.shutdown c
+
+(* antijoin_shuffle must sample output-partition sizes like every other
+   wide op: two repartitions (4 samples each on 4 workers) plus the
+   output skew pass = exactly 12 new histogram samples. *)
+let test_antijoin_feeds_partition_hist () =
+  let c = Cluster.make ~workers:4 () in
+  let m = Cluster.metrics c in
+  let a = Dds.of_rel c (rel [ "x"; "y" ] [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ]; [ 4; 5 ] ]) in
+  let b = Dds.of_rel c (rel [ "y"; "z" ] [ [ 2; 9 ]; [ 5; 9 ] ]) in
+  let before = Metrics.Hist.count m.Metrics.partition_records in
+  ignore (Dds.antijoin_shuffle a b);
+  check_int "repartitions + output skew sampled" (before + 12)
+    (Metrics.Hist.count m.Metrics.partition_records)
+
 let () =
   Alcotest.run "distsim"
     [
@@ -525,6 +635,17 @@ let () =
         [
           Alcotest.test_case "accounting" `Quick test_metrics_accounting;
           Alcotest.test_case "deadline" `Quick test_deadline;
+        ] );
+      ( "shuffle parity",
+        [
+          Alcotest.test_case "repartition" `Quick test_shuffle_parity_repartition;
+          Alcotest.test_case "of_rel" `Quick test_shuffle_parity_of_rel;
+          Alcotest.test_case "collect" `Quick test_shuffle_parity_collect;
+          Alcotest.test_case "joins" `Quick test_shuffle_parity_joins;
+          Alcotest.test_case "workers=1 and empty" `Quick test_shuffle_parity_edges;
+          Alcotest.test_case "use_parallel_shuffle knob" `Quick test_shuffle_knob;
+          Alcotest.test_case "antijoin feeds partition hist" `Quick
+            test_antijoin_feeds_partition_hist;
         ] );
       ( "properties",
         [

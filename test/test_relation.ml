@@ -88,6 +88,76 @@ let test_tset_add_all () =
   check_int "merged size" 3 (Tset.cardinal a);
   check_bool "set equality" true (Tset.equal a (Tset.of_list [ [| 3 |]; [| 2 |]; [| 1 |] ]))
 
+let test_tuple_hash_positions () =
+  let tuples =
+    [
+      [| 1; 2; 3 |];
+      [| 0; 0; 0 |];
+      [| max_int; min_int; 42 |];
+      [| Value.of_int 7; Value.of_string "x"; Value.of_string "y" |];
+    ]
+  in
+  let positionss = [ [||]; [| 0 |]; [| 2 |]; [| 0; 2 |]; [| 2; 0 |]; [| 1; 1 |] ] in
+  List.iter
+    (fun tu ->
+      List.iter
+        (fun positions ->
+          check_int "hash_positions ≡ hash ∘ project"
+            (Tuple.hash (Tuple.project positions tu))
+            (Tuple.hash_positions positions tu))
+        positionss)
+    tuples
+
+let test_tset_add_hashed () =
+  let s = Tset.create ~capacity:2 () in
+  (* interleave add / add_hashed across enough tuples to force resizes:
+     dedup and membership must behave exactly like plain [add] *)
+  for i = 0 to 99 do
+    let tu = [| i; i * 2 |] in
+    let added =
+      if i mod 2 = 0 then Tset.add_hashed s tu (Tuple.hash tu) else Tset.add s tu
+    in
+    check_bool "fresh tuple added" true added
+  done;
+  check_int "cardinal" 100 (Tset.cardinal s);
+  for i = 0 to 99 do
+    let tu = [| i; i * 2 |] in
+    check_bool "mem" true (Tset.mem s tu);
+    check_bool "duplicate rejected" false (Tset.add_hashed s tu (Tuple.hash tu))
+  done;
+  (* zero-arity tuple: hashed like add, ignores the passed hash *)
+  check_bool "unit added" true (Tset.add_hashed s [||] 12345);
+  check_bool "unit duplicate" false (Tset.add s [||]);
+  check_bool "unit mem" true (Tset.mem s [||])
+
+let test_tset_iter_slice () =
+  let sets =
+    [
+      Tset.create ();
+      Tset.of_list [ [| 1 |] ];
+      Tset.of_list (List.init 57 (fun i -> [| i; i + 1 |]));
+      Tset.of_list ([||] :: List.init 10 (fun i -> [| i |]));
+    ]
+  in
+  List.iter
+    (fun s ->
+      let whole = ref [] in
+      Tset.iter (fun tu -> whole := tu :: !whole) s;
+      List.iter
+        (fun slices ->
+          let sliced = ref [] in
+          for slice = 0 to slices - 1 do
+            Tset.iter_slice (fun tu -> sliced := tu :: !sliced) s ~slice ~slices
+          done;
+          check_bool
+            (Printf.sprintf "%d slices concatenate to iter order" slices)
+            true
+            (!sliced = !whole))
+        [ 1; 2; 3; 7; 64 ])
+    sets;
+  Alcotest.check_raises "bad slice" (Invalid_argument "Tset.iter_slice") (fun () ->
+      Tset.iter_slice ignore (Tset.create ()) ~slice:2 ~slices:2)
+
 (* ------------------------------------------------------------------ *)
 (* Schema                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -300,6 +370,9 @@ let () =
           Alcotest.test_case "growth" `Quick test_tset_growth;
           Alcotest.test_case "reserve" `Quick test_tset_reserve;
           Alcotest.test_case "add_all" `Quick test_tset_add_all;
+          Alcotest.test_case "hash_positions" `Quick test_tuple_hash_positions;
+          Alcotest.test_case "add_hashed" `Quick test_tset_add_hashed;
+          Alcotest.test_case "iter_slice" `Quick test_tset_iter_slice;
           prop_tset_mem_after_add;
         ] );
       ( "schema",
