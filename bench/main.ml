@@ -811,6 +811,166 @@ module MicroShuffle = struct
         rows
 end
 
+module MicroFixpointDelta = struct
+  (* Times the delta-maintenance step of the semi-naive loop — the fused
+     in-place diff+union accumulator plus the map-side iteration-shuffle
+     seen filter — against the unfused diff-then-copy-then-union
+     baseline, on transitive closure over graphs of increasing size and
+     iteration depth. Acts as the delta regression gate: fused and
+     unfused runs must agree on result sizes, iteration counts and the
+     per-iteration delta curve (always, --quick included); at full bench
+     scale on a multi-core host the fused path must also be no slower
+     overall and must strictly reduce the records moved by P_gld's
+     iteration shuffles (the dense cyclic workload re-derives pairs
+     every round; the seen filter drops them before they are routed). *)
+
+  let time = MicroFixpoint.time
+  let path_graph = MicroFixpoint.path_graph
+
+  type run = {
+    tuples : int;
+    iterations : int;
+    deltas : int list;
+    wall_s : float;
+    shuffled_records : int;
+    dedup_dropped : int;
+  }
+
+  let measure g plan ~fused =
+    let cluster = Distsim.Cluster.make ~parallel:true ~workers:4 () in
+    let config =
+      {
+        (Physical.Exec.default_config cluster) with
+        force_plan = Some plan;
+        use_fused_delta = fused;
+        use_shuffle_dedup = fused;
+      }
+    in
+    let ctx = Physical.Exec.session config [ ("E", g) ] in
+    let result, wall_s =
+      time (fun () -> Physical.Exec.run ctx (Mura.Patterns.closure (Term.Rel "E")))
+    in
+    let m = Distsim.Cluster.metrics cluster in
+    let iterations, deltas =
+      match (Physical.Exec.report ctx).Physical.Exec.fixpoints with
+      | f :: _ -> (f.Physical.Exec.iterations, f.Physical.Exec.deltas)
+      | [] -> (0, [])
+    in
+    Distsim.Cluster.shutdown cluster;
+    {
+      tuples = Rel.cardinal result;
+      iterations;
+      deltas;
+      wall_s;
+      shuffled_records = m.Distsim.Metrics.shuffled_records;
+      dedup_dropped = m.Distsim.Metrics.dedup_dropped_records;
+    }
+
+  let run () =
+    section "micro_fixpoint_delta — fused accumulator + iteration-shuffle dedup vs baseline";
+    let host_cores = Domain.recommended_domain_count () in
+    let er ~seed ~nodes ~deg =
+      G.erdos_renyi ~seed ~nodes ~p:(float_of_int deg /. float_of_int nodes) ()
+    in
+    let workloads =
+      [
+        (* deep: many iterations, each growing the accumulator that the
+           unfused path copies wholesale *)
+        ("path", path_graph (sc 300 60));
+        (* shallow but wide *)
+        ("er_sparse", er ~seed:44 ~nodes:(sc 500 80) ~deg:3);
+        (* cyclic and duplicate-heavy: the seen filter's regime *)
+        ("er_dense", er ~seed:45 ~nodes:(sc 250 60) ~deg:12);
+      ]
+    in
+    heading "transitive closure, 4 pooled workers, host cores: %d" host_cores;
+    heading "%-10s %-8s %10s %7s %12s %12s %13s %9s" "workload" "plan" "tuples" "iters"
+      "unfused(s)" "fused(s)" "shuffle rec" "dropped";
+    let rows =
+      List.concat_map
+        (fun (wname, g) ->
+          List.map
+            (fun plan ->
+              let base = measure g plan ~fused:false in
+              let fast = measure g plan ~fused:true in
+              let parity =
+                base.tuples = fast.tuples
+                && base.iterations = fast.iterations
+                && base.deltas = fast.deltas
+              in
+              heading "%-10s %-8s %10d %7d %12.3f %12.3f %6d->%-6d %9d" wname
+                (Physical.Exec.plan_name plan) fast.tuples fast.iterations base.wall_s
+                fast.wall_s base.shuffled_records fast.shuffled_records fast.dedup_dropped;
+              (wname, Rel.cardinal g, plan, base, fast, parity))
+            [ Physical.Exec.P_gld; Physical.Exec.P_plw_s ])
+        workloads
+    in
+    let total f = List.fold_left (fun acc (_, _, _, base, fast, _) -> acc +. f base fast) 0. rows in
+    let total_base = total (fun b _ -> b.wall_s) and total_fused = total (fun _ f -> f.wall_s) in
+    let overall_speedup = total_base /. Float.max 1e-9 total_fused in
+    let gld_records which =
+      List.fold_left
+        (fun acc (_, _, plan, base, fast, _) ->
+          if plan = Physical.Exec.P_gld then acc + (which base fast).shuffled_records else acc)
+        0 rows
+    in
+    let gld_base_rec = gld_records (fun b _ -> b) and gld_fused_rec = gld_records (fun _ f -> f) in
+    heading "overall: unfused %.3fs, fused %.3fs (%.2fx); P_gld iteration-shuffle records %d -> %d"
+      total_base total_fused overall_speedup gld_base_rec gld_fused_rec;
+    let oc = open_out "BENCH_fixpoint_delta.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let run_json r =
+          Printf.sprintf
+            "{\"tuples\":%d,\"iterations\":%d,\"wall_s\":%.6f,\"shuffled_records\":%d,\"dedup_dropped\":%d}"
+            r.tuples r.iterations r.wall_s r.shuffled_records r.dedup_dropped
+        in
+        let row_json (wname, edges, plan, base, fast, parity) =
+          Printf.sprintf
+            "{\"workload\":\"%s\",\"edges\":%d,\"plan\":\"%s\",\"unfused\":%s,\"fused\":%s,\"speedup\":%.3f,\"parity\":%b}"
+            wname edges (Physical.Exec.plan_name plan) (run_json base) (run_json fast)
+            (base.wall_s /. Float.max 1e-9 fast.wall_s)
+            parity
+        in
+        Printf.fprintf oc
+          "{\"name\":\"fixpoint_delta\",\"quick\":%b,\"host_cores\":%d,\n\
+           \"rows\":[%s],\n\
+           \"total_unfused_wall_s\":%.6f,\"total_fused_wall_s\":%.6f,\"overall_speedup\":%.3f,\n\
+           \"gld_unfused_shuffled_records\":%d,\"gld_fused_shuffled_records\":%d}\n"
+          !quick host_cores
+          (String.concat ",\n" (List.map row_json rows))
+          total_base total_fused overall_speedup gld_base_rec gld_fused_rec);
+    heading "wrote BENCH_fixpoint_delta.json";
+    (* hard gates: parity always; performance and shuffle reduction only
+       at full scale on a host that can actually run workers concurrently
+       (quick mode is a smoke test where the workloads are too small for
+       stable ratios) *)
+    List.iter
+      (fun (wname, _, plan, base, fast, parity) ->
+        if not parity then
+          failwith
+            (Printf.sprintf
+               "micro_fixpoint_delta: %s/%s diverged (tuples %d vs %d, iterations %d vs %d)"
+               wname (Physical.Exec.plan_name plan) base.tuples fast.tuples base.iterations
+               fast.iterations);
+        if base.dedup_dropped <> 0 then
+          failwith
+            (Printf.sprintf "micro_fixpoint_delta: %s/%s baseline run recorded seen-filter drops"
+               wname (Physical.Exec.plan_name plan)))
+      rows;
+    if (not !quick) && host_cores >= 2 then begin
+      if overall_speedup < 1.0 then
+        failwith
+          (Printf.sprintf "micro_fixpoint_delta: fused path slower overall (%.2fx)" overall_speedup);
+      if gld_fused_rec >= gld_base_rec then
+        failwith
+          (Printf.sprintf
+             "micro_fixpoint_delta: seen filter did not reduce P_gld shuffle records (%d -> %d)"
+             gld_base_rec gld_fused_rec)
+    end
+end
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -830,6 +990,7 @@ let experiments =
     ("micro", Micro.run);
     ("micro_fixpoint", MicroFixpoint.run);
     ("micro_shuffle", MicroShuffle.run);
+    ("micro_fixpoint_delta", MicroFixpointDelta.run);
   ]
 
 let () =

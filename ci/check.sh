@@ -66,4 +66,13 @@ dune exec bench/main.exe -- --quick micro_fixpoint
 echo "== bench micro_shuffle (--quick) =="
 dune exec bench/main.exe -- --quick micro_shuffle
 
+# delta-maintenance parity gate: quick-scale run of the fused
+# accumulator + iteration-shuffle dedup micro bench; any divergence from
+# the unfused baseline — result sizes, iteration counts or the
+# per-iteration delta curve — fails the build (the overall-speedup and
+# P_gld shuffle-reduction gates only apply at full scale on multi-core
+# hosts)
+echo "== bench micro_fixpoint_delta (--quick) =="
+dune exec bench/main.exe -- --quick micro_fixpoint_delta
+
 echo "ci/check.sh: all checks passed"

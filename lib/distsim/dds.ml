@@ -63,24 +63,51 @@ let record_skew ?cluster tr parts =
       (Trace.Float (if mean > 0. then float_of_int mx /. mean else 1.))
   end
 
+(* Map-side seen filter for iteration shuffles: [routed.(src).(dst)] holds
+   every tuple source worker [src] already sent to destination [dst] in an
+   earlier exchange through this filter. A re-derived tuple is dropped
+   before it enters the shuffle — safe inside a semi-naive loop because
+   anything routed earlier was unioned into the accumulator then, so the
+   diff would discard it anyway; fresh sets (and thus the fixpoint) are
+   unchanged while shuffle records/bytes shrink. Each worker touches only
+   its own row of the matrix, so the pooled map phase needs no locking. *)
+type seen_filter = { seen_routed : Tset.t array array; mutable seen_dropped : int }
+
+let seen_filter cluster =
+  let w = Cluster.workers cluster in
+  { seen_routed = Array.init w (fun _ -> Array.init w (fun _ -> Tset.create ()));
+    seen_dropped = 0 }
+
+let seen_dropped f = f.seen_dropped
+
 (* Sequential exchange, the [parallel:false] fallback: route every
-   partition on the driver. Returns fresh partitions and the number of
-   tuples that changed worker. Partitions are presized to the mean
-   post-exchange size (skewed partitions still resize). *)
-let exchange_seq parts ~positions ~workers =
+   partition on the driver. Returns fresh partitions, the number of
+   tuples that changed worker, and the number dropped by the seen filter.
+   Partitions are presized to the mean post-exchange size (skewed
+   partitions still resize). *)
+let exchange_seq ?seen parts ~positions ~workers =
   let total = Array.fold_left (fun acc p -> acc + Tset.cardinal p) 0 parts in
   let fresh = Array.init workers (fun _ -> Tset.create ~capacity:((total / workers) + 1) ()) in
-  let moved = ref 0 in
+  let moved = ref 0 and dropped = ref 0 in
   Array.iteri
     (fun w p ->
+      let keep =
+        match seen with
+        | None -> fun _ _ _ -> true
+        | Some f -> fun t tu h -> Tset.add_hashed f.seen_routed.(w).(t) tu h
+      in
       Tset.iter
         (fun tu ->
+          let h = if Array.length tu = 0 then 0 else Tuple.hash tu in
           let t = target_of ~positions ~workers tu in
-          if t <> w then incr moved;
-          ignore (Tset.add fresh.(t) tu))
+          if keep t tu h then begin
+            if t <> w then incr moved;
+            ignore (Tset.add_hashed fresh.(t) tu h)
+          end
+          else incr dropped)
         p)
     parts;
-  (fresh, !moved)
+  (fresh, !moved, !dropped)
 
 (* Map-side output of the two-phase shuffle: one growable vector of
    tuples per destination, each tuple paired with its full hash —
@@ -144,10 +171,10 @@ let phase_skew tr counts =
    (reduce side): every destination merges its incoming buckets, reusing
    the map-side hashes. Moved counts, metered records and the resulting
    partitions are bit-identical to [exchange_seq]. *)
-let exchange_pooled cluster parts ~positions ~workers =
+let exchange_pooled ?seen cluster parts ~positions ~workers =
   let tr = Trace.get () in
   let t0 = clock_ns () in
-  let routed, moved =
+  let routed, moved, dropped =
     Trace.span tr ~cat:"dds" "dds.exchange.map" @@ fun () ->
     let r =
       Cluster.run_stage cluster (fun w ->
@@ -155,19 +182,29 @@ let exchange_pooled cluster parts ~positions ~workers =
           let buckets =
             Array.init workers (fun _ -> Bucket.create ~capacity:((Tset.cardinal p / workers) + 1) ())
           in
-          let moved = ref 0 in
+          let keep =
+            match seen with
+            | None -> fun _ _ _ -> true
+            | Some f -> fun t tu h -> Tset.add_hashed f.seen_routed.(w).(t) tu h
+          in
+          let moved = ref 0 and dropped = ref 0 in
           Tset.iter
             (fun tu ->
+              let h = if Array.length tu = 0 then 0 else Tuple.hash tu in
               let t = target_of ~positions ~workers tu in
-              if t <> w then incr moved;
-              Bucket.push buckets.(t) tu (Tuple.hash tu))
+              if keep t tu h then begin
+                if t <> w then incr moved;
+                Bucket.push buckets.(t) tu h
+              end
+              else incr dropped)
             p;
-          (buckets, !moved))
+          (buckets, !moved, !dropped))
     in
-    let moved = Array.fold_left (fun acc (_, m) -> acc + m) 0 r in
+    let moved = Array.fold_left (fun acc (_, m, _) -> acc + m) 0 r in
+    let dropped = Array.fold_left (fun acc (_, _, d) -> acc + d) 0 r in
     phase_skew tr (Array.map (fun p -> Tset.cardinal p) parts);
     if Trace.enabled tr then Trace.set_attr tr "moved" (Trace.Int moved);
-    (Array.map fst r, moved)
+    (Array.map (fun (b, _, _) -> b) r, moved, dropped)
   in
   let t1 = clock_ns () in
   let fresh =
@@ -178,11 +215,11 @@ let exchange_pooled cluster parts ~positions ~workers =
   in
   Metrics.record_exchange_phases (Cluster.metrics cluster) ~map_ns:(t1 -. t0)
     ~merge_ns:(clock_ns () -. t1);
-  (fresh, moved)
+  (fresh, moved, dropped)
 
-let exchange cluster parts ~positions ~workers =
-  if Cluster.pooled_shuffle cluster then exchange_pooled cluster parts ~positions ~workers
-  else exchange_seq parts ~positions ~workers
+let exchange ?seen cluster parts ~positions ~workers =
+  if Cluster.pooled_shuffle cluster then exchange_pooled ?seen cluster parts ~positions ~workers
+  else exchange_seq ?seen parts ~positions ~workers
 
 (* Parallel routing of a driver-side relation: every worker scans its
    slice of the input set ([Tset.iter_slice] — the slices concatenate to
@@ -393,17 +430,26 @@ let relayout_set ~from ~into part =
     out
   end
 
+(* Size attributes for the narrow set-op spans: input cardinal on the
+   driver, output sizes via [record_skew] without [~cluster] (trace attrs
+   only — these ops never fed the partition-size histograms, and the
+   knob-off counter parity contract keeps it that way). *)
+let records_in_attr tr a b =
+  if Trace.enabled tr then Trace.set_attr tr "records_in" (Trace.Int (cardinal a + cardinal b))
+
 let set_union_local a b =
   if num_partitions a <> num_partitions b then invalid_arg "Dds.set_union_local: partition counts";
-  Trace.span (Trace.get ()) ~cat:"dds" "dds.union_local" @@ fun () ->
+  let tr = Trace.get () in
+  Trace.span tr ~cat:"dds" "dds.union_local" @@ fun () ->
+  records_in_attr tr a b;
   let parts =
     Cluster.run_stage a.cluster (fun w ->
         let rhs = relayout_set ~from:b.schema ~into:a.schema b.parts.(w) in
-        let out = Tset.copy a.parts.(w) in
-        Tset.reserve out (Tset.cardinal out + Tset.cardinal rhs);
+        let out = Tset.copy_with_capacity a.parts.(w) (Tset.cardinal a.parts.(w) + Tset.cardinal rhs) in
         ignore (Tset.add_all out rhs);
         out)
   in
+  record_skew tr parts;
   let partitioning =
     if same_hashing a.partitioning b.partitioning then a.partitioning else Arbitrary
   in
@@ -411,7 +457,9 @@ let set_union_local a b =
 
 let set_diff_local a b =
   if num_partitions a <> num_partitions b then invalid_arg "Dds.set_diff_local: partition counts";
-  Trace.span (Trace.get ()) ~cat:"dds" "dds.diff_local" @@ fun () ->
+  let tr = Trace.get () in
+  Trace.span tr ~cat:"dds" "dds.diff_local" @@ fun () ->
+  records_in_attr tr a b;
   let parts =
     Cluster.run_stage a.cluster (fun w ->
         let rhs = relayout_set ~from:b.schema ~into:a.schema b.parts.(w) in
@@ -419,7 +467,43 @@ let set_diff_local a b =
         Tset.iter (fun tu -> if not (Tset.mem rhs tu) then ignore (Tset.add out tu)) a.parts.(w);
         out)
   in
+  record_skew tr parts;
   { a with parts }
+
+let copy_parts d = { d with parts = Array.map Tset.copy d.parts }
+
+(* Fused delta maintenance: one pooled stage replaces the unfused
+   diff-then-copy-then-union three passes. The accumulator's partitions
+   are mutated in place ([Tset.absorb_fresh]), so [acc] must be loop
+   private — in the semi-naive drivers it is created by the initial
+   repartition (or defensively [copy_parts]ed), never shared with the
+   table cache. Returns [(acc', fresh)] where [fresh = produced \ acc]
+   and [acc' = acc ∪ produced], with the same partitioning transitions
+   as the unfused pair of calls. *)
+let diff_union_in_place ~acc ~produced =
+  if num_partitions acc <> num_partitions produced then
+    invalid_arg "Dds.diff_union_in_place: partition counts";
+  let tr = Trace.get () in
+  Trace.span tr ~cat:"dds" "dds.diff_union" @@ fun () ->
+  records_in_attr tr acc produced;
+  let fresh_parts =
+    Cluster.run_stage acc.cluster (fun w ->
+        let rhs = relayout_set ~from:produced.schema ~into:acc.schema produced.parts.(w) in
+        (* a recursive branch that is just the variable returns the delta
+           itself: absorbing a set into itself is both unsound and
+           pointless (nothing can be fresh), so short-circuit *)
+        if rhs == acc.parts.(w) then Tset.create () else Tset.absorb_fresh acc.parts.(w) rhs)
+  in
+  record_skew tr fresh_parts;
+  let acc' =
+    { acc with
+      partitioning =
+        (if same_hashing acc.partitioning produced.partitioning then acc.partitioning
+         else Arbitrary);
+    }
+  in
+  let fresh = { acc with parts = fresh_parts; partitioning = produced.partitioning } in
+  (acc', fresh)
 
 (* Per-partition hash join. [index_side] picks the side the hash index
    is built on (and therefore which side is scanned): [`Auto] compares
@@ -556,14 +640,20 @@ let antijoin_bcast_prepared d p =
 let join_broadcast d rel = join_bcast d (broadcast d.cluster rel)
 let antijoin_broadcast d rel = antijoin_bcast d (broadcast d.cluster rel)
 
-let repartition ~by d =
+let repartition ?seen ~by d =
   if same_hashing d.partitioning (Hashed by) then d
   else begin
     let tr = Trace.get () in
     Trace.span tr ~cat:"dds" "dds.repartition" @@ fun () ->
     let workers = Cluster.workers d.cluster in
     let positions = Schema.positions d.schema by in
-    let parts, moved = exchange d.cluster d.parts ~positions ~workers in
+    let parts, moved, dropped = exchange ?seen d.cluster d.parts ~positions ~workers in
+    (match seen with
+    | None -> ()
+    | Some f ->
+      f.seen_dropped <- f.seen_dropped + dropped;
+      Metrics.record_dedup_dropped (Cluster.metrics d.cluster) ~records:dropped;
+      if Trace.enabled tr then Trace.set_attr tr "dedup_dropped" (Trace.Int dropped));
     meter_shuffle d.cluster ~op:"repartition" ~records:moved
       ~bytes:(moved * Metrics.tuple_bytes (Schema.arity d.schema));
     record_skew ~cluster:d.cluster tr parts;

@@ -80,12 +80,59 @@ val map_partitions :
 
 val set_union_local : t -> t -> t
 (** Partition-wise set union (the SetRDD union: no shuffle). Schemas must
-    agree on names; the right side is relaid out if needed. *)
+    agree on names; the right side is relaid out if needed. The result is
+    freshly allocated (presized for the combined cardinality in one pass);
+    neither input is mutated. *)
 
 val set_diff_local : t -> t -> t
 (** Partition-wise difference. Only meaningful when both sides are
     co-partitioned; the caller is responsible (checked: both [Hashed] on
     the same columns, or both [Arbitrary] by explicit choice). *)
+
+val copy_parts : t -> t
+(** Driver-side deep copy of every partition (not metered — no simulated
+    data movement). The escape hatch callers use to obtain a loop-private
+    accumulator before handing it to {!diff_union_in_place}. *)
+
+val diff_union_in_place : acc:t -> produced:t -> t * t
+(** [diff_union_in_place ~acc ~produced] is the fused semi-naive delta
+    maintenance step: returns [(acc', fresh)] where [fresh = produced \
+    acc] and [acc' = acc ∪ produced], computed in a single stage with one
+    probe per tuple ({!Relation.Tset.absorb_fresh}) instead of the unfused
+    [set_diff_local] + [set_union_local] pair (which rebuilds the fresh
+    set and copies the whole accumulator every iteration).
+
+    {b Ownership:} [acc]'s partitions are mutated in place ([acc'] shares
+    them). The caller must own [acc] exclusively — in the semi-naive
+    drivers the accumulator is loop private, created by the initial
+    repartition or defensively {!copy_parts}ed; it must never alias a
+    cached base relation. Traced as [dds.diff_union] with input/output
+    size and skew attributes. Partitioning transitions match the unfused
+    pair. *)
+
+(** {2 Iteration-shuffle deduplication}
+
+    A semi-naive P_gld loop reshuffles its produced delta every iteration,
+    and re-derivations of already-discovered tuples are shuffled again
+    each time. A {!seen_filter} gives the exchange map side a per-source,
+    per-destination memory ([Tset] per (src, dst) pair) of everything it
+    already routed through this filter; re-derivations are dropped before
+    they are bucketed or counted. Inside a fixpoint this is sound:
+    anything routed earlier was already unioned into the accumulator, so
+    the subsequent diff would discard it anyway — results, iteration
+    counts and per-iteration fresh counts are bit-identical while
+    [shuffled_records] / [shuffled_bytes] strictly shrink on workloads
+    with re-derivations. Drops are metered as
+    {!Metrics.record_dedup_dropped} and attached to the [dds.repartition]
+    span as [dedup_dropped]. *)
+
+type seen_filter
+
+val seen_filter : Cluster.t -> seen_filter
+(** A fresh filter, scoped to one fixpoint loop (one per [Fix] node). *)
+
+val seen_dropped : seen_filter -> int
+(** Total tuples this filter has dropped so far. *)
 
 type broadcast
 (** A relation shipped once to every worker. Creating the value meters
@@ -140,9 +187,12 @@ val antijoin_bcast_prepared : t -> prepared_bcast -> t
 
 (** {1 Wide operations} *)
 
-val repartition : by:string list -> t -> t
+val repartition : ?seen:seen_filter -> by:string list -> t -> t
 (** Hash-repartition; tuples already on their target worker are not
-    counted as moved. No-op when already [Hashed] by the same columns. *)
+    counted as moved. No-op when already [Hashed] by the same columns.
+    [?seen] attaches an iteration-shuffle {!seen_filter}: tuples the
+    filter has already routed are dropped map-side (absent from the
+    result and from the moved/records/bytes meters). *)
 
 val distinct : t -> t
 (** Global deduplication. Free when the dataset is [Hashed] by any column

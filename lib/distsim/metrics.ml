@@ -101,6 +101,7 @@ type t = {
   mutable per_worker_records : float array;
   mutable exchange_map_ns : float;
   mutable exchange_merge_ns : float;
+  mutable dedup_dropped_records : int;
 }
 
 let create () =
@@ -120,6 +121,7 @@ let create () =
     per_worker_records = [||];
     exchange_map_ns = 0.;
     exchange_merge_ns = 0.;
+    dedup_dropped_records = 0;
   }
 
 let reset m =
@@ -137,7 +139,8 @@ let reset m =
   m.per_worker_ns <- [||];
   m.per_worker_records <- [||];
   m.exchange_map_ns <- 0.;
-  m.exchange_merge_ns <- 0.
+  m.exchange_merge_ns <- 0.;
+  m.dedup_dropped_records <- 0
 
 let ensure_workers arr w =
   if Array.length arr > w then arr
@@ -167,7 +170,8 @@ let add acc m =
   acc.per_worker_ns <- merge_per_worker acc.per_worker_ns m.per_worker_ns;
   acc.per_worker_records <- merge_per_worker acc.per_worker_records m.per_worker_records;
   acc.exchange_map_ns <- acc.exchange_map_ns +. m.exchange_map_ns;
-  acc.exchange_merge_ns <- acc.exchange_merge_ns +. m.exchange_merge_ns
+  acc.exchange_merge_ns <- acc.exchange_merge_ns +. m.exchange_merge_ns;
+  acc.dedup_dropped_records <- acc.dedup_dropped_records + m.dedup_dropped_records
 
 (* 8 bytes per field plus a fixed header, roughly Spark's unsafe row. *)
 let tuple_bytes arity = 16 + (8 * arity)
@@ -205,6 +209,8 @@ let record_broadcast m ~records =
   m.sim_time_ns <- m.sim_time_ns +. (float_of_int records *. ns_per_broadcast_record)
 
 let record_superstep m = m.supersteps <- m.supersteps + 1
+
+let record_dedup_dropped m ~records = m.dedup_dropped_records <- m.dedup_dropped_records + records
 
 let record_exchange_phases m ~map_ns ~merge_ns =
   m.exchange_map_ns <- m.exchange_map_ns +. map_ns;

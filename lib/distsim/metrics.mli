@@ -69,6 +69,10 @@ type t = {
           shuffles; 0 on the sequential exchange path *)
   mutable exchange_merge_ns : float;
       (** wall time spent in the merge phase of pooled two-phase shuffles *)
+  mutable dedup_dropped_records : int;
+      (** tuples dropped map-side by the iteration-shuffle seen filter
+          (re-derivations that were already routed in an earlier fixpoint
+          iteration); 0 when [use_shuffle_dedup] is off *)
 }
 
 val create : unit -> t
@@ -94,6 +98,11 @@ val record_partition_size : t -> worker:int -> records:int -> unit
 val record_shuffle : t -> records:int -> bytes:int -> unit
 val record_broadcast : t -> records:int -> unit
 val record_superstep : t -> unit
+
+val record_dedup_dropped : t -> records:int -> unit
+(** Count tuples suppressed by the exchange seen filter. Dropped tuples do
+    not appear in [shuffled_records] / [shuffled_bytes]; this counter is
+    how much the filter saved. *)
 
 val record_exchange_phases : t -> map_ns:float -> merge_ns:float -> unit
 (** Accumulate the wall time of one pooled two-phase shuffle, split by

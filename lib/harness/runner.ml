@@ -251,6 +251,9 @@ let skew_table (m : Metrics.t) =
   hist "worker compute time" 1e6 "ms" m.Metrics.worker_ns;
   hist "partition size" 1. " rec" m.Metrics.partition_records;
   hist "stage straggler ratio" 1. "x" m.Metrics.straggler;
+  if m.Metrics.dedup_dropped_records > 0 then
+    Printf.bprintf buf "iteration-shuffle dedup: %d re-derived tuples dropped map-side\n"
+      m.Metrics.dedup_dropped_records;
   let n = max (Array.length m.Metrics.per_worker_ns) (Array.length m.Metrics.per_worker_records) in
   if n > 0 then begin
     Printf.bprintf buf "worker  compute_ms  out_records\n";
@@ -309,6 +312,7 @@ let metrics_json (m : Metrics.t) =
       ("broadcast_records", string_of_int m.Metrics.broadcast_records);
       ("supersteps", string_of_int m.Metrics.supersteps);
       ("stages", string_of_int m.Metrics.stages);
+      ("dedup_dropped_records", string_of_int m.Metrics.dedup_dropped_records);
       ("sim_time_ns", num m.Metrics.sim_time_ns);
       ("straggler_ratio", num (Metrics.straggler_ratio m));
       ("worker_ns", hist_json m.Metrics.worker_ns);

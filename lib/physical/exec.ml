@@ -21,6 +21,8 @@ type config = {
   max_tuples : int;
   use_stable_partitioning : bool;
   use_prepared_broadcast : bool;
+  use_fused_delta : bool;
+  use_shuffle_dedup : bool;
   collect_actuals : bool;
 }
 
@@ -33,6 +35,8 @@ let default_config cluster =
     max_tuples = 500_000_000;
     use_stable_partitioning = true;
     use_prepared_broadcast = true;
+    use_fused_delta = true;
+    use_shuffle_dedup = true;
     collect_actuals = false;
   }
 
@@ -429,17 +433,24 @@ and exec_fix ctx ~path var body : Dds.t =
         :: ctx.rpt.fixpoints;
       result)
 
-(* P_gld: driver loop over distributed wide operations. The accumulated
-   result is kept hash-partitioned by the full schema so that the
-   per-iteration difference costs exactly one shuffle of the produced
-   tuples (plus whatever the joins shuffle). *)
-and run_gld ctx ~var ~init ~recs ~branch_path =
+(* Shared semi-naive driver of P_gld and P_plw^s: produce (branch
+   closures on the delta) -> check_size -> relayout -> per-iteration
+   repartition ([per_iter]: the only step the two plans differ on — a
+   shuffle for P_gld, the identity for P_plw^s) -> delta maintenance.
+
+   Delta maintenance runs fused when [use_fused_delta] is on: one
+   [Dds.diff_union_in_place] stage that mutates the accumulator's
+   partitions in place. The accumulator must therefore be loop private —
+   [x0_private] says whether the caller's initial repartition actually
+   allocated fresh partitions; when it no-opped (so [x0] may alias a
+   cached table), the fused path takes a one-time defensive copy. The
+   unfused diff-then-union pair is kept verbatim as the knob-off
+   baseline: with [use_fused_delta = false] this loop is step-for-step
+   the pre-fusion code path. *)
+and run_semi_naive ctx ~var ~plan_label ~x0 ~x0_private ~branch_fns ~per_iter =
   let m = Cluster.metrics ctx.config.cluster in
-  let schema_cols = Schema.cols (Dds.schema init) in
-  let branch_fns =
-    List.mapi (fun i b -> compile_branch ctx ~var ~join_mode:`Shuffle ~path:(branch_path i) b) recs
-  in
-  let x = ref (Dds.repartition ~by:schema_cols init) in
+  let fused = ctx.config.use_fused_delta in
+  let x = ref (if fused && not x0_private then Dds.copy_parts x0 else x0) in
   let delta = ref !x in
   let iterations = ref 0 in
   let deltas = ref [] in
@@ -447,7 +458,7 @@ and run_gld ctx ~var ~init ~recs ~branch_path =
   while !continue do
     incr iterations;
     if !iterations > ctx.config.max_iterations then
-      raise (Resource_limit "max iterations exceeded (P_gld)");
+      raise (Resource_limit (Printf.sprintf "max iterations exceeded (%s)" plan_label));
     Trace.span (Trace.get ()) ~cat:"fixpoint"
       ~attrs:[ ("var", Trace.Str var); ("i", Trace.Int !iterations) ]
       "iteration"
@@ -460,71 +471,74 @@ and run_gld ctx ~var ~init ~recs ~branch_path =
     in
     let produced = check_size_dds ctx produced in
     let produced = relayout_dds produced (Dds.schema !x) in
-    let produced = Dds.repartition ~by:schema_cols produced in
-    let fresh = Dds.set_diff_local produced !x in
-    let fresh_n = Dds.cardinal fresh in
-    deltas := fresh_n :: !deltas;
-    if fresh_n = 0 then continue := false
+    let produced = per_iter produced in
+    if fused then begin
+      let x', fresh = Dds.diff_union_in_place ~acc:!x ~produced in
+      let fresh_n = Dds.cardinal fresh in
+      deltas := fresh_n :: !deltas;
+      if fresh_n = 0 then continue := false
+      else begin
+        x := check_size_dds ctx x';
+        delta := fresh
+      end
+    end
     else begin
-      x := check_size_dds ctx (Dds.set_union_local !x fresh);
-      delta := fresh
+      let fresh = Dds.set_diff_local produced !x in
+      let fresh_n = Dds.cardinal fresh in
+      deltas := fresh_n :: !deltas;
+      if fresh_n = 0 then continue := false
+      else begin
+        x := check_size_dds ctx (Dds.set_union_local !x fresh);
+        delta := fresh
+      end
     end
   done;
   (!x, !iterations, List.rev !deltas)
+
+(* P_gld: driver loop over distributed wide operations. The accumulated
+   result is kept hash-partitioned by the full schema so that the
+   per-iteration difference costs exactly one shuffle of the produced
+   tuples (plus whatever the joins shuffle). With [use_shuffle_dedup] a
+   seen filter rides on the per-iteration repartition, dropping
+   re-derived tuples map-side before they are bucketed or metered. *)
+and run_gld ctx ~var ~init ~recs ~branch_path =
+  let schema_cols = Schema.cols (Dds.schema init) in
+  let branch_fns =
+    List.mapi (fun i b -> compile_branch ctx ~var ~join_mode:`Shuffle ~path:(branch_path i) b) recs
+  in
+  let seen =
+    if ctx.config.use_shuffle_dedup then Some (Dds.seen_filter ctx.config.cluster) else None
+  in
+  let x0 = Dds.repartition ?seen ~by:schema_cols init in
+  run_semi_naive ctx ~var ~plan_label:"P_gld" ~x0 ~x0_private:(x0 != init) ~branch_fns
+    ~per_iter:(fun produced -> Dds.repartition ?seen ~by:schema_cols produced)
 
 (* P_plw^s: repartition the constant part (by the stable columns when
    they exist), broadcast the variable part's relations once, then loop
    with narrow operations only. No distinct at the end when a stable
    repartitioning was applied (the local fixpoints are disjoint). *)
 and run_plw_s ctx ~var ~init ~recs ~stable ~branch_path =
-  let m = Cluster.metrics ctx.config.cluster in
   let branch_fns =
     List.mapi
       (fun i b -> compile_branch ctx ~var ~join_mode:`Broadcast ~path:(branch_path i) b)
       recs
   in
-  let init = match stable with [] -> init | _ -> Dds.repartition ~by:stable init in
-  let x = ref init in
-  let delta = ref init in
-  let iterations = ref 0 in
-  let deltas = ref [] in
-  let continue = ref true in
-  while !continue do
-    incr iterations;
-    if !iterations > ctx.config.max_iterations then
-      raise (Resource_limit "max iterations exceeded (P_plw^s)");
-    Trace.span (Trace.get ()) ~cat:"fixpoint"
-      ~attrs:[ ("var", Trace.Str var); ("i", Trace.Int !iterations) ]
-      "iteration"
-    @@ fun () ->
-    Metrics.record_superstep m;
-    let produced =
-      match List.map (fun f -> f !delta) branch_fns with
-      | [] -> assert false
-      | d0 :: rest -> List.fold_left Dds.set_union_local d0 rest
-    in
-    let produced = check_size_dds ctx produced in
-    let produced = relayout_dds produced (Dds.schema !x) in
-    let fresh = Dds.set_diff_local produced !x in
-    let fresh_n = Dds.cardinal fresh in
-    deltas := fresh_n :: !deltas;
-    if fresh_n = 0 then continue := false
-    else begin
-      x := check_size_dds ctx (Dds.set_union_local !x fresh);
-      delta := fresh
-    end
-  done;
+  let x0 = match stable with [] -> init | _ -> Dds.repartition ~by:stable init in
+  let x, iterations, deltas =
+    run_semi_naive ctx ~var ~plan_label:"P_plw^s" ~x0 ~x0_private:(x0 != init) ~branch_fns
+      ~per_iter:(fun produced -> produced)
+  in
   let result =
     match stable with
     | _ :: _ ->
       (* disjointness proof of Sec. IV-A2: no distinct needed; assert the
          partitioning fact for downstream operators *)
-      Dds.map_partitions ~partitioning:(Dds.Hashed stable) ~schema:(Dds.schema !x)
+      Dds.map_partitions ~partitioning:(Dds.Hashed stable) ~schema:(Dds.schema x)
         (fun _ part -> part)
-        !x
-    | [] -> Dds.distinct !x
+        x
+    | [] -> Dds.distinct x
   in
-  (result, !iterations, List.rev !deltas)
+  (result, iterations, deltas)
 
 (* P_plw^pg: same distribution scheme; each worker runs its whole local
    fixpoint inside one mapPartitions call against its local database. *)
@@ -711,6 +725,11 @@ let explain ctx term =
        "two-phase pooled shuffle (map/merge on worker pool)"
      else "sequential driver-side")
     (Cluster.workers ctx.config.cluster);
+  line 0 "Fixpoint delta: %s%s"
+    (if ctx.config.use_fused_delta then "fused in-place diff+union"
+     else "unfused diff/union (baseline)")
+    (if ctx.config.use_shuffle_dedup then ", iteration-shuffle dedup on"
+     else ", iteration-shuffle dedup off");
   go 0 term;
   Buffer.contents buf
 

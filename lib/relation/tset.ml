@@ -142,5 +142,37 @@ let of_list l =
 let copy s =
   { slots = Array.copy s.slots; count = s.count; mask = s.mask; has_unit = s.has_unit }
 
+(* Copy presized for [n] entries in one pass: equivalent to [copy] followed
+   by [reserve n] (same growth rule, same slot geometry, hence the same
+   iteration order) but without materialising the intermediate table. *)
+let copy_with_capacity s n =
+  let rec fit size = if n * 4 > size * 3 then fit (size * 2) else size in
+  let size = fit (s.mask + 1) in
+  if size = s.mask + 1 then copy s
+  else begin
+    let out = { slots = Array.make size empty_slot; count = s.count; mask = size - 1; has_unit = s.has_unit } in
+    Array.iter
+      (fun tu ->
+        if Array.length tu > 0 then begin
+          let i = find_slot out.slots out.mask tu (Tuple.hash tu) in
+          Array.unsafe_set out.slots i tu
+        end)
+      s.slots;
+    out
+  end
+
+(* Fused union + diff: one probe sequence per tuple serves both the
+   accumulator insert and the fresh-set insert, reusing the hash. [dst] is
+   presized up front so no resize interrupts the scan. *)
+let absorb_fresh dst src =
+  reserve dst (cardinal dst + cardinal src);
+  let fresh = create ~capacity:(cardinal src) () in
+  iter
+    (fun tu ->
+      let h = if Array.length tu = 0 then 0 else Tuple.hash tu in
+      if add_hashed dst tu h then ignore (add_hashed fresh tu h))
+    src;
+  fresh
+
 let add_all dst src = fold (fun tu n -> if add dst tu then n + 1 else n) src 0
 let equal a b = cardinal a = cardinal b && for_all (mem b) a

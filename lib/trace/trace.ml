@@ -406,6 +406,7 @@ module Rollup = struct
     mutable stage_sim_ns : float;
     mutable max_skew : float;
     mutable max_straggler : float;
+    mutable dedup_dropped : int;
   }
 
   let fresh_row scope id =
@@ -422,6 +423,7 @@ module Rollup = struct
       stage_sim_ns = 0.;
       max_skew = 0.;
       max_straggler = 0.;
+      dedup_dropped = 0;
     }
 
   let attr_int attrs k =
@@ -467,6 +469,9 @@ module Rollup = struct
     (match attr_float e.attrs "straggler" with
     | Some s when s > row.max_straggler -> row.max_straggler <- s
     | _ -> ());
+    (match attr_int e.attrs "dedup_dropped" with
+    | Some n -> row.dedup_dropped <- row.dedup_dropped + n
+    | None -> ());
     if e.kind = Span then row.spans <- row.spans + 1
 
   let group evs scope_of =
@@ -564,18 +569,18 @@ module Rollup = struct
 
   let pp_rows ppf rows =
     let header =
-      Printf.sprintf "%-32s %6s %8s %10s %12s %7s %10s %7s %12s %6s %9s" "scope" "spans"
+      Printf.sprintf "%-32s %6s %8s %10s %12s %7s %10s %7s %12s %6s %9s %10s" "scope" "spans"
         "shuffles" "sh.records" "sh.bytes" "bcasts" "bc.records" "stages" "stage sim ms" "skew"
-        "straggler"
+        "straggler" "dedup.drop"
     in
     Format.fprintf ppf "%s@." header;
     Format.fprintf ppf "%s@." (String.make (String.length header) '-');
     List.iter
       (fun r ->
-        Format.fprintf ppf "%-32s %6d %8d %10d %12d %7d %10d %7d %12.3f %6.2f %9.2f@."
+        Format.fprintf ppf "%-32s %6d %8d %10d %12d %7d %10d %7d %12.3f %6.2f %9.2f %10d@."
           (if String.length r.scope > 32 then String.sub r.scope 0 32 else r.scope)
           r.spans r.shuffles r.shuffled_records r.shuffled_bytes r.broadcasts r.broadcast_records
-          r.stages (r.stage_sim_ns /. 1e6) r.max_skew r.max_straggler)
+          r.stages (r.stage_sim_ns /. 1e6) r.max_skew r.max_straggler r.dedup_dropped)
       rows
 
   let to_string t =

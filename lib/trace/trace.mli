@@ -123,6 +123,9 @@ module Rollup : sig
     mutable max_skew : float;  (** max over stages of max/mean partition size *)
     mutable max_straggler : float;
         (** max over stages of max/median worker compute time *)
+    mutable dedup_dropped : int;
+        (** tuples dropped by the iteration-shuffle seen filter (summed
+            from the [dedup_dropped] attr of repartition spans) *)
   }
 
   val per_operator : event list -> row list

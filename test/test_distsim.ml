@@ -383,6 +383,7 @@ let test_metrics_create_reset_add () =
     Metrics.record_worker_time m ~worker:1 ~ns:100.;
     Metrics.record_partition_size m ~worker:1 ~records:50;
     Metrics.record_straggler m ~ratio:2.5;
+    Metrics.record_dedup_dropped m ~records:9;
     m
   in
   let acc = mk () and m = mk () in
@@ -395,6 +396,7 @@ let test_metrics_create_reset_add () =
   check_int "add supersteps" 12 acc.Metrics.supersteps;
   check_int "add stages" 14 acc.Metrics.stages;
   check_float "add sim_time" 16. acc.Metrics.sim_time_ns;
+  check_int "add dedup_dropped" 18 acc.Metrics.dedup_dropped_records;
   check_int "add worker_ns samples" 2 (Metrics.Hist.count acc.Metrics.worker_ns);
   check_float "add per-worker ns" 200. acc.Metrics.per_worker_ns.(1);
   check_float "add per-worker records" 100. acc.Metrics.per_worker_records.(1);
@@ -408,6 +410,7 @@ let test_metrics_create_reset_add () =
   check_int "reset supersteps" 0 acc.Metrics.supersteps;
   check_int "reset stages" 0 acc.Metrics.stages;
   check_float "reset sim_time" 0. acc.Metrics.sim_time_ns;
+  check_int "reset dedup_dropped" 0 acc.Metrics.dedup_dropped_records;
   check_int "reset hist" 0 (Metrics.Hist.count acc.Metrics.worker_ns);
   check_float "reset straggler" 0. (Metrics.straggler_ratio acc);
   check_int "reset per-worker" 0 (Array.length acc.Metrics.per_worker_ns)
@@ -571,6 +574,73 @@ let test_shuffle_knob () =
   check_rel "knob-off results still correct" r (Dds.collect d);
   Cluster.shutdown c
 
+(* -------------------------------------------------------------- *)
+(* Fused delta maintenance and the iteration-shuffle seen filter   *)
+(* -------------------------------------------------------------- *)
+
+let test_diff_union_in_place () =
+  let c = Cluster.make ~workers:4 () in
+  let produced_rel = rel [ "src"; "trg" ] [ [ 1; 2 ]; [ 5; 5 ]; [ 9; 9 ]; [ 7; 1 ] ] in
+  let produced = Dds.of_rel ~by:[ "src" ] c produced_rel in
+  (* unfused reference pair *)
+  let acc_u = Dds.of_rel ~by:[ "src" ] c edges in
+  let fresh_ref = Dds.set_diff_local produced acc_u in
+  let union_ref = Dds.set_union_local acc_u fresh_ref in
+  (* fused *)
+  let acc = Dds.of_rel ~by:[ "src" ] c edges in
+  let acc', fresh = Dds.diff_union_in_place ~acc ~produced in
+  check_rel "fresh = produced \\ acc" (Dds.collect fresh_ref) (Dds.collect fresh);
+  check_rel "acc' = acc ∪ produced" (Dds.collect union_ref) (Dds.collect acc');
+  check_bool "accumulator mutated in place" true (Dds.partition acc 0 == Dds.partition acc' 0);
+  check_int "acc saw the union" (Dds.cardinal union_ref) (Dds.cardinal acc);
+  (* produced is never mutated *)
+  check_rel "produced untouched" produced_rel (Dds.collect produced);
+  (* a branch that is just the recursive variable hands the accumulator
+     back as [produced]: nothing can be fresh, and the set must not be
+     absorbed into itself *)
+  let self = Dds.of_rel ~by:[ "src" ] c edges in
+  let self', fresh0 = Dds.diff_union_in_place ~acc:self ~produced:self in
+  check_int "self-absorb yields empty fresh" 0 (Dds.cardinal fresh0);
+  check_rel "self-absorb keeps contents" edges (Dds.collect self')
+
+let test_copy_parts_private () =
+  let c = Cluster.make ~workers:3 () in
+  let d = Dds.of_rel ~by:[ "src" ] c edges in
+  let p = Dds.copy_parts d in
+  check_bool "partitions reallocated" false (Dds.partition p 0 == Dds.partition d 0);
+  ignore (Dds.diff_union_in_place ~acc:p ~produced:(Dds.of_rel ~by:[ "src" ] c (rel [ "src"; "trg" ] [ [ 100; 100 ] ])));
+  check_int "original unchanged" (Rel.cardinal edges) (Dds.cardinal d);
+  check_int "copy absorbed" (Rel.cardinal edges + 1) (Dds.cardinal p)
+
+(* The seen filter drops re-routed tuples map-side: same drop counts and
+   partitions on the sequential and pooled exchange paths. *)
+let test_seen_filter_drops () =
+  let r = big_rel ~n:200 () in
+  let run ~parallel =
+    let c = Cluster.make ~parallel ~workers:4 () in
+    let m = Cluster.metrics c in
+    let seen = Dds.seen_filter c in
+    let d = Dds.of_rel ~by:[ "src" ] c r in
+    let first = Dds.repartition ~seen ~by:[ "trg" ] d in
+    check_int "nothing dropped on first routing" 0 (Dds.seen_dropped seen);
+    check_int "first routing complete" (Rel.cardinal r) (Dds.cardinal first);
+    let records_after_first = m.Metrics.shuffled_records in
+    (* route the very same dataset again: everything was seen *)
+    let again = Dds.repartition ~seen ~by:[ "trg" ] d in
+    check_int "re-derivations dropped" (Rel.cardinal r) (Dds.seen_dropped seen);
+    check_int "second routing empty" 0 (Dds.cardinal again);
+    check_int "drops metered" (Rel.cardinal r) m.Metrics.dedup_dropped_records;
+    check_int "dropped tuples not shuffled" records_after_first m.Metrics.shuffled_records;
+    let out = Dds.collect first in
+    let cnt = (Dds.seen_dropped seen, m.Metrics.dedup_dropped_records, shuffle_counters m) in
+    Cluster.shutdown c;
+    (out, cnt)
+  in
+  let seq_out, seq_cnt = run ~parallel:false in
+  let pool_out, pool_cnt = run ~parallel:true in
+  check_rel "seq/pooled filtered partitions agree" seq_out pool_out;
+  check_bool "seq/pooled dedup counters identical" true (seq_cnt = pool_cnt)
+
 (* antijoin_shuffle must sample output-partition sizes like every other
    wide op: two repartitions (4 samples each on 4 workers) plus the
    output skew pass = exactly 12 new histogram samples. *)
@@ -617,6 +687,12 @@ let () =
           Alcotest.test_case "filter" `Quick test_filter_narrow;
           Alcotest.test_case "set_diff_local" `Quick test_set_diff_local;
           Alcotest.test_case "rename" `Quick test_rename;
+        ] );
+      ( "fused delta",
+        [
+          Alcotest.test_case "diff_union_in_place" `Quick test_diff_union_in_place;
+          Alcotest.test_case "copy_parts is private" `Quick test_copy_parts_private;
+          Alcotest.test_case "seen filter drop counter" `Quick test_seen_filter_drops;
         ] );
       ( "wide",
         [

@@ -296,6 +296,124 @@ let test_analyze_render () =
   check_bool "has iteration counts" true (contains rendered "iters=");
   check_bool "has delta curve" true (contains rendered "deltas=[")
 
+(* --- fused delta / iteration-shuffle dedup --------------------------- *)
+
+let contains_sub text needle =
+  let n = String.length needle and h = String.length text in
+  let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+  go 0
+
+(* run a term with explicit delta-maintenance knobs and return everything
+   that must be invariant under them *)
+let knob_run ?force_plan ?(workers = 4) ~fused ~dedup term tables =
+  let cluster = Cluster.make ~workers () in
+  let config =
+    { (Exec.default_config cluster) with
+      force_plan;
+      use_fused_delta = fused;
+      use_shuffle_dedup = dedup;
+    }
+  in
+  let ctx = Exec.session config tables in
+  let result = Exec.run ctx term in
+  let sigs =
+    List.map
+      (fun (fr : Exec.fix_report) -> (fr.var, fr.plan, fr.iterations, fr.deltas))
+      (Exec.report ctx).fixpoints
+  in
+  (result, sigs, counters (Exec.metrics ctx))
+
+(* The fused accumulator and the map-side seen filter are pure
+   optimisations: results, iteration counts and per-iteration delta
+   curves are bit-identical to the unfused baseline on every plan and
+   worker count; communication counters are identical whenever the seen
+   filter is off (the fused kernel is a narrow stage and moves nothing). *)
+let test_fused_parity () =
+  List.iter
+    (fun (name, term) ->
+      List.iter
+        (fun plan ->
+          List.iter
+            (fun workers ->
+              let base_r, base_s, base_c =
+                knob_run ~force_plan:plan ~workers ~fused:false ~dedup:false term [ ("E", edges) ]
+              in
+              List.iter
+                (fun (fused, dedup) ->
+                  let label =
+                    Printf.sprintf "%s %s w=%d fused=%b dedup=%b" name (Exec.plan_name plan)
+                      workers fused dedup
+                  in
+                  let r, s, c =
+                    knob_run ~force_plan:plan ~workers ~fused ~dedup term [ ("E", edges) ]
+                  in
+                  check_rel (label ^ ": results") base_r r;
+                  check_bool (label ^ ": iterations and deltas") true (base_s = s);
+                  if not dedup then
+                    check_bool (label ^ ": communication counters") true (base_c = c))
+                [ (true, false); (false, true); (true, true) ])
+            [ 1; 4 ])
+        [ Exec.P_gld; Exec.P_plw_s ])
+    [ ("closure", closure_term); ("same_gen", Mura.Patterns.same_generation ()) ]
+
+(* a fixpoint whose very first iteration derives nothing new *)
+let test_fused_empty_first_delta () =
+  let self = rel [ "src"; "trg" ] [ [ 1; 1 ]; [ 2; 2 ] ] in
+  List.iter
+    (fun plan ->
+      List.iter
+        (fun (fused, dedup) ->
+          let r, sigs, _ =
+            knob_run ~force_plan:plan ~fused ~dedup closure_term [ ("E", self) ]
+          in
+          check_rel "fixpoint of self-loops = E" self r;
+          match sigs with
+          | [ (_, _, iters, deltas) ] ->
+            check_int "terminates in one iteration" 1 iters;
+            check_bool "first delta empty" true (deltas = [ 0 ])
+          | _ -> Alcotest.fail "expected exactly one fixpoint report")
+        [ (false, false); (true, false); (true, true) ])
+    [ Exec.P_gld; Exec.P_plw_s ]
+
+(* on P_gld the seen filter must strictly reduce what the iteration
+   shuffles move: transitive closure re-derives pairs every round *)
+let test_dedup_reduces_gld_shuffle () =
+  let run ~dedup =
+    let cluster = Cluster.make ~workers:4 () in
+    let config =
+      { (Exec.default_config cluster) with
+        force_plan = Some Exec.P_gld;
+        use_shuffle_dedup = dedup;
+      }
+    in
+    let ctx = Exec.session config [ ("E", edges) ] in
+    check_rel "closure while counting" expected_closure (Exec.run ctx closure_term);
+    let m = Exec.metrics ctx in
+    (m.Metrics.shuffled_records, m.Metrics.dedup_dropped_records)
+  in
+  let off_records, off_dropped = run ~dedup:false in
+  let on_records, on_dropped = run ~dedup:true in
+  check_int "no drops when off" 0 off_dropped;
+  check_bool "re-derivations dropped" true (on_dropped > 0);
+  check_bool
+    (Printf.sprintf "fewer shuffled records (%d < %d)" on_records off_records)
+    true
+    (on_records < off_records)
+
+let test_explain_delta_mode () =
+  let ctx = session () in
+  check_bool "fused mode shown" true
+    (contains_sub (Exec.explain ctx closure_term)
+       "Fixpoint delta: fused in-place diff+union, iteration-shuffle dedup on");
+  let cluster = Cluster.make ~workers:2 () in
+  let config =
+    { (Exec.default_config cluster) with use_fused_delta = false; use_shuffle_dedup = false }
+  in
+  let ctx2 = Exec.session config [ ("E", edges) ] in
+  check_bool "baseline mode shown" true
+    (contains_sub (Exec.explain ctx2 closure_term)
+       "Fixpoint delta: unfused diff/union (baseline), iteration-shuffle dedup off")
+
 let () =
   Alcotest.run "physical"
     [
@@ -333,6 +451,13 @@ let () =
           Alcotest.test_case "explain" `Quick test_explain;
           Alcotest.test_case "distributed shortest paths" `Quick test_distributed_shortest_paths;
           Alcotest.test_case "same generation" `Quick test_same_generation_plans;
+        ] );
+      ( "fused delta",
+        [
+          Alcotest.test_case "fused/dedup parity" `Quick test_fused_parity;
+          Alcotest.test_case "empty first delta" `Quick test_fused_empty_first_delta;
+          Alcotest.test_case "dedup shrinks P_gld shuffle" `Quick test_dedup_reduces_gld_shuffle;
+          Alcotest.test_case "explain shows delta mode" `Quick test_explain_delta_mode;
         ] );
       ("properties", [ prop_all_plans_agree; prop_reach_all_plans; prop_random_terms_all_plans ]);
     ]
