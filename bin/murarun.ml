@@ -51,7 +51,7 @@ let force_plan_of = function
   | _ -> None
 
 let run gen graph_file labels query system all_systems workers timeout show explain_only
-    analyze report_file compare_plans trace_file =
+    analyze report_file compare_plans trace_file serve_sessions serve_repeat max_inflight =
   try
     if trace_file <> None then Trace.install (Trace.make ());
     let graph = load_graph gen graph_file labels in
@@ -59,6 +59,32 @@ let run gen graph_file labels query system all_systems workers timeout show expl
     let w = S.of_ucrpq graph query in
     if explain_only then begin
       Printf.printf "\n%s" (R.explain ~workers ~graph ~query ());
+      raise Exit
+    end;
+    if serve_sessions > 0 then begin
+      (* serve mode: concurrent sessions resubmitting the query through
+         the caching service; each submission re-translates the text *)
+      let mix =
+        [ ("query", fun () -> Rpq.Query.union_to_term (Rpq.Query.parse_union query)) ]
+      in
+      let config =
+        {
+          Harness.Serve_mix.workers;
+          parallel = false;
+          sessions = serve_sessions;
+          repeat = serve_repeat;
+          max_inflight;
+          force_plan = force_plan_of system;
+        }
+      in
+      let r = Harness.Serve_mix.run ~mix config ~graph in
+      Harness.Serve_mix.print r;
+      (match report_file with
+      | Some file ->
+        Harness.Serve_mix.write_report ~file r;
+        Printf.printf "serve report written to %s\n" file
+      | None -> ());
+      if r.Harness.Serve_mix.parity_failures > 0 then failwith "serve parity failure";
       raise Exit
     end;
     if analyze || report_file <> None then begin
@@ -179,10 +205,26 @@ let () =
                  Perfetto), or a flat JSONL event log if FILE ends in .jsonl. Also prints the \
                  per-operator/per-iteration rollup.")
   in
+  let serve_sessions =
+    Arg.(value & opt int 0 & info [ "serve" ] ~docv:"SESSIONS"
+           ~doc:"Serve mode: run SESSIONS concurrent client sessions submitting the query \
+                 through the multi-tenant caching service (lib/serve) and report throughput, \
+                 cache hit rates and latency percentiles. --report writes the serve JSON.")
+  in
+  let serve_repeat =
+    Arg.(value & opt int 4 & info [ "serve-repeat" ] ~docv:"N"
+           ~doc:"With --serve: each session submits the query N times (default 4).")
+  in
+  let max_inflight =
+    Arg.(value & opt int 2 & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"With --serve: admission slots; 2+ lets concurrent queries share in-flight \
+                 fixpoints (default 2).")
+  in
   let term =
     Term.(
       const run $ gen $ graph_file $ labels $ query $ system $ all_systems $ workers $ timeout
-      $ show $ explain $ analyze $ report_file $ compare_plans $ trace_file)
+      $ show $ explain $ analyze $ report_file $ compare_plans $ trace_file $ serve_sessions
+      $ serve_repeat $ max_inflight)
   in
   let info =
     Cmd.info "murarun" ~version:"1.0"

@@ -1,20 +1,31 @@
 (* murashell — an interactive shell for recursive graph queries.
 
+   The shell is a single-tenant client of the serving layer: one cluster
+   and its worker pool are created at startup (not per command, which
+   would leak a domain pool per query), one [Serve.t] wraps it, and
+   every query goes through the plan/result caches — resubmitting a
+   query hits the cache and returns without touching the cluster.
+
    Commands:
      load FILE            load a (2- or 3-column) edge-list file as E
      gen SPEC             generate a graph (yago:N, uniprot:N, er:N:P, tree:N)
      workers N            set the simulated cluster size (default 4)
      explain QUERY        show optimized logical + physical plans
-     sql QUERY            show the per-worker SQL for the query's fixpoints
+     stats                print the cache/admission counters
      QUERY                evaluate (e.g. ?x <- ?x a+ Japan)
      help | quit *)
 
 module Rel = Relation.Rel
-module Exec = Physical.Exec
 
-type state = { mutable graph : Rel.t option; mutable workers : int }
+type state = { mutable serve : Serve.t; mutable session : Serve.Session.t; mutable workers : int }
 
-let st = { graph = None; workers = 4 }
+let boot workers =
+  let cluster = Distsim.Cluster.make ~workers () in
+  Serve.create ~cluster ()
+
+let st =
+  let serve = boot 4 in
+  { serve; session = Serve.open_session ~name:"shell" serve; workers = 4 }
 
 let help () =
   print_string
@@ -23,37 +34,32 @@ let help () =
     \  gen SPEC       yago:N | uniprot:N | er:N:P | tree:N\n\
     \  workers N      set cluster size\n\
     \  explain QUERY  show the optimized plans without executing\n\
+    \  stats          cache and admission counters\n\
     \  QUERY          e.g.  ?x, ?y <- ?x knows+/likes ?y\n\
     \  help, quit\n"
 
 let require_graph () =
-  match st.graph with
+  match Serve.relation st.serve "E" with
   | Some g -> g
   | None -> failwith "no graph loaded (use 'load FILE' or 'gen SPEC')"
-
-let optimize graph term =
-  let tables = [ ("E", graph) ] in
-  let tenv = Mura.Typing.env [ ("E", Rel.schema graph) ] in
-  let stats = Cost.Stats.of_tables tables in
-  Rewrite.Engine.optimize ~max_plans:120 ~cost:(Cost.Estimate.cost stats) tenv term
 
 let parse_query text = Rpq.Query.union_to_term (Rpq.Query.parse_union text)
 
 let run_query text =
-  let graph = require_graph () in
-  let best = optimize graph (parse_query text) in
-  let cluster = Distsim.Cluster.make ~workers:st.workers () in
-  let ctx = Exec.session (Exec.default_config cluster) [ ("E", graph) ] in
+  ignore (require_graph ());
   let t0 = Unix.gettimeofday () in
-  let result = Exec.run ctx best in
-  Printf.printf "%d tuples in %.3fs  [%s]\n" (Rel.cardinal result)
-    (Unix.gettimeofday () -. t0)
-    (Distsim.Metrics.to_string (Distsim.Cluster.metrics cluster));
-  List.iter
-    (fun (fr : Exec.fix_report) ->
-      Printf.printf "  fixpoint %s: %s, stable=[%s], %d iterations\n" fr.var
-        (Exec.plan_name fr.plan) (String.concat "," fr.stable) fr.iterations)
-    (Exec.report ctx).fixpoints;
+  let r = Serve.query_ucrpq st.serve st.session text in
+  let dt = Unix.gettimeofday () -. t0 in
+  let how =
+    if r.Serve.result_hit then if r.Serve.shared then "joined in-flight query" else "result cache hit"
+    else
+      Printf.sprintf "%d iterations%s%s"
+        r.Serve.iterations
+        (if r.Serve.plan_hit then ", plan cached" else "")
+        (if r.Serve.fix_hits > 0 then Printf.sprintf ", %d fixpoints reused" r.Serve.fix_hits
+         else "")
+  in
+  Printf.printf "%d tuples in %.3fs  [%s]\n" (Rel.cardinal r.Serve.rel) dt how;
   let shown = ref 0 in
   (try
      Rel.iter
@@ -61,18 +67,40 @@ let run_query text =
          if !shown >= 10 then raise Exit;
          incr shown;
          Printf.printf "  %s\n" (Relation.Tuple.to_string tu))
-       result
+       r.Serve.rel
    with Exit -> print_endline "  ...")
 
 let explain_query text =
-  let graph = require_graph () in
-  let best = optimize graph (parse_query text) in
-  Printf.printf "logical plan:\n  %s\nphysical plan:\n%s" (Mura.Term.to_string best)
-    (Exec.explain
-       (Exec.session
-          (Exec.default_config (Distsim.Cluster.make ~workers:st.workers ()))
-          [ ("E", graph) ])
-       best)
+  ignore (require_graph ());
+  let term = parse_query text in
+  Printf.printf "physical plan:\n%s" (Serve.explain st.serve term)
+
+let print_stats () =
+  let s = Serve.stats st.serve in
+  Printf.printf
+    "queries: %d submitted, %d completed, %d failed (graph version %d)\n\
+     results: %d hits, %d in-flight joins, %d misses; %d entries, %d bytes cached\n\
+     plans:   %d hits, %d misses; %d entries\n\
+     fixpoints: %d evaluated, %d cache hits, %d shared\n\
+     invalidated %d, evicted %d\n"
+    s.Serve.submitted s.Serve.completed s.Serve.failed s.Serve.graph_version s.Serve.result_hits
+    s.Serve.shared_joins s.Serve.result_misses s.Serve.result_entries s.Serve.result_bytes
+    s.Serve.plan_hits s.Serve.plan_misses s.Serve.plan_entries s.Serve.fix_evals
+    s.Serve.fix_hits s.Serve.fix_shared s.Serve.invalidated s.Serve.evictions
+
+(* replace the server (new pool size): carry the graph over *)
+let set_workers n =
+  let graph = Serve.relation st.serve "E" in
+  Serve.shutdown st.serve;
+  st.workers <- n;
+  st.serve <- boot n;
+  st.session <- Serve.open_session ~name:"shell" st.serve;
+  (match graph with Some g -> Serve.register st.serve "E" g | None -> ());
+  Printf.printf "cluster size: %d workers (caches reset)\n" n
+
+let set_graph g =
+  (* registration bumps the graph version and invalidates dependents *)
+  Serve.register st.serve "E" g
 
 let gen spec =
   let spec, labels =
@@ -96,7 +124,7 @@ let gen spec =
       Graphgen.Generators.add_labels ~labels g
     else g
   in
-  st.graph <- Some g;
+  set_graph g;
   Printf.printf "generated %d labelled edges (labels: %s)\n" (Rel.cardinal g)
     (String.concat "," labels)
 
@@ -105,13 +133,14 @@ let load file =
     try Relation.Rel_io.load_labelled_edges file
     with Failure _ -> Relation.Rel_io.load_edges file
   in
-  st.graph <- Some g;
+  set_graph g;
   Printf.printf "loaded %d edges from %s\n" (Rel.cardinal g) file
 
 let dispatch line =
   let line = String.trim line in
   if line = "" then ()
   else if line = "help" then help ()
+  else if line = "stats" then print_stats ()
   else if line = "quit" || line = "exit" then raise Exit
   else
     match String.index_opt line ' ' with
@@ -120,8 +149,7 @@ let dispatch line =
     | Some i when String.sub line 0 i = "gen" ->
       gen (String.trim (String.sub line i (String.length line - i)))
     | Some i when String.sub line 0 i = "workers" ->
-      st.workers <- int_of_string (String.trim (String.sub line i (String.length line - i)));
-      Printf.printf "cluster size: %d workers\n" st.workers
+      set_workers (int_of_string (String.trim (String.sub line i (String.length line - i))))
     | Some i when String.sub line 0 i = "explain" ->
       explain_query (String.trim (String.sub line i (String.length line - i)))
     | _ -> run_query line
@@ -136,6 +164,7 @@ let () =
         try dispatch line with
         | Exit -> raise Exit
         | Failure msg
+        | Invalid_argument msg
         | Rpq.Regex.Parse_error msg
         | Rpq.Query.Translation_error msg
         | Mura.Eval.Eval_error msg
@@ -146,4 +175,6 @@ let () =
         | Physical.Exec.Resource_limit msg -> Printf.printf "resource limit: %s\n" msg)
       | exception End_of_file -> raise Exit)
     done
-  with Exit -> print_endline "bye"
+  with Exit ->
+    Serve.shutdown st.serve;
+    print_endline "bye"

@@ -75,4 +75,42 @@ dune exec bench/main.exe -- --quick micro_shuffle
 echo "== bench micro_fixpoint_delta (--quick) =="
 dune exec bench/main.exe -- --quick micro_fixpoint_delta
 
+# serving-layer smoke: concurrent sessions resubmitting one query
+# through lib/serve must hit the result cache (hit rate > 0) and match
+# the reference results (murarun exits non-zero on any parity failure);
+# the serve JSON report must parse and carry the cache and
+# admission-wait fields
+echo "== murarun --serve smoke =="
+serve_report=$(mktemp /tmp/murarun_serve.XXXXXX.json)
+trap 'rm -f "$report" "$serve_report"' EXIT
+dune exec bin/murarun.exe -- --gen er:500:0.006 --labels a \
+  --query "?x, ?y <- ?x a+ ?y" --serve 3 --serve-repeat 3 --report "$serve_report"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$serve_report" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+for key in ("hit_rate", "result_hits", "result_misses", "plan_hits",
+            "fix_evals", "wait_ms", "latency_ms", "parity_failures"):
+    assert key in r, f"serve report missing key {key!r}"
+assert r["hit_rate"] > 0, "repeated query never hit the result cache"
+assert r["parity_failures"] == 0, "serve results diverged from the oracle"
+assert "p95" in r["wait_ms"], "serve report missing admission-wait percentiles"
+EOF
+else
+  for key in '"hit_rate"' '"result_hits"' '"wait_ms"' '"latency_ms"'; do
+    grep -q "$key" "$serve_report" || { echo "serve report missing $key" >&2; exit 1; }
+  done
+  grep -q '"hit_rate":0\.000' "$serve_report" &&
+    { echo "repeated query never hit the result cache" >&2; exit 1; }
+fi
+echo "serve report OK: $serve_report"
+
+# serving-cache parity gate: quick-scale run of the cached vs cache-less
+# server micro bench; a parity failure against the reference evaluator
+# or a cached run that re-evaluates every fixpoint fails the build (the
+# >=2x caching speedup gate only applies at full scale)
+echo "== bench micro_serve (--quick) =="
+dune exec bench/main.exe -- --quick micro_serve
+
 echo "ci/check.sh: all checks passed"

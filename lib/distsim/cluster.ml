@@ -103,6 +103,13 @@ type t = {
   use_parallel_shuffle : bool;
   metrics : Metrics.t;
   mutable pool : Pool.t option;
+  dispatching : bool Atomic.t;
+      (* single-driver invariant: only one stage may be in flight. Set for
+         the duration of [run_stage]; a second dispatcher arriving while
+         it is set is a concurrency bug in the caller (evaluations must be
+         serialized through an admission queue, e.g. [Serve]) and is
+         rejected loudly rather than silently corrupting shared metrics
+         and pool slots. *)
 }
 
 let shutdown c =
@@ -117,7 +124,16 @@ let make ?(parallel = false) ?(use_parallel_shuffle = true) ~workers () =
   let pool =
     if parallel && workers > 1 then Some (Pool.create (workers - 1)) else None
   in
-  let c = { workers; parallel; use_parallel_shuffle; metrics = Metrics.create (); pool } in
+  let c =
+    {
+      workers;
+      parallel;
+      use_parallel_shuffle;
+      metrics = Metrics.create ();
+      pool;
+      dispatching = Atomic.make false;
+    }
+  in
   (* join the pool domains at process exit even when the owner never
      calls [shutdown] explicitly (tests, examples) *)
   if pool <> None then at_exit (fun () -> shutdown c);
@@ -141,7 +157,21 @@ let clock_ns () = Unix.gettimeofday () *. 1e9
 
 type 'a outcome = Value of 'a | Error of exn
 
+exception Concurrent_dispatch
+
+let () =
+  Printexc.register_printer (function
+    | Concurrent_dispatch ->
+      Some
+        "Distsim.Cluster.Concurrent_dispatch: two evaluations interleaved stage dispatch on \
+         one cluster (serialize them through an admission queue)"
+    | _ -> None)
+
+let busy c = Atomic.get c.dispatching
+
 let run_stage c f =
+  if not (Atomic.compare_and_set c.dispatching false true) then raise Concurrent_dispatch;
+  Fun.protect ~finally:(fun () -> Atomic.set c.dispatching false) @@ fun () ->
   let tr = Trace.get () in
   Trace.span tr ~cat:"stage" ~attrs:[ ("workers", Trace.Int c.workers) ] "stage" @@ fun () ->
   let n = c.workers in

@@ -48,10 +48,25 @@ val shutdown : t -> unit
     sequential clusters. After shutdown the cluster remains usable, with
     stages executing sequentially on the driver. *)
 
+exception Concurrent_dispatch
+(** Raised by {!run_stage} when a stage is dispatched while another is
+    already in flight on the same cluster. The runtime has a {e single
+    driver} invariant: one cluster executes one evaluation at a time
+    (stages of two queries must never interleave — they would corrupt
+    the shared metric accumulator and race on the pool's job slots).
+    Callers that accept concurrent queries must serialize evaluations
+    through an admission queue ([Serve] is the canonical entry point);
+    this exception is the loud backstop for code that bypasses it. *)
+
+val busy : t -> bool
+(** Whether a stage is currently in flight (true only while some other
+    domain is inside {!run_stage}). *)
+
 val run_stage : t -> (int -> 'a) -> 'a array
 (** [run_stage c f] runs [f w] for every worker index [w] (on the
     persistent pool in parallel mode), meters the stage (max per-worker
     time) and returns the per-worker results. Exceptions raised by any
     [f w] are re-raised on the driver; the pool stays usable for
     subsequent stages. When tracing is enabled the stage span carries a
-    [dispatch_ns] attribute and [pool.occupancy] counter samples. *)
+    [dispatch_ns] attribute and [pool.occupancy] counter samples.
+    @raise Concurrent_dispatch if another stage is already in flight. *)

@@ -1,0 +1,58 @@
+(** Canonical forms of mu-RA terms, for caching.
+
+    Two queries should share one cache entry whenever they denote the
+    same relation for every database: the serving layer keys its plan
+    and result caches on the {e normal form} of a term rather than on
+    the term itself. Normalization applies exactly the equivalences
+    that are sound for {e every} database instance and need no schema
+    information:
+
+    - {b alpha-renaming}: recursion variables bound by [Fix] are renamed
+      to canonical names (["%0"], ["%1"], ... in pre-order), so
+      [mu(X = E ∪ X∘E)] and [mu(Y = E ∪ Y∘E)] normalize identically;
+    - {b commutative reordering}: maximal chains of the two commutative,
+      associative operators — [Union] and natural [Join] — are flattened
+      and their operands sorted by their own serialized normal forms.
+      ([Antijoin] is not commutative and [Select]/[Project]/[Rename] are
+      unary; they are left untouched.)
+
+    Natural-join commutation changes the column {e order} of the result
+    layout, never its contents: relations here are sets of mappings from
+    column names to values, and every consumer reconciles layouts by
+    name ({!Relation.Rel.equal}, {!Relation.Rel.union}, ...). A cache
+    keyed on normal forms may therefore serve a stored result whose
+    column order differs from the one the request would have produced
+    itself, but never one with different contents.
+
+    The normal form is {e not} executed — callers keep evaluating the
+    plan derived from the first term that produced a given key.
+
+    A third rewrite handles generated names: reserved {e working
+    columns} (the ["_m<n>"] join-plumbing names of {!Term.fresh_col},
+    which user schemas must not use) are renumbered by first appearance,
+    because every fresh translation of the same query text allocates new
+    ones — [a+] parsed twice must share one key. The renaming is a
+    single simultaneous bijection over all working names, so every
+    name-equality in the term (natural joins included) is preserved.
+    Renumbering happens before the commutative sort, so terms that
+    combine {e both} operand reordering and different generated names
+    may still get distinct keys — a conservative miss, never a false
+    hit. *)
+
+val normalize : Term.t -> Term.t
+(** Alpha-rename bound recursion variables to canonical names,
+    renumber reserved working columns by first appearance, and sort
+    the operands of commutative operator chains. Idempotent. Free
+    variables (unbound [Var]s) are left untouched. *)
+
+val serialize : Term.t -> string
+(** An injective rendering of a term: unlike {!Term.to_string} it
+    length-prefixes every field (no gluing ambiguities) and serializes
+    [Cst] relations by schema and sorted tuple contents rather than by
+    cardinality. Does not normalize — compose with {!normalize}. *)
+
+val key : Term.t -> string
+(** [key t] is a compact digest of [serialize (normalize t)] — the cache
+    key of the serving layer. Alpha-equivalent terms and commutative
+    reorderings map to equal keys; terms denoting different relations
+    map to different keys (modulo digest collisions). *)

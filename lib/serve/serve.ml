@@ -1,0 +1,713 @@
+module Term = Mura.Term
+module Normal = Mura.Normal
+module Rel = Relation.Rel
+module Schema = Relation.Schema
+module Exec = Physical.Exec
+module Cluster = Distsim.Cluster
+module Metrics = Distsim.Metrics
+module Hist = Metrics.Hist
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+module Session = struct
+  type t = { id : int; name : string; mutable closed : bool }
+
+  let id s = s.id
+  let name s = s.name
+end
+
+(* A one-shot promise: the first evaluator to need a piece of work
+   registers one; everyone else blocks on it. Failures propagate so a
+   crashed owner never strands its waiters. *)
+type promise = {
+  pm : Mutex.t;
+  pc : Condition.t;
+  mutable state : [ `Pending | `Done of Rel.t | `Failed of exn ];
+  p_deps : string list;  (* relation names the computation reads *)
+}
+
+let promise_make deps =
+  { pm = Mutex.create (); pc = Condition.create (); state = `Pending; p_deps = deps }
+
+let promise_fulfill p st =
+  Mutex.lock p.pm;
+  p.state <- st;
+  Condition.broadcast p.pc;
+  Mutex.unlock p.pm
+
+let promise_await p =
+  Mutex.lock p.pm;
+  while (match p.state with `Pending -> true | _ -> false) do
+    Condition.wait p.pc p.pm
+  done;
+  let st = p.state in
+  Mutex.unlock p.pm;
+  match st with `Done r -> r | `Failed e -> raise e | `Pending -> assert false
+
+type centry = {
+  c_rel : Rel.t;
+  c_deps : string list;
+  c_bytes : int;
+  mutable c_last_use : int;
+}
+
+type pentry = { pl_term : Term.t; pl_deps : string list; mutable pl_last_use : int }
+
+type pending = { q_session : int; q_seq : int; mutable q_admitted : bool }
+
+type t = {
+  cluster : Cluster.t;
+  exec_config : Exec.config;
+  max_inflight : int;
+  plan_capacity : int;
+  cache_budget : int;
+  max_plans : int;
+  lock : Mutex.t;  (* guards every mutable field below *)
+  admit_cond : Condition.t;
+  cluster_lock : Mutex.t;
+      (* serializes actual cluster execution segments; never held while
+         waiting on a promise or on admission *)
+  mutable tbl : (string * Rel.t) list;
+  mutable version : int;
+  table_versions : (string, int) Hashtbl.t;  (* name -> version at last register *)
+  sessions : (int, Session.t) Hashtbl.t;
+  served : (int, int) Hashtbl.t;  (* session id -> evaluations admitted so far *)
+  mutable next_session : int;
+  mutable next_seq : int;
+  mutable pending : pending list;  (* arrival order *)
+  mutable inflight : int;
+  plan_cache : (string, pentry) Hashtbl.t;
+  result_cache : (string, centry) Hashtbl.t;
+  mutable cache_bytes : int;
+  q_promises : (string, promise) Hashtbl.t;
+      (* whole-query in-flight evaluations, by normal key of the input *)
+  f_promises : (string, promise) Hashtbl.t;
+      (* in-flight fixpoint subterms, by normal key of the Fix term. Kept
+         separate from [q_promises]: a query that IS a closed fixpoint
+         registers its whole-query promise under the same key its own
+         fixpoint resolution will look up — one shared table would make
+         the owner wait on itself *)
+  mutable clock : int;  (* LRU use counter *)
+  wait_h : Hist.t;
+  latency_h : Hist.t;
+  mutable closed : bool;
+  (* counters *)
+  mutable c_submitted : int;
+  mutable c_completed : int;
+  mutable c_failed : int;
+  mutable c_result_hits : int;
+  mutable c_shared_joins : int;
+  mutable c_result_misses : int;
+  mutable c_plan_hits : int;
+  mutable c_plan_misses : int;
+  mutable c_fix_evals : int;
+  mutable c_fix_hits : int;
+  mutable c_fix_shared : int;
+  mutable c_invalidated : int;
+  mutable c_evictions : int;
+}
+
+let create ?(max_inflight = 1) ?(plan_cache_capacity = 128)
+    ?(result_cache_bytes = 64 * 1024 * 1024) ?(max_plans = 120) ?config ~cluster () =
+  if max_inflight < 1 then invalid_arg "Serve.create: max_inflight < 1";
+  let exec_config =
+    match config with
+    | Some c -> { c with Exec.cluster }
+    | None -> Exec.default_config cluster
+  in
+  {
+    cluster;
+    exec_config;
+    max_inflight;
+    plan_capacity = plan_cache_capacity;
+    cache_budget = result_cache_bytes;
+    max_plans;
+    lock = Mutex.create ();
+    admit_cond = Condition.create ();
+    cluster_lock = Mutex.create ();
+    tbl = [];
+    version = 0;
+    table_versions = Hashtbl.create 16;
+    sessions = Hashtbl.create 16;
+    served = Hashtbl.create 16;
+    next_session = 0;
+    next_seq = 0;
+    pending = [];
+    inflight = 0;
+    plan_cache = Hashtbl.create 64;
+    result_cache = Hashtbl.create 64;
+    cache_bytes = 0;
+    q_promises = Hashtbl.create 16;
+    f_promises = Hashtbl.create 16;
+    clock = 0;
+    wait_h = Hist.create ();
+    latency_h = Hist.create ();
+    closed = false;
+    c_submitted = 0;
+    c_completed = 0;
+    c_failed = 0;
+    c_result_hits = 0;
+    c_shared_joins = 0;
+    c_result_misses = 0;
+    c_plan_hits = 0;
+    c_plan_misses = 0;
+    c_fix_evals = 0;
+    c_fix_hits = 0;
+    c_fix_shared = 0;
+    c_invalidated = 0;
+    c_evictions = 0;
+  }
+
+let cluster t = t.cluster
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Mutex.unlock t.lock;
+  Cluster.shutdown t.cluster
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let open_session ?(name = "") t =
+  Mutex.lock t.lock;
+  t.next_session <- t.next_session + 1;
+  let id = t.next_session in
+  let name = if name = "" then Printf.sprintf "session-%d" id else name in
+  let s = { Session.id; name; closed = false } in
+  Hashtbl.replace t.sessions id s;
+  Mutex.unlock t.lock;
+  s
+
+let close_session t (s : Session.t) =
+  Mutex.lock t.lock;
+  s.Session.closed <- true;
+  Hashtbl.remove t.sessions s.Session.id;
+  Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* Catalog and invalidation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let dep_version t name =
+  match Hashtbl.find_opt t.table_versions name with Some v -> v | None -> 0
+
+let register t name rel =
+  Mutex.lock t.lock;
+  t.version <- t.version + 1;
+  Hashtbl.replace t.table_versions name t.version;
+  t.tbl <- (name, rel) :: List.remove_assoc name t.tbl;
+  (* drop exactly the dependent cache entries *)
+  let doomed_results =
+    Hashtbl.fold
+      (fun k e acc -> if List.mem name e.c_deps then (k, e) :: acc else acc)
+      t.result_cache []
+  in
+  List.iter
+    (fun (k, e) ->
+      Hashtbl.remove t.result_cache k;
+      t.cache_bytes <- t.cache_bytes - e.c_bytes;
+      t.c_invalidated <- t.c_invalidated + 1)
+    doomed_results;
+  let doomed_plans =
+    Hashtbl.fold
+      (fun k e acc -> if List.mem name e.pl_deps then k :: acc else acc)
+      t.plan_cache []
+  in
+  List.iter
+    (fun k ->
+      Hashtbl.remove t.plan_cache k;
+      t.c_invalidated <- t.c_invalidated + 1)
+    doomed_plans;
+  (* stop new waiters from joining in-flight evaluations over the old
+     contents; owners still fulfill their promise object for waiters
+     that attached before this mutation *)
+  let purge tbl =
+    let doomed =
+      Hashtbl.fold (fun k p acc -> if List.mem name p.p_deps then k :: acc else acc) tbl []
+    in
+    List.iter (Hashtbl.remove tbl) doomed
+  in
+  purge t.q_promises;
+  purge t.f_promises;
+  Mutex.unlock t.lock
+
+let graph_version t =
+  Mutex.lock t.lock;
+  let v = t.version in
+  Mutex.unlock t.lock;
+  v
+
+let relation t name =
+  Mutex.lock t.lock;
+  let r = List.assoc_opt name t.tbl in
+  Mutex.unlock t.lock;
+  r
+
+let tables t =
+  Mutex.lock t.lock;
+  let l = t.tbl in
+  Mutex.unlock t.lock;
+  l
+
+(* ------------------------------------------------------------------ *)
+(* Result cache (LRU over a byte budget)                               *)
+(* ------------------------------------------------------------------ *)
+
+let rel_bytes rel =
+  let arity = List.length (Schema.cols (Rel.schema rel)) in
+  64 + (Metrics.tuple_bytes arity * Rel.cardinal rel)
+
+(* all cache helpers run with [t.lock] held *)
+
+let cache_find t key =
+  match Hashtbl.find_opt t.result_cache key with
+  | Some e ->
+    t.clock <- t.clock + 1;
+    e.c_last_use <- t.clock;
+    Some e.c_rel
+  | None -> None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, e') when e'.c_last_use <= e.c_last_use -> acc
+        | _ -> Some (k, e))
+      t.result_cache None
+  in
+  match victim with
+  | None -> t.cache_bytes <- 0
+  | Some (k, e) ->
+    Hashtbl.remove t.result_cache k;
+    t.cache_bytes <- t.cache_bytes - e.c_bytes;
+    t.c_evictions <- t.c_evictions + 1
+
+(* Cache a result computed against the catalog as of version [v0] —
+   unless one of its inputs was re-registered since (the result would be
+   stale) or it alone exceeds the whole budget. *)
+let cache_store t ~key ~deps ~v0 rel =
+  let fresh = List.for_all (fun d -> dep_version t d <= v0) deps in
+  if fresh && not (Hashtbl.mem t.result_cache key) then begin
+    let bytes = rel_bytes rel in
+    if bytes <= t.cache_budget then begin
+      t.clock <- t.clock + 1;
+      Hashtbl.replace t.result_cache key
+        { c_rel = rel; c_deps = deps; c_bytes = bytes; c_last_use = t.clock };
+      t.cache_bytes <- t.cache_bytes + bytes;
+      while t.cache_bytes > t.cache_budget do
+        evict_lru t
+      done
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache (LRU over an entry count)                                *)
+(* ------------------------------------------------------------------ *)
+
+let plan_find t key =
+  match Hashtbl.find_opt t.plan_cache key with
+  | Some e ->
+    t.clock <- t.clock + 1;
+    e.pl_last_use <- t.clock;
+    Some e.pl_term
+  | None -> None
+
+let plan_store t key term deps =
+  if not (Hashtbl.mem t.plan_cache key) then begin
+    t.clock <- t.clock + 1;
+    Hashtbl.replace t.plan_cache key { pl_term = term; pl_deps = deps; pl_last_use = t.clock };
+    while Hashtbl.length t.plan_cache > t.plan_capacity do
+      let victim =
+        Hashtbl.fold
+          (fun k e acc ->
+            match acc with
+            | Some (_, u) when u <= e.pl_last_use -> acc
+            | _ -> Some (k, e.pl_last_use))
+          t.plan_cache None
+      in
+      match victim with None -> () | Some (k, _) -> Hashtbl.remove t.plan_cache k
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fair admission                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fair_pick ~served pending =
+  List.fold_left
+    (fun best (s, q) ->
+      match best with
+      | None -> Some (s, q)
+      | Some (bs, bq) ->
+        if (served s, q) < (served bs, bq) then Some (s, q) else best)
+    None pending
+
+let served_count t sid =
+  match Hashtbl.find_opt t.served sid with Some n -> n | None -> 0
+
+(* with [t.lock] held: admit pending entries while slots are free *)
+let rec schedule t =
+  if t.inflight < t.max_inflight && t.pending <> [] then begin
+    match
+      fair_pick
+        ~served:(served_count t)
+        (List.map (fun p -> (p.q_session, p.q_seq)) t.pending)
+    with
+    | None -> ()
+    | Some (_, seq) ->
+      let chosen = List.find (fun p -> p.q_seq = seq) t.pending in
+      t.pending <- List.filter (fun p -> p.q_seq <> seq) t.pending;
+      chosen.q_admitted <- true;
+      t.inflight <- t.inflight + 1;
+      Hashtbl.replace t.served chosen.q_session (served_count t chosen.q_session + 1);
+      Condition.broadcast t.admit_cond;
+      schedule t
+  end
+
+(* blocks until admitted; returns the time spent queued *)
+let admit t sid =
+  let t0 = now_ns () in
+  Mutex.lock t.lock;
+  t.next_seq <- t.next_seq + 1;
+  let me = { q_session = sid; q_seq = t.next_seq; q_admitted = false } in
+  t.pending <- t.pending @ [ me ];
+  schedule t;
+  while not me.q_admitted do
+    Condition.wait t.admit_cond t.lock
+  done;
+  Mutex.unlock t.lock;
+  now_ns () -. t0
+
+let release t =
+  Mutex.lock t.lock;
+  t.inflight <- t.inflight - 1;
+  schedule t;
+  Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_term t tbl term =
+  let tenv = Mura.Typing.env (List.map (fun (n, r) -> (n, Rel.schema r)) tbl) in
+  let stats = Cost.Stats.of_tables tbl in
+  Rewrite.Engine.optimize ~max_plans:t.max_plans ~cost:(Cost.Estimate.cost stats) tenv term
+
+(* One cluster segment. Admission bounds how many evaluators exist; this
+   lock makes stage interleaving impossible even with max_inflight > 1
+   (the Cluster.Concurrent_dispatch guard would reject it loudly). *)
+let exec_on_cluster t ~tbl term =
+  Mutex.lock t.cluster_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.cluster_lock) @@ fun () ->
+  let tr = Trace.get () in
+  Trace.span tr ~cat:"serve" "serve.eval" @@ fun () ->
+  let ctx = Exec.session t.exec_config tbl in
+  let rel = Exec.run ctx term in
+  let iters =
+    List.fold_left
+      (fun acc (fr : Exec.fix_report) -> acc + fr.iterations)
+      0 (Exec.report ctx).Exec.fixpoints
+  in
+  (rel, iters)
+
+(* per-evaluation accounting, folded into the response *)
+type eval_stats = { mutable e_iters : int; mutable e_fix_hits : int }
+
+(* Resolve one maximal closed Fix subterm through cache and promise
+   table; evaluate it at most once process-wide per (normal key,
+   catalog state). Never called with any lock held. *)
+let resolve_fix t ~tbl ~v0 ~st fix_term =
+  let key = Normal.key fix_term in
+  let deps = Term.free_rels fix_term in
+  Mutex.lock t.lock;
+  match cache_find t key with
+  | Some rel ->
+    t.c_fix_hits <- t.c_fix_hits + 1;
+    st.e_fix_hits <- st.e_fix_hits + 1;
+    Mutex.unlock t.lock;
+    rel
+  | None -> (
+    match Hashtbl.find_opt t.f_promises key with
+    | Some p ->
+      t.c_fix_shared <- t.c_fix_shared + 1;
+      st.e_fix_hits <- st.e_fix_hits + 1;
+      Mutex.unlock t.lock;
+      promise_await p
+    | None -> (
+      let p = promise_make deps in
+      Hashtbl.replace t.f_promises key p;
+      Mutex.unlock t.lock;
+      let forget () =
+        (* only our own registration: [register] may have purged it and a
+           later evaluator may have installed a fresh one under this key *)
+        Mutex.lock t.lock;
+        (match Hashtbl.find_opt t.f_promises key with
+        | Some p' when p' == p -> Hashtbl.remove t.f_promises key
+        | _ -> ());
+        Mutex.unlock t.lock
+      in
+      match exec_on_cluster t ~tbl fix_term with
+      | rel, iters ->
+        st.e_iters <- st.e_iters + iters;
+        Mutex.lock t.lock;
+        t.c_fix_evals <- t.c_fix_evals + 1;
+        cache_store t ~key ~deps ~v0 rel;
+        Mutex.unlock t.lock;
+        forget ();
+        promise_fulfill p (`Done rel);
+        rel
+      | exception e ->
+        forget ();
+        promise_fulfill p (`Failed e);
+        raise e))
+
+(* Substitute every maximal closed Fix subterm by its (cached, shared or
+   freshly evaluated) value. Closed subterms denote the same relation in
+   any context, so splicing them in as [Cst] is sound; [Fix] nodes with
+   free recursion variables only occur under a closed ancestor and are
+   never extracted on their own. *)
+let rec resolve_fixes t ~tbl ~v0 ~st (term : Term.t) : Term.t =
+  let r = resolve_fixes t ~tbl ~v0 ~st in
+  match term with
+  | Term.Fix _ when Term.free_vars term = [] -> Term.Cst (resolve_fix t ~tbl ~v0 ~st term)
+  | Term.Rel _ | Term.Var _ | Term.Cst _ -> term
+  | Term.Select (p, u) -> Term.Select (p, r u)
+  | Term.Project (c, u) -> Term.Project (c, r u)
+  | Term.Antiproject (c, u) -> Term.Antiproject (c, r u)
+  | Term.Rename (m, u) -> Term.Rename (m, r u)
+  | Term.Join (a, b) -> Term.Join (r a, r b)
+  | Term.Antijoin (a, b) -> Term.Antijoin (r a, r b)
+  | Term.Union (a, b) -> Term.Union (r a, r b)
+  | Term.Fix (x, body) -> Term.Fix (x, r body)
+
+(* the admitted-evaluation body: plan, resolve fixpoints, run residual *)
+let evaluate t ~key ~deps ~v0 ~tbl ~optimize ~st term =
+  let plan, plan_hit =
+    if not optimize then (term, false)
+    else begin
+      Mutex.lock t.lock;
+      match plan_find t key with
+      | Some pl ->
+        t.c_plan_hits <- t.c_plan_hits + 1;
+        Mutex.unlock t.lock;
+        (pl, true)
+      | None ->
+        t.c_plan_misses <- t.c_plan_misses + 1;
+        Mutex.unlock t.lock;
+        (* rewriting is pure CPU work — run it outside the lock *)
+        let best = optimize_term t tbl term in
+        Mutex.lock t.lock;
+        plan_store t key best deps;
+        Mutex.unlock t.lock;
+        (best, false)
+    end
+  in
+  let residual = resolve_fixes t ~tbl ~v0 ~st plan in
+  let rel =
+    match residual with
+    | Term.Cst r -> r (* the whole plan was one shared fixpoint *)
+    | _ ->
+      let r, iters = exec_on_cluster t ~tbl residual in
+      st.e_iters <- st.e_iters + iters;
+      r
+  in
+  Mutex.lock t.lock;
+  cache_store t ~key ~deps ~v0 rel;
+  Mutex.unlock t.lock;
+  (rel, plan_hit)
+
+type response = {
+  rel : Rel.t;
+  session : int;
+  plan_hit : bool;
+  result_hit : bool;
+  shared : bool;
+  fix_hits : int;
+  iterations : int;
+  wait_ns : float;
+  exec_ns : float;
+}
+
+let query ?(optimize = true) t (sn : Session.t) term =
+  let t_start = now_ns () in
+  let key = Normal.key term in
+  let deps = Term.free_rels term in
+  Mutex.lock t.lock;
+  if t.closed || sn.Session.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Serve.query: closed session or server"
+  end;
+  t.c_submitted <- t.c_submitted + 1;
+  let finish_hit rel ~shared =
+    (if shared then t.c_shared_joins <- t.c_shared_joins + 1
+     else t.c_result_hits <- t.c_result_hits + 1);
+    t.c_completed <- t.c_completed + 1;
+    Hist.add t.latency_h (now_ns () -. t_start);
+    {
+      rel;
+      session = sn.Session.id;
+      plan_hit = false;
+      result_hit = true;
+      shared;
+      fix_hits = 0;
+      iterations = 0;
+      wait_ns = 0.;
+      exec_ns = 0.;
+    }
+  in
+  match cache_find t key with
+  | Some rel ->
+    let resp = finish_hit rel ~shared:false in
+    Mutex.unlock t.lock;
+    resp
+  | None -> (
+    match Hashtbl.find_opt t.q_promises key with
+    | Some p -> (
+      t.c_shared_joins <- t.c_shared_joins + 1;
+      Mutex.unlock t.lock;
+      (* identical query already in flight: batch onto it *)
+      match promise_await p with
+      | rel ->
+        Mutex.lock t.lock;
+        t.c_completed <- t.c_completed + 1;
+        Hist.add t.latency_h (now_ns () -. t_start);
+        Mutex.unlock t.lock;
+        {
+          rel;
+          session = sn.Session.id;
+          plan_hit = false;
+          result_hit = true;
+          shared = true;
+          fix_hits = 0;
+          iterations = 0;
+          wait_ns = 0.;
+          exec_ns = 0.;
+        }
+      | exception e ->
+        Mutex.lock t.lock;
+        t.c_failed <- t.c_failed + 1;
+        Mutex.unlock t.lock;
+        raise e)
+    | None -> (
+      (* we own the evaluation: snapshot the catalog, publish a promise *)
+      let v0 = t.version in
+      let tbl = t.tbl in
+      let p = promise_make deps in
+      Hashtbl.replace t.q_promises key p;
+      t.c_result_misses <- t.c_result_misses + 1;
+      Mutex.unlock t.lock;
+      let forget () =
+        Mutex.lock t.lock;
+        (match Hashtbl.find_opt t.q_promises key with
+        | Some p' when p' == p -> Hashtbl.remove t.q_promises key
+        | _ -> ());
+        Mutex.unlock t.lock
+      in
+      let st = { e_iters = 0; e_fix_hits = 0 } in
+      let run () =
+        let wait_ns = admit t sn.Session.id in
+        Fun.protect ~finally:(fun () -> release t) @@ fun () ->
+        let rel, plan_hit = evaluate t ~key ~deps ~v0 ~tbl ~optimize ~st term in
+        (rel, plan_hit, wait_ns)
+      in
+      match run () with
+      | rel, plan_hit, wait_ns ->
+        forget ();
+        promise_fulfill p (`Done rel);
+        let t_end = now_ns () in
+        Mutex.lock t.lock;
+        t.c_completed <- t.c_completed + 1;
+        Hist.add t.wait_h wait_ns;
+        Hist.add t.latency_h (t_end -. t_start);
+        Mutex.unlock t.lock;
+        {
+          rel;
+          session = sn.Session.id;
+          plan_hit;
+          result_hit = false;
+          shared = false;
+          fix_hits = st.e_fix_hits;
+          iterations = st.e_iters;
+          wait_ns;
+          exec_ns = t_end -. t_start -. wait_ns;
+        }
+      | exception e ->
+        forget ();
+        promise_fulfill p (`Failed e);
+        Mutex.lock t.lock;
+        t.c_failed <- t.c_failed + 1;
+        Mutex.unlock t.lock;
+        raise e))
+
+let query_ucrpq ?optimize t sn text =
+  query ?optimize t sn (Rpq.Query.union_to_term (Rpq.Query.parse_union text))
+
+let explain ?(optimize = true) t term =
+  Mutex.lock t.lock;
+  let tbl = t.tbl in
+  Mutex.unlock t.lock;
+  let plan = if optimize then optimize_term t tbl term else term in
+  Mutex.lock t.cluster_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.cluster_lock) @@ fun () ->
+  let ctx = Exec.session t.exec_config tbl in
+  Exec.explain ctx plan
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  submitted : int;
+  completed : int;
+  failed : int;
+  result_hits : int;
+  shared_joins : int;
+  result_misses : int;
+  plan_hits : int;
+  plan_misses : int;
+  fix_evals : int;
+  fix_hits : int;
+  fix_shared : int;
+  invalidated : int;
+  evictions : int;
+  result_entries : int;
+  result_bytes : int;
+  plan_entries : int;
+  graph_version : int;
+  inflight : int;
+  queued : int;
+}
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      submitted = t.c_submitted;
+      completed = t.c_completed;
+      failed = t.c_failed;
+      result_hits = t.c_result_hits;
+      shared_joins = t.c_shared_joins;
+      result_misses = t.c_result_misses;
+      plan_hits = t.c_plan_hits;
+      plan_misses = t.c_plan_misses;
+      fix_evals = t.c_fix_evals;
+      fix_hits = t.c_fix_hits;
+      fix_shared = t.c_fix_shared;
+      invalidated = t.c_invalidated;
+      evictions = t.c_evictions;
+      result_entries = Hashtbl.length t.result_cache;
+      result_bytes = t.cache_bytes;
+      plan_entries = Hashtbl.length t.plan_cache;
+      graph_version = t.version;
+      inflight = t.inflight;
+      queued = List.length t.pending;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let wait_hist t = t.wait_h
+let latency_hist t = t.latency_h

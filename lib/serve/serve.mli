@@ -1,0 +1,190 @@
+(** Multi-tenant query serving over one shared cluster.
+
+    A [Serve.t] owns the single long-lived {!Distsim.Cluster} of the
+    process and turns it from a one-shot experiment harness into a
+    query {e service}: multiple client sessions submit mu-RA (or UCRPQ)
+    queries concurrently, and the server schedules them onto the shared
+    worker pool while reusing as much work as it can across tenants.
+
+    Four layers, outermost first:
+
+    - {b Admission}: the cluster has a single-driver invariant (stages
+      of two evaluations must never interleave — {!Distsim.Cluster.run_stage}
+      enforces it with {!Distsim.Cluster.Concurrent_dispatch}), so
+      evaluations are admitted through a queue with at most
+      [max_inflight] in flight and dispatched fairly across sessions
+      ({!fair_pick}). Admitted evaluations still serialize their actual
+      cluster segments on an internal lock; [max_inflight > 1] exists so
+      that overlapping queries can {e share} in-flight work, not so they
+      can race the pool.
+    - {b Plan cache}: logical optimization (rewriting + costing) is
+      memoized on the {!Mura.Normal.key} of the submitted term, so
+      alpha-renamed or commutatively reordered resubmissions skip the
+      rewriter.
+    - {b Result cache}: evaluated results are cached under the same
+      normal-form key, scoped to the {e graph version} — a counter
+      bumped by every {!register}. Entries remember the relation names
+      they read ([Term.free_rels]); registering a relation invalidates
+      exactly the dependent plan and result entries. The cache holds at
+      most [result_cache_bytes] (serialized-size model of
+      {!Distsim.Metrics.tuple_bytes}) and evicts least-recently-used
+      entries beyond that.
+    - {b Shared-fixpoint batching}: before executing a plan, its maximal
+      {e closed} [Fix] subterms (no free recursion variables) are
+      resolved through the result cache and an in-flight promise table:
+      the first evaluation to need a transitive closure registers a
+      promise and computes it; concurrent evaluations needing the same
+      subterm (same normal key, same graph version) block on the promise
+      and splice in the shared relation — the fixpoint runs exactly
+      once. Resolved subterms are substituted as [Cst] constants and
+      only the residual plan is executed.
+
+    Deadlock freedom: an evaluator resolves one fixpoint subterm at a
+    time and fulfills its promise (also on failure) before touching the
+    next, never waits on a promise while holding the cluster lock, and
+    whole-query promises are only awaited by queries that hold nothing.
+
+    Consistency: queries evaluate against a snapshot of the catalog
+    taken at submission. A result is only cached if none of its input
+    relations were re-registered while it was being computed, so the
+    cache never serves a stale mix. *)
+
+module Session : sig
+  type t
+  (** A client session: the unit of admission fairness and accounting. *)
+
+  val id : t -> int
+  val name : t -> string
+end
+
+type t
+
+val create :
+  ?max_inflight:int ->
+  ?plan_cache_capacity:int ->
+  ?result_cache_bytes:int ->
+  ?max_plans:int ->
+  ?config:Physical.Exec.config ->
+  cluster:Distsim.Cluster.t ->
+  unit ->
+  t
+(** [create ~cluster ()] wraps [cluster] in a server. The server does
+    not take ownership of the cluster's worker pool until {!shutdown}.
+
+    - [max_inflight] (default 1): concurrent admitted evaluations.
+      Values > 1 enable cross-query fixpoint sharing; cluster stages
+      remain serialized internally either way.
+    - [plan_cache_capacity] (default 128): optimized plans kept, LRU.
+    - [result_cache_bytes] (default 64 MiB): result-cache budget under
+      the {!Distsim.Metrics.tuple_bytes} size model, LRU.
+    - [max_plans] (default 120): rewriter plan-space budget.
+    - [config]: execution knobs (forced fixpoint plan, thresholds...);
+      its [cluster] field is overridden by [cluster].
+    @raise Invalid_argument if [max_inflight < 1]. *)
+
+val cluster : t -> Distsim.Cluster.t
+
+val shutdown : t -> unit
+(** Reject new queries and join the cluster's worker pool. Idempotent.
+    Already-admitted evaluations complete (sequentially if the pool is
+    gone — {!Distsim.Cluster.shutdown} semantics). *)
+
+(** {1 Sessions} *)
+
+val open_session : ?name:string -> t -> Session.t
+val close_session : t -> Session.t -> unit
+(** Closing a session only rejects its future queries; in-flight ones
+    complete normally. *)
+
+(** {1 Catalog} *)
+
+val register : t -> string -> Relation.Rel.t -> unit
+(** [register t name rel] binds (or replaces) a database relation and
+    bumps the graph version. Plan- and result-cache entries that read
+    [name], and in-flight promises over it, are invalidated; entries on
+    other relations survive. *)
+
+val graph_version : t -> int
+(** Monotone counter of catalog mutations; 0 before any {!register}. *)
+
+val relation : t -> string -> Relation.Rel.t option
+val tables : t -> (string * Relation.Rel.t) list
+
+(** {1 Queries} *)
+
+type response = {
+  rel : Relation.Rel.t;
+  session : int;
+  plan_hit : bool;  (** optimized plan came from the plan cache *)
+  result_hit : bool;
+      (** served without evaluating: from the result cache, or (when
+          [shared]) by joining an identical in-flight evaluation *)
+  shared : bool;  (** joined an in-flight evaluation of the same query *)
+  fix_hits : int;
+      (** fixpoint subterms of this evaluation served from the result
+          cache or from another query's in-flight fixpoint *)
+  iterations : int;
+      (** fixpoint iterations this response actually ran on the cluster;
+          0 whenever the work was reused *)
+  wait_ns : float;  (** time spent queued in admission *)
+  exec_ns : float;  (** admission-to-completion time; 0 on cache hits *)
+}
+
+val query : ?optimize:bool -> t -> Session.t -> Mura.Term.t -> response
+(** Evaluate a mu-RA term through the caches. [optimize] (default
+    [true]) runs the logical rewriter (memoized in the plan cache);
+    [false] executes the term as written (still cached by normal form —
+    results are semantically identical either way, so optimized and
+    unoptimized submissions of one query share a result entry).
+    Exceptions of the underlying engines (typing, translation,
+    {!Physical.Exec.Resource_limit}...) are re-raised to the submitting
+    session — also to sessions that joined a failed in-flight
+    evaluation.
+    @raise Invalid_argument on a closed session or server. *)
+
+val query_ucrpq : ?optimize:bool -> t -> Session.t -> string -> response
+(** Parse a UCRPQ ({!Rpq.Query.parse_union}), translate it to mu-RA and
+    {!query} it. *)
+
+val explain : ?optimize:bool -> t -> Mura.Term.t -> string
+(** The physical plan the server would execute, without running it. *)
+
+(** {1 Introspection} *)
+
+type stats = {
+  submitted : int;
+  completed : int;
+  failed : int;
+  result_hits : int;  (** whole-query result-cache hits *)
+  shared_joins : int;  (** whole-query joins of in-flight evaluations *)
+  result_misses : int;  (** queries that went to evaluation *)
+  plan_hits : int;
+  plan_misses : int;
+  fix_evals : int;  (** fixpoint subterms actually evaluated *)
+  fix_hits : int;  (** fixpoint subterms served from the result cache *)
+  fix_shared : int;  (** fixpoint subterms joined in flight *)
+  invalidated : int;  (** cache entries dropped by {!register} *)
+  evictions : int;  (** result-cache entries dropped by the LRU budget *)
+  result_entries : int;
+  result_bytes : int;
+  plan_entries : int;
+  graph_version : int;
+  inflight : int;
+  queued : int;
+}
+
+val stats : t -> stats
+(** A consistent snapshot of the counters. *)
+
+val wait_hist : t -> Distsim.Metrics.Hist.t
+(** Admission-wait distribution (ns), live reference. *)
+
+val latency_hist : t -> Distsim.Metrics.Hist.t
+(** End-to-end query latency distribution (ns), live reference. *)
+
+val fair_pick : served:(int -> int) -> (int * int) list -> (int * int) option
+(** The admission scheduling rule, exposed pure for tests.
+    [fair_pick ~served pending] picks from [pending] (a
+    [(session, arrival_seq)] list) the entry minimizing
+    [(served session, arrival_seq)]: sessions that have been served
+    less go first; FIFO breaks ties. [None] iff [pending] is empty. *)

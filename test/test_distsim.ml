@@ -223,6 +223,39 @@ let test_pool_survives_exception () =
     (Cluster.run_stage c (fun w -> 10 * w));
   Cluster.shutdown c
 
+(* Single-driver invariant: a second evaluation dispatching a stage while
+   one is in flight must be rejected (the admission queue in [Serve] is
+   the only legitimate serialization point). Deterministic interleaving:
+   the first dispatcher parks inside its stage until the second has been
+   refused. *)
+let test_concurrent_dispatch_guard () =
+  let c = Cluster.make ~workers:2 () in
+  let entered = Atomic.make false and proceed = Atomic.make false in
+  let holder =
+    Domain.spawn (fun () ->
+        Cluster.run_stage c (fun w ->
+            if w = 0 then begin
+              Atomic.set entered true;
+              while not (Atomic.get proceed) do
+                Domain.cpu_relax ()
+              done
+            end;
+            w))
+  in
+  while not (Atomic.get entered) do
+    Domain.cpu_relax ()
+  done;
+  check_bool "cluster reports busy" true (Cluster.busy c);
+  (match Cluster.run_stage c (fun w -> w) with
+  | _ -> Alcotest.fail "expected Concurrent_dispatch"
+  | exception Cluster.Concurrent_dispatch -> ());
+  Atomic.set proceed true;
+  Alcotest.(check (array int)) "holder's stage completed" [| 0; 1 |] (Domain.join holder);
+  check_bool "idle again" false (Cluster.busy c);
+  (* the guard resets: later (serialized) stages run normally *)
+  Alcotest.(check (array int)) "stage after refusal" [| 0; 2 |]
+    (Cluster.run_stage c (fun w -> 2 * w))
+
 (* ---- pool + prepared joins through the physical layer ---- *)
 
 module Exec = Physical.Exec
@@ -681,6 +714,7 @@ let () =
           Alcotest.test_case "survives worker exception" `Quick test_pool_survives_exception;
           Alcotest.test_case "pool ≡ sequential on tier-1 queries" `Quick test_pool_matches_sequential;
           Alcotest.test_case "prepared metering parity" `Quick test_prepared_metering_parity;
+          Alcotest.test_case "concurrent dispatch refused" `Quick test_concurrent_dispatch_guard;
         ] );
       ( "narrow",
         [

@@ -340,6 +340,83 @@ let prop_random_terms_typed =
          Schema.equal_names (Typing.infer tenv t) (sch [ "src"; "trg" ])
          && Result.is_ok (Fcond.check_term t)))
 
+(* ---- Normal: canonical forms for cache keys ---- *)
+
+let check_same_key msg a b =
+  Alcotest.(check string) msg (Normal.key a) (Normal.key b)
+
+let check_diff_key msg a b =
+  check_bool msg false (Normal.key a = Normal.key b)
+
+let test_normal_alpha () =
+  (* alpha-renamed recursion variables share a key *)
+  let body x = Term.Union (Term.Rel "E", Term.Join (Term.Var x, Term.Rel "E")) in
+  check_same_key "alpha rename" (Term.Fix ("X", body "X")) (Term.Fix ("Y", body "Y"));
+  (* nested binders, both renamed *)
+  let nested a b =
+    Term.Fix (a, Term.Union (Term.Fix (b, Term.Union (Term.Rel "E", Term.Var b)), Term.Var a))
+  in
+  check_same_key "nested alpha" (nested "X" "Y") (nested "P" "Q");
+  (* distinct variables must stay distinct: a body that joins the inner
+     variable is not the one that joins the outer *)
+  let outer_inner inner_uses =
+    Term.Fix
+      ( "X",
+        Term.Union
+          (Term.Fix ("Y", Term.Union (Term.Rel "E", Term.Join (Term.Var inner_uses, Term.Rel "E"))),
+           Term.Var "X") )
+  in
+  check_diff_key "inner vs outer var" (outer_inner "Y") (outer_inner "X")
+
+let test_normal_commutative () =
+  let a = Term.Rel "A" and b = Term.Rel "B" and c = Term.Rel "C" in
+  check_same_key "union swap" (Term.Union (a, b)) (Term.Union (b, a));
+  check_same_key "union chain reassoc"
+    (Term.Union (a, Term.Union (b, c)))
+    (Term.Union (Term.Union (c, b), a));
+  check_same_key "join swap" (Term.Join (a, b)) (Term.Join (b, a));
+  (* antijoin is not commutative; select predicates matter *)
+  check_diff_key "antijoin not swapped" (Term.Antijoin (a, b)) (Term.Antijoin (b, a));
+  check_diff_key "different operand" (Term.Union (a, b)) (Term.Union (a, c));
+  check_diff_key "different predicate"
+    (Term.Select (Pred.Eq_const ("src", 1), a))
+    (Term.Select (Pred.Eq_const ("src", 2), a))
+
+let test_normal_working_cols () =
+  (* two independent translations of the same query allocate different
+     fresh working columns and recursion variables — same key *)
+  let t1 = Patterns.closure (Term.Rel "E") in
+  let t2 = Patterns.closure (Term.Rel "E") in
+  check_bool "fresh names differ" false (Term.equal t1 t2);
+  check_same_key "repeated translation" t1 t2;
+  let r1 = Patterns.reach 1 in
+  let r2 = Patterns.reach 1 in
+  check_same_key "repeated reach" r1 r2;
+  check_diff_key "different source" (Patterns.reach 1) (Patterns.reach 2)
+
+let test_normal_idempotent () =
+  let terms =
+    [
+      Patterns.closure (Term.Rel "E");
+      Patterns.reach 1;
+      Patterns.same_generation ();
+      Term.Union (Term.Rel "B", Term.Union (Term.Rel "A", Term.Rel "C"));
+    ]
+  in
+  List.iter
+    (fun t ->
+      let n = Normal.normalize t in
+      check_bool "normalize idempotent" true (Term.equal n (Normal.normalize n));
+      Alcotest.(check string) "key stable" (Normal.key t) (Normal.key n))
+    terms
+
+let prop_normalize_preserves_semantics =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:150 ~name:"normalize preserves denotation"
+       Gen_terms.term_and_env_gen (fun (t, tables) ->
+         let env = Eval.env tables in
+         Rel.equal (Eval.eval env t) (Eval.eval env (Normal.normalize t))))
+
 let () =
   Alcotest.run "mura"
     [
@@ -375,6 +452,14 @@ let () =
         [
           Alcotest.test_case "shortest paths" `Quick test_shortest_paths;
           prop_shortest_paths_oracle;
+        ] );
+      ( "normal",
+        [
+          Alcotest.test_case "alpha renaming" `Quick test_normal_alpha;
+          Alcotest.test_case "commutative reordering" `Quick test_normal_commutative;
+          Alcotest.test_case "working columns" `Quick test_normal_working_cols;
+          Alcotest.test_case "idempotent" `Quick test_normal_idempotent;
+          prop_normalize_preserves_semantics;
         ] );
       ( "properties",
         [

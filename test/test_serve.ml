@@ -1,0 +1,343 @@
+(* Tests for the serving layer: result-cache hits skip the fixpoint
+   entirely, cached results are bit-identical to uncached evaluation
+   across fixpoint plans and worker counts, registration invalidates
+   exactly the dependent entries, the LRU byte budget evicts, admission
+   is fair across sessions, and concurrent queries sharing a fixpoint
+   subterm evaluate it exactly once. *)
+
+open Relation
+module Term = Mura.Term
+module Patterns = Mura.Patterns
+module Exec = Physical.Exec
+module Cluster = Distsim.Cluster
+module Metrics = Distsim.Metrics
+
+let sch = Schema.of_list
+let rel schema rows = Rel.of_list (sch schema) rows
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let check_rel msg expected actual =
+  if not (Rel.equal expected actual) then
+    Alcotest.failf "%s:@.expected %a@.got %a" msg Rel.pp_full expected Rel.pp_full actual
+
+(* two chains joined through a cycle: several fixpoint iterations *)
+let edges =
+  rel [ "src"; "trg" ]
+    [
+      [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ]; [ 4; 5 ]; [ 5; 6 ];
+      [ 10; 11 ]; [ 11; 12 ]; [ 12; 10 ];
+      [ 3; 10 ]; [ 6; 1 ];
+    ]
+
+let edges2 = rel [ "src"; "trg" ] [ [ 1; 2 ]; [ 2; 3 ]; [ 7; 8 ] ]
+let eval_on graph term = Mura.Eval.eval (Mura.Eval.env [ ("E", graph) ]) term
+
+let make_serve ?max_inflight ?plan_cache_capacity ?result_cache_bytes ?force_plan
+    ?(workers = 2) ?(parallel = false) () =
+  let cluster = Cluster.make ~parallel ~workers () in
+  let config =
+    match force_plan with
+    | None -> None
+    | Some _ -> Some { (Exec.default_config cluster) with Exec.force_plan }
+  in
+  let t =
+    Serve.create ?max_inflight ?plan_cache_capacity ?result_cache_bytes ?config ~cluster ()
+  in
+  Serve.register t "E" edges;
+  t
+
+(* ---- result cache: repeat query skips the fixpoint ---- *)
+
+let test_result_cache_hit () =
+  let t = make_serve () in
+  let sn = Serve.open_session t in
+  let q = Patterns.closure (Term.Rel "E") in
+  let r1 = Serve.query t sn q in
+  check_bool "first is a miss" false r1.Serve.result_hit;
+  check_bool "first ran iterations" true (r1.Serve.iterations > 0);
+  check_rel "first is correct" (eval_on edges q) r1.Serve.rel;
+  (* metrics must stay flat across the hit: no stage runs at all *)
+  let m = Cluster.metrics (Serve.cluster t) in
+  let supersteps_before = m.Metrics.supersteps and stages_before = m.Metrics.stages in
+  (* a fresh translation of the same query: different fresh names *)
+  let r2 = Serve.query t sn (Patterns.closure (Term.Rel "E")) in
+  check_bool "second is a hit" true r2.Serve.result_hit;
+  check_int "second runs no iterations" 0 r2.Serve.iterations;
+  check_int "no superstep ran" supersteps_before m.Metrics.supersteps;
+  check_int "no stage ran" stages_before m.Metrics.stages;
+  check_bool "identical result object" true (r1.Serve.rel == r2.Serve.rel);
+  let s = Serve.stats t in
+  check_int "one hit" 1 s.Serve.result_hits;
+  check_int "one miss" 1 s.Serve.result_misses;
+  Serve.shutdown t
+
+(* unoptimized submissions share the entry with optimized ones *)
+let test_optimize_flag_shares_entry () =
+  let t = make_serve () in
+  let sn = Serve.open_session t in
+  let q = Patterns.closure (Term.Rel "E") in
+  let r1 = Serve.query ~optimize:false t sn q in
+  let r2 = Serve.query t sn q in
+  check_bool "hit across optimize flag" true r2.Serve.result_hit;
+  check_rel "same contents" r1.Serve.rel r2.Serve.rel;
+  Serve.shutdown t
+
+(* ---- parity: cached results bit-identical across plans and workers ---- *)
+
+let test_parity_across_plans () =
+  let q () = Patterns.closure (Term.Rel "E") in
+  let expected = eval_on edges (q ()) in
+  List.iter
+    (fun (force_plan, workers) ->
+      let t = make_serve ?force_plan ~workers () in
+      let sn = Serve.open_session t in
+      let miss = Serve.query t sn (q ()) in
+      let hit = Serve.query t sn (q ()) in
+      check_bool "hit" true hit.Serve.result_hit;
+      check_rel "uncached matches oracle" expected miss.Serve.rel;
+      check_rel "cached matches uncached" miss.Serve.rel hit.Serve.rel;
+      Serve.shutdown t)
+    [
+      (None, 1); (None, 4);
+      (Some Exec.P_gld, 1); (Some Exec.P_gld, 4);
+      (Some Exec.P_plw_s, 1); (Some Exec.P_plw_s, 4);
+    ]
+
+(* ---- plan cache ---- *)
+
+let test_plan_cache () =
+  let t = make_serve () in
+  let sn = Serve.open_session t in
+  (* same query shape against different constants: distinct result keys,
+     distinct plan keys — but an identical resubmission reuses the plan *)
+  let r1 = Serve.query t sn (Patterns.reach 1) in
+  check_bool "first optimizes" false r1.Serve.plan_hit;
+  (* different query, then mutate the graph so the result entry dies but
+     the plan entry (still valid? no — plans depend on stats) dies too *)
+  let s1 = Serve.stats t in
+  check_int "one plan miss" 1 s1.Serve.plan_misses;
+  (* force an evaluation of the same normal form again by dropping only
+     the result entry: register a different relation name *)
+  Serve.register t "F" edges2;
+  let r2 = Serve.query t sn (Patterns.reach 1) in
+  (* the result entry survived (depends on E only), so this is a hit *)
+  check_bool "result survives unrelated register" true r2.Serve.result_hit;
+  Serve.shutdown t
+
+(* ---- invalidation: register -> miss -> hit -> mutate -> miss ---- *)
+
+let test_invalidation () =
+  let t = make_serve () in
+  let sn = Serve.open_session t in
+  let q () = Patterns.closure (Term.Rel "E") in
+  let v0 = Serve.graph_version t in
+  let r1 = Serve.query t sn (q ()) in
+  check_bool "miss after register" false r1.Serve.result_hit;
+  let r2 = Serve.query t sn (q ()) in
+  check_bool "hit" true r2.Serve.result_hit;
+  check_bool "identical object" true (r1.Serve.rel == r2.Serve.rel);
+  (* mutate the graph *)
+  Serve.register t "E" edges2;
+  check_bool "version bumped" true (Serve.graph_version t > v0);
+  let r3 = Serve.query t sn (q ()) in
+  check_bool "miss after mutation" false r3.Serve.result_hit;
+  check_rel "fresh result on new graph" (eval_on edges2 (q ())) r3.Serve.rel;
+  let s = Serve.stats t in
+  check_bool "entries were invalidated" true (s.Serve.invalidated > 0);
+  let r4 = Serve.query t sn (q ()) in
+  check_bool "hit again on new version" true r4.Serve.result_hit;
+  Serve.shutdown t
+
+(* ---- LRU eviction under a small byte budget ---- *)
+
+let test_lru_eviction () =
+  (* budget fits one closure result but not two *)
+  let q k = Term.Select (Pred.Gt_const ("src", k), Patterns.closure (Term.Rel "E")) in
+  let size =
+    let r = eval_on edges (q 0) in
+    64 + (Metrics.tuple_bytes 2 * Rel.cardinal r)
+  in
+  let t = make_serve ~result_cache_bytes:(size + (size / 4)) () in
+  let sn = Serve.open_session t in
+  ignore (Serve.query ~optimize:false t sn (q 0));
+  ignore (Serve.query ~optimize:false t sn (q 1));
+  let s = Serve.stats t in
+  check_bool "evicted" true (s.Serve.evictions > 0);
+  check_bool "budget respected" true (s.Serve.result_bytes <= size + (size / 4));
+  (* q 0 was evicted (LRU): querying it again is a miss *)
+  let r = Serve.query ~optimize:false t sn (q 0) in
+  check_bool "evicted entry misses" false r.Serve.result_hit;
+  (* while the most recent entry still hits after its own re-insertion *)
+  let r' = Serve.query ~optimize:false t sn (q 0) in
+  check_bool "reinserted entry hits" true r'.Serve.result_hit;
+  Serve.shutdown t
+
+let test_too_big_to_cache () =
+  let t = make_serve ~result_cache_bytes:16 () in
+  let sn = Serve.open_session t in
+  let q () = Patterns.closure (Term.Rel "E") in
+  ignore (Serve.query t sn (q ()));
+  let r = Serve.query t sn (q ()) in
+  check_bool "never cached" false r.Serve.result_hit;
+  let s = Serve.stats t in
+  check_int "nothing stored" 0 s.Serve.result_entries;
+  check_int "no evictions" 0 s.Serve.evictions;
+  Serve.shutdown t
+
+(* ---- fairness ---- *)
+
+let test_fair_pick () =
+  let served = function 1 -> 1 | _ -> 0 in
+  (* session 2 has been served less: it jumps the queue *)
+  Alcotest.(check (option (pair int int)))
+    "less-served session first"
+    (Some (2, 4))
+    (Serve.fair_pick ~served [ (1, 2); (1, 3); (2, 4) ]);
+  (* equal service: FIFO by arrival *)
+  Alcotest.(check (option (pair int int)))
+    "fifo on ties"
+    (Some (1, 2))
+    (Serve.fair_pick ~served:(fun _ -> 0) [ (1, 2); (2, 3) ]);
+  Alcotest.(check (option (pair int int))) "empty" None (Serve.fair_pick ~served [])
+
+(* ---- concurrency: identical queries batch onto one evaluation ---- *)
+
+let test_concurrent_identical_queries () =
+  let t = make_serve ~max_inflight:1 () in
+  let expected = eval_on edges (Patterns.closure (Term.Rel "E")) in
+  let n = 4 in
+  let domains =
+    List.init n (fun i ->
+        Domain.spawn (fun () ->
+            let sn = Serve.open_session ~name:(Printf.sprintf "client-%d" i) t in
+            Serve.query t sn (Patterns.closure (Term.Rel "E"))))
+  in
+  let rs = List.map Domain.join domains in
+  List.iter (fun (r : Serve.response) -> check_rel "every client correct" expected r.Serve.rel) rs;
+  let s = Serve.stats t in
+  check_int "all completed" n s.Serve.completed;
+  check_int "one evaluation" 1 s.Serve.result_misses;
+  check_int "everyone else reused it" (n - 1) (s.Serve.result_hits + s.Serve.shared_joins);
+  Serve.shutdown t
+
+(* ---- concurrency: distinct queries sharing a fixpoint subterm
+   evaluate it exactly once (the acceptance criterion) ---- *)
+
+let test_shared_fixpoint_batching () =
+  let t = make_serve ~max_inflight:2 () in
+  (* distinct whole queries, same closed fixpoint subterm when executed
+     as written *)
+  let qa = Patterns.closure (Term.Rel "E") in
+  let qb = Term.Select (Pred.Gt_const ("src", 3), qa) in
+  let da = Domain.spawn (fun () ->
+      let sn = Serve.open_session t in
+      Serve.query ~optimize:false t sn qa)
+  in
+  let db = Domain.spawn (fun () ->
+      let sn = Serve.open_session t in
+      Serve.query ~optimize:false t sn qb)
+  in
+  let ra = Domain.join da and rb = Domain.join db in
+  check_rel "a correct" (eval_on edges qa) ra.Serve.rel;
+  check_rel "b correct" (eval_on edges qb) rb.Serve.rel;
+  let s = Serve.stats t in
+  (* whatever the interleaving — b waited on a's in-flight fixpoint, or
+     found it in the cache, or evaluated first and a reused it — the
+     fixpoint ran exactly once *)
+  check_int "exactly one fixpoint evaluation" 1 s.Serve.fix_evals;
+  check_int "the other query reused it" 1 (s.Serve.fix_hits + s.Serve.fix_shared);
+  Serve.shutdown t
+
+(* the cluster-level guard cannot fire through the serve layer, even
+   with several admitted evaluations on real domains *)
+let test_no_concurrent_dispatch_through_serve () =
+  let t = make_serve ~max_inflight:3 ~workers:2 ~parallel:true () in
+  let queries =
+    [
+      Patterns.closure (Term.Rel "E");
+      Term.Select (Pred.Gt_const ("src", 2), Patterns.closure (Term.Rel "E"));
+      Term.Project ([ "src" ], Patterns.closure (Term.Rel "E"));
+      Patterns.reach 1;
+      Patterns.same_generation ();
+    ]
+  in
+  let domains =
+    List.map
+      (fun q ->
+        Domain.spawn (fun () ->
+            let sn = Serve.open_session t in
+            let r = Serve.query ~optimize:false t sn q in
+            check_rel "correct under concurrency" (eval_on edges q) r.Serve.rel))
+      queries
+  in
+  List.iter Domain.join domains;
+  let s = Serve.stats t in
+  check_int "all completed" (List.length queries) s.Serve.completed;
+  check_int "none failed" 0 s.Serve.failed;
+  Serve.shutdown t
+
+(* ---- sessions and errors ---- *)
+
+let test_session_lifecycle () =
+  let t = make_serve () in
+  let a = Serve.open_session ~name:"alice" t in
+  let b = Serve.open_session t in
+  check_bool "distinct ids" true (Serve.Session.id a <> Serve.Session.id b);
+  Alcotest.(check string) "name kept" "alice" (Serve.Session.name a);
+  Serve.close_session t a;
+  (match Serve.query t a (Patterns.reach 1) with
+  | _ -> Alcotest.fail "closed session accepted a query"
+  | exception Invalid_argument _ -> ());
+  (* failures propagate and are counted; the server survives *)
+  (match Serve.query t b (Term.Rel "NOSUCH") with
+  | _ -> Alcotest.fail "unknown relation did not fail"
+  | exception _ -> ());
+  let r = Serve.query t b (Patterns.reach 1) in
+  check_rel "server still works" (eval_on edges (Patterns.reach 1)) r.Serve.rel;
+  let s = Serve.stats t in
+  check_int "failure counted" 1 s.Serve.failed;
+  Serve.shutdown t;
+  match Serve.query t b (Patterns.reach 1) with
+  | _ -> Alcotest.fail "shut-down server accepted a query"
+  | exception Invalid_argument _ -> ()
+
+let test_wait_accounting () =
+  let t = make_serve () in
+  let sn = Serve.open_session t in
+  ignore (Serve.query t sn (Patterns.closure (Term.Rel "E")));
+  let h = Serve.wait_hist t in
+  check_bool "wait recorded" true (Metrics.Hist.count h >= 1);
+  let l = Serve.latency_hist t in
+  check_bool "latency recorded" true (Metrics.Hist.count l >= 1);
+  Serve.shutdown t
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "repeat query hits, zero iterations" `Quick test_result_cache_hit;
+          Alcotest.test_case "optimize flag shares entry" `Quick test_optimize_flag_shares_entry;
+          Alcotest.test_case "parity across plans and workers" `Quick test_parity_across_plans;
+          Alcotest.test_case "plan cache" `Quick test_plan_cache;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "register/mutate cycle" `Quick test_invalidation;
+          Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "oversized results bypass" `Quick test_too_big_to_cache;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "fair pick" `Quick test_fair_pick;
+          Alcotest.test_case "concurrent identical queries" `Quick test_concurrent_identical_queries;
+          Alcotest.test_case "shared fixpoint batching" `Quick test_shared_fixpoint_batching;
+          Alcotest.test_case "no concurrent dispatch" `Quick test_no_concurrent_dispatch_through_serve;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "lifecycle and failures" `Quick test_session_lifecycle;
+          Alcotest.test_case "wait accounting" `Quick test_wait_accounting;
+        ] );
+    ]
