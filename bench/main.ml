@@ -714,7 +714,10 @@ module MicroShuffle = struct
   let counters r = (r.shuffles, r.shuffled_records, r.shuffled_bytes)
 
   let measure ~pooled ~workers ~iters rel =
-    let cluster = Distsim.Cluster.make ~parallel:pooled ~workers () in
+    (* adaptivity off: this bench measures the static pooled path itself,
+       not the per-exchange mode choice (which would go sequential at the
+       --quick volumes) *)
+    let cluster = Distsim.Cluster.make ~parallel:pooled ~adaptive_shuffle:false ~workers () in
     let d = Distsim.Dds.of_rel ~by:[ "src" ] cluster rel in
     ignore (Distsim.Dds.repartition ~by:[ "trg" ] d);
     (* warm-up *)
@@ -972,6 +975,163 @@ module MicroFixpointDelta = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* micro_compiled: compiled columnar pipelines vs the interpreter      *)
+(* ------------------------------------------------------------------ *)
+
+module MicroCompiled = struct
+  (* The compiled columnar core against the interpreted
+     operator-at-a-time loop, same cluster, same plans. Parity gates run
+     always (--quick included): result sizes, iteration counts, delta
+     curves and every communication counter must be bit-identical. At
+     full scale on a multi-core host the compiled path must additionally
+     be at least 2x faster end-to-end on the gate workload — transitive
+     closure of a dense ER graph under P_plw^s on 4 pooled workers, the
+     regime where the loop body dominates (P_gld is exchange-bound: both
+     paths pay the same metered shuffles, so it contributes parity rows
+     only). The compiled path presizes every set it materialises, so the
+     insert-triggered rehash counter must read zero over its P_plw^s
+     runs (P_gld's seen-filter sets legitimately grow). *)
+
+  let time = MicroFixpoint.time
+  let path_graph = MicroFixpoint.path_graph
+
+  type run = {
+    tuples : int;
+    iterations : int;
+    deltas : int list;
+    wall_s : float;
+    comm : int * int * int * int * int * int;
+    rehash_grows : int;
+  }
+
+  let measure g plan ~compiled =
+    let cluster = Distsim.Cluster.make ~parallel:true ~workers:4 () in
+    let config =
+      {
+        (Physical.Exec.default_config cluster) with
+        force_plan = Some plan;
+        use_compiled_exec = compiled;
+      }
+    in
+    let ctx = Physical.Exec.session config [ ("E", g) ] in
+    Distsim.Metrics.reset_rehash_grows ();
+    let result, wall_s =
+      time (fun () -> Physical.Exec.run ctx (Mura.Patterns.closure (Term.Rel "E")))
+    in
+    let rehash_grows = Distsim.Metrics.rehash_grows () in
+    let m = Distsim.Cluster.metrics cluster in
+    let iterations, deltas =
+      match (Physical.Exec.report ctx).Physical.Exec.fixpoints with
+      | f :: _ -> (f.Physical.Exec.iterations, f.Physical.Exec.deltas)
+      | [] -> (0, [])
+    in
+    Distsim.Cluster.shutdown cluster;
+    {
+      tuples = Rel.cardinal result;
+      iterations;
+      deltas;
+      wall_s;
+      comm =
+        ( m.Distsim.Metrics.shuffles,
+          m.Distsim.Metrics.shuffled_records,
+          m.Distsim.Metrics.shuffled_bytes,
+          m.Distsim.Metrics.broadcasts,
+          m.Distsim.Metrics.broadcast_records,
+          m.Distsim.Metrics.dedup_dropped_records );
+      rehash_grows;
+    }
+
+  let run () =
+    section "micro_compiled — compiled columnar pipelines vs interpreted loop";
+    let host_cores = Domain.recommended_domain_count () in
+    let er ~seed ~nodes ~deg =
+      G.erdos_renyi ~seed ~nodes ~p:(float_of_int deg /. float_of_int nodes) ()
+    in
+    (* the dense workload is the speedup gate; P_gld there would dominate
+       bench time for a comparison that is exchange-bound anyway *)
+    let workloads =
+      [
+        ("path", path_graph (sc 300 60), [ Physical.Exec.P_gld; Physical.Exec.P_plw_s ]);
+        ( "er_sparse",
+          er ~seed:61 ~nodes:(sc 400 80) ~deg:3,
+          [ Physical.Exec.P_gld; Physical.Exec.P_plw_s ] );
+        ("er_dense", er ~seed:62 ~nodes:(sc 500 100) ~deg:6, [ Physical.Exec.P_plw_s ]);
+      ]
+    in
+    heading "transitive closure, 4 pooled workers, host cores: %d" host_cores;
+    heading "%-10s %-8s %10s %7s %12s %12s %9s %7s" "workload" "plan" "tuples" "iters"
+      "interp(s)" "compiled(s)" "speedup" "rehash";
+    let rows =
+      List.concat_map
+        (fun (wname, g, plans) ->
+          List.map
+            (fun plan ->
+              let interp = measure g plan ~compiled:false in
+              let comp = measure g plan ~compiled:true in
+              let parity =
+                interp.tuples = comp.tuples
+                && interp.iterations = comp.iterations
+                && interp.deltas = comp.deltas
+                && interp.comm = comp.comm
+              in
+              let speedup = interp.wall_s /. Float.max 1e-9 comp.wall_s in
+              heading "%-10s %-8s %10d %7d %12.3f %12.3f %8.2fx %7d" wname
+                (Physical.Exec.plan_name plan) comp.tuples comp.iterations interp.wall_s
+                comp.wall_s speedup comp.rehash_grows;
+              (wname, Rel.cardinal g, plan, interp, comp, parity))
+            plans)
+        workloads
+    in
+    let oc = open_out "BENCH_compiled.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let run_json r =
+          let s, sr, sb, b, br, dd = r.comm in
+          Printf.sprintf
+            "{\"tuples\":%d,\"iterations\":%d,\"wall_s\":%.6f,\"shuffles\":%d,\"shuffled_records\":%d,\"shuffled_bytes\":%d,\"broadcasts\":%d,\"broadcast_records\":%d,\"dedup_dropped\":%d,\"rehash_grows\":%d}"
+            r.tuples r.iterations r.wall_s s sr sb b br dd r.rehash_grows
+        in
+        let row_json (wname, edges, plan, interp, comp, parity) =
+          Printf.sprintf
+            "{\"workload\":\"%s\",\"edges\":%d,\"plan\":\"%s\",\"interpreted\":%s,\"compiled\":%s,\"speedup\":%.3f,\"parity\":%b}"
+            wname edges (Physical.Exec.plan_name plan) (run_json interp) (run_json comp)
+            (interp.wall_s /. Float.max 1e-9 comp.wall_s)
+            parity
+        in
+        Printf.fprintf oc "{\"name\":\"compiled\",\"quick\":%b,\"host_cores\":%d,\n\"rows\":[%s]}\n"
+          !quick host_cores
+          (String.concat ",\n" (List.map row_json rows)));
+    heading "wrote BENCH_compiled.json";
+    (* hard gates: parity and zero rehash growth always; the 2x speedup
+       only at full scale on a host with real parallelism (quick scales
+       are too small for stable ratios) *)
+    List.iter
+      (fun (wname, _, plan, interp, comp, parity) ->
+        if not parity then
+          failwith
+            (Printf.sprintf
+               "micro_compiled: %s/%s diverged (tuples %d vs %d, iterations %d vs %d)" wname
+               (Physical.Exec.plan_name plan) interp.tuples comp.tuples interp.iterations
+               comp.iterations);
+        if plan = Physical.Exec.P_plw_s && comp.rehash_grows <> 0 then
+          failwith
+            (Printf.sprintf "micro_compiled: %s compiled run grew a set %d times (presizing leak)"
+               wname comp.rehash_grows))
+      rows;
+    if (not !quick) && host_cores >= 2 then
+      List.iter
+        (fun (wname, _, plan, interp, comp, _) ->
+          if wname = "er_dense" && plan = Physical.Exec.P_plw_s then begin
+            let speedup = interp.wall_s /. Float.max 1e-9 comp.wall_s in
+            if speedup < 2.0 then
+              failwith
+                (Printf.sprintf "micro_compiled: gate workload speedup %.2fx < 2x" speedup)
+          end)
+        rows
+end
+
+(* ------------------------------------------------------------------ *)
 (* micro_serve: the serving layer's caches vs a cache-less server      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1116,6 +1276,7 @@ let experiments =
     ("micro_fixpoint", MicroFixpoint.run);
     ("micro_shuffle", MicroShuffle.run);
     ("micro_fixpoint_delta", MicroFixpointDelta.run);
+    ("micro_compiled", MicroCompiled.run);
     ("micro_serve", MicroServe.run);
   ]
 

@@ -75,6 +75,16 @@ dune exec bench/main.exe -- --quick micro_shuffle
 echo "== bench micro_fixpoint_delta (--quick) =="
 dune exec bench/main.exe -- --quick micro_fixpoint_delta
 
+# compiled-execution parity gate: quick-scale run of the compiled
+# columnar core vs the interpreted loop; any divergence — result sizes,
+# iteration counts, delta curves or communication counters — fails the
+# build, as does any insert-triggered set growth on the compiled
+# P_plw^s path (its output sets are presized exactly). The >=2x
+# end-to-end speedup gate only applies at full scale on multi-core
+# hosts.
+echo "== bench micro_compiled (--quick) =="
+dune exec bench/main.exe -- --quick micro_compiled
+
 # serving-layer smoke: concurrent sessions resubmitting one query
 # through lib/serve must hit the result cache (hit rate > 0) and match
 # the reference results (murarun exits non-zero on any parity failure);

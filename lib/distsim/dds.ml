@@ -3,6 +3,7 @@ module Tset = Relation.Tset
 module Tuple = Relation.Tuple
 module Rel = Relation.Rel
 module Pred = Relation.Pred
+module Batch = Relation.Batch
 
 type partitioning = Arbitrary | Hashed of string list
 
@@ -217,8 +218,19 @@ let exchange_pooled ?seen cluster parts ~positions ~workers =
     ~merge_ns:(clock_ns () -. t1);
   (fresh, moved, dropped)
 
+(* Per-exchange mode decision ([Cluster.shuffle_mode]), recorded on the
+   enclosing operator span so traces show which path each exchange took. *)
+let choose_pooled cluster ~records =
+  let mode = Cluster.shuffle_mode cluster ~records in
+  let tr = Trace.get () in
+  if Trace.enabled tr then
+    Trace.set_attr tr "exchange_mode"
+      (Trace.Str (match mode with `Pooled -> "pooled" | `Seq -> "seq"));
+  mode = `Pooled
+
 let exchange ?seen cluster parts ~positions ~workers =
-  if Cluster.pooled_shuffle cluster then exchange_pooled ?seen cluster parts ~positions ~workers
+  let records = Array.fold_left (fun acc p -> acc + Tset.cardinal p) 0 parts in
+  if choose_pooled cluster ~records then exchange_pooled ?seen cluster parts ~positions ~workers
   else exchange_seq ?seen parts ~positions ~workers
 
 (* Parallel routing of a driver-side relation: every worker scans its
@@ -291,7 +303,8 @@ let of_rel ?by cluster rel =
   let workers = Cluster.workers cluster in
   let schema = Rel.schema rel in
   let parts =
-    if Cluster.pooled_shuffle cluster then route_rel_pooled cluster ~workers ~by rel
+    if choose_pooled cluster ~records:(Rel.cardinal rel) then
+      route_rel_pooled cluster ~workers ~by rel
     else begin
       let parts =
         Array.init workers (fun _ -> Tset.create ~capacity:((Rel.cardinal rel / workers) + 1) ())
@@ -333,7 +346,7 @@ let collect d =
   let tr = Trace.get () in
   Trace.span tr ~cat:"dds" "dds.collect" @@ fun () ->
   let out =
-    if Cluster.pooled_shuffle d.cluster then begin
+    if choose_pooled d.cluster ~records:(cardinal d) then begin
       (* map side: every worker snapshots + hashes its own partition in
          parallel; the driver-side merge then only probes. *)
       let t0 = clock_ns () in
@@ -403,7 +416,7 @@ let filter p d =
   let keep = Pred.compile d.schema p in
   map_partitions ~op:"filter" ~partitioning:d.partitioning ~schema:d.schema
     (fun _ part ->
-      let out = Tset.create () in
+      let out = Tset.create ~capacity:(Tset.cardinal part) () in
       Tset.iter (fun tu -> if keep tu then ignore (Tset.add out tu)) part;
       out)
     d
@@ -726,3 +739,160 @@ let antijoin_shuffle a b =
     { a with parts; partitioning = Hashed shared }
 
 let union_distinct a b = distinct (set_union_local a b)
+
+(* ------------------------------------------------------------------ *)
+(* Columnar batch exchange (compiled execution core)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Wrap already-distributed partitions (e.g. a compiled fixpoint's
+   accumulator) as a dataset. No data moves and nothing is metered: the
+   partitions are adopted where they are. *)
+let of_partitions cluster ~schema ~partitioning parts =
+  if Array.length parts <> Cluster.workers cluster then
+    invalid_arg "Dds.of_partitions: partition count <> workers";
+  { cluster; schema; parts; partitioning }
+
+(* Map side for source worker [w]: route every row of its batch into
+   [workers] destination batches. Same targets as [exchange]
+   ([Tuple.hash_positions] of the key columns mod workers), same moved
+   count (kept rows whose destination differs from the source), same
+   seen-filter semantics (full-tuple hash into the per-src-per-dst
+   matrix, via the column-wise probe so dropped rows allocate nothing).
+   When the key columns are the whole schema in order the stored hash
+   column is the routing hash — no per-row hashing at all. *)
+let route_batch_one ?seen ~positions ~workers ~identity w (b : Batch.t) =
+  let n = Batch.length b in
+  let arity = Batch.arity b in
+  let buckets =
+    Array.init workers (fun _ -> Batch.create ~capacity:((n / workers) + 1) ~arity ())
+  in
+  let cols = Batch.cols b in
+  let keep =
+    match seen with
+    | None -> fun _ _ _ -> true
+    | Some f -> fun t row h -> Tset.add_cols f.seen_routed.(w).(t) cols ~row ~hash:h
+  in
+  let moved = ref 0 and dropped = ref 0 in
+  for i = 0 to n - 1 do
+    let h = Batch.hash b i in
+    let t =
+      if workers = 1 then 0
+      else (if identity then h else Batch.hash_positions b positions i) mod workers
+    in
+    if keep t i h then begin
+      if t <> w then incr moved;
+      Batch.push_row buckets.(t) b i
+    end
+    else incr dropped
+  done;
+  (buckets, !moved, !dropped)
+
+(* Reduce side for destination [t]: merge incoming buckets in source
+   order through a presized dedup builder, reusing the map-side hashes —
+   the batch analogue of [merge_buckets], producing a duplicate-free
+   partition without growing any table. *)
+let merge_batch_buckets ~workers ~arity routed t =
+  let incoming = ref 0 in
+  for src = 0 to workers - 1 do
+    incoming := !incoming + Batch.length routed.(src).(t)
+  done;
+  let bld = Batch.Builder.create ~capacity:!incoming ~arity () in
+  let scratch = Batch.Builder.scratch bld in
+  for src = 0 to workers - 1 do
+    let b = routed.(src).(t) in
+    let cols = Batch.cols b in
+    for i = 0 to Batch.length b - 1 do
+      for c = 0 to arity - 1 do
+        Array.unsafe_set scratch c (Array.unsafe_get (Array.unsafe_get cols c) i)
+      done;
+      ignore (Batch.Builder.add_scratch bld (Batch.hash b i))
+    done
+  done;
+  Batch.Builder.batch bld
+
+let is_identity_routing positions arity =
+  Array.length positions = arity
+  &&
+  let ok = ref true in
+  Array.iteri (fun i p -> if p <> i then ok := false) positions;
+  !ok
+
+(* Exchange of per-worker column batches; the compiled twin of
+   [exchange], with identical moved/dropped accounting. Output partitions
+   are duplicate-free batches ordered by source worker then row — the
+   same multiset a Tset exchange would produce. *)
+let exchange_batches ?seen cluster batches ~positions ~workers =
+  let arity = Batch.arity batches.(0) in
+  let identity = is_identity_routing positions arity in
+  let records = Array.fold_left (fun acc b -> acc + Batch.length b) 0 batches in
+  let tr = Trace.get () in
+  if choose_pooled cluster ~records then begin
+    let t0 = clock_ns () in
+    let routed, moved, dropped =
+      Trace.span tr ~cat:"dds" "dds.exchange.map" @@ fun () ->
+      let r =
+        Cluster.run_stage cluster (fun w ->
+            route_batch_one ?seen ~positions ~workers ~identity w batches.(w))
+      in
+      let moved = Array.fold_left (fun acc (_, m, _) -> acc + m) 0 r in
+      let dropped = Array.fold_left (fun acc (_, _, d) -> acc + d) 0 r in
+      phase_skew tr (Array.map Batch.length batches);
+      if Trace.enabled tr then Trace.set_attr tr "moved" (Trace.Int moved);
+      (Array.map (fun (b, _, _) -> b) r, moved, dropped)
+    in
+    let t1 = clock_ns () in
+    let fresh =
+      Trace.span tr ~cat:"dds" "dds.exchange.merge" @@ fun () ->
+      let fresh = Cluster.run_stage cluster (merge_batch_buckets ~workers ~arity routed) in
+      phase_skew tr (Array.map Batch.length fresh);
+      fresh
+    in
+    Metrics.record_exchange_phases (Cluster.metrics cluster) ~map_ns:(t1 -. t0)
+      ~merge_ns:(clock_ns () -. t1);
+    (fresh, moved, dropped)
+  end
+  else begin
+    let routed = Array.make workers [||] in
+    let moved = ref 0 and dropped = ref 0 in
+    Array.iteri
+      (fun w b ->
+        let buckets, m, d = route_batch_one ?seen ~positions ~workers ~identity w b in
+        routed.(w) <- buckets;
+        moved := !moved + m;
+        dropped := !dropped + d)
+      batches;
+    let fresh = Array.init workers (merge_batch_buckets ~workers ~arity routed) in
+    (fresh, !moved, !dropped)
+  end
+
+(* Metered batch repartition: the compiled twin of [repartition] once the
+   caller has decided the exchange is not a no-op (same [same_hashing]
+   rule, applied against the tracked partitioning). Meters the shuffle,
+   the dedup drops and the output partition sizes exactly as the
+   interpreter path does. *)
+let repartition_batches ?seen cluster batches ~schema ~by =
+  let tr = Trace.get () in
+  Trace.span tr ~cat:"dds" "dds.repartition" @@ fun () ->
+  let workers = Cluster.workers cluster in
+  let positions = Schema.positions schema by in
+  let fresh, moved, dropped = exchange_batches ?seen cluster batches ~positions ~workers in
+  (match seen with
+  | None -> ()
+  | Some f ->
+    f.seen_dropped <- f.seen_dropped + dropped;
+    Metrics.record_dedup_dropped (Cluster.metrics cluster) ~records:dropped;
+    if Trace.enabled tr then Trace.set_attr tr "dedup_dropped" (Trace.Int dropped));
+  meter_shuffle cluster ~op:"repartition" ~records:moved
+    ~bytes:(moved * Metrics.tuple_bytes (Schema.arity schema));
+  let m = Cluster.metrics cluster in
+  Array.iteri (fun w b -> Metrics.record_partition_size m ~worker:w ~records:(Batch.length b)) fresh;
+  if Trace.enabled tr then begin
+    let sizes = Array.map Batch.length fresh in
+    let total = Array.fold_left ( + ) 0 sizes in
+    let mx = Array.fold_left max 0 sizes in
+    let mean = float_of_int total /. float_of_int (max 1 (Array.length sizes)) in
+    Trace.set_attr tr "out_records" (Trace.Int total);
+    Trace.set_attr tr "max_partition" (Trace.Int mx);
+    Trace.set_attr tr "skew" (Trace.Float (if mean > 0. then float_of_int mx /. mean else 1.))
+  end;
+  fresh

@@ -29,6 +29,13 @@ type partitioning =
       (** co-located by hash of these columns: equal projections on these
           columns imply the same worker *)
 
+val same_hashing : partitioning -> partitioning -> bool
+(** Whether two partitionings are [Hashed] by the same column list — the
+    repartition no-op rule ({!repartition} skips the exchange when
+    [same_hashing current (Hashed by)]). Compiled fixpoint runners track
+    partitioning themselves and apply the same rule before calling
+    {!repartition_batches}. *)
+
 type t
 
 val cluster : t -> Cluster.t
@@ -211,3 +218,41 @@ val antijoin_shuffle : t -> t -> t
 
 val union_distinct : t -> t -> t
 (** The Dataset union-then-distinct used by the P_gld plan. *)
+
+(** {1 Columnar batch exchange (compiled execution core)}
+
+    The compiled fixpoint runner keeps its per-worker deltas as
+    {!Relation.Batch.t} column blocks instead of tuple sets. These
+    entry points are the batch twins of {!repartition} / dataset
+    adoption, with identical communication accounting: same routing
+    ([Tuple.hash_positions] of the key columns — the stored full-tuple
+    hash column when the keys are the whole schema in order), same
+    moved/dropped counts, same seen-filter semantics. Output partitions
+    are duplicate-free (merged through a presized dedup builder reusing
+    the map-side hashes — no rehash, no table growth). *)
+
+val of_partitions :
+  Cluster.t -> schema:Relation.Schema.t -> partitioning:partitioning ->
+  Relation.Tset.t array -> t
+(** Adopt already-distributed partitions as a dataset. No data movement,
+    nothing metered; the array must have one partition per worker.
+    @raise Invalid_argument on a partition-count mismatch. *)
+
+val exchange_batches :
+  ?seen:seen_filter -> Cluster.t -> Relation.Batch.t array ->
+  positions:int array -> workers:int -> Relation.Batch.t array * int * int
+(** [exchange_batches cluster batches ~positions ~workers] routes every
+    row by the hash of the columns at [positions]; returns the fresh
+    per-destination batches, the moved count (kept rows whose destination
+    differs from their source) and the seen-filter drop count. Pooled or
+    sequential per {!Cluster.shuffle_mode}; both produce bit-identical
+    output. Meters nothing — callers meter, mirroring {!repartition}. *)
+
+val repartition_batches :
+  ?seen:seen_filter -> Cluster.t -> Relation.Batch.t array ->
+  schema:Relation.Schema.t -> by:string list -> Relation.Batch.t array
+(** Metered batch repartition: {!exchange_batches} plus the exact
+    metering of a non-no-op {!repartition} (shuffle records/bytes, dedup
+    drops, per-worker partition-size samples, span attributes). The
+    caller is responsible for the [same_hashing] no-op rule — call this
+    only when the exchange is real. *)

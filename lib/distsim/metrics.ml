@@ -218,6 +218,14 @@ let record_exchange_phases m ~map_ns ~merge_ns =
 
 let straggler_ratio m = Hist.max_value m.straggler
 
+(* Debug counter proving the compiled output path presizes correctly:
+   process-wide count of insert-triggered hash-table growths (explicit
+   presizing never counts). Surfaced here so benches and tests reach it
+   through the metrics API; the counter itself lives in [Relation.Tset]
+   because worker domains grow sets concurrently. *)
+let rehash_grows () = Relation.Tset.rehash_grow_count ()
+let reset_rehash_grows () = Relation.Tset.reset_rehash_grows ()
+
 let pp ppf m =
   Format.fprintf ppf
     "shuffles=%d (%d rec, %d B) broadcasts=%d (%d rec) supersteps=%d stages=%d sim_time=%.1fms"

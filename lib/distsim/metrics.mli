@@ -113,5 +113,14 @@ val straggler_ratio : t -> float
 (** Worst per-stage max/median worker-time ratio seen so far (1.0 is
     perfectly balanced; 0 when no stage ran). *)
 
+val rehash_grows : unit -> int
+(** Process-wide count of insert-triggered hash-table growths
+    ({!Relation.Tset.rehash_grow_count}; explicit presizing never
+    counts). The compiled execution core's output paths are presized end
+    to end — the micro benches reset this and assert it stays zero across
+    batch<->set conversions. *)
+
+val reset_rehash_grows : unit -> unit
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -24,6 +24,7 @@ type config = {
   use_fused_delta : bool;
   use_shuffle_dedup : bool;
   collect_actuals : bool;
+  use_compiled_exec : bool;
 }
 
 let default_config cluster =
@@ -38,6 +39,7 @@ let default_config cluster =
     use_fused_delta = true;
     use_shuffle_dedup = true;
     collect_actuals = false;
+    use_compiled_exec = true;
   }
 
 exception Resource_limit of string
@@ -501,32 +503,70 @@ and run_semi_naive ctx ~var ~plan_label ~x0 ~x0_private ~branch_fns ~per_iter =
    tuples (plus whatever the joins shuffle). With [use_shuffle_dedup] a
    seen filter rides on the per-iteration repartition, dropping
    re-derived tuples map-side before they are bucketed or metered. *)
+(* Try the compiled columnar core first ([Pipeline]): a static planning
+   pass decides supportability before any constant side is evaluated, so
+   a [None] fallback to the interpreted loop costs nothing and never
+   double-meters. EXPLAIN ANALYZE forces the interpreter — per-operator
+   actuals only exist on the operator-at-a-time path. *)
+and compiled_pipeline ctx ~var ~join_mode ~init ~recs ~branch_path =
+  if (not ctx.config.use_compiled_exec) || ctx.actuals <> None then None
+  else
+    let tenv = typing_env ctx in
+    Pipeline.compile ~cluster:ctx.config.cluster ~var ~join_mode ~x_schema:(Dds.schema init)
+      ~typing:(fun t -> Mura.Typing.infer tenv t)
+      ~exec_const:(fun ~path t -> exec_at ctx ~path t)
+      ~eval_const:(fun ~path t -> eval_const ctx ~path t)
+      ~branch_path recs
+
 and run_gld ctx ~var ~init ~recs ~branch_path =
   let schema_cols = Schema.cols (Dds.schema init) in
-  let branch_fns =
-    List.mapi (fun i b -> compile_branch ctx ~var ~join_mode:`Shuffle ~path:(branch_path i) b) recs
-  in
-  let seen =
-    if ctx.config.use_shuffle_dedup then Some (Dds.seen_filter ctx.config.cluster) else None
-  in
-  let x0 = Dds.repartition ?seen ~by:schema_cols init in
-  run_semi_naive ctx ~var ~plan_label:"P_gld" ~x0 ~x0_private:(x0 != init) ~branch_fns
-    ~per_iter:(fun produced -> Dds.repartition ?seen ~by:schema_cols produced)
+  match compiled_pipeline ctx ~var ~join_mode:`Shuffle ~init ~recs ~branch_path with
+  | Some cp ->
+    let seen =
+      if ctx.config.use_shuffle_dedup then Some (Dds.seen_filter ctx.config.cluster) else None
+    in
+    let x0 = Dds.repartition ?seen ~by:schema_cols init in
+    Pipeline.run cp ~var ~plan_label:"P_gld" ~x0 ~x0_private:(x0 != init)
+      ~per_iter_by:(Some schema_cols) ?seen ~max_iterations:ctx.config.max_iterations
+      ~max_tuples:ctx.config.max_tuples
+      ~limit:(fun msg -> Resource_limit msg)
+      ()
+  | None ->
+    let branch_fns =
+      List.mapi
+        (fun i b -> compile_branch ctx ~var ~join_mode:`Shuffle ~path:(branch_path i) b)
+        recs
+    in
+    let seen =
+      if ctx.config.use_shuffle_dedup then Some (Dds.seen_filter ctx.config.cluster) else None
+    in
+    let x0 = Dds.repartition ?seen ~by:schema_cols init in
+    run_semi_naive ctx ~var ~plan_label:"P_gld" ~x0 ~x0_private:(x0 != init) ~branch_fns
+      ~per_iter:(fun produced -> Dds.repartition ?seen ~by:schema_cols produced)
 
 (* P_plw^s: repartition the constant part (by the stable columns when
    they exist), broadcast the variable part's relations once, then loop
    with narrow operations only. No distinct at the end when a stable
    repartitioning was applied (the local fixpoints are disjoint). *)
 and run_plw_s ctx ~var ~init ~recs ~stable ~branch_path =
-  let branch_fns =
-    List.mapi
-      (fun i b -> compile_branch ctx ~var ~join_mode:`Broadcast ~path:(branch_path i) b)
-      recs
-  in
-  let x0 = match stable with [] -> init | _ -> Dds.repartition ~by:stable init in
+  let compiled = compiled_pipeline ctx ~var ~join_mode:`Broadcast ~init ~recs ~branch_path in
   let x, iterations, deltas =
-    run_semi_naive ctx ~var ~plan_label:"P_plw^s" ~x0 ~x0_private:(x0 != init) ~branch_fns
-      ~per_iter:(fun produced -> produced)
+    match compiled with
+    | Some cp ->
+      let x0 = match stable with [] -> init | _ -> Dds.repartition ~by:stable init in
+      Pipeline.run cp ~var ~plan_label:"P_plw^s" ~x0 ~x0_private:(x0 != init) ~per_iter_by:None
+        ~max_iterations:ctx.config.max_iterations ~max_tuples:ctx.config.max_tuples
+        ~limit:(fun msg -> Resource_limit msg)
+        ()
+    | None ->
+      let branch_fns =
+        List.mapi
+          (fun i b -> compile_branch ctx ~var ~join_mode:`Broadcast ~path:(branch_path i) b)
+          recs
+      in
+      let x0 = match stable with [] -> init | _ -> Dds.repartition ~by:stable init in
+      run_semi_naive ctx ~var ~plan_label:"P_plw^s" ~x0 ~x0_private:(x0 != init) ~branch_fns
+        ~per_iter:(fun produced -> produced)
   in
   let result =
     match stable with
@@ -720,10 +760,17 @@ let explain ctx term =
         List.iter (go (indent + 2)) recs
       | exception Fcond.Not_fcond msg -> line (indent + 1) "! not F_cond: %s" msg)
   in
-  line 0 "Exchange: %s, %d workers"
+  line 0 "Execution: %s"
+    (if ctx.config.use_compiled_exec then
+       "compiled columnar pipelines (fused batch operators; interpreter fallback)"
+     else "interpreted operator-at-a-time");
+  line 0 "Exchange: %s%s, %d workers"
     (if Cluster.pooled_shuffle ctx.config.cluster then
        "two-phase pooled shuffle (map/merge on worker pool)"
      else "sequential driver-side")
+    (if Cluster.pooled_shuffle ctx.config.cluster && Cluster.adaptive_shuffle ctx.config.cluster
+     then ", adaptive per-stage mode"
+     else "")
     (Cluster.workers ctx.config.cluster);
   line 0 "Fixpoint delta: %s%s"
     (if ctx.config.use_fused_delta then "fused in-place diff+union"

@@ -71,6 +71,19 @@ type config = {
           runs its local fixpoints on the instrumented volcano path.
           Results and communication counters are bit-identical either
           way; default [false] (zero overhead). *)
+  use_compiled_exec : bool;
+      (** when [true] (default), the semi-naive loops of P_gld and
+          P_plw^s run on the compiled columnar core ({!Pipeline}): each
+          recursive branch is lowered once into fused closure chains
+          over unboxed column batches, the constant join side is indexed
+          once per fixpoint per worker, and every tuple is hashed once
+          per iteration (exchange routing, merging and accumulator
+          absorption all reuse the stored hash column). Falls back to
+          the interpreted operator-at-a-time loop for unsupported branch
+          shapes, for P_plw^pg and under EXPLAIN ANALYZE. Results,
+          iteration counts, delta curves and communication counters are
+          bit-identical either way; [false] forces the interpreter — the
+          parity oracle for tests and the [micro_compiled] baseline. *)
 }
 
 val default_config : Distsim.Cluster.t -> config

@@ -1,0 +1,575 @@
+(* Compiled columnar execution core.
+
+   [compile] lowers the union-free recursive branches of a fixpoint into
+   fused operator pipelines over {!Relation.Batch} column blocks, and
+   [run] drives the semi-naive loop over them. Each branch becomes an
+   alternating list of fused segments (closure chains that stream a
+   partition column-at-a-time through select/project/rename/join-probe
+   without materialising intermediate [Tuple.t] rows) and exchange
+   points (metered batch repartitions). The interpreter in [Exec] stays
+   the always-available oracle: [compile] returns [None] for any shape
+   it does not cover and the caller falls back, so results, iteration
+   counts and communication counters are bit-identical by construction
+   wherever the compiled path engages.
+
+   Parity contract with the interpreted loop (enforced by the qcheck
+   suites and the [micro_compiled] bench gates):
+   - same result relation, same per-iteration fresh counts;
+   - same shuffle/broadcast counters: branch exchanges mirror the
+     delta-side [Dds.repartition] of a shuffle join (with the
+     [same_hashing] no-op rule applied against the tracked
+     partitioning), the constant side is repartitioned once per
+     fixpoint, broadcasts are metered at compile time exactly like
+     [compile_branch];
+   - same seen-filter drops ([use_shuffle_dedup] semantics ride on the
+     per-iteration exchange unchanged).
+
+   What the compiled path does *not* re-do each iteration is the
+   interpreter's per-tuple overhead: tuple allocation in project/rename,
+   per-iteration index builds over the constant join side (built once
+   per fixpoint per worker here), and re-hashing on every set insert
+   (the batch hash column is computed once per emitted row and reused
+   by routing, merging and accumulator absorption). *)
+
+module Schema = Relation.Schema
+module Rel = Relation.Rel
+module Tset = Relation.Tset
+module Tuple = Relation.Tuple
+module Batch = Relation.Batch
+module Pred = Relation.Pred
+module Index = Relation.Index
+module Term = Mura.Term
+module Dds = Distsim.Dds
+module Cluster = Distsim.Cluster
+module Metrics = Distsim.Metrics
+
+let child path i = path ^ "." ^ string_of_int i
+
+(* ------------------------------------------------------------------ *)
+(* Row-level operators of a fused segment                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One operator of a fused chain, acting on a scratch row (an [int
+   array] laid out per the operator's input schema — which makes it a
+   valid [Tuple.t], so compiled predicates apply directly). [R_probe]
+   and [R_antiprobe] close over per-worker index lookups; broadcast
+   indexes are immutable and shared by all workers, shuffle-side indexes
+   are built lazily per worker over the co-partitioned constant side. *)
+type rop =
+  | R_filter of (Tuple.t -> bool)
+  | R_project of int array  (* new scratch = old scratch at these positions *)
+  | R_probe of {
+      key_pos : int array;  (* shared columns, positions in the input scratch *)
+      extra_pos : int array;  (* appended columns, positions in the right tuple *)
+      probe : int -> Tuple.t -> Tuple.t list;  (* worker -> key -> matches *)
+    }
+  | R_antiprobe of { key_pos : int array; mem : int -> Tuple.t -> bool }
+
+(* Atoms of a lowered branch, before fusion: row operators (each with
+   its output schema and partitioning transfer) separated by exchange
+   points. [rop = None] marks schema-only steps (rename). *)
+type atom =
+  | A_rop of {
+      rop : rop option;
+      out_schema : Schema.t;
+      ptrans : Dds.partitioning -> Dds.partitioning;
+    }
+  | A_exch of { by : string list; schema : Schema.t }
+
+type step =
+  | Fuse of {
+      runners : (Batch.t -> Batch.t) array;  (* one fused pass per worker *)
+      ptrans : Dds.partitioning -> Dds.partitioning;
+    }
+  | Exch of { by : string list; schema : Schema.t }
+
+type branch = {
+  steps : step list;
+  out_schema : Schema.t;  (* static schema of the branch's output batches *)
+  prepares : (unit -> unit) list;
+      (* idempotent driver-side setup run at the top of every iteration:
+         the once-per-fixpoint co-partitioning of shuffle-join constant
+         sides (metered on its first run, exactly like the interpreter's
+         memoized [Dds.repartition] of the constant side) *)
+}
+
+type t = {
+  cluster : Cluster.t;
+  x_schema : Schema.t;
+  arity : int;
+  branches : branch list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Plan pass: static supportability check (no evaluation, no metering)  *)
+(* ------------------------------------------------------------------ *)
+
+exception Unsupported
+
+(* Decide whether a branch compiles, computing the schema at every chain
+   point from typing alone. Runs before any constant subterm is
+   evaluated or broadcast, so a [None] verdict costs nothing and the
+   interpreter fallback never double-meters. Raising [Unsupported] (or
+   any typing/schema error) rejects; the interpreter then reproduces the
+   exact dynamic error behaviour. *)
+let plan_branch ~var ~join_mode ~typing ~x_schema branch : Schema.t option =
+  let rec go (t : Term.t) : Schema.t =
+    match t with
+    | Term.Var x when String.equal x var -> x_schema
+    | Term.Select (p, u) ->
+      let s = go u in
+      ignore (Schema.positions s (Pred.columns p));
+      s
+    | Term.Project (keep, u) ->
+      let s = Schema.restrict (go u) keep in
+      if Schema.arity s = 0 then raise Unsupported;
+      s
+    | Term.Antiproject (drop, u) ->
+      let su = go u in
+      let keep = List.filter (fun c -> not (List.mem c drop)) (Schema.cols su) in
+      let s = Schema.restrict su keep in
+      if Schema.arity s = 0 then raise Unsupported;
+      s
+    | Term.Rename (m, u) -> Schema.rename m (go u)
+    | Term.Join (a, b) ->
+      let recursive, const = if Term.has_free_var var a then (a, b) else (b, a) in
+      if Term.has_free_var var const then raise Unsupported (* non-linear: interpreter errs *);
+      let sr = go recursive in
+      let sc = typing const in
+      let shared = Schema.common sr sc in
+      (match join_mode with
+      | `Shuffle when shared = [] ->
+        (* the interpreter picks a dynamic broadcast side by size here *)
+        raise Unsupported
+      | `Shuffle | `Broadcast -> ());
+      Schema.append_distinct sr sc
+    | Term.Antijoin (a, b) ->
+      if Term.has_free_var var b then raise Unsupported (* not positive: interpreter errs *);
+      (match join_mode with
+      | `Shuffle ->
+        (* interpreted [antijoin_shuffle] re-shuffles the constant side
+           per iteration; keep that metering on the oracle path *)
+        raise Unsupported
+      | `Broadcast -> ());
+      let sr = go a in
+      ignore (typing b);
+      sr
+    | Term.Var _ | Term.Rel _ | Term.Cst _ | Term.Union _ | Term.Fix _ -> raise Unsupported
+  in
+  match go branch with
+  | s ->
+    (* the semi-naive driver relayouts produced into the accumulator's
+       schema; different column *sets* are an interpreter error *)
+    if Schema.equal_names s x_schema then Some s else None
+  | exception (Unsupported | Schema.Schema_error _ | Mura.Typing.Type_error _) -> None
+
+(* ------------------------------------------------------------------ *)
+(* Lowering pass: evaluate constant sides, build atoms                  *)
+(* ------------------------------------------------------------------ *)
+
+let extra_of left_schema right_schema =
+  let extra = List.filter (fun c -> not (Schema.mem left_schema c)) (Schema.cols right_schema) in
+  (extra, Schema.positions right_schema extra)
+
+let rename_partitioning m (p : Dds.partitioning) : Dds.partitioning =
+  match p with
+  | Dds.Arbitrary -> Dds.Arbitrary
+  | Dds.Hashed cols ->
+    Dds.Hashed
+      (List.map (fun c -> match List.assoc_opt c m with Some fresh -> fresh | None -> c) cols)
+
+let project_partitioning keep (p : Dds.partitioning) : Dds.partitioning =
+  match p with
+  | Dds.Hashed cols when List.for_all (fun c -> List.mem c keep) cols -> Dds.Hashed cols
+  | Dds.Hashed _ | Dds.Arbitrary -> Dds.Arbitrary
+
+let lower_branch ~cluster ~var ~join_mode ~x_schema ~exec_const ~eval_const ~path branch :
+    atom list * (unit -> unit) list =
+  let workers = Cluster.workers cluster in
+  let prepares = ref [] in
+  let rec go ~path (t : Term.t) : atom list * Schema.t =
+    match t with
+    | Term.Var _ -> ([], x_schema)
+    | Term.Select (p, u) ->
+      let atoms, s = go ~path:(child path 0) u in
+      let pred = Pred.compile s p in
+      (atoms @ [ A_rop { rop = Some (R_filter pred); out_schema = s; ptrans = Fun.id } ], s)
+    | Term.Project (keep, u) ->
+      let atoms, s = go ~path:(child path 0) u in
+      let out = Schema.restrict s keep in
+      let pos = Schema.positions s keep in
+      ( atoms
+        @ [
+            A_rop
+              { rop = Some (R_project pos); out_schema = out; ptrans = project_partitioning keep };
+          ],
+        out )
+    | Term.Antiproject (drop, u) ->
+      let atoms, s = go ~path:(child path 0) u in
+      let keep = List.filter (fun c -> not (List.mem c drop)) (Schema.cols s) in
+      let out = Schema.restrict s keep in
+      let pos = Schema.positions s keep in
+      ( atoms
+        @ [
+            A_rop
+              { rop = Some (R_project pos); out_schema = out; ptrans = project_partitioning keep };
+          ],
+        out )
+    | Term.Rename (m, u) ->
+      let atoms, s = go ~path:(child path 0) u in
+      let out = Schema.rename m s in
+      (atoms @ [ A_rop { rop = None; out_schema = out; ptrans = rename_partitioning m } ], out)
+    | Term.Join (a, b) ->
+      let (recursive, rpath), (const, cpath) =
+        if Term.has_free_var var a then ((a, child path 0), (b, child path 1))
+        else ((b, child path 1), (a, child path 0))
+      in
+      let atoms, sr = go ~path:rpath recursive in
+      (match join_mode with
+      | `Broadcast ->
+        (* metered once at compile time, exactly like [compile_branch];
+           the prepared index over the broadcast side is immutable and
+           shared by every worker domain *)
+        let rel = eval_const ~path:cpath const in
+        ignore (Dds.broadcast cluster rel);
+        let rs = Rel.schema rel in
+        let shared = Schema.common sr rs in
+        let out = Schema.append_distinct sr rs in
+        let _, extra_pos = extra_of sr rs in
+        let idx = Index.build rs shared (Tset.to_seq (Rel.tuples rel)) in
+        let rop =
+          R_probe
+            {
+              key_pos = Schema.positions sr shared;
+              extra_pos;
+              probe = (fun _w key -> Index.probe idx key);
+            }
+        in
+        (atoms @ [ A_rop { rop = Some rop; out_schema = out; ptrans = Fun.id } ], out)
+      | `Shuffle ->
+        let const_dds = exec_const ~path:cpath const in
+        let cs = Dds.schema const_dds in
+        let shared = Schema.common sr cs in
+        let out = Schema.append_distinct sr cs in
+        let _, extra_pos = extra_of sr cs in
+        (* constant side co-partitioned once per fixpoint (metered on
+           first run unless already hashed right — [Dds.repartition]'s
+           own no-op rule), per-worker indexes built lazily inside the
+           probe stage and reused by every later iteration *)
+        let const_part = ref None in
+        let idxs = Array.make workers None in
+        prepares :=
+          (fun () ->
+            if !const_part = None then const_part := Some (Dds.repartition ~by:shared const_dds))
+          :: !prepares;
+        let probe w key =
+          let idx =
+            match idxs.(w) with
+            | Some i -> i
+            | None ->
+              let cp = match !const_part with Some d -> d | None -> assert false in
+              let i = Index.build cs shared (Tset.to_seq (Dds.partition cp w)) in
+              idxs.(w) <- Some i;
+              i
+          in
+          Index.probe idx key
+        in
+        let rop = R_probe { key_pos = Schema.positions sr shared; extra_pos; probe } in
+        ( atoms
+          @ [
+              A_exch { by = shared; schema = sr };
+              A_rop { rop = Some rop; out_schema = out; ptrans = Fun.id };
+            ],
+          out ))
+    | Term.Antijoin (a, b) ->
+      let atoms, sr = go ~path:(child path 0) a in
+      let rel = eval_const ~path:(child path 1) b in
+      ignore (Dds.broadcast cluster rel);
+      let rs = Rel.schema rel in
+      let shared = Schema.common sr rs in
+      let idx = Index.build rs shared (Tset.to_seq (Rel.tuples rel)) in
+      let rop =
+        R_antiprobe
+          { key_pos = Schema.positions sr shared; mem = (fun _w key -> Index.mem idx key) }
+      in
+      (atoms @ [ A_rop { rop = Some rop; out_schema = sr; ptrans = Fun.id } ], sr)
+    | Term.Rel _ | Term.Cst _ | Term.Union _ | Term.Fix _ ->
+      assert false (* rejected by [plan_branch] *)
+  in
+  let atoms, _ = go ~path branch in
+  (atoms, List.rev !prepares)
+
+(* ------------------------------------------------------------------ *)
+(* Fusion: group consecutive row operators into one closure chain       *)
+(* ------------------------------------------------------------------ *)
+
+(* Build the fused pass of one worker: load each input row into the
+   entry scratch, run the closure chain, and let the chain's tail emit
+   surviving rows into a presized dedup builder. Scratch arrays live for
+   the whole fixpoint (zero steady-state allocation); the builder is
+   fresh per invocation and becomes the output batch. *)
+let build_runner ~w ~in_arity ~out_arity (rops : rop list) : Batch.t -> Batch.t =
+  let builder = ref (Batch.Builder.create ~capacity:0 ~arity:out_arity ()) in
+  let scratch0 = Array.make in_arity 0 in
+  let emit scratch () =
+    let bld = !builder in
+    let s = Batch.Builder.scratch bld in
+    Array.blit scratch 0 s 0 out_arity;
+    ignore (Batch.Builder.add_scratch bld (Batch.hash_row s))
+  in
+  let rec build scratch = function
+    | [] -> emit scratch
+    | R_filter pred :: rest ->
+      let next = build scratch rest in
+      fun () -> if pred scratch then next ()
+    | R_project pos :: rest ->
+      let n = Array.length pos in
+      let out = Array.make n 0 in
+      let next = build out rest in
+      fun () ->
+        for i = 0 to n - 1 do
+          out.(i) <- scratch.(pos.(i))
+        done;
+        next ()
+    | R_probe { key_pos; extra_pos; probe } :: rest ->
+      let base = Array.length scratch in
+      let nk = Array.length key_pos and ne = Array.length extra_pos in
+      let out = Array.make (base + ne) 0 in
+      let next = build out rest in
+      let key = Array.make nk 0 in
+      let probe = probe w in
+      fun () ->
+        for i = 0 to nk - 1 do
+          key.(i) <- scratch.(key_pos.(i))
+        done;
+        (match probe key with
+        | [] -> ()
+        | matches ->
+          Array.blit scratch 0 out 0 base;
+          List.iter
+            (fun rt ->
+              for j = 0 to ne - 1 do
+                out.(base + j) <- rt.(extra_pos.(j))
+              done;
+              next ())
+            matches)
+    | R_antiprobe { key_pos; mem } :: rest ->
+      let next = build scratch rest in
+      let nk = Array.length key_pos in
+      let key = Array.make nk 0 in
+      let mem = mem w in
+      fun () ->
+        for i = 0 to nk - 1 do
+          key.(i) <- scratch.(key_pos.(i))
+        done;
+        if not (mem key) then next ()
+  in
+  let chain = build scratch0 rops in
+  fun input ->
+    let n = Batch.length input in
+    builder := Batch.Builder.create ~capacity:n ~arity:out_arity ();
+    let cols = Batch.cols input in
+    for row = 0 to n - 1 do
+      for c = 0 to in_arity - 1 do
+        scratch0.(c) <- cols.(c).(row)
+      done;
+      chain ()
+    done;
+    Batch.Builder.batch !builder
+
+let fuse_atoms ~cluster ~x_schema atoms : step list =
+  let workers = Cluster.workers cluster in
+  let rec group in_schema = function
+    | [] -> []
+    | A_exch { by; schema } :: rest -> Exch { by; schema } :: group schema rest
+    | A_rop _ :: _ as l ->
+      let rec collect rops ptrans out_schema = function
+        | A_rop { rop; out_schema = os; ptrans = pt } :: rest ->
+          let rops = match rop with Some r -> r :: rops | None -> rops in
+          collect rops (fun p -> pt (ptrans p)) os rest
+        | rest -> (List.rev rops, ptrans, out_schema, rest)
+      in
+      let rops, ptrans, out_schema, rest = collect [] Fun.id in_schema l in
+      let in_arity = Schema.arity in_schema and out_arity = Schema.arity out_schema in
+      let step =
+        match rops with
+        | [] when in_arity = out_arity ->
+          (* schema-only segment (pure renames): the batch passes through *)
+          Fuse { runners = Array.make workers Fun.id; ptrans }
+        | _ ->
+          let runners = Array.init workers (fun w -> build_runner ~w ~in_arity ~out_arity rops) in
+          Fuse { runners; ptrans }
+      in
+      step :: group out_schema rest
+  in
+  group x_schema atoms
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compile ~cluster ~var ~join_mode ~x_schema ~typing ~exec_const ~eval_const ~branch_path recs :
+    t option =
+  if Schema.arity x_schema = 0 then None
+  else
+    let planned = List.map (plan_branch ~var ~join_mode ~typing ~x_schema) recs in
+    if List.exists Option.is_none planned then None
+    else begin
+      (* every branch compiles: only now evaluate constant sides (in
+         interpreter order, branch by branch) and build the fused steps,
+         so a fallback verdict never double-evaluates or double-meters *)
+      let branches =
+        List.map2
+          (fun (i, b) out_schema ->
+            let atoms, prepares =
+              lower_branch ~cluster ~var ~join_mode ~x_schema ~exec_const ~eval_const
+                ~path:(branch_path i) b
+            in
+            { steps = fuse_atoms ~cluster ~x_schema atoms; out_schema = Option.get out_schema; prepares })
+          (List.mapi (fun i b -> (i, b)) recs)
+          planned
+      in
+      Some { cluster; x_schema; arity = Schema.arity x_schema; branches }
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Semi-naive driver over batches                                       *)
+(* ------------------------------------------------------------------ *)
+
+let total_rows (bs : Batch.t array) = Array.fold_left (fun acc b -> acc + Batch.length b) 0 bs
+
+let apply_branch cluster br (delta : Batch.t array) (delta_part : Dds.partitioning) :
+    Batch.t array * Dds.partitioning =
+  List.iter (fun p -> p ()) br.prepares;
+  List.fold_left
+    (fun (bs, part) step ->
+      match step with
+      | Exch { by; schema } ->
+        if Dds.same_hashing part (Dds.Hashed by) then (bs, part)
+        else (Dds.repartition_batches cluster bs ~schema ~by, Dds.Hashed by)
+      | Fuse { runners; ptrans } ->
+        (Cluster.run_stage cluster (fun w -> runners.(w) bs.(w)), ptrans part))
+    (delta, delta_part) br.steps
+
+(* Union the branch outputs into accumulator layout: per partition, a
+   presized dedup builder over every branch's rows, permuted into
+   [x_schema] order (reusing stored hashes when the permutation is the
+   identity). Partitioning follows the interpreter exactly:
+   [set_union_local]'s pairwise [same_hashing] fold over the branch
+   partitionings, then [relayout_dds]'s arbitrary-unless-ordered rule
+   keyed on the *first* branch's schema (the fold's layout). *)
+let union_branches ~x_schema ~arity (outs : (Batch.t array * Dds.partitioning * Schema.t) list)
+    cluster : Batch.t array * Dds.partitioning =
+  match outs with
+  | [] -> assert false
+  | [ (bs, part, schema) ] when Schema.equal_ordered schema x_schema -> (bs, part)
+  | (_, part0, schema0) :: rest ->
+    let perms =
+      List.map
+        (fun (bs, _, schema) ->
+          let perm = Schema.reorder_positions ~from:schema ~into:x_schema in
+          let identity = ref true in
+          Array.iteri (fun i p -> if p <> i then identity := false) perm;
+          (bs, perm, !identity))
+        outs
+    in
+    let merged =
+      Cluster.run_stage cluster (fun w ->
+          let cap = List.fold_left (fun acc (bs, _, _) -> acc + Batch.length bs.(w)) 0 perms in
+          let bld = Batch.Builder.create ~capacity:cap ~arity () in
+          let scratch = Batch.Builder.scratch bld in
+          List.iter
+            (fun (bs, perm, identity) ->
+              let b = bs.(w) in
+              let cols = Batch.cols b and hashes = Batch.hashes b in
+              for row = 0 to Batch.length b - 1 do
+                for c = 0 to arity - 1 do
+                  scratch.(c) <- cols.(perm.(c)).(row)
+                done;
+                let h = if identity then hashes.(row) else Batch.hash_row scratch in
+                ignore (Batch.Builder.add_scratch bld h)
+              done)
+            perms;
+          Batch.Builder.batch bld)
+    in
+    let u_part =
+      List.fold_left
+        (fun p (_, p', _) -> if Dds.same_hashing p p' then p else Dds.Arbitrary)
+        part0 rest
+    in
+    let final = if Schema.equal_ordered schema0 x_schema then u_part else Dds.Arbitrary in
+    (merged, final)
+
+let run t ~var ~plan_label ~x0 ~x0_private ~per_iter_by ?seen ~max_iterations ~max_tuples ~limit ()
+    : Dds.t * int * int list =
+  let cluster = t.cluster in
+  let workers = Cluster.workers cluster in
+  let m = Cluster.metrics cluster in
+  let arity = t.arity in
+  let check_rows n =
+    if n > max_tuples then
+      raise (limit (Printf.sprintf "dataset exceeds %d tuples" max_tuples))
+  in
+  let acc =
+    Array.init workers (fun w ->
+        let p = Dds.partition x0 w in
+        if x0_private then p else Tset.copy p)
+  in
+  let acc_part = ref (Dds.partitioning x0) in
+  let delta = ref (Array.init workers (fun w -> Batch.of_tset ~arity (Dds.partition x0 w))) in
+  let delta_part = ref (Dds.partitioning x0) in
+  let iterations = ref 0 in
+  let deltas = ref [] in
+  let continue = ref true in
+  while !continue do
+    incr iterations;
+    if !iterations > max_iterations then
+      raise (limit (Printf.sprintf "max iterations exceeded (%s)" plan_label));
+    Trace.span (Trace.get ()) ~cat:"fixpoint"
+      ~attrs:[ ("var", Trace.Str var); ("i", Trace.Int !iterations) ]
+      "iteration"
+    @@ fun () ->
+    Metrics.record_superstep m;
+    let outs =
+      List.map
+        (fun br ->
+          let bs, part = apply_branch cluster br !delta !delta_part in
+          (bs, part, br.out_schema))
+        t.branches
+    in
+    let produced, produced_part = union_branches ~x_schema:t.x_schema ~arity outs cluster in
+    check_rows (total_rows produced);
+    let produced, produced_part =
+      match per_iter_by with
+      | None -> (produced, produced_part)
+      | Some by ->
+        if Dds.same_hashing produced_part (Dds.Hashed by) then (produced, produced_part)
+        else (Dds.repartition_batches ?seen cluster produced ~schema:t.x_schema ~by, Dds.Hashed by)
+    in
+    (* absorb: one probe per produced row against the accumulator,
+       reusing the stored hash; fresh rows become the next delta *)
+    let fresh =
+      Cluster.run_stage cluster (fun w ->
+          let b = produced.(w) in
+          let n = Batch.length b in
+          Tset.reserve acc.(w) (Tset.cardinal acc.(w) + n);
+          let out = Batch.create ~capacity:(max 1 n) ~arity () in
+          let cols = Batch.cols b and hashes = Batch.hashes b in
+          for row = 0 to n - 1 do
+            if Tset.add_cols acc.(w) cols ~row ~hash:hashes.(row) then Batch.push_row out b row
+          done;
+          out)
+    in
+    acc_part := (if Dds.same_hashing !acc_part produced_part then !acc_part else Dds.Arbitrary);
+    let fresh_n = total_rows fresh in
+    deltas := fresh_n :: !deltas;
+    if fresh_n = 0 then continue := false
+    else begin
+      check_rows (Array.fold_left (fun a p -> a + Tset.cardinal p) 0 acc);
+      delta := fresh;
+      delta_part := produced_part
+    end
+  done;
+  ( Dds.of_partitions cluster ~schema:t.x_schema ~partitioning:!acc_part acc,
+    !iterations,
+    List.rev !deltas )

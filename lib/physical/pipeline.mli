@@ -1,0 +1,73 @@
+(** Compiled columnar execution core: fused operator pipelines over
+    {!Relation.Batch} column blocks.
+
+    [compile] lowers the union-free recursive branches of a fixpoint
+    into chains of fused segments (select/project/rename/join-probe as
+    one closure chain per worker, streaming rows column-at-a-time with
+    no intermediate [Tuple.t] materialisation) separated by metered
+    batch exchanges; [run] drives the semi-naive loop over them with a
+    mutable per-worker accumulator ({!Relation.Tset.add_cols} probes
+    reusing the batch hash column) instead of per-iteration set algebra.
+
+    The interpreted loop in [Exec] is the oracle: [compile] returns
+    [None] for any branch shape it does not cover (shuffle-mode
+    antijoins, shuffle joins with no shared column, nullary schemas,
+    non-F_cond shapes) and the caller falls back. Where the compiled
+    path engages, results, iteration counts, per-iteration fresh counts
+    and all communication counters (shuffles, records, bytes,
+    broadcasts, seen-filter drops) are bit-identical to the interpreter
+    by construction; wall-clock derived metrics (stage times, sim time,
+    histograms) are outside that contract. *)
+
+module Schema = Relation.Schema
+module Rel = Relation.Rel
+module Term = Mura.Term
+module Dds = Distsim.Dds
+module Cluster = Distsim.Cluster
+
+type t
+(** A compiled fixpoint: fused per-worker pipelines for every recursive
+    branch, plus their once-per-fixpoint preparation hooks. *)
+
+val compile :
+  cluster:Cluster.t ->
+  var:string ->
+  join_mode:[ `Broadcast | `Shuffle ] ->
+  x_schema:Schema.t ->
+  typing:(Term.t -> Schema.t) ->
+  exec_const:(path:string -> Term.t -> Dds.t) ->
+  eval_const:(path:string -> Term.t -> Rel.t) ->
+  branch_path:(int -> string) ->
+  Term.t list ->
+  t option
+(** Compile the recursive branches of [mu(var = ...)]. A static planning
+    pass (typing only — no evaluation, no metering) first decides
+    supportability for {e every} branch; only on an all-branches verdict
+    are constant sides evaluated (via [exec_const] / [eval_const], in
+    interpreter order) and broadcasts metered, so a [None] fallback is
+    free and never double-meters. [x_schema] is the accumulator schema
+    (the constant part's); [branch_path i] names branch [i]'s node for
+    EXPLAIN ANALYZE paths. *)
+
+val run :
+  t ->
+  var:string ->
+  plan_label:string ->
+  x0:Dds.t ->
+  x0_private:bool ->
+  per_iter_by:string list option ->
+  ?seen:Dds.seen_filter ->
+  max_iterations:int ->
+  max_tuples:int ->
+  limit:(string -> exn) ->
+  unit ->
+  Dds.t * int * int list
+(** Run the compiled semi-naive loop from [x0]. [x0_private] says the
+    caller's initial repartition allocated fresh partitions (they are
+    adopted and mutated in place; otherwise a defensive copy is taken).
+    [per_iter_by] is the per-iteration repartition key (P_gld's full
+    schema columns; [None] for P_plw's narrow loop) with [?seen]
+    attaching the iteration-shuffle dedup filter. [limit] builds the
+    resource-limit exception ([Exec.Resource_limit] — passed in to keep
+    this module below [Exec]). Returns (result, iterations, per-iteration
+    fresh counts), exactly like the interpreted driver. *)

@@ -48,7 +48,18 @@ and resize_to s size =
   s.slots <- slots;
   s.mask <- mask
 
-and resize s = resize_to s ((s.mask + 1) * 2)
+(* Growth events triggered by inserts (as opposed to explicit presizing via
+   [reserve]/[copy_with_capacity], which never count). Presized hot paths —
+   batch->set conversion, the merge side of a pooled exchange — are expected
+   to keep this at zero; the micro benches assert it. Atomic because worker
+   domains insert into disjoint sets concurrently. *)
+let rehash_grows = Atomic.make 0
+let rehash_grow_count () = Atomic.get rehash_grows
+let reset_rehash_grows () = Atomic.set rehash_grows 0
+
+let resize s =
+  Atomic.incr rehash_grows;
+  resize_to s ((s.mask + 1) * 2)
 
 (* Grow the table so [n] entries fit under the 3/4 load factor without
    any further rehash (a no-op when already big enough). *)
@@ -85,6 +96,54 @@ let mem s tu =
   if Array.length tu = 0 then s.has_unit
   else
     let i = find_slot s.slots s.mask tu (Tuple.hash tu) in
+    Array.length (Array.unsafe_get s.slots i) > 0
+
+(* Column-wise variants: probe for the row [row] of a struct-of-arrays
+   column block without materialising it as a tuple. The tuple array is
+   allocated only when the insert actually happens — the hot path of the
+   compiled executor, where most candidate rows are duplicates. *)
+let find_slot_cols slots mask cols row h =
+  let arity = Array.length cols in
+  let matches tu =
+    Array.length tu = arity
+    &&
+    let rec eq c =
+      c >= arity
+      || Array.unsafe_get tu c = Array.unsafe_get (Array.unsafe_get cols c) row
+         && eq (c + 1)
+    in
+    eq 0
+  in
+  let rec probe i =
+    let cur = Array.unsafe_get slots i in
+    if Array.length cur = 0 then i else if matches cur then i else probe ((i + 1) land mask)
+  in
+  probe (h land mask)
+
+let add_cols s cols ~row ~hash =
+  Deadline.tick ();
+  if Array.length cols = 0 then
+    if s.has_unit then false
+    else begin
+      s.has_unit <- true;
+      true
+    end
+  else begin
+    if s.count * 4 > (s.mask + 1) * 3 then resize s;
+    let i = find_slot_cols s.slots s.mask cols row hash in
+    if Array.length (Array.unsafe_get s.slots i) > 0 then false
+    else begin
+      let tu = Array.init (Array.length cols) (fun c -> Array.unsafe_get (Array.unsafe_get cols c) row) in
+      Array.unsafe_set s.slots i tu;
+      s.count <- s.count + 1;
+      true
+    end
+  end
+
+let mem_cols s cols ~row ~hash =
+  if Array.length cols = 0 then s.has_unit
+  else
+    let i = find_slot_cols s.slots s.mask cols row hash in
     Array.length (Array.unsafe_get s.slots i) > 0
 
 let iter f s =

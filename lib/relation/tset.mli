@@ -25,6 +25,25 @@ val add_hashed : t -> Tuple.t -> int -> bool
     [h] corrupts the set. *)
 
 val mem : t -> Tuple.t -> bool
+
+val add_cols : t -> int array array -> row:int -> hash:int -> bool
+(** [add_cols s cols ~row ~hash] inserts the tuple whose [c]-th value is
+    [cols.(c).(row)], probing column-wise and allocating the stored
+    [Tuple.t] only when the insert actually happens — the hot path of the
+    compiled columnar executor, where most candidate rows are duplicates.
+    [hash] must equal [Tuple.hash] of the materialised row. *)
+
+val mem_cols : t -> int array array -> row:int -> hash:int -> bool
+(** Column-wise {!mem}: membership for row [row] of a struct-of-arrays
+    block without materialising the tuple. *)
+
+val rehash_grow_count : unit -> int
+(** Process-wide count of hash-table growths triggered by inserts (explicit
+    presizing via {!reserve}/{!copy_with_capacity} never counts). Presized
+    hot paths are expected to keep this at zero; the micro benches assert
+    it. *)
+
+val reset_rehash_grows : unit -> unit
 val cardinal : t -> int
 val is_empty : t -> bool
 val iter : (Tuple.t -> unit) -> t -> unit

@@ -687,6 +687,22 @@ let test_antijoin_feeds_partition_hist () =
   check_int "repartitions + output skew sampled" (before + 12)
     (Metrics.Hist.count m.Metrics.partition_records)
 
+let test_adaptive_shuffle_mode () =
+  (* sequential clusters can never pool, whatever the volume *)
+  let seq = Cluster.make ~workers:4 () in
+  check_bool "sequential -> Seq" true (Cluster.shuffle_mode seq ~records:1_000_000 = `Seq);
+  (* adaptivity off: every eligible exchange pooled, even tiny ones *)
+  let forced = Cluster.make ~parallel:true ~adaptive_shuffle:false ~workers:2 () in
+  check_bool "adaptivity off -> Pooled" true (Cluster.shuffle_mode forced ~records:1 = `Pooled);
+  (* adaptive: the measured volume decides (cutoff rises with scarce
+     cores but is always in (8, 1_000_000) for any host) *)
+  let ad = Cluster.make ~parallel:true ~workers:2 () in
+  check_bool "adaptive on" true (Cluster.adaptive_shuffle ad);
+  check_bool "host cores sampled" true (Cluster.host_cores ad >= 1);
+  check_bool "tiny exchange -> Seq" true (Cluster.shuffle_mode ad ~records:8 = `Seq);
+  check_bool "bulk exchange -> Pooled" true (Cluster.shuffle_mode ad ~records:1_000_000 = `Pooled);
+  List.iter Cluster.shutdown [ forced; ad ]
+
 let () =
   Alcotest.run "distsim"
     [
@@ -754,6 +770,7 @@ let () =
           Alcotest.test_case "joins" `Quick test_shuffle_parity_joins;
           Alcotest.test_case "workers=1 and empty" `Quick test_shuffle_parity_edges;
           Alcotest.test_case "use_parallel_shuffle knob" `Quick test_shuffle_knob;
+          Alcotest.test_case "adaptive mode selection" `Quick test_adaptive_shuffle_mode;
           Alcotest.test_case "antijoin feeds partition hist" `Quick
             test_antijoin_feeds_partition_hist;
         ] );

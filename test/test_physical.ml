@@ -414,6 +414,118 @@ let test_explain_delta_mode () =
     (contains_sub (Exec.explain ctx2 closure_term)
        "Fixpoint delta: unfused diff/union (baseline), iteration-shuffle dedup off")
 
+(* --- compiled columnar execution ------------------------------------- *)
+
+(* deterministic Erdős–Rényi-ish multigraph (LCG, no global Random state) *)
+let er_graph ~n ~m ~seed =
+  let state = ref seed in
+  let next bound =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+  in
+  rel [ "src"; "trg" ] (List.init m (fun _ -> [ next n; next n ]))
+
+let counters_full (m : Metrics.t) =
+  (counters m, m.Metrics.dedup_dropped_records)
+
+(* run with the compiled-execution knob explicit and return everything the
+   compiled core promises to keep bit-identical to the interpreter *)
+let compiled_run ~force_plan ~workers ~compiled ~dedup term tables =
+  let cluster = Cluster.make ~workers () in
+  let config =
+    { (Exec.default_config cluster) with
+      force_plan = Some force_plan;
+      use_compiled_exec = compiled;
+      use_shuffle_dedup = dedup;
+    }
+  in
+  let ctx = Exec.session config tables in
+  let result = Exec.run ctx term in
+  let sigs =
+    List.map
+      (fun (fr : Exec.fix_report) -> (fr.var, fr.plan, fr.iterations, fr.deltas))
+      (Exec.report ctx).fixpoints
+  in
+  (result, sigs, counters_full (Exec.metrics ctx))
+
+(* The compiled pipelines are a pure execution-strategy change: on every
+   plan, worker count and graph shape the result relation, iteration
+   count, per-iteration delta curve and all communication counters
+   (including the seen-filter drops with dedup on) match the interpreted
+   oracle exactly. *)
+let test_compiled_parity () =
+  let graphs =
+    [
+      ("path", rel [ "src"; "trg" ] (List.init 60 (fun i -> [ i; i + 1 ])));
+      ("sparse_er", er_graph ~n:40 ~m:60 ~seed:7);
+      ("dense_er", er_graph ~n:18 ~m:90 ~seed:23);
+    ]
+  in
+  List.iter
+    (fun (gname, g) ->
+      List.iter
+        (fun plan ->
+          List.iter
+            (fun workers ->
+              List.iter
+                (fun dedup ->
+                  let label =
+                    Printf.sprintf "%s %s w=%d dedup=%b" gname (Exec.plan_name plan) workers dedup
+                  in
+                  let br, bs, bc =
+                    compiled_run ~force_plan:plan ~workers ~compiled:false ~dedup closure_term
+                      [ ("E", g) ]
+                  in
+                  let cr, cs, cc =
+                    compiled_run ~force_plan:plan ~workers ~compiled:true ~dedup closure_term
+                      [ ("E", g) ]
+                  in
+                  check_rel (label ^ ": results") br cr;
+                  check_bool (label ^ ": iterations and delta curves") true (bs = cs);
+                  check_bool (label ^ ": communication counters") true (bc = cc))
+                [ false; true ])
+            [ 1; 4 ])
+        [ Exec.P_gld; Exec.P_plw_s ])
+    graphs
+
+(* engagement: the one-time compiler accepts the TC step shape and
+   declines shapes outside its contract (the caller then falls back) *)
+let test_compiled_engagement () =
+  let cluster = Cluster.make ~workers:2 () in
+  let edges_schema = sch [ "src"; "trg" ] in
+  let tenv = Mura.Typing.env [ ("E", edges_schema) ] in
+  let eval t = Mura.Eval.eval (Mura.Eval.env [ ("E", edges) ]) t in
+  let compile recs =
+    Physical.Pipeline.compile ~cluster ~var:"X" ~join_mode:`Broadcast ~x_schema:edges_schema
+      ~typing:(Mura.Typing.infer ~vars:[ ("X", edges_schema) ] tenv)
+      ~exec_const:(fun ~path:_ t -> Distsim.Dds.of_rel cluster (eval t))
+      ~eval_const:(fun ~path:_ t -> eval t)
+      ~branch_path:(fun i -> "0." ^ string_of_int i)
+      recs
+  in
+  let tc_step =
+    Term.Antiproject
+      ( [ "_m" ],
+        Term.Join
+          (Term.Rename ([ ("trg", "_m") ], Term.Var "X"),
+           Term.Rename ([ ("src", "_m") ], Term.Rel "E")) )
+  in
+  check_bool "TC step compiles" true (compile [ tc_step ] <> None);
+  check_bool "nested union falls back" true
+    (compile [ Term.Union (Term.Var "X", Term.Rel "E") ] = None);
+  check_bool "nested fixpoint falls back" true
+    (compile [ Mura.Patterns.closure (Term.Var "X") ] = None)
+
+let test_explain_exec_mode () =
+  let ctx = session () in
+  check_bool "compiled mode shown" true
+    (contains_sub (Exec.explain ctx closure_term) "Execution: compiled columnar");
+  let cluster = Cluster.make ~workers:2 () in
+  let config = { (Exec.default_config cluster) with use_compiled_exec = false } in
+  let ctx2 = Exec.session config [ ("E", edges) ] in
+  check_bool "interpreted mode shown" true
+    (contains_sub (Exec.explain ctx2 closure_term) "Execution: interpreted operator-at-a-time")
+
 let () =
   Alcotest.run "physical"
     [
@@ -458,6 +570,12 @@ let () =
           Alcotest.test_case "empty first delta" `Quick test_fused_empty_first_delta;
           Alcotest.test_case "dedup shrinks P_gld shuffle" `Quick test_dedup_reduces_gld_shuffle;
           Alcotest.test_case "explain shows delta mode" `Quick test_explain_delta_mode;
+        ] );
+      ( "compiled exec",
+        [
+          Alcotest.test_case "compiled/interpreted parity" `Quick test_compiled_parity;
+          Alcotest.test_case "compiler engagement" `Quick test_compiled_engagement;
+          Alcotest.test_case "explain shows execution mode" `Quick test_explain_exec_mode;
         ] );
       ("properties", [ prop_all_plans_agree; prop_reach_all_plans; prop_random_terms_all_plans ]);
     ]

@@ -422,6 +422,62 @@ let prop_tset_mem_after_add =
          = List.length
              (List.sort_uniq compare (List.map Array.to_list rows)))
 
+(* ------------------------------------------------------------------ *)
+(* Columnar batches (compiled execution core)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* random arity and rows together, so every property covers arities 1-4 *)
+let batch_input_gen =
+  let open QCheck2.Gen in
+  let* arity = int_range 1 4 in
+  let+ rows = list_size (int_range 0 120) (array_size (pure arity) (int_range (-4) 20)) in
+  (arity, rows)
+
+let prop_batch_roundtrip =
+  qtest "batch: tset -> batch -> tset round-trips" batch_input_gen (fun (arity, rows) ->
+      let s = Tset.of_list rows in
+      let s' = Batch.to_tset (Batch.of_tset ~arity s) in
+      Tset.cardinal s = Tset.cardinal s' && List.for_all (Tset.mem s') rows)
+
+let prop_batch_hash_column =
+  qtest "batch: hash column = Tuple.hash of each row" batch_input_gen (fun (arity, rows) ->
+      let b = Batch.of_tset ~arity (Tset.of_list rows) in
+      let ok = ref true in
+      for i = 0 to Batch.length b - 1 do
+        if Batch.hash b i <> Tuple.hash (Batch.to_tuple b i) then ok := false
+      done;
+      !ok)
+
+let prop_builder_dedup =
+  qtest "batch builder dedups exactly" batch_input_gen (fun (arity, rows) ->
+      let bld = Batch.Builder.create ~arity () in
+      let appended =
+        List.filter
+          (fun row ->
+            let sc = Batch.Builder.scratch bld in
+            Array.blit row 0 sc 0 arity;
+            Batch.Builder.add_scratch bld (Batch.hash_row sc))
+          rows
+      in
+      let distinct = List.length (List.sort_uniq compare (List.map Array.to_list rows)) in
+      List.length appended = distinct
+      && Batch.Builder.length bld = distinct
+      && Tset.cardinal (Batch.to_tset (Batch.Builder.batch bld)) = distinct)
+
+let test_batch_no_rehash () =
+  (* the batch->set converters presize for the exact row count: the
+     insert-triggered grow counter must stay at zero *)
+  let rows = List.init 500 (fun i -> [| i; i * 7 |]) in
+  let s = Tset.of_list rows in
+  let b = Batch.of_tset ~arity:2 s in
+  Tset.reset_rehash_grows ();
+  let s' = Batch.to_tset b in
+  check_int "cardinal preserved" (Tset.cardinal s) (Tset.cardinal s');
+  let acc = Tset.create ~capacity:4 () in
+  Batch.add_to_tset b acc;
+  check_int "add_to_tset reserves" (Tset.cardinal s) (Tset.cardinal acc);
+  check_int "no insert-triggered rehash" 0 (Tset.rehash_grow_count ())
+
 let () =
   Alcotest.run "relation"
     [
@@ -468,6 +524,13 @@ let () =
         [
           Alcotest.test_case "edge roundtrip" `Quick test_rel_io;
           Alcotest.test_case "labelled" `Quick test_rel_io_labelled;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "converters never rehash" `Quick test_batch_no_rehash;
+          prop_batch_roundtrip;
+          prop_batch_hash_column;
+          prop_builder_dedup;
         ] );
       ( "properties",
         [

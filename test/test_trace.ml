@@ -305,7 +305,9 @@ let test_exchange_phase_spans () =
   in
   let tr, () =
     traced (fun () ->
-        let c = Distsim.Cluster.make ~parallel:true ~workers:4 () in
+        (* adaptivity off: 64 tuples are below the volume cutoff, and this
+           test asserts the pooled two-phase spans specifically *)
+        let c = Distsim.Cluster.make ~parallel:true ~adaptive_shuffle:false ~workers:4 () in
         check_bool "pooled shuffle active" true (Distsim.Cluster.pooled_shuffle c);
         ignore (Distsim.Dds.repartition ~by:[ "trg" ] (Distsim.Dds.of_rel ~by:[ "src" ] c edges));
         Distsim.Cluster.shutdown c)
