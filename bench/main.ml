@@ -1257,6 +1257,146 @@ module MicroServe = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* micro_telemetry: the ambient metrics registry on the serve mix.     *)
+(*                                                                     *)
+(* Three gates, the first two always on:                               *)
+(*   - determinism: a single-session mix with telemetry on must report *)
+(*     exactly the same server counters as with telemetry off, and     *)
+(*     both must match the reference results (parity);                 *)
+(*   - snapshot sanity: the registry snapshot of an instrumented run   *)
+(*     must carry the serve series (submitted counter, cache counters, *)
+(*     latency histogram) in both Prometheus text and JSON form, the   *)
+(*     slow-query log must fill under a zero threshold, and sampling   *)
+(*     every query must capture traces;                                *)
+(*   - overhead (full scale only): best-of-N walls of the concurrent   *)
+(*     mix, telemetry on vs off, within 2% (plus a 5 ms absolute       *)
+(*     allowance — quick machines time in that noise band).            *)
+(* ------------------------------------------------------------------ *)
+
+module MicroTelemetry = struct
+  module SM = Harness.Serve_mix
+
+  let path_graph = MicroFixpoint.path_graph
+
+  let measure ?(telemetry = false) ?(sample = 0) ?(slow_ms = infinity) ~sessions ~repeat graph =
+    if telemetry then Telemetry.install (Telemetry.make ()) else Telemetry.uninstall ();
+    let config =
+      {
+        SM.default_config with
+        SM.sessions;
+        repeat;
+        sample_every = sample;
+        slow_threshold_ms = slow_ms;
+      }
+    in
+    let r = SM.run config ~graph in
+    Telemetry.uninstall ();
+    r
+
+  (* the deterministic server counters: sampling/slow-log accounting is
+     deliberately excluded (only the instrumented run has any) *)
+  let counters (s : Serve.stats) =
+    [
+      s.Serve.submitted;
+      s.Serve.completed;
+      s.Serve.failed;
+      s.Serve.result_hits;
+      s.Serve.shared_joins;
+      s.Serve.result_misses;
+      s.Serve.plan_hits;
+      s.Serve.plan_misses;
+      s.Serve.fix_evals;
+      s.Serve.fix_hits;
+      s.Serve.fix_shared;
+    ]
+
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+
+  let run () =
+    section "micro_telemetry — registry overhead, snapshot and slow-log sanity";
+    let graph = path_graph (sc 400 60) in
+    let repeat = sc 12 3 in
+    (* determinism: one session is fully sequential, so every counter is
+       reproducible — telemetry must not change any of them *)
+    let off = measure ~sessions:1 ~repeat graph in
+    let on = measure ~telemetry:true ~sample:1 ~slow_ms:0. ~sessions:1 ~repeat graph in
+    let identical = counters off.SM.stats = counters on.SM.stats in
+    heading "single session, %d mix submissions: counters identical with telemetry on: %b"
+      repeat identical;
+    if off.SM.parity_failures > 0 || on.SM.parity_failures > 0 then
+      failwith "micro_telemetry: mix diverged from the reference results";
+    if not identical then
+      failwith "micro_telemetry: telemetry changed the server counters";
+    (* snapshot sanity on the instrumented run *)
+    let snap =
+      match on.SM.telemetry with
+      | Some s -> s
+      | None -> failwith "micro_telemetry: instrumented run produced no registry snapshot"
+    in
+    let series = List.length snap.Telemetry.Snapshot.rows in
+    (match Telemetry.Snapshot.value snap "serve_queries_submitted_total" with
+    | Some v when int_of_float v = on.SM.stats.Serve.submitted -> ()
+    | _ -> failwith "micro_telemetry: snapshot submitted counter does not match the server");
+    let prom = Telemetry.Snapshot.to_prometheus snap in
+    let json = Telemetry.Snapshot.to_json snap in
+    List.iter
+      (fun (where, hay, needle) ->
+        if not (contains hay needle) then
+          failwith (Printf.sprintf "micro_telemetry: %s exposition missing %s" where needle))
+      [
+        ("prometheus", prom, "# TYPE serve_queries_submitted_total counter");
+        ("prometheus", prom, "serve_cache_total{cache=\"result\"");
+        ("prometheus", prom, "serve_query_latency_ns_bucket");
+        ("json", json, "\"serve_query_latency_ns\"");
+        ("json", json, "\"buckets\"");
+      ];
+    if on.SM.stats.Serve.slow_queries = 0 then
+      failwith "micro_telemetry: zero-threshold run logged no slow queries";
+    if on.SM.traces_captured = 0 then
+      failwith "micro_telemetry: sample-every-query run captured no traces";
+    heading "snapshot: %d series; %d slow queries logged, %d traces captured" series
+      on.SM.stats.Serve.slow_queries on.SM.traces_captured;
+    (* overhead: concurrent mix, best-of-N walls on vs off *)
+    let sessions = 4 and orepeat = sc 20 3 in
+    let trials = sc 5 2 in
+    (* interleave off/on trials so clock drift and cache warmup hit both
+       sides equally; compare best-of-N walls *)
+    let base = ref infinity and tele = ref infinity in
+    for _ = 1 to trials do
+      List.iter
+        (fun (telemetry, b) ->
+          let r = measure ~telemetry ~sessions ~repeat:orepeat graph in
+          if r.SM.parity_failures > 0 then
+            failwith "micro_telemetry: parity failure under concurrent load";
+          if r.SM.wall_s < !b then b := r.SM.wall_s)
+        [ (false, base); (true, tele) ]
+    done;
+    let base = !base and tele = !tele in
+    let overhead = (tele -. base) /. Float.max 1e-9 base in
+    heading "concurrent mix (%d sessions x %d repeats, best of %d): off %.3fs, on %.3fs (%+.1f%%)"
+      sessions orepeat trials base tele (100. *. overhead);
+    let oc = open_out "BENCH_telemetry.json" in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc
+          "{\"name\":\"telemetry\",\"quick\":%b,\"repeat\":%d,\n\
+           \"counters_identical\":%b,\"series\":%d,\"slow_queries\":%d,\"traces_captured\":%d,\n\
+           \"off_wall_s\":%.6f,\"on_wall_s\":%.6f,\"overhead_frac\":%.4f,\"parity_failures\":%d}\n"
+          !quick repeat identical series on.SM.stats.Serve.slow_queries on.SM.traces_captured
+          base tele overhead
+          (off.SM.parity_failures + on.SM.parity_failures));
+    heading "wrote BENCH_telemetry.json";
+    if (not !quick) && overhead > 0.02 && tele -. base > 0.005 then
+      failwith
+        (Printf.sprintf "micro_telemetry: registry overhead above 2%% (%.1f%%)"
+           (100. *. overhead))
+end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1278,6 +1418,7 @@ let experiments =
     ("micro_fixpoint_delta", MicroFixpointDelta.run);
     ("micro_compiled", MicroCompiled.run);
     ("micro_serve", MicroServe.run);
+    ("micro_telemetry", MicroTelemetry.run);
   ]
 
 let () =

@@ -52,9 +52,22 @@ let force_plan_of = function
   | _ -> None
 
 let run gen graph_file labels query system all_systems workers timeout show explain_only
-    analyze report_file compare_plans trace_file serve_sessions serve_repeat max_inflight =
+    analyze report_file compare_plans trace_file serve_sessions serve_repeat max_inflight
+    metrics_out sample_every slow_ms =
   try
     if trace_file <> None then Trace.install (Trace.make ());
+    if metrics_out <> None then Telemetry.install (Telemetry.make ());
+    (* written on every exit path that completed a run *)
+    let write_metrics () =
+      match metrics_out with
+      | None -> ()
+      | Some file ->
+        let snap = Telemetry.snapshot (Telemetry.get ()) in
+        Telemetry.Snapshot.write snap file;
+        Printf.printf "metrics: %d series written to %s\n"
+          (List.length snap.Telemetry.Snapshot.rows)
+          file
+    in
     let graph = load_graph gen graph_file labels in
     Printf.printf "graph: %d edges\n" (Relation.Rel.cardinal graph);
     let w = S.of_ucrpq graph query in
@@ -76,6 +89,8 @@ let run gen graph_file labels query system all_systems workers timeout show expl
           repeat = serve_repeat;
           max_inflight;
           force_plan = force_plan_of system;
+          sample_every;
+          slow_threshold_ms = (if slow_ms > 0. then slow_ms else infinity);
         }
       in
       let r = Harness.Serve_mix.run ~mix config ~graph in
@@ -85,6 +100,7 @@ let run gen graph_file labels query system all_systems workers timeout show expl
         Harness.Serve_mix.write_report ~file r;
         Printf.printf "serve report written to %s\n" file
       | None -> ());
+      write_metrics ();
       if r.Harness.Serve_mix.parity_failures > 0 then failwith "serve parity failure";
       raise Exit
     end;
@@ -130,6 +146,7 @@ let run gen graph_file labels query system all_systems workers timeout show expl
         file hint;
       R.print_trace_rollup ();
       Trace.uninstall ());
+    write_metrics ();
     if show > 0 then begin
       (* display a sample of the answers with the reference engine *)
       let term = Rpq.Query.to_term (Rpq.Query.parse query) in
@@ -223,11 +240,27 @@ let () =
            ~doc:"With --serve: admission slots; 2+ lets concurrent queries share in-flight \
                  fixpoints (default 2).")
   in
+  let metrics_out =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Install the process-wide telemetry registry (labeled counters, gauges and \
+                 histograms fed by the serve/cluster/exec hot paths) and write its JSON \
+                 snapshot to FILE at the end of the run.")
+  in
+  let sample_every =
+    Arg.(value & opt int 0 & info [ "sample" ] ~docv:"N"
+           ~doc:"With --serve: capture a full per-query execution trace for every N-th \
+                 submitted query (deterministic 1-in-N on the query id; 0 disables).")
+  in
+  let slow_ms =
+    Arg.(value & opt float 0. & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"With --serve: queries slower than MS land in the server's bounded slow-query \
+                 log (0 disables).")
+  in
   let term =
     Term.(
       const run $ gen $ graph_file $ labels $ query $ system $ all_systems $ workers $ timeout
       $ show $ explain $ analyze $ report_file $ compare_plans $ trace_file $ serve_sessions
-      $ serve_repeat $ max_inflight)
+      $ serve_repeat $ max_inflight $ metrics_out $ sample_every $ slow_ms)
   in
   let info =
     Cmd.info "murarun" ~version:"1.0"

@@ -11,21 +11,36 @@
      gen SPEC             generate a graph (yago:N, uniprot:N, er:N:P, tree:N)
      workers N            set the simulated cluster size (default 4)
      explain QUERY        show optimized logical + physical plans
-     stats                print the cache/admission counters
+     stats                cache/admission counters with a since-last-stats
+                          delta column (windowed telemetry scrape)
      QUERY                evaluate (e.g. ?x <- ?x a+ Japan)
      help | quit *)
 
 module Rel = Relation.Rel
 
-type state = { mutable serve : Serve.t; mutable session : Serve.Session.t; mutable workers : int }
+type state = {
+  mutable serve : Serve.t;
+  mutable session : Serve.Session.t;
+  mutable workers : int;
+  window : Telemetry.Window.handle;
+      (* remembers the cumulative counters the previous [stats] saw *)
+}
 
 let boot workers =
   let cluster = Distsim.Cluster.make ~workers () in
   Serve.create ~cluster ()
 
 let st =
+  (* the shell runs with the registry installed so [stats] can scrape
+     since-last-stats deltas; it survives server rebuilds (workers N) *)
+  Telemetry.install (Telemetry.make ());
   let serve = boot 4 in
-  { serve; session = Serve.open_session ~name:"shell" serve; workers = 4 }
+  {
+    serve;
+    session = Serve.open_session ~name:"shell" serve;
+    workers = 4;
+    window = Telemetry.Window.create ();
+  }
 
 let help () =
   print_string
@@ -34,7 +49,7 @@ let help () =
     \  gen SPEC       yago:N | uniprot:N | er:N:P | tree:N\n\
     \  workers N      set cluster size\n\
     \  explain QUERY  show the optimized plans without executing\n\
-    \  stats          cache and admission counters\n\
+    \  stats          cache/admission counters + since-last-stats deltas\n\
     \  QUERY          e.g.  ?x, ?y <- ?x knows+/likes ?y\n\
     \  help, quit\n"
 
@@ -77,16 +92,36 @@ let explain_query text =
 
 let print_stats () =
   let s = Serve.stats st.serve in
+  Printf.printf "queries: %d submitted, %d completed, %d failed (graph version %d)\n"
+    s.Serve.submitted s.Serve.completed s.Serve.failed s.Serve.graph_version;
+  (* totals come from the server counters; the delta column is a
+     windowed scrape of the ambient registry, so each [stats] reports
+     what happened since the previous one (first call: since startup) *)
+  let snap = Telemetry.Window.delta st.window (Telemetry.get ()) in
+  let cache c e =
+    match
+      Telemetry.Snapshot.value ~labels:[ ("cache", c); ("event", e) ] snap "serve_cache_total"
+    with
+    | Some v -> int_of_float v
+    | None -> 0
+  in
+  Printf.printf "  %-22s %8s  %s\n" "" "total" "since last stats";
+  let row name total dlt = Printf.printf "  %-22s %8d  %+d\n" name total dlt in
+  row "result hits" s.Serve.result_hits (cache "result" "hit");
+  row "in-flight joins" s.Serve.shared_joins (cache "result" "shared");
+  row "result misses" s.Serve.result_misses (cache "result" "miss");
+  row "plan hits" s.Serve.plan_hits (cache "plan" "hit");
+  row "plan misses" s.Serve.plan_misses (cache "plan" "miss");
+  row "fixpoints evaluated" s.Serve.fix_evals (cache "fix" "eval");
+  row "fixpoint cache hits" s.Serve.fix_hits (cache "fix" "hit");
+  row "fixpoints shared" s.Serve.fix_shared (cache "fix" "shared");
   Printf.printf
-    "queries: %d submitted, %d completed, %d failed (graph version %d)\n\
-     results: %d hits, %d in-flight joins, %d misses; %d entries, %d bytes cached\n\
-     plans:   %d hits, %d misses; %d entries\n\
-     fixpoints: %d evaluated, %d cache hits, %d shared\n\
-     invalidated %d, evicted %d\n"
-    s.Serve.submitted s.Serve.completed s.Serve.failed s.Serve.graph_version s.Serve.result_hits
-    s.Serve.shared_joins s.Serve.result_misses s.Serve.result_entries s.Serve.result_bytes
-    s.Serve.plan_hits s.Serve.plan_misses s.Serve.plan_entries s.Serve.fix_evals
-    s.Serve.fix_hits s.Serve.fix_shared s.Serve.invalidated s.Serve.evictions
+    "  caches: %d result entries (%d bytes), %d plan entries; invalidated %d, evicted %d\n"
+    s.Serve.result_entries s.Serve.result_bytes s.Serve.plan_entries s.Serve.invalidated
+    s.Serve.evictions;
+  if s.Serve.slow_queries > 0 || s.Serve.traces_captured > 0 then
+    Printf.printf "  telemetry: %d slow queries logged, %d traces captured\n"
+      s.Serve.slow_queries s.Serve.traces_captured
 
 (* replace the server (new pool size): carry the graph over *)
 let set_workers n =

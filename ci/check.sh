@@ -123,4 +123,62 @@ echo "serve report OK: $serve_report"
 echo "== bench micro_serve (--quick) =="
 dune exec bench/main.exe -- --quick micro_serve
 
+# telemetry gates: the registry must not change any server counter
+# (single-session counters identical on vs off), the snapshot must carry
+# the serve series in Prometheus and JSON form, a zero threshold must
+# fill the slow-query log and sample-every-query must capture traces
+# (the <=2% overhead gate only applies at full scale)
+echo "== bench micro_telemetry (--quick) =="
+dune exec bench/main.exe -- --quick micro_telemetry
+
+# metrics-snapshot smoke: a served run with the registry installed and
+# every query sampled must write a JSON snapshot that parses and carries
+# the serve series — counters with labels, the latency histogram with
+# buckets — and must have captured at least one per-query trace
+echo "== murarun --serve --metrics-out smoke =="
+metrics_out=$(mktemp /tmp/murarun_metrics.XXXXXX.json)
+trap 'rm -f "$report" "$serve_report" "$metrics_out"' EXIT
+out=$(dune exec bin/murarun.exe -- --gen er:500:0.006 --labels a \
+        --query "?x, ?y <- ?x a+ ?y" --serve 3 --serve-repeat 3 \
+        --metrics-out "$metrics_out" --sample 1 --slow-ms 0.001)
+case "$out" in
+  *"traces sampled"*) ;;
+  *) echo "--sample 1 run reported no sampled traces" >&2; exit 1 ;;
+esac
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$metrics_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+assert snap["window"] == "cumulative", "snapshot is not a cumulative scrape"
+assert snap["taken_us"] > 0, "snapshot missing its timestamp"
+rows = {(r["name"], tuple(sorted(r.get("labels", {}).items()))): r
+        for r in snap["metrics"]}
+names = {n for n, _ in rows}
+for needed in ("serve_queries_submitted_total", "serve_cache_total",
+               "serve_query_latency_ns", "cluster_stages_total",
+               "dds_shuffles_total"):
+    assert needed in names, f"snapshot missing series {needed!r}"
+for r in snap["metrics"]:
+    assert r["kind"] in ("counter", "gauge", "histogram"), r
+    if r["kind"] == "histogram":
+        assert "buckets" in r and r["count"] >= 0, f"bad histogram row {r['name']}"
+        for b in r["buckets"]:
+            assert "le" in b and b["count"] >= 0, f"bad bucket in {r['name']}"
+    else:
+        assert "value" in r, f"scalar row {r['name']} missing its value"
+lat = [r for r in snap["metrics"] if r["name"] == "serve_query_latency_ns"]
+assert lat and sum(r["count"] for r in lat) > 0, "latency histogram is empty"
+hit = rows.get(("serve_cache_total",
+                (("cache", "result"), ("event", "hit"))))
+assert hit and hit["value"] > 0, "repeated query never hit the result cache"
+EOF
+else
+  for key in '"serve_queries_submitted_total"' '"serve_query_latency_ns"' \
+             '"buckets"' '"cluster_stages_total"'; do
+    grep -q "$key" "$metrics_out" || { echo "snapshot missing $key" >&2; exit 1; }
+  done
+fi
+echo "metrics snapshot OK: $metrics_out"
+
 echo "ci/check.sh: all checks passed"

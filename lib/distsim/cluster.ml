@@ -231,11 +231,14 @@ let run_stage c f =
         Trace.counter tr ~cat:"pool" "pool.occupancy" (float_of_int (Pool.occupancy pool));
         Trace.set_attr tr "dispatch_ns" (Trace.Float (clock_ns () -. t0))
       end;
+      Telemetry.set (Telemetry.get ()) "cluster_pool_occupancy"
+        (float_of_int (Pool.occupancy pool));
       out.(0) <- Some (timed 0);
       for i = 1 to n - 1 do
         Pool.await pool (i - 1)
       done;
       if Trace.enabled tr then Trace.counter tr ~cat:"pool" "pool.occupancy" 0.;
+      Telemetry.set (Telemetry.get ()) "cluster_pool_occupancy" 0.;
       Array.map (function Some r -> r | None -> assert false) out
     | Some _ | None -> Array.init n timed
   in

@@ -1,89 +1,8 @@
-(* Fixed-bucket log2 histograms: cheap enough to stay on in the hot
-   path (one clz-style bucket lookup and an increment per sample), rich
-   enough for skew and straggler percentiles in run reports. *)
-module Hist = struct
-  let n_buckets = 48
-
-  type t = {
-    counts : int array;
-    mutable n : int;
-    mutable sum : float;
-    mutable vmin : float;
-    mutable vmax : float;
-  }
-
-  let create () =
-    { counts = Array.make n_buckets 0; n = 0; sum = 0.; vmin = infinity; vmax = neg_infinity }
-
-  let reset h =
-    Array.fill h.counts 0 n_buckets 0;
-    h.n <- 0;
-    h.sum <- 0.;
-    h.vmin <- infinity;
-    h.vmax <- neg_infinity
-
-  (* bucket 0 holds [0, 1); bucket b >= 1 holds [2^(b-1), 2^b) *)
-  let bucket_of v =
-    if v < 1. then 0
-    else min (n_buckets - 1) (1 + int_of_float (Float.log2 v))
-
-  let bucket_hi b = if b = 0 then 1. else Float.pow 2. (float_of_int b)
-
-  let add h v =
-    let v = Float.max 0. v in
-    h.counts.(bucket_of v) <- h.counts.(bucket_of v) + 1;
-    h.n <- h.n + 1;
-    h.sum <- h.sum +. v;
-    if v < h.vmin then h.vmin <- v;
-    if v > h.vmax then h.vmax <- v
-
-  let count h = h.n
-  let total h = h.sum
-  let min_value h = if h.n = 0 then 0. else h.vmin
-  let max_value h = if h.n = 0 then 0. else h.vmax
-  let mean h = if h.n = 0 then 0. else h.sum /. float_of_int h.n
-
-  (* Upper-bound estimate of the p-th percentile (p in [0, 100]): the
-     upper edge of the bucket containing the rank-th sample, clamped to
-     the exact observed [min, max]. An empty histogram reports 0; a
-     histogram whose samples all fell into one bucket degenerates to the
-     exact max (the clamp). *)
-  let percentile h p =
-    if h.n = 0 then 0.
-    else begin
-      let rank =
-        let r = int_of_float (ceil (p /. 100. *. float_of_int h.n)) in
-        if r < 1 then 1 else if r > h.n then h.n else r
-      in
-      let b = ref 0 and seen = ref 0 in
-      (try
-         for i = 0 to n_buckets - 1 do
-           seen := !seen + h.counts.(i);
-           if !seen >= rank then begin
-             b := i;
-             raise Exit
-           end
-         done
-       with Exit -> ());
-      Float.max h.vmin (Float.min h.vmax (bucket_hi !b))
-    end
-
-  let merge acc h =
-    Array.iteri (fun i c -> acc.counts.(i) <- acc.counts.(i) + c) h.counts;
-    acc.n <- acc.n + h.n;
-    acc.sum <- acc.sum +. h.sum;
-    if h.n > 0 then begin
-      if h.vmin < acc.vmin then acc.vmin <- h.vmin;
-      if h.vmax > acc.vmax then acc.vmax <- h.vmax
-    end
-
-  let buckets h =
-    let acc = ref [] in
-    for i = n_buckets - 1 downto 0 do
-      if h.counts.(i) > 0 then acc := (bucket_hi i, h.counts.(i)) :: !acc
-    done;
-    !acc
-end
+(* The fixed-bucket log2 histogram moved into [Telemetry] (the labeled
+   metrics registry sits below distsim in the library stack and shares
+   the bucket scheme); the alias keeps [Metrics.Hist.t] the same type
+   for every existing caller. *)
+module Hist = Telemetry.Hist
 
 type t = {
   mutable shuffles : int;
@@ -180,16 +99,28 @@ let ns_per_shuffled_record = 150.
 let ns_per_shuffle_round = 2_000_000.
 let ns_per_broadcast_record = 60.
 
+(* The record_* chokepoints below double as the feed of the ambient
+   [Telemetry] registry: one process-wide labeled view of the same
+   communication counters, aggregated across every cluster and query in
+   a serving process. Strict no-ops while no registry is installed. *)
+
 let record_stage m ~max_worker_ns =
   m.stages <- m.stages + 1;
-  m.sim_time_ns <- m.sim_time_ns +. max_worker_ns
+  m.sim_time_ns <- m.sim_time_ns +. max_worker_ns;
+  let r = Telemetry.get () in
+  if Telemetry.enabled r then begin
+    Telemetry.inc r "cluster_stages_total";
+    Telemetry.observe r "cluster_stage_max_worker_ns" max_worker_ns
+  end
 
 let record_worker_time m ~worker ~ns =
   Hist.add m.worker_ns ns;
   m.per_worker_ns <- ensure_workers m.per_worker_ns worker;
   m.per_worker_ns.(worker) <- m.per_worker_ns.(worker) +. ns
 
-let record_straggler m ~ratio = Hist.add m.straggler ratio
+let record_straggler m ~ratio =
+  Hist.add m.straggler ratio;
+  Telemetry.observe (Telemetry.get ()) "cluster_stage_straggler_ratio" ratio
 
 let record_partition_size m ~worker ~records =
   Hist.add m.partition_records (float_of_int records);
@@ -201,16 +132,31 @@ let record_shuffle m ~records ~bytes =
   m.shuffled_records <- m.shuffled_records + records;
   m.shuffled_bytes <- m.shuffled_bytes + bytes;
   m.sim_time_ns <-
-    m.sim_time_ns +. ns_per_shuffle_round +. (float_of_int records *. ns_per_shuffled_record)
+    m.sim_time_ns +. ns_per_shuffle_round +. (float_of_int records *. ns_per_shuffled_record);
+  let r = Telemetry.get () in
+  if Telemetry.enabled r then begin
+    Telemetry.inc r "dds_shuffles_total";
+    Telemetry.add r "dds_shuffled_records_total" (float_of_int records);
+    Telemetry.add r "dds_shuffled_bytes_total" (float_of_int bytes)
+  end
 
 let record_broadcast m ~records =
   m.broadcasts <- m.broadcasts + 1;
   m.broadcast_records <- m.broadcast_records + records;
-  m.sim_time_ns <- m.sim_time_ns +. (float_of_int records *. ns_per_broadcast_record)
+  m.sim_time_ns <- m.sim_time_ns +. (float_of_int records *. ns_per_broadcast_record);
+  let r = Telemetry.get () in
+  if Telemetry.enabled r then begin
+    Telemetry.inc r "dds_broadcasts_total";
+    Telemetry.add r "dds_broadcast_records_total" (float_of_int records)
+  end
 
-let record_superstep m = m.supersteps <- m.supersteps + 1
+let record_superstep m =
+  m.supersteps <- m.supersteps + 1;
+  Telemetry.inc (Telemetry.get ()) "cluster_supersteps_total"
 
-let record_dedup_dropped m ~records = m.dedup_dropped_records <- m.dedup_dropped_records + records
+let record_dedup_dropped m ~records =
+  m.dedup_dropped_records <- m.dedup_dropped_records + records;
+  Telemetry.add (Telemetry.get ()) "dds_dedup_dropped_records_total" (float_of_int records)
 
 let record_exchange_phases m ~map_ns ~merge_ns =
   m.exchange_map_ns <- m.exchange_map_ns +. map_ns;

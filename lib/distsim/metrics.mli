@@ -14,39 +14,11 @@
     (max / median worker time) — the raw material of the skew tables in
     [murarun --analyze] and the JSON run reports. *)
 
-(** Fixed-bucket log2 histogram: bucket 0 holds [0, 1), bucket [b >= 1]
-    holds [2^(b-1), 2^b); 48 buckets cover any practical count or
-    nanosecond value. Adding a sample is O(1) and allocation-free. *)
-module Hist : sig
-  type t
-
-  val create : unit -> t
-  val reset : t -> unit
-  val add : t -> float -> unit
-  (** Negative samples are clamped to 0. *)
-
-  val count : t -> int
-  val total : t -> float
-  val mean : t -> float
-
-  val min_value : t -> float
-  (** Exact observed minimum; 0 when empty. *)
-
-  val max_value : t -> float
-  (** Exact observed maximum; 0 when empty. *)
-
-  val percentile : t -> float -> float
-  (** [percentile h p] for [p] in [0, 100]: an upper-bound estimate (the
-      upper edge of the bucket holding the rank-th sample) clamped to the
-      exact observed min/max. Empty histograms report 0; a single-bucket
-      histogram degenerates to the exact max. *)
-
-  val merge : t -> t -> unit
-  (** [merge acc h] accumulates [h] into [acc]. *)
-
-  val buckets : t -> (float * int) list
-  (** Non-empty buckets as [(upper_bound, count)], ascending. *)
-end
+(** Fixed-bucket log2 histogram — an alias of {!Telemetry.Hist}, where
+    the implementation now lives (shared with the labeled metrics
+    registry); see there for the bucket scheme, [percentile] and the
+    interpolated [quantile]. *)
+module Hist = Telemetry.Hist
 
 type t = {
   mutable shuffles : int;  (** wide stages executed *)

@@ -239,11 +239,11 @@ let skew_table (m : Metrics.t) =
   let hist name scale unit h =
     Printf.bprintf buf "%-26s n=%-5d p50=%.2f%s p90=%.2f%s p99=%.2f%s max=%.2f%s\n" name
       (Metrics.Hist.count h)
-      (Metrics.Hist.percentile h 50. /. scale)
+      (Metrics.Hist.quantile h 0.50 /. scale)
       unit
-      (Metrics.Hist.percentile h 90. /. scale)
+      (Metrics.Hist.quantile h 0.90 /. scale)
       unit
-      (Metrics.Hist.percentile h 99. /. scale)
+      (Metrics.Hist.quantile h 0.99 /. scale)
       unit
       (Metrics.Hist.max_value h /. scale)
       unit
@@ -291,9 +291,9 @@ let hist_json h =
       ("mean", num (Metrics.Hist.mean h));
       ("min", num (Metrics.Hist.min_value h));
       ("max", num (Metrics.Hist.max_value h));
-      ("p50", num (Metrics.Hist.percentile h 50.));
-      ("p90", num (Metrics.Hist.percentile h 90.));
-      ("p99", num (Metrics.Hist.percentile h 99.));
+      ("p50", num (Metrics.Hist.quantile h 0.50));
+      ("p90", num (Metrics.Hist.quantile h 0.90));
+      ("p99", num (Metrics.Hist.quantile h 0.99));
       ( "buckets",
         arr
           (List.map

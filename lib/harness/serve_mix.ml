@@ -25,10 +25,21 @@ type config = {
   repeat : int;
   max_inflight : int;
   force_plan : Exec.fixpoint_plan option;
+  sample_every : int;
+  slow_threshold_ms : float;
 }
 
 let default_config =
-  { workers = 4; parallel = false; sessions = 4; repeat = 4; max_inflight = 2; force_plan = None }
+  {
+    workers = 4;
+    parallel = false;
+    sessions = 4;
+    repeat = 4;
+    max_inflight = 2;
+    force_plan = None;
+    sample_every = 0;
+    slow_threshold_ms = infinity;
+  }
 
 type result = {
   wall_s : float;
@@ -43,6 +54,9 @@ type result = {
   lat_p50_ms : float;
   lat_p95_ms : float;
   lat_p99_ms : float;
+  slow_queries : Serve.slow_query list;
+  traces_captured : int;
+  telemetry : Telemetry.Snapshot.t option;
 }
 
 let run ?(mix = default_mix ()) config ~graph =
@@ -52,7 +66,10 @@ let run ?(mix = default_mix ()) config ~graph =
     | None -> None
     | Some _ -> Some { (Exec.default_config cluster) with Exec.force_plan = config.force_plan }
   in
-  let t = Serve.create ~max_inflight:config.max_inflight ?config:sconfig ~cluster () in
+  let t =
+    Serve.create ~max_inflight:config.max_inflight ~sample_every:config.sample_every
+      ~slow_threshold_ms:config.slow_threshold_ms ?config:sconfig ~cluster ()
+  in
   Serve.register t "E" graph;
   (* parity oracle: the centralized reference evaluator *)
   let env = Mura.Eval.env [ ("E", graph) ] in
@@ -77,7 +94,12 @@ let run ?(mix = default_mix ()) config ~graph =
   let wall_s = Unix.gettimeofday () -. t0 in
   let s = Serve.stats t in
   let wait_h = Serve.wait_hist t and lat_h = Serve.latency_hist t in
-  let pct h p = Hist.percentile h p /. 1e6 in
+  (* shared interpolated-quantile implementation (Telemetry.Hist) *)
+  let pct h q = Hist.quantile h q /. 1e6 in
+  let telemetry =
+    let reg = Telemetry.get () in
+    if Telemetry.enabled reg then Some (Telemetry.snapshot reg) else None
+  in
   let r =
     {
       wall_s;
@@ -91,11 +113,14 @@ let run ?(mix = default_mix ()) config ~graph =
            /. float_of_int s.Serve.completed);
       parity_failures = Atomic.get parity_failures;
       stats = s;
-      wait_p50_ms = pct wait_h 50.;
-      wait_p95_ms = pct wait_h 95.;
-      lat_p50_ms = pct lat_h 50.;
-      lat_p95_ms = pct lat_h 95.;
-      lat_p99_ms = pct lat_h 99.;
+      wait_p50_ms = pct wait_h 0.50;
+      wait_p95_ms = pct wait_h 0.95;
+      lat_p50_ms = pct lat_h 0.50;
+      lat_p95_ms = pct lat_h 0.95;
+      lat_p99_ms = pct lat_h 0.99;
+      slow_queries = Serve.slow_log t;
+      traces_captured = s.Serve.traces_captured;
+      telemetry;
     }
   in
   Serve.shutdown t;
@@ -113,43 +138,78 @@ let print r =
   Printf.printf "  fixpoints: %d evaluated, %d cache hits, %d shared in flight\n"
     s.Serve.fix_evals s.Serve.fix_hits s.Serve.fix_shared;
   Printf.printf "  admission wait p50/p95: %.2f/%.2f ms; latency p50/p95/p99: %.2f/%.2f/%.2f ms\n"
-    r.wait_p50_ms r.wait_p95_ms r.lat_p50_ms r.lat_p95_ms r.lat_p99_ms
+    r.wait_p50_ms r.wait_p95_ms r.lat_p50_ms r.lat_p95_ms r.lat_p99_ms;
+  if s.Serve.slow_queries > 0 || r.traces_captured > 0 then
+    Printf.printf "  telemetry: %d slow queries logged, %d traces sampled\n" s.Serve.slow_queries
+      r.traces_captured;
+  match r.telemetry with
+  | None -> ()
+  | Some snap ->
+    Printf.printf "  registry: %d series (ambient telemetry enabled)\n"
+      (List.length snap.Telemetry.Snapshot.rows)
+
+let slow_query_json (q : Serve.slow_query) =
+  let open Trace.Json in
+  obj
+    [
+      ("query_id", num (float_of_int q.Serve.sq_query));
+      ("session", str q.Serve.sq_session);
+      ("key", str q.Serve.sq_key);
+      ("plans", arr (List.map str q.Serve.sq_plans));
+      ("iterations", num (float_of_int q.Serve.sq_iterations));
+      ("stages", num (float_of_int q.Serve.sq_stages));
+      ("straggler_mean", num q.Serve.sq_straggler_mean);
+      ("wait_ms", num (q.Serve.sq_wait_ns /. 1e6));
+      ("total_ms", num (q.Serve.sq_total_ns /. 1e6));
+      ("plan_hit", if q.Serve.sq_plan_hit then "true" else "false");
+      ("result_hit", if q.Serve.sq_result_hit then "true" else "false");
+      ("shared", if q.Serve.sq_shared then "true" else "false");
+      ("fix_hits", num (float_of_int q.Serve.sq_fix_hits));
+      ("sampled", if q.Serve.sq_sampled then "true" else "false");
+    ]
 
 let report_json r =
   let open Trace.Json in
   let s = r.stats in
   let i n = num (float_of_int n) in
   obj
-    [
-      ("kind", str "serve_mix");
-      ("wall_s", num r.wall_s);
-      ("completed", i r.completed);
-      ("failed", i r.failed);
-      ("throughput_qps", num r.throughput_qps);
-      ("hit_rate", num r.hit_rate);
-      ("parity_failures", i r.parity_failures);
-      ("submitted", i s.Serve.submitted);
-      ("result_hits", i s.Serve.result_hits);
-      ("shared_joins", i s.Serve.shared_joins);
-      ("result_misses", i s.Serve.result_misses);
-      ("plan_hits", i s.Serve.plan_hits);
-      ("plan_misses", i s.Serve.plan_misses);
-      ("fix_evals", i s.Serve.fix_evals);
-      ("fix_hits", i s.Serve.fix_hits);
-      ("fix_shared", i s.Serve.fix_shared);
-      ("invalidated", i s.Serve.invalidated);
-      ("evictions", i s.Serve.evictions);
-      ("result_cache_entries", i s.Serve.result_entries);
-      ("result_cache_bytes", i s.Serve.result_bytes);
-      ("graph_version", i s.Serve.graph_version);
-      ( "wait_ms",
-        obj [ ("p50", num r.wait_p50_ms); ("p95", num r.wait_p95_ms) ] );
-      ( "latency_ms",
-        obj
-          [
-            ("p50", num r.lat_p50_ms); ("p95", num r.lat_p95_ms); ("p99", num r.lat_p99_ms);
-          ] );
-    ]
+    ([
+       ("kind", str "serve_mix");
+       ("wall_s", num r.wall_s);
+       ("completed", i r.completed);
+       ("failed", i r.failed);
+       ("throughput_qps", num r.throughput_qps);
+       ("hit_rate", num r.hit_rate);
+       ("parity_failures", i r.parity_failures);
+       ("submitted", i s.Serve.submitted);
+       ("result_hits", i s.Serve.result_hits);
+       ("shared_joins", i s.Serve.shared_joins);
+       ("result_misses", i s.Serve.result_misses);
+       ("plan_hits", i s.Serve.plan_hits);
+       ("plan_misses", i s.Serve.plan_misses);
+       ("fix_evals", i s.Serve.fix_evals);
+       ("fix_hits", i s.Serve.fix_hits);
+       ("fix_shared", i s.Serve.fix_shared);
+       ("invalidated", i s.Serve.invalidated);
+       ("evictions", i s.Serve.evictions);
+       ("result_cache_entries", i s.Serve.result_entries);
+       ("result_cache_bytes", i s.Serve.result_bytes);
+       ("graph_version", i s.Serve.graph_version);
+       ("slow_queries", i s.Serve.slow_queries);
+       ("traces_captured", i r.traces_captured);
+       ( "wait_ms",
+         obj [ ("p50", num r.wait_p50_ms); ("p95", num r.wait_p95_ms) ] );
+       ( "latency_ms",
+         obj
+           [
+             ("p50", num r.lat_p50_ms); ("p95", num r.lat_p95_ms); ("p99", num r.lat_p99_ms);
+           ] );
+       ("slow_query_log", arr (List.map slow_query_json r.slow_queries));
+     ]
+    @
+    match r.telemetry with
+    | None -> []
+    | Some snap -> [ ("telemetry", Telemetry.Snapshot.to_json snap) ])
 
 let write_report ~file r =
   let oc = open_out file in

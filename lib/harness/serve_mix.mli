@@ -24,10 +24,13 @@ type config = {
   repeat : int;  (** full-mix submissions per session *)
   max_inflight : int;  (** admission slots; >= 2 enables fixpoint sharing *)
   force_plan : Physical.Exec.fixpoint_plan option;
+  sample_every : int;  (** per-query trace sampling, 1-in-N (0 = off) *)
+  slow_threshold_ms : float;  (** slow-query-log threshold ([infinity] = off) *)
 }
 
 val default_config : config
-(** 4 workers (sequential), 4 sessions, 4 repeats, 2 admission slots. *)
+(** 4 workers (sequential), 4 sessions, 4 repeats, 2 admission slots,
+    sampling and slow log off. *)
 
 type result = {
   wall_s : float;
@@ -38,11 +41,18 @@ type result = {
       (** (result hits + in-flight joins) / completed queries *)
   parity_failures : int;  (** responses differing from the oracle *)
   stats : Serve.stats;  (** full server counters at the end of the run *)
-  wait_p50_ms : float;  (** admission-wait percentiles *)
+  wait_p50_ms : float;
+      (** admission-wait percentiles ({!Telemetry.Hist.quantile}, the
+          shared interpolated implementation) *)
   wait_p95_ms : float;
   lat_p50_ms : float;  (** end-to-end latency percentiles *)
   lat_p95_ms : float;
   lat_p99_ms : float;
+  slow_queries : Serve.slow_query list;  (** the server's slow-query log *)
+  traces_captured : int;  (** sampled per-query traces kept *)
+  telemetry : Telemetry.Snapshot.t option;
+      (** snapshot of the ambient registry at the end of the run, when
+          one was installed *)
 }
 
 val run : ?mix:mix -> config -> graph:Relation.Rel.t -> result

@@ -433,6 +433,14 @@ and exec_fix ctx ~path var body : Dds.t =
           deltas;
         }
         :: ctx.rpt.fixpoints;
+      (let reg = Telemetry.get () in
+       if Telemetry.enabled reg then begin
+         let labels = [ ("plan", plan_name plan) ] in
+         Telemetry.inc reg ~labels "exec_fixpoints_total";
+         Telemetry.observe reg ~labels "exec_fixpoint_iterations" (float_of_int iterations);
+         Telemetry.observe reg ~labels "exec_fixpoint_result_rows"
+           (float_of_int (Dds.cardinal result))
+       end);
       result)
 
 (* Shared semi-naive driver of P_gld and P_plw^s: produce (branch

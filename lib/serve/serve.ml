@@ -55,6 +55,32 @@ type pentry = { pl_term : Term.t; pl_deps : string list; mutable pl_last_use : i
 
 type pending = { q_session : int; q_seq : int; mutable q_admitted : bool }
 
+(* Forensic record of a query that breached the slow threshold. *)
+type slow_query = {
+  sq_query : int;
+  sq_session : string;
+  sq_key : string;  (* normalized term key *)
+  sq_plans : string list;  (* fixpoint plans chosen, evaluation order *)
+  sq_iterations : int;
+  sq_stages : int;
+  sq_straggler_mean : float;  (* mean per-stage max/median worker-time ratio *)
+  sq_wait_ns : float;
+  sq_total_ns : float;
+  sq_plan_hit : bool;
+  sq_result_hit : bool;
+  sq_shared : bool;
+  sq_fix_hits : int;
+  sq_sampled : bool;  (* a full trace was captured for this query *)
+}
+
+(* A sampled query's captured trace (events carrying its query id). *)
+type query_trace = {
+  qt_query : int;
+  qt_session : string;
+  qt_key : string;
+  qt_events : Trace.event list;
+}
+
 type t = {
   cluster : Cluster.t;
   exec_config : Exec.config;
@@ -91,6 +117,18 @@ type t = {
   wait_h : Hist.t;
   latency_h : Hist.t;
   mutable closed : bool;
+  (* telemetry: query ids, trace sampling, slow-query log *)
+  mutable next_query : int;  (* query ids, assigned at submission *)
+  sampler : Telemetry.Sampler.t;
+  qtracer : Trace.t option;
+      (* server-owned tracer for sampled queries; installed as the
+         ambient tracer only while sampled evaluations are in flight and
+         only when no user tracer is active *)
+  mutable capture_refs : int;  (* sampled evaluations in flight *)
+  trace_capacity : int;
+  mutable traces : query_trace list;  (* newest first, bounded *)
+  slow_capacity : int;
+  mutable slow_log : slow_query list;  (* newest first, bounded *)
   (* counters *)
   mutable c_submitted : int;
   mutable c_completed : int;
@@ -105,15 +143,28 @@ type t = {
   mutable c_fix_shared : int;
   mutable c_invalidated : int;
   mutable c_evictions : int;
+  mutable c_slow : int;
+  mutable c_traces : int;
 }
 
 let create ?(max_inflight = 1) ?(plan_cache_capacity = 128)
-    ?(result_cache_bytes = 64 * 1024 * 1024) ?(max_plans = 120) ?config ~cluster () =
+    ?(result_cache_bytes = 64 * 1024 * 1024) ?(max_plans = 120) ?(sample_every = 0)
+    ?(slow_threshold_ms = infinity) ?(slow_log_capacity = 64) ?config ~cluster () =
   if max_inflight < 1 then invalid_arg "Serve.create: max_inflight < 1";
   let exec_config =
     match config with
     | Some c -> { c with Exec.cluster }
     | None -> Exec.default_config cluster
+  in
+  let qtracer =
+    if sample_every > 0 then begin
+      let qtr = Trace.make () in
+      (* wire the simulated clock like Cluster.make does for --trace, so
+         captured per-query traces are deterministic in sequential mode *)
+      Trace.set_sim_clock qtr (fun () -> (Cluster.metrics cluster).Metrics.sim_time_ns);
+      Some qtr
+    end
+    else None
   in
   {
     cluster;
@@ -143,6 +194,15 @@ let create ?(max_inflight = 1) ?(plan_cache_capacity = 128)
     wait_h = Hist.create ();
     latency_h = Hist.create ();
     closed = false;
+    next_query = 0;
+    sampler =
+      Telemetry.Sampler.make ~slow_threshold_ns:(slow_threshold_ms *. 1e6) ~every:sample_every ();
+    qtracer;
+    capture_refs = 0;
+    trace_capacity = 32;
+    traces = [];
+    slow_capacity = max 0 slow_log_capacity;
+    slow_log = [];
     c_submitted = 0;
     c_completed = 0;
     c_failed = 0;
@@ -156,9 +216,38 @@ let create ?(max_inflight = 1) ?(plan_cache_capacity = 128)
     c_fix_shared = 0;
     c_invalidated = 0;
     c_evictions = 0;
+    c_slow = 0;
+    c_traces = 0;
   }
 
 let cluster t = t.cluster
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry feed (ambient registry; strict no-ops when disabled)      *)
+(* ------------------------------------------------------------------ *)
+
+let tele_cache ~cache event =
+  let r = Telemetry.get () in
+  if Telemetry.enabled r then
+    Telemetry.inc r ~labels:[ ("cache", cache); ("event", event) ] "serve_cache_total"
+
+let tele_done ~outcome ~session_name ~wait_ns ~latency_ns =
+  let r = Telemetry.get () in
+  if Telemetry.enabled r then begin
+    Telemetry.inc r ~labels:[ ("outcome", outcome) ] "serve_queries_total";
+    Telemetry.observe r ~labels:[ ("session", session_name) ] "serve_query_latency_ns" latency_ns;
+    if wait_ns > 0. then Telemetry.observe r "serve_admission_wait_ns" wait_ns
+  end
+
+(* gauges of the admission queue and result cache; [t.lock] held *)
+let tele_gauges t =
+  let r = Telemetry.get () in
+  if Telemetry.enabled r then begin
+    Telemetry.set r "serve_inflight" (float_of_int t.inflight);
+    Telemetry.set r "serve_queued" (float_of_int (List.length t.pending));
+    Telemetry.set r "serve_result_cache_bytes" (float_of_int t.cache_bytes);
+    Telemetry.set r "serve_result_cache_entries" (float_of_int (Hashtbl.length t.result_cache))
+  end
 
 let shutdown t =
   Mutex.lock t.lock;
@@ -375,9 +464,11 @@ let admit t sid =
   let me = { q_session = sid; q_seq = t.next_seq; q_admitted = false } in
   t.pending <- t.pending @ [ me ];
   schedule t;
+  tele_gauges t;
   while not me.q_admitted do
     Condition.wait t.admit_cond t.lock
   done;
+  tele_gauges t;
   Mutex.unlock t.lock;
   now_ns () -. t0
 
@@ -385,6 +476,7 @@ let release t =
   Mutex.lock t.lock;
   t.inflight <- t.inflight - 1;
   schedule t;
+  tele_gauges t;
   Mutex.unlock t.lock
 
 (* ------------------------------------------------------------------ *)
@@ -396,25 +488,49 @@ let optimize_term t tbl term =
   let stats = Cost.Stats.of_tables tbl in
   Rewrite.Engine.optimize ~max_plans:t.max_plans ~cost:(Cost.Estimate.cost stats) tenv term
 
+(* per-evaluation accounting, folded into the response and (for queries
+   breaching the slow threshold) the slow-query log *)
+type eval_stats = {
+  mutable e_iters : int;
+  mutable e_fix_hits : int;
+  mutable e_plans : string list;  (* fixpoint plans chosen, reverse order *)
+  mutable e_stages : int;  (* cluster stages this evaluation ran *)
+  mutable e_strag_sum : float;  (* sum of per-stage straggler ratios *)
+  mutable e_strag_n : int;
+}
+
+let eval_stats_make () =
+  { e_iters = 0; e_fix_hits = 0; e_plans = []; e_stages = 0; e_strag_sum = 0.; e_strag_n = 0 }
+
 (* One cluster segment. Admission bounds how many evaluators exist; this
    lock makes stage interleaving impossible even with max_inflight > 1
-   (the Cluster.Concurrent_dispatch guard would reject it loudly). *)
-let exec_on_cluster t ~tbl term =
+   (the Cluster.Concurrent_dispatch guard would reject it loudly).
+   Holding the cluster lock also makes the per-segment deltas of the
+   shared cluster metrics (stages, straggler ratios) attributable to
+   this evaluation. *)
+let exec_on_cluster t ~tbl ~st term =
   Mutex.lock t.cluster_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.cluster_lock) @@ fun () ->
+  let m = Cluster.metrics t.cluster in
+  let stages0 = m.Metrics.stages in
+  let strag_sum0 = Hist.total m.Metrics.straggler in
+  let strag_n0 = Hist.count m.Metrics.straggler in
   let tr = Trace.get () in
-  Trace.span tr ~cat:"serve" "serve.eval" @@ fun () ->
-  let ctx = Exec.session t.exec_config tbl in
-  let rel = Exec.run ctx term in
-  let iters =
-    List.fold_left
-      (fun acc (fr : Exec.fix_report) -> acc + fr.iterations)
-      0 (Exec.report ctx).Exec.fixpoints
+  let rel =
+    Trace.span tr ~cat:"serve" "serve.eval" @@ fun () ->
+    let ctx = Exec.session t.exec_config tbl in
+    let rel = Exec.run ctx term in
+    List.iter
+      (fun (fr : Exec.fix_report) ->
+        st.e_iters <- st.e_iters + fr.iterations;
+        st.e_plans <- Exec.plan_name fr.Exec.plan :: st.e_plans)
+      (Exec.report ctx).Exec.fixpoints;
+    rel
   in
-  (rel, iters)
-
-(* per-evaluation accounting, folded into the response *)
-type eval_stats = { mutable e_iters : int; mutable e_fix_hits : int }
+  st.e_stages <- st.e_stages + (m.Metrics.stages - stages0);
+  st.e_strag_sum <- st.e_strag_sum +. (Hist.total m.Metrics.straggler -. strag_sum0);
+  st.e_strag_n <- st.e_strag_n + (Hist.count m.Metrics.straggler - strag_n0);
+  rel
 
 (* Resolve one maximal closed Fix subterm through cache and promise
    table; evaluate it at most once process-wide per (normal key,
@@ -428,6 +544,7 @@ let resolve_fix t ~tbl ~v0 ~st fix_term =
     t.c_fix_hits <- t.c_fix_hits + 1;
     st.e_fix_hits <- st.e_fix_hits + 1;
     Mutex.unlock t.lock;
+    tele_cache ~cache:"fix" "hit";
     rel
   | None -> (
     match Hashtbl.find_opt t.f_promises key with
@@ -435,6 +552,7 @@ let resolve_fix t ~tbl ~v0 ~st fix_term =
       t.c_fix_shared <- t.c_fix_shared + 1;
       st.e_fix_hits <- st.e_fix_hits + 1;
       Mutex.unlock t.lock;
+      tele_cache ~cache:"fix" "shared";
       promise_await p
     | None -> (
       let p = promise_make deps in
@@ -449,13 +567,14 @@ let resolve_fix t ~tbl ~v0 ~st fix_term =
         | _ -> ());
         Mutex.unlock t.lock
       in
-      match exec_on_cluster t ~tbl fix_term with
-      | rel, iters ->
-        st.e_iters <- st.e_iters + iters;
+      match exec_on_cluster t ~tbl ~st fix_term with
+      | rel ->
         Mutex.lock t.lock;
         t.c_fix_evals <- t.c_fix_evals + 1;
         cache_store t ~key ~deps ~v0 rel;
+        tele_gauges t;
         Mutex.unlock t.lock;
+        tele_cache ~cache:"fix" "eval";
         forget ();
         promise_fulfill p (`Done rel);
         rel
@@ -493,10 +612,12 @@ let evaluate t ~key ~deps ~v0 ~tbl ~optimize ~st term =
       | Some pl ->
         t.c_plan_hits <- t.c_plan_hits + 1;
         Mutex.unlock t.lock;
+        tele_cache ~cache:"plan" "hit";
         (pl, true)
       | None ->
         t.c_plan_misses <- t.c_plan_misses + 1;
         Mutex.unlock t.lock;
+        tele_cache ~cache:"plan" "miss";
         (* rewriting is pure CPU work — run it outside the lock *)
         let best = optimize_term t tbl term in
         Mutex.lock t.lock;
@@ -509,19 +630,19 @@ let evaluate t ~key ~deps ~v0 ~tbl ~optimize ~st term =
   let rel =
     match residual with
     | Term.Cst r -> r (* the whole plan was one shared fixpoint *)
-    | _ ->
-      let r, iters = exec_on_cluster t ~tbl residual in
-      st.e_iters <- st.e_iters + iters;
-      r
+    | _ -> exec_on_cluster t ~tbl ~st residual
   in
   Mutex.lock t.lock;
   cache_store t ~key ~deps ~v0 rel;
+  tele_gauges t;
   Mutex.unlock t.lock;
   (rel, plan_hit)
 
 type response = {
   rel : Rel.t;
   session : int;
+  query_id : int;
+  sampled : bool;
   plan_hit : bool;
   result_hit : bool;
   shared : bool;
@@ -530,6 +651,39 @@ type response = {
   wait_ns : float;
   exec_ns : float;
 }
+
+let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+(* with [t.lock] held: count a slow query and append it to the bounded
+   log (oldest entries fall off the end) *)
+let record_slow_locked t ~qid ~session ~key ~st ~wait_ns ~total_ns ~plan_hit ~result_hit ~shared
+    ~sampled =
+  if Telemetry.Sampler.slow t.sampler ~ns:total_ns then begin
+    t.c_slow <- t.c_slow + 1;
+    if t.slow_capacity > 0 then begin
+      let entry =
+        {
+          sq_query = qid;
+          sq_session = session;
+          sq_key = key;
+          sq_plans = List.rev st.e_plans;
+          sq_iterations = st.e_iters;
+          sq_stages = st.e_stages;
+          sq_straggler_mean =
+            (if st.e_strag_n = 0 then 0. else st.e_strag_sum /. float_of_int st.e_strag_n);
+          sq_wait_ns = wait_ns;
+          sq_total_ns = total_ns;
+          sq_plan_hit = plan_hit;
+          sq_result_hit = result_hit;
+          sq_shared = shared;
+          sq_fix_hits = st.e_fix_hits;
+          sq_sampled = sampled;
+        }
+      in
+      t.slow_log <- take t.slow_capacity (entry :: t.slow_log)
+    end;
+    Telemetry.inc (Telemetry.get ()) "serve_slow_queries_total"
+  end
 
 let query ?(optimize = true) t (sn : Session.t) term =
   let t_start = now_ns () in
@@ -541,14 +695,28 @@ let query ?(optimize = true) t (sn : Session.t) term =
     invalid_arg "Serve.query: closed session or server"
   end;
   t.c_submitted <- t.c_submitted + 1;
+  t.next_query <- t.next_query + 1;
+  let qid = t.next_query in
+  let sampled = Telemetry.Sampler.sample_id t.sampler qid in
+  let r = Telemetry.get () in
+  if Telemetry.enabled r then Telemetry.inc r "serve_queries_submitted_total";
   let finish_hit rel ~shared =
     (if shared then t.c_shared_joins <- t.c_shared_joins + 1
      else t.c_result_hits <- t.c_result_hits + 1);
     t.c_completed <- t.c_completed + 1;
-    Hist.add t.latency_h (now_ns () -. t_start);
+    let total_ns = now_ns () -. t_start in
+    Hist.add t.latency_h total_ns;
+    record_slow_locked t ~qid ~session:sn.Session.name ~key ~st:(eval_stats_make ())
+      ~wait_ns:0. ~total_ns ~plan_hit:false ~result_hit:true ~shared ~sampled:false;
+    tele_done
+      ~outcome:(if shared then "shared" else "hit")
+      ~session_name:sn.Session.name ~wait_ns:0. ~latency_ns:total_ns;
+    tele_cache ~cache:"result" (if shared then "shared" else "hit");
     {
       rel;
       session = sn.Session.id;
+      query_id = qid;
+      sampled = false;
       plan_hit = false;
       result_hit = true;
       shared;
@@ -566,30 +734,20 @@ let query ?(optimize = true) t (sn : Session.t) term =
   | None -> (
     match Hashtbl.find_opt t.q_promises key with
     | Some p -> (
-      t.c_shared_joins <- t.c_shared_joins + 1;
       Mutex.unlock t.lock;
       (* identical query already in flight: batch onto it *)
       match promise_await p with
       | rel ->
         Mutex.lock t.lock;
-        t.c_completed <- t.c_completed + 1;
-        Hist.add t.latency_h (now_ns () -. t_start);
+        let resp = finish_hit rel ~shared:true in
         Mutex.unlock t.lock;
-        {
-          rel;
-          session = sn.Session.id;
-          plan_hit = false;
-          result_hit = true;
-          shared = true;
-          fix_hits = 0;
-          iterations = 0;
-          wait_ns = 0.;
-          exec_ns = 0.;
-        }
+        resp
       | exception e ->
         Mutex.lock t.lock;
         t.c_failed <- t.c_failed + 1;
         Mutex.unlock t.lock;
+        tele_done ~outcome:"failed" ~session_name:sn.Session.name ~wait_ns:0.
+          ~latency_ns:(now_ns () -. t_start);
         raise e)
     | None -> (
       (* we own the evaluation: snapshot the catalog, publish a promise *)
@@ -598,7 +756,53 @@ let query ?(optimize = true) t (sn : Session.t) term =
       let p = promise_make deps in
       Hashtbl.replace t.q_promises key p;
       t.c_result_misses <- t.c_result_misses + 1;
+      (* start a sampled-trace capture: install the server's tracer as
+         the ambient one unless the user already has their own (then
+         their trace simply carries the query-id attrs). Refcounted so
+         overlapping sampled queries share one installation. *)
+      let capturing =
+        sampled
+        && (match t.qtracer with
+           | None -> false
+           | Some qtr ->
+             let amb = Trace.get () in
+             if Trace.enabled amb && amb != qtr then false
+             else begin
+               t.capture_refs <- t.capture_refs + 1;
+               if t.capture_refs = 1 then begin
+                 Trace.clear qtr;
+                 Trace.install qtr
+               end;
+               true
+             end)
+      in
       Mutex.unlock t.lock;
+      tele_cache ~cache:"result" "miss";
+      let finish_capture () =
+        if capturing then
+          match t.qtracer with
+          | None -> ()
+          | Some qtr ->
+            Mutex.lock t.lock;
+            (* extract this query's events (by query_id attr) before a
+               later sampled query can clear the collector *)
+            let evs =
+              List.filter
+                (fun (e : Trace.event) ->
+                  match List.assoc_opt "query_id" e.Trace.attrs with
+                  | Some (Trace.Int q) -> q = qid
+                  | _ -> false)
+                (Trace.events qtr)
+            in
+            t.capture_refs <- t.capture_refs - 1;
+            if t.capture_refs = 0 then Trace.uninstall ();
+            t.traces <-
+              take t.trace_capacity
+                ({ qt_query = qid; qt_session = sn.Session.name; qt_key = key; qt_events = evs }
+                :: t.traces);
+            t.c_traces <- t.c_traces + 1;
+            Mutex.unlock t.lock
+      in
       let forget () =
         Mutex.lock t.lock;
         (match Hashtbl.find_opt t.q_promises key with
@@ -606,8 +810,12 @@ let query ?(optimize = true) t (sn : Session.t) term =
         | _ -> ());
         Mutex.unlock t.lock
       in
-      let st = { e_iters = 0; e_fix_hits = 0 } in
+      let st = eval_stats_make () in
       let run () =
+        (* every event this evaluation records — admission, serve.eval,
+           stages, exchanges, operator spans — carries the query id *)
+        Trace.with_ambient_attrs [ ("query_id", Trace.Int qid) ] @@ fun () ->
+        Fun.protect ~finally:finish_capture @@ fun () ->
         let wait_ns = admit t sn.Session.id in
         Fun.protect ~finally:(fun () -> release t) @@ fun () ->
         let rel, plan_hit = evaluate t ~key ~deps ~v0 ~tbl ~optimize ~st term in
@@ -618,21 +826,28 @@ let query ?(optimize = true) t (sn : Session.t) term =
         forget ();
         promise_fulfill p (`Done rel);
         let t_end = now_ns () in
+        let total_ns = t_end -. t_start in
         Mutex.lock t.lock;
         t.c_completed <- t.c_completed + 1;
         Hist.add t.wait_h wait_ns;
-        Hist.add t.latency_h (t_end -. t_start);
+        Hist.add t.latency_h total_ns;
+        record_slow_locked t ~qid ~session:sn.Session.name ~key ~st ~wait_ns ~total_ns
+          ~plan_hit ~result_hit:false ~shared:false ~sampled:capturing;
         Mutex.unlock t.lock;
+        tele_done ~outcome:"evaluated" ~session_name:sn.Session.name ~wait_ns
+          ~latency_ns:total_ns;
         {
           rel;
           session = sn.Session.id;
+          query_id = qid;
+          sampled = capturing;
           plan_hit;
           result_hit = false;
           shared = false;
           fix_hits = st.e_fix_hits;
           iterations = st.e_iters;
           wait_ns;
-          exec_ns = t_end -. t_start -. wait_ns;
+          exec_ns = total_ns -. wait_ns;
         }
       | exception e ->
         forget ();
@@ -640,6 +855,8 @@ let query ?(optimize = true) t (sn : Session.t) term =
         Mutex.lock t.lock;
         t.c_failed <- t.c_failed + 1;
         Mutex.unlock t.lock;
+        tele_done ~outcome:"failed" ~session_name:sn.Session.name ~wait_ns:0.
+          ~latency_ns:(now_ns () -. t_start);
         raise e))
 
 let query_ucrpq ?optimize t sn text =
@@ -679,6 +896,8 @@ type stats = {
   graph_version : int;
   inflight : int;
   queued : int;
+  slow_queries : int;
+  traces_captured : int;
 }
 
 let stats t =
@@ -704,10 +923,24 @@ let stats t =
       graph_version = t.version;
       inflight = t.inflight;
       queued = List.length t.pending;
+      slow_queries = t.c_slow;
+      traces_captured = t.c_traces;
     }
   in
   Mutex.unlock t.lock;
   s
+
+let slow_log t =
+  Mutex.lock t.lock;
+  let l = t.slow_log in
+  Mutex.unlock t.lock;
+  l
+
+let sampled_traces t =
+  Mutex.lock t.lock;
+  let l = t.traces in
+  Mutex.unlock t.lock;
+  l
 
 let wait_hist t = t.wait_h
 let latency_hist t = t.latency_h

@@ -64,6 +64,9 @@ val create :
   ?plan_cache_capacity:int ->
   ?result_cache_bytes:int ->
   ?max_plans:int ->
+  ?sample_every:int ->
+  ?slow_threshold_ms:float ->
+  ?slow_log_capacity:int ->
   ?config:Physical.Exec.config ->
   cluster:Distsim.Cluster.t ->
   unit ->
@@ -78,6 +81,18 @@ val create :
     - [result_cache_bytes] (default 64 MiB): result-cache budget under
       the {!Distsim.Metrics.tuple_bytes} size model, LRU.
     - [max_plans] (default 120): rewriter plan-space budget.
+    - [sample_every] (default 0 = off): capture a full per-query trace
+      for every N-th submitted query ({!Telemetry.Sampler}, 1-in-N on
+      the query id). The server installs its own tracer only while a
+      sampled evaluation is in flight and only when no ambient tracer is
+      already active (a user [--trace] wins; its events still carry the
+      query ids). Captured traces are kept in a bounded buffer
+      ({!sampled_traces}).
+    - [slow_threshold_ms] (default [infinity] = off): evaluations whose
+      end-to-end latency breaches this land in the bounded slow-query
+      log ({!slow_log}).
+    - [slow_log_capacity] (default 64): slow-log entries kept, newest
+      first.
     - [config]: execution knobs (forced fixpoint plan, thresholds...);
       its [cluster] field is overridden by [cluster].
     @raise Invalid_argument if [max_inflight < 1]. *)
@@ -115,6 +130,11 @@ val tables : t -> (string * Relation.Rel.t) list
 type response = {
   rel : Relation.Rel.t;
   session : int;
+  query_id : int;
+      (** process-wide query id, assigned in submission order at
+          admission; threaded through every span of the evaluation as
+          the [query_id] attr ({!Trace.with_ambient_attrs}) *)
+  sampled : bool;  (** a full trace of this evaluation was captured *)
   plan_hit : bool;  (** optimized plan came from the plan cache *)
   result_hit : bool;
       (** served without evaluating: from the result cache, or (when
@@ -171,10 +191,53 @@ type stats = {
   graph_version : int;
   inflight : int;
   queued : int;
+  slow_queries : int;  (** queries that breached [slow_threshold_ms] *)
+  traces_captured : int;  (** sampled evaluations whose trace was kept *)
 }
 
 val stats : t -> stats
 (** A consistent snapshot of the counters. *)
+
+(** {1 Telemetry} *)
+
+type slow_query = {
+  sq_query : int;  (** query id *)
+  sq_session : string;
+  sq_key : string;  (** normalized term key ({!Mura.Normal.key}) *)
+  sq_plans : string list;
+      (** fixpoint plans chosen by this evaluation, in evaluation order
+          (empty when the query was served from cache) *)
+  sq_iterations : int;
+  sq_stages : int;  (** cluster stages this evaluation ran *)
+  sq_straggler_mean : float;
+      (** mean per-stage max/median worker-time ratio of this
+          evaluation's cluster segments; 0 when nothing ran *)
+  sq_wait_ns : float;
+  sq_total_ns : float;
+  sq_plan_hit : bool;
+  sq_result_hit : bool;
+  sq_shared : bool;
+  sq_fix_hits : int;
+  sq_sampled : bool;
+}
+
+val slow_log : t -> slow_query list
+(** Queries that breached [slow_threshold_ms], newest first, at most
+    [slow_log_capacity] entries ({!stats}.[slow_queries] counts every
+    breach, including evicted ones). *)
+
+type query_trace = {
+  qt_query : int;
+  qt_session : string;
+  qt_key : string;
+  qt_events : Trace.event list;
+      (** the sampled evaluation's events — those carrying its
+          [query_id] attr: admission-to-completion spans, stages,
+          exchanges, operator and fixpoint spans *)
+}
+
+val sampled_traces : t -> query_trace list
+(** Captured traces of sampled queries, newest first, bounded. *)
 
 val wait_hist : t -> Distsim.Metrics.Hist.t
 (** Admission-wait distribution (ns), live reference. *)

@@ -1,0 +1,489 @@
+(* Process-wide, domain-safe registry of labeled counters, gauges and
+   histograms for the always-on server.
+
+   Design mirrors [Trace]: an ambient handle defaulting to [Disabled],
+   where every update is a strict no-op (one tag test, no allocation, no
+   lock), so instrumentation can live in hot paths unconditionally.
+   Enabled registries guard a hashtable of series with one mutex;
+   updates are a lookup + in-place mutate, cheap relative to the stage
+   and shuffle granularity at which the runtime calls them. *)
+
+(* Fixed-bucket log2 histograms, moved here from [Distsim.Metrics] (the
+   registry sits below distsim in the library stack; metrics re-exports
+   this module as an alias so existing callers are unaffected). Cheap
+   enough to stay on in the hot path — one clz-style bucket lookup and
+   an increment per sample — rich enough for skew and straggler
+   percentiles in run reports. *)
+module Hist = struct
+  let n_buckets = 48
+
+  type t = {
+    counts : int array;
+    mutable n : int;
+    mutable sum : float;
+    mutable vmin : float;
+    mutable vmax : float;
+  }
+
+  let create () =
+    { counts = Array.make n_buckets 0; n = 0; sum = 0.; vmin = infinity; vmax = neg_infinity }
+
+  let reset h =
+    Array.fill h.counts 0 n_buckets 0;
+    h.n <- 0;
+    h.sum <- 0.;
+    h.vmin <- infinity;
+    h.vmax <- neg_infinity
+
+  (* bucket 0 holds [0, 1); bucket b >= 1 holds [2^(b-1), 2^b) *)
+  let bucket_of v =
+    if v < 1. then 0
+    else min (n_buckets - 1) (1 + int_of_float (Float.log2 v))
+
+  let bucket_hi b = if b = 0 then 1. else Float.pow 2. (float_of_int b)
+  let bucket_lo b = if b = 0 then 0. else if b = 1 then 1. else Float.pow 2. (float_of_int (b - 1))
+
+  let add h v =
+    let v = Float.max 0. v in
+    h.counts.(bucket_of v) <- h.counts.(bucket_of v) + 1;
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v
+
+  let count h = h.n
+  let total h = h.sum
+  let min_value h = if h.n = 0 then 0. else h.vmin
+  let max_value h = if h.n = 0 then 0. else h.vmax
+  let mean h = if h.n = 0 then 0. else h.sum /. float_of_int h.n
+
+  (* Upper-bound estimate of the p-th percentile (p in [0, 100]): the
+     upper edge of the bucket containing the rank-th sample, clamped to
+     the exact observed [min, max]. An empty histogram reports 0; a
+     histogram whose samples all fell into one bucket degenerates to the
+     exact max (the clamp). *)
+  let percentile h p =
+    if h.n = 0 then 0.
+    else begin
+      let rank =
+        let r = int_of_float (ceil (p /. 100. *. float_of_int h.n)) in
+        if r < 1 then 1 else if r > h.n then h.n else r
+      in
+      let b = ref 0 and seen = ref 0 in
+      (try
+         for i = 0 to n_buckets - 1 do
+           seen := !seen + h.counts.(i);
+           if !seen >= rank then begin
+             b := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      Float.max h.vmin (Float.min h.vmax (bucket_hi !b))
+    end
+
+  (* Interpolated quantile over an arbitrary bucket-count array (shared
+     by the live histogram accessor and the windowed-delta summaries):
+     locate the bucket holding the fractional rank [q * n] and
+     interpolate linearly inside it, then clamp to [vmin, vmax]. *)
+  let quantile_of_counts counts n ~vmin ~vmax q =
+    if n = 0 then 0.
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let rank = q *. float_of_int n in
+      let rec loop b seen =
+        if b >= n_buckets then vmax
+        else begin
+          let c = counts.(b) in
+          if c > 0 && float_of_int (seen + c) >= rank then begin
+            let frac = (rank -. float_of_int seen) /. float_of_int c in
+            bucket_lo b +. (frac *. (bucket_hi b -. bucket_lo b))
+          end
+          else loop (b + 1) (seen + c)
+        end
+      in
+      Float.max vmin (Float.min vmax (loop 0 0))
+    end
+
+  let quantile h q = quantile_of_counts h.counts h.n ~vmin:(min_value h) ~vmax:(max_value h) q
+
+  let merge acc h =
+    Array.iteri (fun i c -> acc.counts.(i) <- acc.counts.(i) + c) h.counts;
+    acc.n <- acc.n + h.n;
+    acc.sum <- acc.sum +. h.sum;
+    if h.n > 0 then begin
+      if h.vmin < acc.vmin then acc.vmin <- h.vmin;
+      if h.vmax > acc.vmax then acc.vmax <- h.vmax
+    end
+
+  let buckets h =
+    let acc = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if h.counts.(i) > 0 then acc := (bucket_hi i, h.counts.(i)) :: !acc
+    done;
+    !acc
+end
+
+type labels = (string * string) list
+
+(* One registered time series. The kind is fixed at first registration;
+   an update with a conflicting kind for the same (name, labels) is
+   dropped rather than corrupting the series. *)
+type instrument = C of float ref | G of float ref | H of Hist.t
+
+type series = { s_name : string; s_labels : labels; s_inst : instrument }
+
+type state = { mu : Mutex.t; tbl : (string, series) Hashtbl.t }
+
+type t = Disabled | Enabled of state
+
+let disabled = Disabled
+let make () = Enabled { mu = Mutex.create (); tbl = Hashtbl.create 64 }
+let enabled = function Disabled -> false | Enabled _ -> true
+
+(* Ambient registry, defaulting to the no-op. *)
+let ambient = Atomic.make Disabled
+let install r = Atomic.set ambient r
+let uninstall () = Atomic.set ambient Disabled
+let get () = Atomic.get ambient
+
+let sort_labels labels = List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+(* Canonical series key: the name plus the sorted label pairs. *)
+let key_of name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+    let b = Buffer.create 32 in
+    Buffer.add_string b name;
+    Buffer.add_char b '{';
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string b k;
+        Buffer.add_char b '=';
+        Buffer.add_string b v;
+        Buffer.add_char b ';')
+      labels;
+    Buffer.add_char b '}';
+    Buffer.contents b
+
+(* Find or create a series under [s.mu]; returns [None] when the name is
+   already registered with a different kind. *)
+let series s ~name ~labels ~fresh =
+  let labels = sort_labels labels in
+  let key = key_of name labels in
+  match Hashtbl.find_opt s.tbl key with
+  | Some sr -> Some sr
+  | None ->
+    let sr = { s_name = name; s_labels = labels; s_inst = fresh () } in
+    Hashtbl.add s.tbl key sr;
+    Some sr
+
+let update t ?(labels = []) name ~fresh ~f =
+  match t with
+  | Disabled -> ()
+  | Enabled s ->
+    Mutex.lock s.mu;
+    (match series s ~name ~labels ~fresh with
+    | Some sr -> f sr.s_inst
+    | None -> ());
+    Mutex.unlock s.mu
+
+let add t ?labels name v =
+  match t with
+  | Disabled -> ()
+  | Enabled _ ->
+    update t ?labels name
+      ~fresh:(fun () -> C (ref 0.))
+      ~f:(function C r -> r := !r +. v | _ -> ())
+
+let inc t ?labels name = add t ?labels name 1.
+
+let set t ?labels name v =
+  match t with
+  | Disabled -> ()
+  | Enabled _ ->
+    update t ?labels name
+      ~fresh:(fun () -> G (ref 0.))
+      ~f:(function G r -> r := v | _ -> ())
+
+let observe t ?labels name v =
+  match t with
+  | Disabled -> ()
+  | Enabled _ ->
+    update t ?labels name
+      ~fresh:(fun () -> H (Hist.create ()))
+      ~f:(function H h -> Hist.add h v | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+module Snapshot = struct
+  type hsum = {
+    h_count : int;
+    h_sum : float;
+    h_min : float;
+    h_max : float;
+    h_p50 : float;
+    h_p90 : float;
+    h_p99 : float;
+    h_buckets : (float * int) list;  (** non-empty buckets (upper_bound, count), ascending *)
+  }
+
+  type point = Counter of float | Gauge of float | Histogram of hsum
+  type row = { r_name : string; r_labels : labels; r_point : point }
+  type t = { taken_us : float; window : [ `Cumulative | `Delta ]; rows : row list }
+
+  let kind_of = function Counter _ -> "counter" | Gauge _ -> "gauge" | Histogram _ -> "histogram"
+
+  let find ?(labels = []) t name =
+    let labels = sort_labels labels in
+    List.find_opt (fun r -> r.r_name = name && r.r_labels = labels) t.rows
+    |> Option.map (fun r -> r.r_point)
+
+  let value ?labels t name =
+    match find ?labels t name with
+    | Some (Counter v) | Some (Gauge v) -> Some v
+    | Some (Histogram h) -> Some (float_of_int h.h_count)
+    | None -> None
+
+  (* Prometheus floats: plain integers render without an exponent. *)
+  let fnum v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else Printf.sprintf "%g" v
+
+  let prom_escape v =
+    let b = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '"' -> Buffer.add_string b "\\\""
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.contents b
+
+  let prom_labels ?extra labels =
+    let labels = match extra with None -> labels | Some kv -> labels @ [ kv ] in
+    match labels with
+    | [] -> ""
+    | _ ->
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v)) labels)
+      ^ "}"
+
+  let to_prometheus t =
+    let b = Buffer.create 1024 in
+    let typed = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+        if not (Hashtbl.mem typed r.r_name) then begin
+          Hashtbl.add typed r.r_name ();
+          Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" r.r_name (kind_of r.r_point))
+        end;
+        match r.r_point with
+        | Counter v | Gauge v ->
+          Buffer.add_string b (Printf.sprintf "%s%s %s\n" r.r_name (prom_labels r.r_labels) (fnum v))
+        | Histogram h ->
+          let cum = ref 0 in
+          List.iter
+            (fun (hi, c) ->
+              cum := !cum + c;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" r.r_name
+                   (prom_labels ~extra:("le", fnum hi) r.r_labels)
+                   !cum))
+            h.h_buckets;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket%s %d\n" r.r_name
+               (prom_labels ~extra:("le", "+Inf") r.r_labels)
+               h.h_count);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %s\n" r.r_name (prom_labels r.r_labels) (fnum h.h_sum));
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" r.r_name (prom_labels r.r_labels) h.h_count))
+      t.rows;
+    Buffer.contents b
+
+  let to_json t =
+    let module J = Trace.Json in
+    let row_json r =
+      let base =
+        [
+          ("name", J.str r.r_name);
+          ("kind", J.str (kind_of r.r_point));
+          ("labels", J.obj (List.map (fun (k, v) -> (k, J.str v)) r.r_labels));
+        ]
+      in
+      match r.r_point with
+      | Counter v | Gauge v -> J.obj (base @ [ ("value", J.num v) ])
+      | Histogram h ->
+        J.obj
+          (base
+          @ [
+              ("count", J.num (float_of_int h.h_count));
+              ("sum", J.num h.h_sum);
+              ("min", J.num h.h_min);
+              ("max", J.num h.h_max);
+              ("p50", J.num h.h_p50);
+              ("p90", J.num h.h_p90);
+              ("p99", J.num h.h_p99);
+              ( "buckets",
+                J.arr
+                  (List.map
+                     (fun (hi, c) ->
+                       J.obj [ ("le", J.num hi); ("count", J.num (float_of_int c)) ])
+                     h.h_buckets) );
+            ])
+    in
+    J.obj
+      [
+        ("taken_us", J.num t.taken_us);
+        ("window", J.str (match t.window with `Cumulative -> "cumulative" | `Delta -> "delta"));
+        ("metrics", J.arr (List.map row_json t.rows));
+      ]
+
+  let write t file =
+    let oc = open_out file in
+    output_string oc (to_json t);
+    output_char oc '\n';
+    close_out oc
+end
+
+(* Raw per-series readout taken under the registry lock: scalars copied,
+   histogram bucket arrays cloned, sorted by canonical key so snapshots
+   are deterministic. *)
+type raw =
+  | RC of float
+  | RG of float
+  | RH of { counts : int array; n : int; sum : float; vmin : float; vmax : float }
+
+let collect s =
+  Mutex.lock s.mu;
+  let out =
+    Hashtbl.fold
+      (fun key sr acc ->
+        let raw =
+          match sr.s_inst with
+          | C r -> RC !r
+          | G r -> RG !r
+          | H h ->
+            RH { counts = Array.copy h.Hist.counts; n = h.n; sum = h.sum; vmin = h.vmin; vmax = h.vmax }
+        in
+        (key, sr.s_name, sr.s_labels, raw) :: acc)
+      s.tbl []
+  in
+  Mutex.unlock s.mu;
+  List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) out
+
+let hsum_of_counts counts n sum ~vmin ~vmax =
+  let q = Hist.quantile_of_counts counts n ~vmin ~vmax in
+  let buckets = ref [] in
+  for i = Hist.n_buckets - 1 downto 0 do
+    if counts.(i) > 0 then buckets := (Hist.bucket_hi i, counts.(i)) :: !buckets
+  done;
+  {
+    Snapshot.h_count = n;
+    h_sum = sum;
+    h_min = (if n = 0 then 0. else vmin);
+    h_max = (if n = 0 then 0. else vmax);
+    h_p50 = q 0.5;
+    h_p90 = q 0.9;
+    h_p99 = q 0.99;
+    h_buckets = !buckets;
+  }
+
+let snapshot t =
+  let taken_us = Unix.gettimeofday () *. 1e6 in
+  match t with
+  | Disabled -> { Snapshot.taken_us; window = `Cumulative; rows = [] }
+  | Enabled s ->
+    let rows =
+      List.map
+        (fun (_, name, labels, raw) ->
+          let point =
+            match raw with
+            | RC v -> Snapshot.Counter v
+            | RG v -> Snapshot.Gauge v
+            | RH h -> Snapshot.Histogram (hsum_of_counts h.counts h.n h.sum ~vmin:h.vmin ~vmax:h.vmax)
+          in
+          { Snapshot.r_name = name; r_labels = labels; r_point = point })
+        (collect s)
+    in
+    { Snapshot.taken_us; window = `Cumulative; rows }
+
+(* ------------------------------------------------------------------ *)
+(* Windowed (since-last-scrape) snapshots                              *)
+
+module Window = struct
+  type prev = PC of float | PH of { counts : int array; n : int; sum : float }
+  type handle = { prevs : (string, prev) Hashtbl.t }
+
+  let create () = { prevs = Hashtbl.create 32 }
+
+  (* Delta of a histogram: bucket-count differences since the last
+     scrape. The exact min/max of the window is not recoverable from
+     cumulative state, so the bounds fall back to the bucket edges of
+     the first/last non-empty delta bucket. *)
+  let delta w t =
+    let taken_us = Unix.gettimeofday () *. 1e6 in
+    match t with
+    | Disabled -> { Snapshot.taken_us; window = `Delta; rows = [] }
+    | Enabled s ->
+      let rows =
+        List.filter_map
+          (fun (key, name, labels, raw) ->
+            let prev = Hashtbl.find_opt w.prevs key in
+            let point =
+              match (raw, prev) with
+              | RC v, Some (PC p) ->
+                Hashtbl.replace w.prevs key (PC v);
+                Some (Snapshot.Counter (Float.max 0. (v -. p)))
+              | RC v, _ ->
+                Hashtbl.replace w.prevs key (PC v);
+                Some (Snapshot.Counter v)
+              | RG v, _ -> Some (Snapshot.Gauge v)
+              | RH h, p ->
+                let pc, pn, psum =
+                  match p with
+                  | Some (PH p) -> (p.counts, p.n, p.sum)
+                  | _ -> (Array.make Hist.n_buckets 0, 0, 0.)
+                in
+                let dc = Array.init Hist.n_buckets (fun i -> max 0 (h.counts.(i) - pc.(i))) in
+                let dn = max 0 (h.n - pn) in
+                let dsum = Float.max 0. (h.sum -. psum) in
+                Hashtbl.replace w.prevs key
+                  (PH { counts = Array.copy h.counts; n = h.n; sum = h.sum });
+                let vmin = ref infinity and vmax = ref neg_infinity in
+                Array.iteri
+                  (fun i c ->
+                    if c > 0 then begin
+                      if Hist.bucket_lo i < !vmin then vmin := Hist.bucket_lo i;
+                      if Hist.bucket_hi i > !vmax then vmax := Hist.bucket_hi i
+                    end)
+                  dc;
+                let vmin = if dn = 0 then 0. else !vmin
+                and vmax = if dn = 0 then 0. else !vmax in
+                Some (Snapshot.Histogram (hsum_of_counts dc dn dsum ~vmin ~vmax))
+            in
+            Option.map (fun p -> { Snapshot.r_name = name; r_labels = labels; r_point = p }) point)
+          (collect s)
+      in
+      { Snapshot.taken_us; window = `Delta; rows }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Trace sampler                                                       *)
+
+module Sampler = struct
+  type t = { every : int; slow_threshold_ns : float }
+
+  let make ?(slow_threshold_ns = infinity) ~every () = { every; slow_threshold_ns }
+
+  (* Pure and deterministic: 1-in-N on the query id (ids are assigned in
+     admission order, so any N consecutive submissions contain exactly
+     one sampled query). *)
+  let sample_id t id = t.every > 0 && id mod t.every = 0
+  let slow t ~ns = ns >= t.slow_threshold_ns
+end

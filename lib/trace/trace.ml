@@ -89,6 +89,23 @@ let with_tid tid f =
   Domain.DLS.set tid_key tid;
   Fun.protect ~finally:(fun () -> Domain.DLS.set tid_key old) f
 
+(* Ambient attributes: domain-local key/value pairs appended to every
+   event recorded by this domain while the scope is open. The serving
+   layer threads the query id through every span of an evaluation this
+   way — admission, stages, exchanges, operators — without each
+   instrumentation site knowing about queries. *)
+let amb_key : attrs Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let with_ambient_attrs attrs f =
+  let old = Domain.DLS.get amb_key in
+  Domain.DLS.set amb_key (attrs @ old);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set amb_key old) f
+
+let ambient_attrs () = Domain.DLS.get amb_key
+
+let with_amb attrs =
+  match Domain.DLS.get amb_key with [] -> attrs | amb -> attrs @ amb
+
 (* ------------------------------------------------------------------ *)
 (* Recording                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -123,6 +140,7 @@ let span t ?(cat = "") ?(attrs = []) name f =
   | Disabled -> f ()
   | Enabled s ->
     let tid = Domain.DLS.get tid_key in
+    let attrs = with_amb attrs in
     let sp =
       locked s (fun () ->
           let stack = stack_of s tid in
@@ -187,7 +205,7 @@ let instant t ?(cat = "") ?(attrs = []) name =
             sim_start_ns = s.sim_clock ();
             sim_dur_ns = 0.;
             kind = Instant;
-            attrs;
+            attrs = with_amb attrs;
           })
 
 (* A named gauge sample (e.g. worker-pool occupancy). Rendered by the
@@ -213,7 +231,7 @@ let counter t ?(cat = "") ?(attrs = []) name v =
             sim_start_ns = s.sim_clock ();
             sim_dur_ns = 0.;
             kind = Counter;
-            attrs = ("value", Float v) :: attrs;
+            attrs = ("value", Float v) :: with_amb attrs;
           })
 
 (* Attach an attribute to the innermost open span of the current track
@@ -407,6 +425,8 @@ module Rollup = struct
     mutable max_skew : float;
     mutable max_straggler : float;
     mutable dedup_dropped : int;
+    mutable counter_samples : int;
+    mutable counter_max : float;
   }
 
   let fresh_row scope id =
@@ -424,6 +444,8 @@ module Rollup = struct
       max_skew = 0.;
       max_straggler = 0.;
       dedup_dropped = 0;
+      counter_samples = 0;
+      counter_max = 0.;
     }
 
   let attr_int attrs k =
@@ -462,6 +484,14 @@ module Rollup = struct
     | Span, "stage" ->
       row.stages <- row.stages + 1;
       row.stage_sim_ns <- row.stage_sim_ns +. e.sim_dur_ns
+    | Counter, _ ->
+      (* Counter samples (pool occupancy, dedup savings, ...) used to be
+         exported to Chrome but silently dropped here; charge them to
+         the enclosing scope so they survive post-processing. *)
+      row.counter_samples <- row.counter_samples + 1;
+      (match attr_float e.attrs "value" with
+      | Some v when v > row.counter_max -> row.counter_max <- v
+      | _ -> ())
     | _ -> ());
     (match attr_float e.attrs "skew" with
     | Some s when s > row.max_skew -> row.max_skew <- s
@@ -567,20 +597,38 @@ module Rollup = struct
       evs;
     Hashtbl.fold (fun name (n, us) acc -> (name, n, us) :: acc) tbl [] |> List.sort compare
 
+  (* Per-name summary of counter events: sample count, max and last
+     value. The names are free-form ("pool.occupancy", ...), so the
+     series table complements the per-scope charge in [accumulate]. *)
+  let counter_series evs =
+    let tbl = Hashtbl.create 4 in
+    List.iter
+      (fun e ->
+        if e.kind = Counter then begin
+          let v = Option.value ~default:0. (attr_float e.attrs "value") in
+          let n, vmax, _ = Option.value ~default:(0, neg_infinity, 0.) (Hashtbl.find_opt tbl e.name) in
+          Hashtbl.replace tbl e.name (n + 1, Float.max vmax v, v)
+        end)
+      evs;
+    Hashtbl.fold (fun name (n, vmax, last) acc -> (name, n, vmax, last) :: acc) tbl []
+    |> List.sort compare
+
   let pp_rows ppf rows =
     let header =
-      Printf.sprintf "%-32s %6s %8s %10s %12s %7s %10s %7s %12s %6s %9s %10s" "scope" "spans"
-        "shuffles" "sh.records" "sh.bytes" "bcasts" "bc.records" "stages" "stage sim ms" "skew"
-        "straggler" "dedup.drop"
+      Printf.sprintf "%-32s %6s %8s %10s %12s %7s %10s %7s %12s %6s %9s %10s %6s %8s" "scope"
+        "spans" "shuffles" "sh.records" "sh.bytes" "bcasts" "bc.records" "stages" "stage sim ms"
+        "skew" "straggler" "dedup.drop" "ctr.n" "ctr.max"
     in
     Format.fprintf ppf "%s@." header;
     Format.fprintf ppf "%s@." (String.make (String.length header) '-');
     List.iter
       (fun r ->
-        Format.fprintf ppf "%-32s %6d %8d %10d %12d %7d %10d %7d %12.3f %6.2f %9.2f %10d@."
+        Format.fprintf ppf
+          "%-32s %6d %8d %10d %12d %7d %10d %7d %12.3f %6.2f %9.2f %10d %6d %8.1f@."
           (if String.length r.scope > 32 then String.sub r.scope 0 32 else r.scope)
           r.spans r.shuffles r.shuffled_records r.shuffled_bytes r.broadcasts r.broadcast_records
-          r.stages (r.stage_sim_ns /. 1e6) r.max_skew r.max_straggler r.dedup_dropped)
+          r.stages (r.stage_sim_ns /. 1e6) r.max_skew r.max_straggler r.dedup_dropped
+          r.counter_samples r.counter_max)
       rows
 
   let to_string t =
@@ -594,6 +642,15 @@ module Rollup = struct
     | rows ->
       Format.fprintf ppf "@.== per-iteration rollup ==@.";
       pp_rows ppf rows);
+    (match counter_series evs with
+    | [] -> ()
+    | series ->
+      Format.fprintf ppf "@.== counter series ==@.";
+      Format.fprintf ppf "%-32s %8s %10s %10s@." "counter" "samples" "max" "last";
+      List.iter
+        (fun (name, n, vmax, last) ->
+          Format.fprintf ppf "%-32s %8d %10.1f %10.1f@." name n vmax last)
+        series);
     Format.pp_print_flush ppf ();
     Buffer.contents buf
 end

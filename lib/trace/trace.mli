@@ -53,6 +53,16 @@ val with_tid : int -> (unit -> 'a) -> 'a
 (** Run a thunk with the given track id (used by [Cluster.run_stage] to
     put worker-side events on per-worker tracks). *)
 
+val with_ambient_attrs : attrs -> (unit -> 'a) -> 'a
+(** Run a thunk with extra domain-local attributes appended to every
+    event this domain records inside it (any tracer, including one
+    installed later). The serving layer threads [("query_id", Int qid)]
+    through a whole evaluation this way; scopes nest. Spans opened by
+    other domains (pool workers) do not inherit the attributes. *)
+
+val ambient_attrs : unit -> attrs
+(** The current domain's ambient attributes ([] outside any scope). *)
+
 (** {1 Recording} *)
 
 val span : t -> ?cat:string -> ?attrs:attrs -> string -> (unit -> 'a) -> 'a
@@ -126,6 +136,10 @@ module Rollup : sig
     mutable dedup_dropped : int;
         (** tuples dropped by the iteration-shuffle seen filter (summed
             from the [dedup_dropped] attr of repartition spans) *)
+    mutable counter_samples : int;
+        (** counter events charged to this scope (previously dropped by
+            the rollup even though the Chrome exporter rendered them) *)
+    mutable counter_max : float;  (** max counter value seen in this scope *)
   }
 
   val per_operator : event list -> row list
@@ -149,8 +163,14 @@ module Rollup : sig
       and their cumulative wall time in microseconds. Empty when every
       exchange ran on the sequential driver-side path. *)
 
+  val counter_series : event list -> (string * int * float * float) list
+  (** Per counter name: sample count, max value and last value — the
+      post-processed view of [counter] gauge series (pool occupancy,
+      dedup savings), sorted by name. *)
+
   val pp_rows : Format.formatter -> row list -> unit
 
   val to_string : t -> string
-  (** Both rollup tables, rendered for terminal display. *)
+  (** Both rollup tables plus the counter-series table, rendered for
+      terminal display. *)
 end

@@ -460,6 +460,68 @@ let test_jsonl () =
       | _ -> Alcotest.fail "jsonl line is not an object")
     lines
 
+(* counter events used to be exported to Chrome but silently dropped by
+   the rollup; they must now be charged to the enclosing scope and
+   summarized per name *)
+let test_rollup_counters () =
+  let tr = Trace.make () in
+  ignore
+    (Trace.span tr ~cat:"op" "Join" (fun () ->
+         Trace.counter tr ~cat:"pool" "pool.occupancy" 3.;
+         Trace.counter tr ~cat:"pool" "pool.occupancy" 1.;
+         Trace.counter tr ~cat:"dds" "dds.dedup_dropped" 42.));
+  let evs = Trace.events tr in
+  (match Trace.Rollup.counter_series evs with
+  | [ ("dds.dedup_dropped", 1, 42., 42.); ("pool.occupancy", 2, 3., 1.) ] -> ()
+  | series ->
+    Alcotest.failf "unexpected counter series: %s"
+      (String.concat "; "
+         (List.map
+            (fun (n, s, m, l) -> Printf.sprintf "%s n=%d max=%.0f last=%.0f" n s m l)
+            series)));
+  let rows = Trace.Rollup.per_operator evs in
+  let join =
+    List.find (fun (r : Trace.Rollup.row) -> r.Trace.Rollup.scope = "Join") rows
+  in
+  check_int "counter samples charged to the operator" 3 join.Trace.Rollup.counter_samples;
+  check_bool "max counter value retained" true (join.Trace.Rollup.counter_max = 42.);
+  let rendered = Trace.Rollup.to_string tr in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "rendered rollup includes the counter-series table" true
+    (contains rendered "== counter series ==")
+
+(* domain-local ambient attributes land on every event kind and are
+   restored on scope exit *)
+let test_ambient_attrs () =
+  let tr = Trace.make () in
+  Trace.with_ambient_attrs
+    [ ("query_id", Trace.Int 7) ]
+    (fun () ->
+      ignore (Trace.span tr "s" (fun () -> ()));
+      Trace.instant tr "i";
+      Trace.counter tr "c" 1.);
+  check_bool "scope restored" true (Trace.ambient_attrs () = []);
+  let evs = Trace.events tr in
+  check_int "three events" 3 (List.length evs);
+  List.iter
+    (fun (e : Trace.event) ->
+      check_bool
+        ("event " ^ e.Trace.name ^ " carries the ambient attr")
+        true
+        (List.assoc_opt "query_id" e.Trace.attrs = Some (Trace.Int 7)))
+    evs;
+  (* events recorded outside the scope are untagged *)
+  Trace.instant tr "outside";
+  match List.rev (Trace.events tr) with
+  | last :: _ ->
+    check_bool "outside the scope: no ambient attr" true
+      (List.assoc_opt "query_id" last.Trace.attrs = None)
+  | [] -> Alcotest.fail "no events"
+
 let test_json_escaping () =
   let tr = Trace.make () in
   ignore
@@ -489,6 +551,8 @@ let () =
         [
           Alcotest.test_case "P_plw vs P_gld shuffle asymmetry" `Quick test_rollup_asymmetry;
           Alcotest.test_case "per-operator and per-iteration rows" `Quick test_rollup_rows;
+          Alcotest.test_case "counter events survive the rollup" `Quick test_rollup_counters;
+          Alcotest.test_case "ambient attrs on every event kind" `Quick test_ambient_attrs;
         ] );
       ( "exporters",
         [
