@@ -9,6 +9,8 @@
    Commands:
      load FILE            load a (2- or 3-column) edge-list file as E
      gen SPEC             generate a graph (yago:N, uniprot:N, er:N:P, tree:N)
+     insert EDGES         apply an edge-insert batch (incremental repair)
+     delete EDGES         apply an edge-delete batch (DRed repair)
      workers N            set the simulated cluster size (default 4)
      explain QUERY        show optimized logical + physical plans
      stats                cache/admission counters with a since-last-stats
@@ -47,6 +49,9 @@ let help () =
     "commands:\n\
     \  load FILE      load an edge-list file as the relation E\n\
     \  gen SPEC       yago:N | uniprot:N | er:N:P | tree:N\n\
+    \  insert EDGES   add edges, e.g.  insert 3 a 7; 7 b 9\n\
+    \  delete EDGES   remove edges (same syntax); cached fixpoints\n\
+    \                 are repaired incrementally, not recomputed\n\
     \  workers N      set cluster size\n\
     \  explain QUERY  show the optimized plans without executing\n\
     \  stats          cache/admission counters + since-last-stats deltas\n\
@@ -85,6 +90,55 @@ let run_query text =
        r.Serve.rel
    with Exit -> print_endline "  ...")
 
+(* Parse an edge batch: ';'-separated edges, fields split on spaces or
+   commas. Field count must match E's arity (2, or 3 with labels).
+   Nonnegative integers are node ids; anything else is interned as a
+   symbolic constant, matching the loader's convention. *)
+let parse_edges spec =
+  let g = require_graph () in
+  let schema = Rel.schema g in
+  let arity = Relation.Schema.arity schema in
+  let batch = Rel.create schema in
+  List.iter
+    (fun edge ->
+      let fields =
+        String.split_on_char ' ' (String.trim edge)
+        |> List.concat_map (String.split_on_char ',')
+        |> List.filter (fun s -> s <> "")
+      in
+      if fields <> [] then begin
+        if List.length fields <> arity then
+          failwith
+            (Printf.sprintf "edge '%s' has %d fields but E has arity %d"
+               (String.trim edge) (List.length fields) arity);
+        let value f =
+          match int_of_string_opt f with
+          | Some n when n >= 0 -> n
+          | _ -> Relation.Value.of_string f
+        in
+        ignore (Rel.add batch (Array.of_list (List.map value fields)))
+      end)
+    (String.split_on_char ';' spec);
+  if Rel.is_empty batch then failwith "empty edge batch";
+  batch
+
+(* Updates go through [Serve.update]: cached fixpoint results over E are
+   parked for incremental repair instead of being discarded, so the next
+   query pays only the delta. *)
+let insert_edges spec =
+  let batch = parse_edges spec in
+  Serve.update ~inserts:batch st.serve "E";
+  let s = Serve.stats st.serve in
+  Printf.printf "+%d edges (graph version %d, %d repairable fixpoints)\n"
+    (Rel.cardinal batch) s.Serve.graph_version s.Serve.repair_handles
+
+let delete_edges spec =
+  let batch = parse_edges spec in
+  Serve.update ~deletes:batch st.serve "E";
+  let s = Serve.stats st.serve in
+  Printf.printf "-%d edges (graph version %d, %d repairable fixpoints)\n"
+    (Rel.cardinal batch) s.Serve.graph_version s.Serve.repair_handles
+
 let explain_query text =
   ignore (require_graph ());
   let term = parse_query text in
@@ -112,13 +166,19 @@ let print_stats () =
   row "result misses" s.Serve.result_misses (cache "result" "miss");
   row "plan hits" s.Serve.plan_hits (cache "plan" "hit");
   row "plan misses" s.Serve.plan_misses (cache "plan" "miss");
-  row "fixpoints evaluated" s.Serve.fix_evals (cache "fix" "eval");
+  row "fixpoints recomputed" s.Serve.fix_evals (cache "fix" "eval");
   row "fixpoint cache hits" s.Serve.fix_hits (cache "fix" "hit");
   row "fixpoints shared" s.Serve.fix_shared (cache "fix" "shared");
+  let plain name =
+    match Telemetry.Snapshot.value snap name with Some v -> int_of_float v | None -> 0
+  in
+  row "fixpoints repaired" s.Serve.repaired (plain "serve_cache_repaired_total");
   Printf.printf
     "  caches: %d result entries (%d bytes), %d plan entries; invalidated %d, evicted %d\n"
     s.Serve.result_entries s.Serve.result_bytes s.Serve.plan_entries s.Serve.invalidated
     s.Serve.evictions;
+  Printf.printf "  repair: %d handles live, %d fallbacks to recompute\n"
+    s.Serve.repair_handles s.Serve.repair_fallbacks;
   if s.Serve.slow_queries > 0 || s.Serve.traces_captured > 0 then
     Printf.printf "  telemetry: %d slow queries logged, %d traces captured\n"
       s.Serve.slow_queries s.Serve.traces_captured
@@ -183,6 +243,10 @@ let dispatch line =
       load (String.trim (String.sub line i (String.length line - i)))
     | Some i when String.sub line 0 i = "gen" ->
       gen (String.trim (String.sub line i (String.length line - i)))
+    | Some i when String.sub line 0 i = "insert" ->
+      insert_edges (String.trim (String.sub line i (String.length line - i)))
+    | Some i when String.sub line 0 i = "delete" ->
+      delete_edges (String.trim (String.sub line i (String.length line - i)))
     | Some i when String.sub line 0 i = "workers" ->
       set_workers (int_of_string (String.trim (String.sub line i (String.length line - i))))
     | Some i when String.sub line 0 i = "explain" ->

@@ -1,7 +1,18 @@
 #!/bin/sh
-# CI gate: formatting (when the formatter is available), full build, tests.
-# Run from the repository root:  sh ci/check.sh
+# CI gate: formatting (when the formatter is available), full build, tests,
+# quick-scale bench parity gates and serving/streaming smokes.
+# Run from the repository root:
+#   sh ci/check.sh            # full check: everything + bench/trend.sh
+#   sh ci/check.sh --quick    # same gates, but skips the trend diff
 set -eu
+
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) echo "usage: sh ci/check.sh [--quick]" >&2; exit 2 ;;
+  esac
+done
 
 cd "$(dirname "$0")/.."
 
@@ -180,5 +191,56 @@ else
   done
 fi
 echo "metrics snapshot OK: $metrics_out"
+
+# incremental-maintenance parity gate: quick-scale run of the
+# establish/repair micro bench; a parity failure on any plan × workers ×
+# executor combination — insert or delete batches, repair-of-repair —
+# fails the build (the >=5x repair-vs-recompute speedup gate only
+# applies at full scale on multi-core hosts)
+echo "== bench micro_incremental (--quick) =="
+dune exec bench/main.exe -- --quick micro_incremental
+
+# streaming smoke: sustained edge arrivals interleaved with queries
+# through two servers (incremental repair vs recompute-from-scratch);
+# murarun exits non-zero on any parity failure, and the stream report
+# must parse, show repaired fixpoints, and carry the repair/recompute
+# latency percentiles and the speedup
+echo "== murarun --stream smoke =="
+stream_report=$(mktemp /tmp/murarun_stream.XXXXXX.json)
+trap 'rm -f "$report" "$serve_report" "$metrics_out" "$stream_report"' EXIT
+dune exec bin/murarun.exe -- --gen er:300:0.01 --labels a \
+  --query "?x, ?y <- ?x a+ ?y" --stream 4 --stream-batch 3 --report "$stream_report"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$stream_report" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+assert r["kind"] == "stream_mix", "report is not a stream report"
+for key in ("rounds", "completed", "parity_failures", "repaired",
+            "repair_fallbacks", "recomputed", "repair_ms", "recompute_ms",
+            "speedup", "repair_server", "baseline_server"):
+    assert key in r, f"stream report missing key {key!r}"
+assert r["parity_failures"] == 0, "stream results diverged from the oracle"
+assert r["repaired"] > 0, "the stream never repaired a fixpoint"
+assert r["baseline_server"]["repaired"] == 0, "baseline server repaired"
+for side in ("repair_ms", "recompute_ms"):
+    for pct in ("mean", "p50", "p95"):
+        assert pct in r[side], f"stream report missing {side}.{pct}"
+EOF
+else
+  for key in '"kind":"stream_mix"' '"parity_failures"' '"repaired"' \
+             '"repair_ms"' '"recompute_ms"' '"speedup"'; do
+    grep -q "$key" "$stream_report" || { echo "stream report missing $key" >&2; exit 1; }
+  done
+fi
+echo "stream report OK: $stream_report"
+
+# performance trajectory: diff this run's BENCH_*.json snapshots against
+# the previous invocation's and record them for next time (full check
+# only — the quick gate leaves the trend store untouched)
+if [ "$quick" = 0 ]; then
+  echo "== bench/trend.sh =="
+  sh bench/trend.sh
+fi
 
 echo "ci/check.sh: all checks passed"

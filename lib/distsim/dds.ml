@@ -483,6 +483,25 @@ let set_diff_local a b =
   record_skew tr parts;
   { a with parts }
 
+let set_inter_local a b =
+  if num_partitions a <> num_partitions b then invalid_arg "Dds.set_inter_local: partition counts";
+  let tr = Trace.get () in
+  Trace.span tr ~cat:"dds" "dds.inter_local" @@ fun () ->
+  records_in_attr tr a b;
+  let parts =
+    Cluster.run_stage a.cluster (fun w ->
+        let rhs = relayout_set ~from:b.schema ~into:a.schema b.parts.(w) in
+        let small, big =
+          if Tset.cardinal a.parts.(w) <= Tset.cardinal rhs then (a.parts.(w), rhs)
+          else (rhs, a.parts.(w))
+        in
+        let out = Tset.create ~capacity:(Tset.cardinal small) () in
+        Tset.iter (fun tu -> if Tset.mem big tu then ignore (Tset.add out tu)) small;
+        out)
+  in
+  record_skew tr parts;
+  { a with parts }
+
 let copy_parts d = { d with parts = Array.map Tset.copy d.parts }
 
 (* Fused delta maintenance: one pooled stage replaces the unfused

@@ -96,6 +96,14 @@ val set_diff_local : t -> t -> t
     co-partitioned; the caller is responsible (checked: both [Hashed] on
     the same columns, or both [Arbitrary] by explicit choice). *)
 
+val set_inter_local : t -> t -> t
+(** Partition-wise intersection (probes the smaller side of each
+    partition pair against the larger). Like {!set_diff_local}, only
+    meaningful on co-partitioned inputs; the result keeps the left
+    side's schema layout and partitioning. Used by the DRed
+    over-deletion pass to clip propagated deletions to tuples actually
+    in the accumulator. *)
+
 val copy_parts : t -> t
 (** Driver-side deep copy of every partition (not metered — no simulated
     data movement). The escape hatch callers use to obtain a loop-private

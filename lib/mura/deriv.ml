@@ -1,0 +1,54 @@
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+(* Does [t] mention any of the changed relation names? *)
+let mentions names t = List.exists (fun r -> List.mem r names) (Term.free_rels t)
+
+let rec check names (t : Term.t) =
+  match t with
+  | Rel _ | Var _ | Cst _ -> ()
+  | Select (_, u) | Project (_, u) | Antiproject (_, u) | Rename (_, u) -> check names u
+  | Join (a, b) | Union (a, b) ->
+    check names a;
+    check names b
+  | Antijoin (a, b) ->
+    check names a;
+    if mentions names b then
+      unsupported "changed relation occurs under an antijoin right side in %s" (Term.to_string b)
+  | Fix (x, body) ->
+    if mentions names body then
+      unsupported "changed relation occurs inside nested fixpoint on %s" x
+
+let supported ~changed t =
+  match check changed t with () -> Ok () | exception Unsupported msg -> Error msg
+
+(* One summand per changed-relation occurrence: the occurrence becomes
+   its delta constant, everything else keeps reading the (new) catalog.
+   Unary operators distribute over the summand union exactly; Join uses
+   the over-approximating product rule (see the interface). *)
+let delta ~changed (t : Term.t) : Term.t list =
+  let names = List.map fst changed in
+  let rec go (t : Term.t) : Term.t list =
+    match t with
+    | Rel r -> ( match List.assoc_opt r changed with Some d -> [ Term.Cst d ] | None -> [])
+    | Var _ | Cst _ -> []
+    | Select (p, u) -> List.map (fun du -> Term.Select (p, du)) (go u)
+    | Project (cols, u) -> List.map (fun du -> Term.Project (cols, du)) (go u)
+    | Antiproject (cols, u) -> List.map (fun du -> Term.Antiproject (cols, du)) (go u)
+    | Rename (m, u) -> List.map (fun du -> Term.Rename (m, du)) (go u)
+    | Join (a, b) ->
+      List.map (fun da -> Term.Join (da, b)) (go a)
+      @ List.map (fun db -> Term.Join (a, db)) (go b)
+    | Antijoin (a, b) ->
+      if mentions names b then
+        unsupported "changed relation occurs under an antijoin right side in %s"
+          (Term.to_string b)
+      else List.map (fun da -> Term.Antijoin (da, b)) (go a)
+    | Union (a, b) -> go a @ go b
+    | Fix (x, body) ->
+      if mentions names body then
+        unsupported "changed relation occurs inside nested fixpoint on %s" x
+      else []
+  in
+  go t

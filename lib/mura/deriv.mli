@@ -1,0 +1,48 @@
+(** Differentials of mu-RA terms under base-relation updates — the
+    seed-building calculus of incremental fixpoint maintenance.
+
+    For a term [t] over a catalog where some relations change from [r]
+    to [r ∪ Δr], {!delta} produces a list of {e summand} terms whose
+    union over-approximates the difference [t(new) \ t(old)] while
+    staying inside [t(new)]:
+
+    {v t(old) ∪ ⋃ delta(t)  ⊇  t(new)        (completeness)
+       ⋃ delta(t)           ⊆  t(new)        (soundness) v}
+
+    Each summand is the original term with exactly {e one} occurrence of
+    a changed relation replaced by its delta (embedded as [Cst]); every
+    other relation occurrence still reads through its [Rel] name, which
+    the caller binds to the {e new} catalog. Both bounds are what the
+    semi-naive resume needs: absorbing the summands into a converged
+    accumulator [X] yields exactly [X ∪ F_new(X)] after the diff, so the
+    loop restarts from a correct frontier and converges to the new least
+    fixpoint. The same calculus over the {e old} catalog with
+    [Δ = deleted tuples] seeds the DRed over-deletion pass.
+
+    The over-approximation is deliberate: [∂(a ⋈ b) = (∂a ⋈ b) ∪ (a ⋈
+    ∂b)] may re-derive tuples both sides produce, but re-derivations are
+    discarded by the accumulator diff — results are unaffected.
+
+    A changed relation may only occur {e positively}: under the right
+    side of an [Antijoin] or inside a nested [Fix], an insertion can
+    retract previously derived tuples and resumption is unsound —
+    {!delta} raises {!Unsupported} and the caller falls back to a
+    from-scratch recomputation. Recursive variables differentiate to
+    nothing ([∂(Var x) = ∅]): variable growth is the resumed loop's
+    job, not the seed's. *)
+
+exception Unsupported of string
+
+val supported : changed:string list -> Term.t -> (unit, string) result
+(** [supported ~changed t] checks that every relation name in [changed]
+    occurs only positively in [t] (never under an [Antijoin] right side,
+    never inside a [Fix] body), i.e. that {!delta} would succeed. *)
+
+val delta : changed:(string * Relation.Rel.t) list -> Term.t -> Term.t list
+(** [delta ~changed t] is the list of differential summands of [t] under
+    the update [r ↦ r ∪ Δr] for each [(r, Δr)] in [changed]. The empty
+    list means [t] cannot produce anything new (no changed relation
+    occurs). Summands referencing the recursive variable of an enclosing
+    fixpoint keep it free — the caller applies them to the converged
+    accumulator.
+    @raise Unsupported when a changed relation occurs non-positively. *)

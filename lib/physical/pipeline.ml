@@ -500,8 +500,8 @@ let union_branches ~x_schema ~arity (outs : (Batch.t array * Dds.partitioning * 
     let final = if Schema.equal_ordered schema0 x_schema then u_part else Dds.Arbitrary in
     (merged, final)
 
-let run t ~var ~plan_label ~x0 ~x0_private ~per_iter_by ?seen ~max_iterations ~max_tuples ~limit ()
-    : Dds.t * int * int list =
+let run t ~var ~plan_label ~x0 ~x0_private ?delta0 ~per_iter_by ?seen ~max_iterations ~max_tuples
+    ~limit () : Dds.t * int * int list =
   let cluster = t.cluster in
   let workers = Cluster.workers cluster in
   let m = Cluster.metrics cluster in
@@ -516,8 +516,12 @@ let run t ~var ~plan_label ~x0 ~x0_private ~per_iter_by ?seen ~max_iterations ~m
         if x0_private then p else Tset.copy p)
   in
   let acc_part = ref (Dds.partitioning x0) in
-  let delta = ref (Array.init workers (fun w -> Batch.of_tset ~arity (Dds.partition x0 w))) in
-  let delta_part = ref (Dds.partitioning x0) in
+  (* resume entry point: [delta0] restarts the loop with a given frontier
+     (already absorbed into [x0] by the caller) instead of the whole
+     accumulator — the incremental-maintenance path *)
+  let d0 = match delta0 with Some d -> d | None -> x0 in
+  let delta = ref (Array.init workers (fun w -> Batch.of_tset ~arity (Dds.partition d0 w))) in
+  let delta_part = ref (Dds.partitioning d0) in
   let iterations = ref 0 in
   let deltas = ref [] in
   let continue = ref true in

@@ -55,6 +55,7 @@ val run :
   plan_label:string ->
   x0:Dds.t ->
   x0_private:bool ->
+  ?delta0:Dds.t ->
   per_iter_by:string list option ->
   ?seen:Dds.seen_filter ->
   max_iterations:int ->
@@ -65,9 +66,13 @@ val run :
 (** Run the compiled semi-naive loop from [x0]. [x0_private] says the
     caller's initial repartition allocated fresh partitions (they are
     adopted and mutated in place; otherwise a defensive copy is taken).
-    [per_iter_by] is the per-iteration repartition key (P_gld's full
-    schema columns; [None] for P_plw's narrow loop) with [?seen]
-    attaching the iteration-shuffle dedup filter. [limit] builds the
-    resource-limit exception ([Exec.Resource_limit] — passed in to keep
-    this module below [Exec]). Returns (result, iterations, per-iteration
-    fresh counts), exactly like the interpreted driver. *)
+    [?delta0] resumes an interrupted or incrementally-maintained
+    fixpoint: the first iteration's frontier is [delta0] (which the
+    caller has already absorbed into [x0]) instead of the whole of
+    [x0]; it must share [x0]'s schema. [per_iter_by] is the
+    per-iteration repartition key (P_gld's full schema columns; [None]
+    for P_plw's narrow loop) with [?seen] attaching the
+    iteration-shuffle dedup filter. [limit] builds the resource-limit
+    exception ([Exec.Resource_limit] — passed in to keep this module
+    below [Exec]). Returns (result, iterations, per-iteration fresh
+    counts), exactly like the interpreted driver. *)

@@ -81,6 +81,25 @@ type query_trace = {
   qt_events : Trace.event list;
 }
 
+(* A live incremental-repair handle: the converged accumulator of a
+   cached fixpoint, kept resident on the workers after the cache entry
+   itself is invalidated by an [update]. The update's delta is parked
+   here; the next miss replays it through [Exec.Incr.update] — paying
+   only the differential resume — instead of recomputing from scratch.
+
+   Pending deltas are a net (inserts, deletes) pair per relation with
+   delete-before-insert apply semantics. Folding an arriving batch
+   (i, d) into the net (I, D) preserves arrival order:
+   I' = (I \ d) ∪ i and D' = (D \ i) ∪ d — a tuple's final presence is
+   decided by the last batch that mentions it. *)
+type rhandle = {
+  r_handle : Exec.Incr.handle;
+  r_deps : string list;
+  mutable r_ins : (string * Rel.t) list;  (* pending net inserts *)
+  mutable r_del : (string * Rel.t) list;  (* pending net deletes *)
+  mutable r_last_use : int;
+}
+
 type t = {
   cluster : Cluster.t;
   exec_config : Exec.config;
@@ -105,6 +124,9 @@ type t = {
   plan_cache : (string, pentry) Hashtbl.t;
   result_cache : (string, centry) Hashtbl.t;
   mutable cache_bytes : int;
+  max_repair_handles : int;  (* 0 disables incremental repair *)
+  repair_frac : float;  (* pending-delta / base-size fallback threshold *)
+  repair : (string, rhandle) Hashtbl.t;  (* fix normal key -> live handle *)
   q_promises : (string, promise) Hashtbl.t;
       (* whole-query in-flight evaluations, by normal key of the input *)
   f_promises : (string, promise) Hashtbl.t;
@@ -145,12 +167,17 @@ type t = {
   mutable c_evictions : int;
   mutable c_slow : int;
   mutable c_traces : int;
+  mutable c_repaired : int;
+  mutable c_repair_fallbacks : int;
 }
 
 let create ?(max_inflight = 1) ?(plan_cache_capacity = 128)
     ?(result_cache_bytes = 64 * 1024 * 1024) ?(max_plans = 120) ?(sample_every = 0)
-    ?(slow_threshold_ms = infinity) ?(slow_log_capacity = 64) ?config ~cluster () =
+    ?(slow_threshold_ms = infinity) ?(slow_log_capacity = 64) ?(max_repair_handles = 32)
+    ?(repair_max_delta_frac = 0.5) ?config ~cluster () =
   if max_inflight < 1 then invalid_arg "Serve.create: max_inflight < 1";
+  if max_repair_handles < 0 then invalid_arg "Serve.create: max_repair_handles < 0";
+  if repair_max_delta_frac < 0. then invalid_arg "Serve.create: repair_max_delta_frac < 0";
   let exec_config =
     match config with
     | Some c -> { c with Exec.cluster }
@@ -188,6 +215,9 @@ let create ?(max_inflight = 1) ?(plan_cache_capacity = 128)
     plan_cache = Hashtbl.create 64;
     result_cache = Hashtbl.create 64;
     cache_bytes = 0;
+    max_repair_handles;
+    repair_frac = repair_max_delta_frac;
+    repair = Hashtbl.create 16;
     q_promises = Hashtbl.create 16;
     f_promises = Hashtbl.create 16;
     clock = 0;
@@ -218,6 +248,8 @@ let create ?(max_inflight = 1) ?(plan_cache_capacity = 128)
     c_evictions = 0;
     c_slow = 0;
     c_traces = 0;
+    c_repaired = 0;
+    c_repair_fallbacks = 0;
   }
 
 let cluster t = t.cluster
@@ -238,6 +270,18 @@ let tele_done ~outcome ~session_name ~wait_ns ~latency_ns =
     Telemetry.observe r ~labels:[ ("session", session_name) ] "serve_query_latency_ns" latency_ns;
     if wait_ns > 0. then Telemetry.observe r "serve_admission_wait_ns" wait_ns
   end
+
+let tele_repair ~ns =
+  let r = Telemetry.get () in
+  if Telemetry.enabled r then begin
+    Telemetry.inc r "serve_cache_repaired_total";
+    Telemetry.observe r "serve_repair_ns" ns
+  end
+
+let tele_repair_fallback ~reason =
+  let r = Telemetry.get () in
+  if Telemetry.enabled r then
+    Telemetry.inc r ~labels:[ ("reason", reason) ] "serve_repair_fallback_total"
 
 (* gauges of the admission queue and result cache; [t.lock] held *)
 let tele_gauges t =
@@ -320,7 +364,91 @@ let register t name rel =
   in
   purge t.q_promises;
   purge t.f_promises;
+  (* a full replacement severs the delta chain: the handle's catalog has
+     no net delta to the new contents, so repair is off the table *)
+  let doomed_handles =
+    Hashtbl.fold (fun k h acc -> if List.mem name h.r_deps then k :: acc else acc) t.repair []
+  in
+  List.iter (Hashtbl.remove t.repair) doomed_handles;
   Mutex.unlock t.lock
+
+(* Fold an arriving (inserts, deletes) batch for [name] into the net
+   pending pair, preserving arrival order (see [rhandle]). *)
+let merge_pending ~name ~ins ~del (pi, pd) =
+  let get l = List.assoc_opt name l in
+  let minus a b =
+    match (a, b) with
+    | None, _ -> None
+    | Some _, None -> a
+    | Some a, Some b -> Some (Rel.diff a b)
+  in
+  let plus a b =
+    match (a, b) with None, x -> x | x, None -> x | Some a, Some b -> Some (Rel.union a b)
+  in
+  let put l = function
+    | Some r when not (Rel.is_empty r) -> (name, r) :: List.remove_assoc name l
+    | _ -> List.remove_assoc name l
+  in
+  let ni = plus (minus (get pi) del) ins in
+  let nd = plus (minus (get pd) ins) del in
+  (put pi ni, put pd nd)
+
+(* Register an edge-batch update to [name]: the catalog advances, the
+   dependent cached results are dropped (they must never be served
+   stale) — but instead of being forgotten, their live repair handles
+   absorb the delta as pending work. The next miss on such a fixpoint
+   pays only the differential resume. Plan-cache entries survive: a
+   rewritten term stays semantically valid under any catalog contents. *)
+let update ?inserts ?deletes t name =
+  Mutex.lock t.lock;
+  match List.assoc_opt name t.tbl with
+  | None ->
+    Mutex.unlock t.lock;
+    invalid_arg (Printf.sprintf "Serve.update: unknown relation %s" name)
+  | Some base ->
+    let check what = function
+      | Some r when not (Schema.equal_names (Rel.schema r) (Rel.schema base)) ->
+        Mutex.unlock t.lock;
+        invalid_arg (Printf.sprintf "Serve.update: %s schema mismatch for %s" what name)
+      | _ -> ()
+    in
+    check "insert" inserts;
+    check "delete" deletes;
+    t.version <- t.version + 1;
+    Hashtbl.replace t.table_versions name t.version;
+    let updated =
+      let after_del = match deletes with Some d -> Rel.diff base d | None -> base in
+      match inserts with Some i -> Rel.union after_del i | None -> after_del
+    in
+    t.tbl <- (name, updated) :: List.remove_assoc name t.tbl;
+    let doomed_results =
+      Hashtbl.fold
+        (fun k e acc -> if List.mem name e.c_deps then (k, e) :: acc else acc)
+        t.result_cache []
+    in
+    List.iter
+      (fun (k, e) ->
+        Hashtbl.remove t.result_cache k;
+        t.cache_bytes <- t.cache_bytes - e.c_bytes;
+        t.c_invalidated <- t.c_invalidated + 1)
+      doomed_results;
+    let purge tbl =
+      let doomed =
+        Hashtbl.fold (fun k p acc -> if List.mem name p.p_deps then k :: acc else acc) tbl []
+      in
+      List.iter (Hashtbl.remove tbl) doomed
+    in
+    purge t.q_promises;
+    purge t.f_promises;
+    Hashtbl.iter
+      (fun _ h ->
+        if List.mem name h.r_deps then begin
+          let pi, pd = merge_pending ~name ~ins:inserts ~del:deletes (h.r_ins, h.r_del) in
+          h.r_ins <- pi;
+          h.r_del <- pd
+        end)
+      t.repair;
+    Mutex.unlock t.lock
 
 let graph_version t =
   Mutex.lock t.lock;
@@ -493,6 +621,7 @@ let optimize_term t tbl term =
 type eval_stats = {
   mutable e_iters : int;
   mutable e_fix_hits : int;
+  mutable e_repaired : int;  (* fixpoints answered by incremental repair *)
   mutable e_plans : string list;  (* fixpoint plans chosen, reverse order *)
   mutable e_stages : int;  (* cluster stages this evaluation ran *)
   mutable e_strag_sum : float;  (* sum of per-stage straggler ratios *)
@@ -500,7 +629,15 @@ type eval_stats = {
 }
 
 let eval_stats_make () =
-  { e_iters = 0; e_fix_hits = 0; e_plans = []; e_stages = 0; e_strag_sum = 0.; e_strag_n = 0 }
+  {
+    e_iters = 0;
+    e_fix_hits = 0;
+    e_repaired = 0;
+    e_plans = [];
+    e_stages = 0;
+    e_strag_sum = 0.;
+    e_strag_n = 0;
+  }
 
 (* One cluster segment. Admission bounds how many evaluators exist; this
    lock makes stage interleaving impossible even with max_inflight > 1
@@ -531,6 +668,171 @@ let exec_on_cluster t ~tbl ~st term =
   st.e_strag_sum <- st.e_strag_sum +. (Hist.total m.Metrics.straggler -. strag_sum0);
   st.e_strag_n <- st.e_strag_n + (Hist.count m.Metrics.straggler - strag_n0);
   rel
+
+(* ------------------------------------------------------------------ *)
+(* Incremental repair of cached fixpoints                              *)
+(* ------------------------------------------------------------------ *)
+
+(* with [t.lock] held: evict the least-recently-used repair handle *)
+let evict_repair_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k h acc ->
+        match acc with Some (_, u) when u <= h.r_last_use -> acc | _ -> Some (k, h.r_last_use))
+      t.repair None
+  in
+  match victim with None -> () | Some (k, _) -> Hashtbl.remove t.repair k
+
+(* Try to answer a missed fixpoint from its live repair handle by
+   replaying the pending delta through [Exec.Incr.update]. [Some rel]
+   reflects the handle's take-time catalog, which the [dep_version]
+   guard pins to the query's snapshot [v0]. Falls back ([None], handle
+   dropped) when the pending delta outgrew [repair_frac] of the base
+   relations, when the differential calculus refuses the update, or
+   when the resume dies mid-flight (the accumulator is then corrupt).
+   Never called with a lock held. *)
+let try_repair t ~v0 ~st key =
+  if t.max_repair_handles = 0 then None
+  else begin
+    Mutex.lock t.lock;
+    match Hashtbl.find_opt t.repair key with
+    | None ->
+      Mutex.unlock t.lock;
+      None
+    | Some h ->
+      if not (List.for_all (fun d -> dep_version t d <= v0) h.r_deps) then begin
+        (* a dep moved past this query's snapshot: the handle (which
+           repairs to the latest catalog) would answer a different
+           question; leave it for later queries and evaluate against
+           the snapshot *)
+        Mutex.unlock t.lock;
+        None
+      end
+      else begin
+        let card l = List.fold_left (fun a (_, r) -> a + Rel.cardinal r) 0 l in
+        let base =
+          List.fold_left
+            (fun a d ->
+              a + match List.assoc_opt d t.tbl with Some r -> Rel.cardinal r | None -> 0)
+            0 h.r_deps
+        in
+        if float_of_int (card h.r_ins + card h.r_del) > t.repair_frac *. float_of_int (max 1 base)
+        then begin
+          Hashtbl.remove t.repair key;
+          t.c_repair_fallbacks <- t.c_repair_fallbacks + 1;
+          Mutex.unlock t.lock;
+          tele_repair_fallback ~reason:"oversized";
+          None
+        end
+        else begin
+          let ins = h.r_ins and del = h.r_del in
+          h.r_ins <- [];
+          h.r_del <- [];
+          t.clock <- t.clock + 1;
+          h.r_last_use <- t.clock;
+          Mutex.unlock t.lock;
+          let t0 = now_ns () in
+          Mutex.lock t.cluster_lock;
+          let res =
+            Fun.protect ~finally:(fun () -> Mutex.unlock t.cluster_lock) @@ fun () ->
+            let m = Cluster.metrics t.cluster in
+            let stages0 = m.Metrics.stages in
+            let strag_sum0 = Hist.total m.Metrics.straggler in
+            let strag_n0 = Hist.count m.Metrics.straggler in
+            let tr = Trace.get () in
+            let res =
+              Trace.span tr ~cat:"serve" "serve.repair" @@ fun () ->
+              match Exec.Incr.update ~inserts:ins ~deletes:del h.r_handle with
+              | `Repaired (rel, iters) ->
+                st.e_iters <- st.e_iters + iters;
+                st.e_plans <-
+                  (Exec.plan_name (Exec.Incr.plan h.r_handle) ^ "(incr)") :: st.e_plans;
+                `Repaired rel
+              | `Unsupported _ -> `Fallback "unsupported"
+              | exception _ -> `Fallback "error"
+            in
+            st.e_stages <- st.e_stages + (m.Metrics.stages - stages0);
+            st.e_strag_sum <- st.e_strag_sum +. (Hist.total m.Metrics.straggler -. strag_sum0);
+            st.e_strag_n <- st.e_strag_n + (Hist.count m.Metrics.straggler - strag_n0);
+            res
+          in
+          match res with
+          | `Repaired rel ->
+            st.e_repaired <- st.e_repaired + 1;
+            tele_repair ~ns:(now_ns () -. t0);
+            Some rel
+          | `Fallback reason ->
+            Mutex.lock t.lock;
+            (match Hashtbl.find_opt t.repair key with
+            | Some h' when h' == h -> Hashtbl.remove t.repair key
+            | _ -> ());
+            t.c_repair_fallbacks <- t.c_repair_fallbacks + 1;
+            Mutex.unlock t.lock;
+            tele_repair_fallback ~reason;
+            None
+        end
+      end
+  end
+
+(* Evaluate a fixpoint from scratch while retaining its converged
+   accumulator as a repair handle; [None] when the incremental layer
+   cannot host this term (it then runs through the plain executor). *)
+let establish_on_cluster t ~tbl ~st fix_term =
+  Mutex.lock t.cluster_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.cluster_lock) @@ fun () ->
+  let m = Cluster.metrics t.cluster in
+  let stages0 = m.Metrics.stages in
+  let strag_sum0 = Hist.total m.Metrics.straggler in
+  let strag_n0 = Hist.count m.Metrics.straggler in
+  let tr = Trace.get () in
+  let res =
+    Trace.span tr ~cat:"serve" "serve.eval" @@ fun () ->
+    match Exec.Incr.establish t.exec_config ~tables:tbl fix_term with
+    | h ->
+      List.iter
+        (fun (fr : Exec.fix_report) ->
+          st.e_iters <- st.e_iters + fr.iterations;
+          st.e_plans <- Exec.plan_name fr.Exec.plan :: st.e_plans)
+        (Exec.Incr.establish_report h);
+      Some (h, Exec.Incr.result h)
+    | exception Exec.Incr.Unsupported _ -> None
+  in
+  st.e_stages <- st.e_stages + (m.Metrics.stages - stages0);
+  st.e_strag_sum <- st.e_strag_sum +. (Hist.total m.Metrics.straggler -. strag_sum0);
+  st.e_strag_n <- st.e_strag_n + (Hist.count m.Metrics.straggler - strag_n0);
+  res
+
+(* Evaluate a missed closed fixpoint: repair from a live handle when one
+   is current, otherwise evaluate from scratch — keeping the converged
+   accumulator as a fresh handle when repair is enabled. Returns the
+   result and whether it came from a repair. *)
+let eval_fix t ~tbl ~v0 ~st ~key ~deps fix_term =
+  match try_repair t ~v0 ~st key with
+  | Some rel -> (rel, true)
+  | None ->
+    if t.max_repair_handles = 0 then (exec_on_cluster t ~tbl ~st fix_term, false)
+    else begin
+      match establish_on_cluster t ~tbl ~st fix_term with
+      | None -> (exec_on_cluster t ~tbl ~st fix_term, false)
+      | Some (h, rel) ->
+        Mutex.lock t.lock;
+        (* install unless an update landed mid-evaluation (the handle
+           reflects a stale snapshot and its delta was never parked) or
+           a more current handle survived under this key *)
+        if
+          List.for_all (fun d -> dep_version t d <= v0) deps
+          && not (Hashtbl.mem t.repair key)
+        then begin
+          t.clock <- t.clock + 1;
+          Hashtbl.replace t.repair key
+            { r_handle = h; r_deps = deps; r_ins = []; r_del = []; r_last_use = t.clock };
+          while Hashtbl.length t.repair > t.max_repair_handles do
+            evict_repair_lru t
+          done
+        end;
+        Mutex.unlock t.lock;
+        (rel, false)
+    end
 
 (* Resolve one maximal closed Fix subterm through cache and promise
    table; evaluate it at most once process-wide per (normal key,
@@ -567,14 +869,15 @@ let resolve_fix t ~tbl ~v0 ~st fix_term =
         | _ -> ());
         Mutex.unlock t.lock
       in
-      match exec_on_cluster t ~tbl ~st fix_term with
-      | rel ->
+      match eval_fix t ~tbl ~v0 ~st ~key ~deps fix_term with
+      | rel, repaired ->
         Mutex.lock t.lock;
-        t.c_fix_evals <- t.c_fix_evals + 1;
+        if repaired then t.c_repaired <- t.c_repaired + 1
+        else t.c_fix_evals <- t.c_fix_evals + 1;
         cache_store t ~key ~deps ~v0 rel;
         tele_gauges t;
         Mutex.unlock t.lock;
-        tele_cache ~cache:"fix" "eval";
+        tele_cache ~cache:"fix" (if repaired then "repaired" else "eval");
         forget ();
         promise_fulfill p (`Done rel);
         rel
@@ -647,6 +950,7 @@ type response = {
   result_hit : bool;
   shared : bool;
   fix_hits : int;
+  repaired : bool;  (* at least one fixpoint was incrementally repaired *)
   iterations : int;
   wait_ns : float;
   exec_ns : float;
@@ -721,6 +1025,7 @@ let query ?(optimize = true) t (sn : Session.t) term =
       result_hit = true;
       shared;
       fix_hits = 0;
+      repaired = false;
       iterations = 0;
       wait_ns = 0.;
       exec_ns = 0.;
@@ -834,8 +1139,9 @@ let query ?(optimize = true) t (sn : Session.t) term =
         record_slow_locked t ~qid ~session:sn.Session.name ~key ~st ~wait_ns ~total_ns
           ~plan_hit ~result_hit:false ~shared:false ~sampled:capturing;
         Mutex.unlock t.lock;
-        tele_done ~outcome:"evaluated" ~session_name:sn.Session.name ~wait_ns
-          ~latency_ns:total_ns;
+        tele_done
+          ~outcome:(if st.e_repaired > 0 then "repaired" else "evaluated")
+          ~session_name:sn.Session.name ~wait_ns ~latency_ns:total_ns;
         {
           rel;
           session = sn.Session.id;
@@ -845,6 +1151,7 @@ let query ?(optimize = true) t (sn : Session.t) term =
           result_hit = false;
           shared = false;
           fix_hits = st.e_fix_hits;
+          repaired = st.e_repaired > 0;
           iterations = st.e_iters;
           wait_ns;
           exec_ns = total_ns -. wait_ns;
@@ -888,6 +1195,9 @@ type stats = {
   fix_evals : int;
   fix_hits : int;
   fix_shared : int;
+  repaired : int;
+  repair_fallbacks : int;
+  repair_handles : int;
   invalidated : int;
   evictions : int;
   result_entries : int;
@@ -915,6 +1225,9 @@ let stats t =
       fix_evals = t.c_fix_evals;
       fix_hits = t.c_fix_hits;
       fix_shared = t.c_fix_shared;
+      repaired = t.c_repaired;
+      repair_fallbacks = t.c_repair_fallbacks;
+      repair_handles = Hashtbl.length t.repair;
       invalidated = t.c_invalidated;
       evictions = t.c_evictions;
       result_entries = Hashtbl.length t.result_cache;

@@ -47,7 +47,24 @@
     Consistency: queries evaluate against a snapshot of the catalog
     taken at submission. A result is only cached if none of its input
     relations were re-registered while it was being computed, so the
-    cache never serves a stale mix. *)
+    cache never serves a stale mix.
+
+    {b Incremental repair} (the fifth layer, on top of the result
+    cache): when a fixpoint is evaluated, the server keeps its
+    converged distributed accumulator live as a {e repair handle}
+    ({!Physical.Exec.Incr}). An edge-batch {!update} still drops the
+    dependent result-cache entries — stale bytes are never served — but
+    instead of discarding the work it parks the delta on the handles.
+    The next miss on such a fixpoint replays only the delta: insertions
+    seed the semi-naive loop with the differential of the body at the
+    converged accumulator, deletions run DRed (over-delete through the
+    old rules, then re-derive), and the resumed result is bit-identical
+    to recomputing from scratch on the updated catalog. Oversized
+    deltas ([repair_max_delta_frac]), update shapes the differential
+    calculus refuses (changed relation under an antijoin right side or
+    a nested fixpoint), and mid-repair failures all fall back to a full
+    evaluation; {!register} (a full replacement) severs the delta chain
+    and drops the handles. *)
 
 module Session : sig
   type t
@@ -67,6 +84,8 @@ val create :
   ?sample_every:int ->
   ?slow_threshold_ms:float ->
   ?slow_log_capacity:int ->
+  ?max_repair_handles:int ->
+  ?repair_max_delta_frac:float ->
   ?config:Physical.Exec.config ->
   cluster:Distsim.Cluster.t ->
   unit ->
@@ -93,9 +112,17 @@ val create :
       log ({!slow_log}).
     - [slow_log_capacity] (default 64): slow-log entries kept, newest
       first.
+    - [max_repair_handles] (default 32): live fixpoint accumulators kept
+      for incremental repair, LRU; 0 disables the incremental layer
+      entirely (every miss recomputes — the recompute baseline).
+    - [repair_max_delta_frac] (default 0.5): a handle whose accumulated
+      pending delta exceeds this fraction of its base relations' total
+      size is dropped and the fixpoint recomputed (the differential
+      resume would do comparable work anyway).
     - [config]: execution knobs (forced fixpoint plan, thresholds...);
       its [cluster] field is overridden by [cluster].
-    @raise Invalid_argument if [max_inflight < 1]. *)
+    @raise Invalid_argument if [max_inflight < 1],
+      [max_repair_handles < 0] or [repair_max_delta_frac < 0]. *)
 
 val cluster : t -> Distsim.Cluster.t
 
@@ -116,8 +143,22 @@ val close_session : t -> Session.t -> unit
 val register : t -> string -> Relation.Rel.t -> unit
 (** [register t name rel] binds (or replaces) a database relation and
     bumps the graph version. Plan- and result-cache entries that read
-    [name], and in-flight promises over it, are invalidated; entries on
-    other relations survive. *)
+    [name], in-flight promises over it, and its repair handles are
+    invalidated; entries on other relations survive. *)
+
+val update : ?inserts:Relation.Rel.t -> ?deletes:Relation.Rel.t -> t -> string -> unit
+(** [update t name ~inserts ~deletes] applies an edge batch to the
+    registered relation [name]: the new contents are
+    [(old \ deletes) ∪ inserts], and the graph version advances exactly
+    as under {!register}. Dependent result-cache entries are dropped —
+    but their live repair handles absorb the delta, so the next miss on
+    an affected fixpoint pays only an incremental resume instead of a
+    recomputation (see the module overview). Plan-cache entries
+    survive: a rewritten plan stays valid under any catalog contents.
+    Batches apply deletes before inserts; a tuple named by both ends up
+    present.
+    @raise Invalid_argument on an unregistered relation or a batch
+    whose schema does not match the relation's. *)
 
 val graph_version : t -> int
 (** Monotone counter of catalog mutations; 0 before any {!register}. *)
@@ -143,6 +184,9 @@ type response = {
   fix_hits : int;
       (** fixpoint subterms of this evaluation served from the result
           cache or from another query's in-flight fixpoint *)
+  repaired : bool;
+      (** at least one fixpoint subterm was answered by incrementally
+          repairing a live accumulator instead of recomputing *)
   iterations : int;
       (** fixpoint iterations this response actually ran on the cluster;
           0 whenever the work was reused *)
@@ -180,10 +224,15 @@ type stats = {
   result_misses : int;  (** queries that went to evaluation *)
   plan_hits : int;
   plan_misses : int;
-  fix_evals : int;  (** fixpoint subterms actually evaluated *)
+  fix_evals : int;  (** fixpoint subterms recomputed from scratch *)
   fix_hits : int;  (** fixpoint subterms served from the result cache *)
   fix_shared : int;  (** fixpoint subterms joined in flight *)
-  invalidated : int;  (** cache entries dropped by {!register} *)
+  repaired : int;  (** fixpoint subterms answered by incremental repair *)
+  repair_fallbacks : int;
+      (** repair attempts abandoned (oversized pending delta,
+          unsupported update shape, or a mid-repair failure) *)
+  repair_handles : int;  (** live repair handles currently held *)
+  invalidated : int;  (** cache entries dropped by {!register}/{!update} *)
   evictions : int;  (** result-cache entries dropped by the LRU budget *)
   result_entries : int;
   result_bytes : int;

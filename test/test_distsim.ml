@@ -120,6 +120,19 @@ let test_set_diff_local () =
   let b = Dds.of_rel ~by:[ "src" ] c sub in
   check_rel "co-partitioned diff" (Rel.diff edges sub) (Dds.collect (Dds.set_diff_local a b))
 
+let test_set_inter_local () =
+  let c = Cluster.make ~workers:4 () in
+  let a = Dds.of_rel ~by:[ "src" ] c edges in
+  let sub = rel [ "src"; "trg" ] [ [ 1; 2 ]; [ 2; 3 ]; [ 5; 5 ] ] in
+  let b = Dds.of_rel ~by:[ "src" ] c sub in
+  let i = Dds.set_inter_local a b in
+  (* intersection = a \ (a \ b) *)
+  check_rel "co-partitioned intersection" (Rel.diff edges (Rel.diff edges sub)) (Dds.collect i);
+  check_bool "keeps left partitioning" true (Dds.partitioning i = Dds.Hashed [ "src" ]);
+  (* empty right side clips everything *)
+  let e = Dds.of_rel ~by:[ "src" ] c (rel [ "src"; "trg" ] []) in
+  check_rel "empty right" (rel [ "src"; "trg" ] []) (Dds.collect (Dds.set_inter_local a e))
+
 let test_rename () =
   let c = Cluster.make ~workers:2 () in
   let d = Dds.of_rel ~by:[ "src" ] c edges in
@@ -736,6 +749,7 @@ let () =
         [
           Alcotest.test_case "filter" `Quick test_filter_narrow;
           Alcotest.test_case "set_diff_local" `Quick test_set_diff_local;
+          Alcotest.test_case "set_inter_local" `Quick test_set_inter_local;
           Alcotest.test_case "rename" `Quick test_rename;
         ] );
       ( "fused delta",

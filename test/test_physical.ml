@@ -526,6 +526,133 @@ let test_explain_exec_mode () =
   check_bool "interpreted mode shown" true
     (contains_sub (Exec.explain ctx2 closure_term) "Execution: interpreted operator-at-a-time")
 
+(* --- incremental fixpoint maintenance -------------------------------- *)
+
+module Incr = Exec.Incr
+
+let incr_config ~force_plan ~workers ~compiled =
+  let cluster = Cluster.make ~workers () in
+  { (Exec.default_config cluster) with force_plan = Some force_plan; use_compiled_exec = compiled }
+
+let eval_on tables term = Mura.Eval.eval (Mura.Eval.env tables) term
+
+(* Parity contract: establish, apply a batch, and the repaired result is
+   bit-identical to a from-scratch evaluation on the updated catalog —
+   across both plans, worker counts and execution modes, including a
+   second repair on top of the first. *)
+let test_incr_insert_parity () =
+  let base = er_graph ~n:30 ~m:45 ~seed:11 in
+  let batch1 = rel [ "src"; "trg" ] [ [ 0; 17 ]; [ 17; 23 ]; [ 5; 0 ] ] in
+  let batch2 = rel [ "src"; "trg" ] [ [ 23; 29 ]; [ 29; 5 ] ] in
+  List.iter
+    (fun plan ->
+      List.iter
+        (fun workers ->
+          List.iter
+            (fun compiled ->
+              let label =
+                Printf.sprintf "%s w=%d compiled=%b" (Exec.plan_name plan) workers compiled
+              in
+              let config = incr_config ~force_plan:plan ~workers ~compiled in
+              let h = Incr.establish config ~tables:[ ("E", base) ] closure_term in
+              let apply batch =
+                match Incr.update ~inserts:[ ("E", batch) ] h with
+                | `Repaired (r, _) -> r
+                | `Unsupported msg -> Alcotest.failf "%s: unsupported: %s" label msg
+              in
+              let after1 = apply batch1 in
+              let tables1 = [ ("E", Rel.union base batch1) ] in
+              check_rel (label ^ ": first repair") (eval_on tables1 closure_term) after1;
+              let after2 = apply batch2 in
+              let tables2 = [ ("E", Rel.union (Rel.union base batch1) batch2) ] in
+              check_rel (label ^ ": repair of repair") (eval_on tables2 closure_term) after2;
+              check_int (label ^ ": resumes counted") 2 (Incr.resumes h))
+            [ false; true ])
+        [ 1; 4 ])
+    [ Exec.P_gld; Exec.P_plw_s ]
+
+let test_incr_delete_parity () =
+  let deletes = rel [ "src"; "trg" ] [ [ 3; 4 ]; [ 12; 10 ] ] in
+  let inserts = rel [ "src"; "trg" ] [ [ 4; 20 ]; [ 20; 3 ] ] in
+  List.iter
+    (fun plan ->
+      List.iter
+        (fun compiled ->
+          let label = Printf.sprintf "%s compiled=%b" (Exec.plan_name plan) compiled in
+          let config = incr_config ~force_plan:plan ~workers:4 ~compiled in
+          let h = Incr.establish config ~tables:[ ("E", edges) ] closure_term in
+          (match Incr.update ~deletes:[ ("E", deletes) ] h with
+          | `Repaired (r, _) ->
+            let tables = [ ("E", Rel.diff edges deletes) ] in
+            check_rel (label ^ ": DRed delete") (eval_on tables closure_term) r
+          | `Unsupported msg -> Alcotest.failf "%s: unsupported: %s" label msg);
+          match Incr.update ~inserts:[ ("E", inserts) ] ~deletes:[ ("E", deletes) ] h with
+          | `Repaired (r, _) ->
+            (* the first update already removed [deletes]; this one is an
+               effective pure insert riding through the combined path *)
+            let tables = [ ("E", Rel.union (Rel.diff edges deletes) inserts) ] in
+            check_rel (label ^ ": combined update") (eval_on tables closure_term) r
+          | `Unsupported msg -> Alcotest.failf "%s: unsupported: %s" label msg)
+        [ false; true ])
+    [ Exec.P_gld; Exec.P_plw_s ]
+
+let test_incr_noop_update () =
+  let config = incr_config ~force_plan:Exec.P_plw_s ~workers:2 ~compiled:true in
+  let h = Incr.establish config ~tables:[ ("E", edges) ] closure_term in
+  let before = Incr.result h in
+  (* inserting already-present tuples and deleting absent ones is a no-op *)
+  match
+    Incr.update
+      ~inserts:[ ("E", rel [ "src"; "trg" ] [ [ 1; 2 ] ]) ]
+      ~deletes:[ ("E", rel [ "src"; "trg" ] [ [ 77; 78 ] ]) ]
+      h
+  with
+  | `Repaired (r, iters) ->
+    check_rel "result unchanged" before r;
+    check_int "no resumed iterations" 0 iters;
+    check_int "not counted as a resume" 0 (Incr.resumes h)
+  | `Unsupported msg -> Alcotest.failf "unsupported: %s" msg
+
+let test_incr_unsupported () =
+  (* changed relation under an antijoin right side: insertion can retract
+     derived tuples, so the update must refuse and leave the handle
+     untouched *)
+  let blocked = rel [ "src" ] [ [ 10 ] ] in
+  let term =
+    Term.Fix ("X", Term.Union (Term.Rel "E", Term.Antijoin (Term.Var "X", Term.Rel "D")))
+  in
+  let config = incr_config ~force_plan:Exec.P_gld ~workers:2 ~compiled:true in
+  let h = Incr.establish config ~tables:[ ("E", edges); ("D", blocked) ] term in
+  let before = Incr.result h in
+  (match Incr.update ~inserts:[ ("D", rel [ "src" ] [ [ 3 ] ]) ] h with
+  | `Unsupported _ -> ()
+  | `Repaired _ -> Alcotest.fail "antijoin-right update must be unsupported");
+  check_rel "handle untouched" before (Incr.result h);
+  (match Incr.update ~inserts:[ ("F", rel [ "src"; "trg" ] [ [ 1; 2 ] ]) ] h with
+  | `Unsupported _ -> ()
+  | `Repaired _ -> Alcotest.fail "unregistered relation must be unsupported");
+  (match Incr.update ~inserts:[ ("E", rel [ "a"; "b" ] [ [ 1; 2 ] ]) ] h with
+  | `Unsupported _ -> ()
+  | `Repaired _ -> Alcotest.fail "schema mismatch must be unsupported");
+  (* inserts touching only the antijoin-left relation still repair *)
+  match Incr.update ~inserts:[ ("E", rel [ "src"; "trg" ] [ [ 6; 10 ] ]) ] h with
+  | `Repaired (r, _) ->
+    let tables =
+      [ ("E", Rel.union edges (rel [ "src"; "trg" ] [ [ 6; 10 ] ])); ("D", blocked) ]
+    in
+    check_rel "antijoin-left insert repairs" (eval_on tables term) r
+  | `Unsupported msg -> Alcotest.failf "unsupported: %s" msg
+
+let test_incr_establish_shapes () =
+  let config = incr_config ~force_plan:Exec.P_gld ~workers:2 ~compiled:true in
+  (match Incr.establish config ~tables:[ ("E", edges) ] (Term.Rel "E") with
+  | exception Incr.Unsupported _ -> ()
+  | _ -> Alcotest.fail "non-fixpoint establish must raise");
+  let pg = incr_config ~force_plan:Exec.P_plw_pg ~workers:2 ~compiled:true in
+  match Incr.establish pg ~tables:[ ("E", edges) ] closure_term with
+  | exception Incr.Unsupported _ -> ()
+  | _ -> Alcotest.fail "P_plw^pg establish must raise"
+
 let () =
   Alcotest.run "physical"
     [
@@ -576,6 +703,14 @@ let () =
           Alcotest.test_case "compiled/interpreted parity" `Quick test_compiled_parity;
           Alcotest.test_case "compiler engagement" `Quick test_compiled_engagement;
           Alcotest.test_case "explain shows execution mode" `Quick test_explain_exec_mode;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "insert-and-resume parity" `Quick test_incr_insert_parity;
+          Alcotest.test_case "DRed delete parity" `Quick test_incr_delete_parity;
+          Alcotest.test_case "no-op update" `Quick test_incr_noop_update;
+          Alcotest.test_case "unsupported updates refuse" `Quick test_incr_unsupported;
+          Alcotest.test_case "establish shape checks" `Quick test_incr_establish_shapes;
         ] );
       ("properties", [ prop_all_plans_agree; prop_reach_all_plans; prop_random_terms_all_plans ]);
     ]
