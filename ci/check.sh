@@ -96,6 +96,15 @@ dune exec bench/main.exe -- --quick micro_fixpoint_delta
 echo "== bench micro_compiled (--quick) =="
 dune exec bench/main.exe -- --quick micro_compiled
 
+# whole-plan shell parity gate: quick-scale run of the compiled
+# non-fixpoint shell vs the interpreted operators; any divergence —
+# collected results or communication counters — fails the build, as
+# does any insert-triggered set growth on the compiled path (every
+# batch output is presized). The >=1.5x end-to-end speedup gate only
+# applies at full scale on multi-core hosts.
+echo "== bench micro_shell (--quick) =="
+dune exec bench/main.exe -- --quick micro_shell
+
 # serving-layer smoke: concurrent sessions resubmitting one query
 # through lib/serve must hit the result cache (hit rate > 0) and match
 # the reference results (murarun exits non-zero on any parity failure);

@@ -1,0 +1,222 @@
+(* Compiled per-worker local fixpoints for P_plw^pg.
+
+   [plan] is a driver-side, typing-only lowering of the local fixpoint
+   term (the [Fix (var, __seed ∪ branches)] that [Exec.run_plw_pg] ships
+   to every worker): each recursive branch becomes a static operator
+   list with all positions resolved against schemas, constant join
+   sides kept as terms. Because the decision is static and taken once
+   on the driver, every worker runs the same path (no per-worker
+   plan divergence) and a rejection costs nothing — the SQL / volcano
+   fallbacks in [Exec.run_plw_pg] are the oracle.
+
+   [run] instantiates the plan against one worker's local database:
+   constant sides are evaluated through [Instance.query] and indexed
+   once, branches compile to {!Relation.Rowchain} closure chains over
+   {!Relation.Batch} deltas, and a single-threaded semi-naive loop
+   absorbs produced rows into a presized accumulator reusing the batch
+   hash column ([Tset.add_cols] — no per-insert rehash, no tuple
+   allocation in project/probe). The result set is identical to the
+   interpreter's: same seed, same branches, same fixpoint. *)
+
+module Schema = Relation.Schema
+module Rel = Relation.Rel
+module Tset = Relation.Tset
+module Tuple = Relation.Tuple
+module Batch = Relation.Batch
+module Pred = Relation.Pred
+module Index = Relation.Index
+module Rowchain = Relation.Rowchain
+module Term = Mura.Term
+module Fcond = Mura.Fcond
+
+(* Static branch operators: positions are resolved at plan time, the
+   constant side of joins stays a term evaluated per worker at run
+   time. *)
+type bop =
+  | B_filter of (Tuple.t -> bool)
+  | B_project of int array
+  | B_join of {
+      const : Term.t;
+      const_schema : Schema.t;
+      shared : string list;
+      key_pos : int array;
+      extra_pos : int array;
+    }
+  | B_anti of { const : Term.t; const_schema : Schema.t; shared : string list; key_pos : int array }
+
+type branch = { ops : bop list; out_schema : Schema.t }
+
+type plan = {
+  p_var : string;
+  p_x_schema : Schema.t;
+  p_consts : Term.t list;
+  p_branches : branch list;
+}
+
+exception Reject of string
+
+let reject r = raise (Reject r)
+
+let plan ~env (term : Term.t) : (plan, string) result =
+  let tenv = Mura.Typing.env env in
+  let typing t = Mura.Typing.infer tenv t in
+  match term with
+  | Term.Fix (var, body) -> (
+    match
+      let consts, recs = Fcond.split ~var body in
+      if consts = [] then reject "no_constant_part";
+      let x_schema = typing (Term.union_all consts) in
+      if Schema.arity x_schema = 0 then reject "zero_arity";
+      let lower_branch b =
+        let rec go (t : Term.t) : bop list * Schema.t =
+          match t with
+          | Term.Var x when String.equal x var -> ([], x_schema)
+          | Term.Var _ -> reject "foreign_var"
+          | Term.Select (p, u) ->
+            let ops, s = go u in
+            (ops @ [ B_filter (Pred.compile s p) ], s)
+          | Term.Project (keep, u) ->
+            let ops, s = go u in
+            let out = Schema.restrict s keep in
+            if Schema.arity out = 0 then reject "zero_arity_project";
+            (ops @ [ B_project (Schema.positions s keep) ], out)
+          | Term.Antiproject (drop, u) ->
+            let ops, s = go u in
+            let keep = List.filter (fun c -> not (List.mem c drop)) (Schema.cols s) in
+            let out = Schema.restrict s keep in
+            if Schema.arity out = 0 then reject "zero_arity_project";
+            (ops @ [ B_project (Schema.positions s keep) ], out)
+          | Term.Rename (m, u) ->
+            let ops, s = go u in
+            (ops, Schema.rename m s)
+          | Term.Join (a, b) ->
+            let recursive, const = if Term.has_free_var var a then (a, b) else (b, a) in
+            if Term.has_free_var var const then reject "nonlinear_join";
+            let ops, sr = go recursive in
+            let sc = typing const in
+            if Schema.arity sc = 0 then reject "zero_arity";
+            let shared = Schema.common sr sc in
+            let extra = List.filter (fun c -> not (Schema.mem sr c)) (Schema.cols sc) in
+            ( ops
+              @ [
+                  B_join
+                    {
+                      const;
+                      const_schema = sc;
+                      shared;
+                      key_pos = Schema.positions sr shared;
+                      extra_pos = Schema.positions sc extra;
+                    };
+                ],
+              Schema.append_distinct sr sc )
+          | Term.Antijoin (a, b) ->
+            if Term.has_free_var var b then reject "nonpositive_antijoin";
+            let ops, sr = go a in
+            let sc = typing b in
+            let shared = Schema.common sr sc in
+            ( ops
+              @ [
+                  B_anti
+                    { const = b; const_schema = sc; shared; key_pos = Schema.positions sr shared };
+                ],
+              sr )
+          | Term.Fix _ -> reject "nested_fix"
+          | Term.Rel _ | Term.Cst _ | Term.Union _ -> reject "unsupported_shape"
+        in
+        let ops, out_schema = go b in
+        if not (Schema.equal_names out_schema x_schema) then reject "branch_schema_mismatch";
+        { ops; out_schema }
+      in
+      { p_var = var; p_x_schema = x_schema; p_consts = consts; p_branches = List.map lower_branch recs }
+    with
+    | p -> Ok p
+    | exception Reject r -> Error r
+    | exception (Schema.Schema_error _ | Mura.Typing.Type_error _) -> Error "typing"
+    | exception Fcond.Not_fcond _ -> Error "not_fcond")
+  | _ -> Error "not_a_fixpoint"
+
+(* Evaluate a constant side. Bare relation names short-circuit to the
+   catalog (the seed and broadcast tables always take this path) instead
+   of a volcano [Instance.query] whose result set grows from default
+   capacity — the loop below is gated on zero insert-triggered
+   rehashes. *)
+let rec fetch (db : Instance.t) (c : Term.t) : Rel.t =
+  match c with
+  | Term.Rel name -> (
+    match Instance.lookup db name with Some r -> r | None -> Instance.query db c)
+  | Term.Rename (m, u) -> Rel.rename m (fetch db u)
+  | _ -> Instance.query db c
+
+let run (p : plan) (db : Instance.t) : Rel.t =
+  let arity = Schema.arity p.p_x_schema in
+  (* seed: the constant branches, relaid into accumulator order *)
+  let consts = List.map (fun c -> Rel.relayout p.p_x_schema (fetch db c)) p.p_consts in
+  let acc =
+    Tset.create ~capacity:(List.fold_left (fun n r -> n + Rel.cardinal r) 0 consts) ()
+  in
+  List.iter (fun r -> Tset.iter (fun tu -> ignore (Tset.add acc tu)) (Rel.tuples r)) consts;
+  (* instantiate branches: constant sides queried and indexed once *)
+  let builder = ref (Batch.Builder.create ~capacity:0 ~arity ()) in
+  let runners =
+    List.map
+      (fun br ->
+        let ops =
+          List.map
+            (function
+              | B_filter f -> Rowchain.Filter f
+              | B_project pos -> Rowchain.Project pos
+              | B_join { const; const_schema; shared; key_pos; extra_pos } ->
+                let rel = Rel.relayout const_schema (fetch db const) in
+                let idx = Index.build const_schema shared (Tset.to_seq (Rel.tuples rel)) in
+                Rowchain.Probe { key_pos; extra_pos; probe = Index.probe idx }
+              | B_anti { const; const_schema; shared; key_pos } ->
+                let rel = Rel.relayout const_schema (fetch db const) in
+                let idx = Index.build const_schema shared (Tset.to_seq (Rel.tuples rel)) in
+                Rowchain.Antiprobe { key_pos; mem = Index.mem idx })
+            br.ops
+        in
+        let perm = Schema.reorder_positions ~from:br.out_schema ~into:p.p_x_schema in
+        let identity = ref true in
+        Array.iteri (fun i q -> if q <> i then identity := false) perm;
+        let identity = !identity in
+        let emit final =
+          let bld = !builder in
+          let s = Batch.Builder.scratch bld in
+          if identity then Array.blit final 0 s 0 arity
+          else
+            for c = 0 to arity - 1 do
+              s.(c) <- final.(perm.(c))
+            done;
+          ignore (Batch.Builder.add_scratch bld (Batch.hash_row s))
+        in
+        let entry = Array.make arity 0 in
+        (Rowchain.compile ~entry ops ~emit, entry))
+      p.p_branches
+  in
+  (* single-threaded semi-naive loop over batches *)
+  let delta = ref (Batch.of_tset ~arity acc) in
+  while Batch.length !delta > 0 && runners <> [] do
+    let b = !delta in
+    let n = Batch.length b in
+    builder := Batch.Builder.create ~capacity:n ~arity ();
+    let cols = Batch.cols b in
+    List.iter
+      (fun (chain, entry) ->
+        for row = 0 to n - 1 do
+          for c = 0 to arity - 1 do
+            entry.(c) <- cols.(c).(row)
+          done;
+          chain ()
+        done)
+      runners;
+    let produced = Batch.Builder.batch !builder in
+    let pn = Batch.length produced in
+    Tset.reserve acc (Tset.cardinal acc + pn);
+    let fresh = Batch.create ~capacity:(max 1 pn) ~arity () in
+    let pcols = Batch.cols produced and phashes = Batch.hashes produced in
+    for row = 0 to pn - 1 do
+      if Tset.add_cols acc pcols ~row ~hash:phashes.(row) then Batch.push_row fresh produced row
+    done;
+    delta := fresh
+  done;
+  Rel.of_tset p.p_x_schema acc

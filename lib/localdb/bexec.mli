@@ -1,0 +1,24 @@
+(** Compiled per-worker local fixpoints for the P_plw^pg plan.
+
+    [plan] lowers the local fixpoint term ([Fix (var, __seed ∪
+    branches)]) into static operator lists — a driver-side, typing-only
+    decision, so every worker runs the same path and a rejection
+    evaluates nothing. [run] executes the plan against one worker's
+    local database: constant sides through {!Instance.query}, branches
+    as {!Relation.Rowchain} closure chains over {!Relation.Batch}
+    deltas, and a semi-naive loop absorbing into a presized accumulator
+    with stored-hash reuse. Results are identical to
+    [Instance.query db term]; the SQL and volcano paths stay as the
+    oracle fallbacks. *)
+
+type plan
+
+val plan : env:(string * Relation.Schema.t) list -> Mura.Term.t -> (plan, string) result
+(** [plan ~env term] statically lowers [term] against the schema
+    environment (the seed and every broadcast table). [Error reason]
+    carries the fallback-telemetry slug; nothing is evaluated either
+    way. *)
+
+val run : plan -> Instance.t -> Relation.Rel.t
+(** Execute the plan against a local database holding the seed and
+    broadcast tables the plan's terms mention. *)

@@ -2,6 +2,9 @@ module Schema = Relation.Schema
 module Rel = Relation.Rel
 module Tset = Relation.Tset
 module Tuple = Relation.Tuple
+module Pred = Relation.Pred
+module Batch = Relation.Batch
+module Index = Relation.Index
 module Term = Mura.Term
 module Fcond = Mura.Fcond
 module Dds = Distsim.Dds
@@ -75,10 +78,23 @@ type local_actual = {
   mutable l_workers : int;
 }
 
+(* Shared cache of typing-only shell analyses ([Pipeline.Shell.analyze]
+   results), keyed by the printed term. A long-lived service passes one
+   cache to every session it opens so a repeated query is analyzed once;
+   the analysis depends only on the catalog's schemas, so the owner must
+   drop the cache when those change. *)
+type shell_cache = (string, Pipeline.Shell.static) Hashtbl.t
+
+let shell_cache () : shell_cache = Hashtbl.create 64
+let clear_shell_cache (c : shell_cache) = Hashtbl.reset c
+
 type ctx = {
   config : config;
   tables : (string * Rel.t) list;
   cache : (string, Dds.t) Hashtbl.t;
+  bcache : (string, Batch.t array) Hashtbl.t;
+      (* columnar view of cached base relations, for the compiled shell *)
+  shell_statics : shell_cache;
   rpt : report;
   actuals : (string, op_actual) Hashtbl.t option;
   local_actuals : (string, (string, local_actual) Hashtbl.t) Hashtbl.t;
@@ -87,11 +103,13 @@ type ctx = {
   locals_mutex : Mutex.t;
 }
 
-let session config tables =
+let session ?shell_cache:sc config tables =
   {
     config;
     tables;
     cache = Hashtbl.create 16;
+    bcache = Hashtbl.create 8;
+    shell_statics = (match sc with Some c -> c | None -> Hashtbl.create 16);
     rpt = { fixpoints = [] };
     actuals = (if config.collect_actuals then Some (Hashtbl.create 64) else None);
     local_actuals = Hashtbl.create 4;
@@ -173,59 +191,89 @@ let op_label (t : Term.t) =
   | Union _ -> "Union"
   | Fix (x, _) -> "Fix " ^ x
 
+(* Fallback telemetry: one counter, labelled by the static reason slug
+   and the site that fell back (shell node, fixpoint branch, P_plw^pg
+   local plan). *)
+let tele_fallback ~reason ~site =
+  let reg = Telemetry.get () in
+  if Telemetry.enabled reg then
+    Telemetry.inc reg ~labels:[ ("reason", reason); ("site", site) ] "pipeline_fallback_total"
+
+(* Literal relations embedded in a term make [Term.to_string] arbitrarily
+   large (and the term transient), so such terms bypass the shell-static
+   cache. *)
+let rec has_cst : Term.t -> bool = function
+  | Term.Cst _ -> true
+  | Term.Rel _ | Term.Var _ -> false
+  | Term.Select (_, u) | Term.Project (_, u) | Term.Antiproject (_, u) | Term.Rename (_, u)
+  | Term.Fix (_, u) ->
+    has_cst u
+  | Term.Join (a, b) | Term.Antijoin (a, b) | Term.Union (a, b) -> has_cst a || has_cst b
+
+(* A shell value: either still a columnar chain (per-worker batches plus
+   pending fused operators) or an interpreter dataset produced by a
+   per-subtree fallback. *)
+type sval = S_chain of Pipeline.Shell.chain | S_dds of Dds.t
+
 (* ------------------------------------------------------------------ *)
 (* Distributed evaluation of non-recursive operators                   *)
 (* ------------------------------------------------------------------ *)
+
+module Sh = Pipeline.Shell
+
+let shell_children = Sh.children_of
 
 let rec exec_at ctx ~path (term : Term.t) : Dds.t =
   Trace.span (Trace.get ()) ~cat:"op" (op_label term) @@ fun () ->
   let d =
     metered ctx path Dds.cardinal @@ fun () ->
-    match term with
-    | Rel n -> (
-      match Hashtbl.find_opt ctx.cache n with
-      | Some d -> d
-      | None ->
-        let rel =
-          match List.assoc_opt n ctx.tables with
-          | Some r -> r
-          | None -> err "unknown relation %S" n
-        in
-        let d = Dds.of_rel ctx.config.cluster rel in
-        Hashtbl.replace ctx.cache n d;
-        d)
-    | Cst r -> Dds.of_rel ctx.config.cluster r
-    | Var x -> err "free recursive variable %S at top level" x
-    | Select (p, u) -> Dds.filter p (exec_at ctx ~path:(child path 0) u)
-    | Project (keep, u) ->
-      Dds.distinct (project_narrow (exec_at ctx ~path:(child path 0) u) keep)
-    | Antiproject (drop, u) ->
-      let d = exec_at ctx ~path:(child path 0) u in
-      Dds.distinct (project_narrow d (keep_of_drop (Dds.schema d) drop))
-    | Rename (m, u) -> Dds.rename m (exec_at ctx ~path:(child path 0) u)
-    | Join (a, b) ->
-      let da = exec_at ctx ~path:(child path 0) a
-      and db = exec_at ctx ~path:(child path 1) b in
-      let ca = Dds.cardinal da and cb = Dds.cardinal db in
-      let threshold = ctx.config.broadcast_threshold in
-      if cb <= ca && cb <= threshold then Dds.join_broadcast da (Dds.collect db)
-      else if ca < cb && ca <= threshold then
-        let joined = Dds.join_broadcast db (Dds.collect da) in
-        (* keep the conventional left-first layout *)
-        let out_schema = Schema.append_distinct (Dds.schema da) (Dds.schema db) in
-        relayout_dds joined out_schema
-      else Dds.join_shuffle da db
-    | Antijoin (a, b) ->
-      let da = exec_at ctx ~path:(child path 0) a
-      and db = exec_at ctx ~path:(child path 1) b in
-      if Dds.cardinal db <= ctx.config.broadcast_threshold then
-        Dds.antijoin_broadcast da (Dds.collect db)
-      else Dds.antijoin_shuffle da db
-    | Union (a, b) ->
-      Dds.union_distinct (exec_at ctx ~path:(child path 0) a) (exec_at ctx ~path:(child path 1) b)
-    | Fix (x, body) -> exec_fix ctx ~path x body
+    let kids = List.mapi (fun i u -> exec_at ctx ~path:(child path i) u) (shell_children term) in
+    interp_node ctx ~path term kids
   in
   check_size ctx d
+
+(* One interpreted operator over already-evaluated children ([Fix], [Rel]
+   and [Cst] are leaves here — the fixpoint drives its own recursion).
+   Shared verbatim between the operator-at-a-time tree walk above and
+   per-subtree fallbacks of the compiled shell, so both paths take the
+   exact same size decisions and meter identically. *)
+and interp_node ctx ~path (term : Term.t) (kids : Dds.t list) : Dds.t =
+  match (term, kids) with
+  | Rel n, [] -> (
+    match Hashtbl.find_opt ctx.cache n with
+    | Some d -> d
+    | None ->
+      let rel =
+        match List.assoc_opt n ctx.tables with
+        | Some r -> r
+        | None -> err "unknown relation %S" n
+      in
+      let d = Dds.of_rel ctx.config.cluster rel in
+      Hashtbl.replace ctx.cache n d;
+      d)
+  | Cst r, [] -> Dds.of_rel ctx.config.cluster r
+  | Var x, _ -> err "free recursive variable %S at top level" x
+  | Select (p, _), [ d ] -> Dds.filter p d
+  | Project (keep, _), [ d ] -> Dds.distinct (project_narrow d keep)
+  | Antiproject (drop, _), [ d ] -> Dds.distinct (project_narrow d (keep_of_drop (Dds.schema d) drop))
+  | Rename (m, _), [ d ] -> Dds.rename m d
+  | Join _, [ da; db ] ->
+    let ca = Dds.cardinal da and cb = Dds.cardinal db in
+    let threshold = ctx.config.broadcast_threshold in
+    if cb <= ca && cb <= threshold then Dds.join_broadcast da (Dds.collect db)
+    else if ca < cb && ca <= threshold then
+      let joined = Dds.join_broadcast db (Dds.collect da) in
+      (* keep the conventional left-first layout *)
+      let out_schema = Schema.append_distinct (Dds.schema da) (Dds.schema db) in
+      relayout_dds joined out_schema
+    else Dds.join_shuffle da db
+  | Antijoin _, [ da; db ] ->
+    if Dds.cardinal db <= ctx.config.broadcast_threshold then
+      Dds.antijoin_broadcast da (Dds.collect db)
+    else Dds.antijoin_shuffle da db
+  | Union _, [ da; db ] -> Dds.union_distinct da db
+  | Fix (x, body), [] -> exec_fix ctx ~path x body
+  | _ -> assert false
 
 and relayout_dds d out_schema =
   if Schema.equal_ordered (Dds.schema d) out_schema then d
@@ -242,8 +290,275 @@ and relayout_dds d out_schema =
    broadcasting. Terms containing fixpoints are evaluated distributed
    (they can be large intermediate results); plain ones centrally. *)
 and eval_const ctx ~path term =
-  if Term.fix_count term > 0 then Dds.collect (exec_at ctx ~path term)
+  if Term.fix_count term > 0 then Dds.collect (exec_any ctx ~path term)
   else metered ctx path Rel.cardinal (fun () -> Mura.Eval.eval (driver_env ctx) term)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled shell execution                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The non-fixpoint shell around [Fix] nodes lowers onto the same fused
+   batch chains as the recursive branches: scans adopt cached columnar
+   views, select/project/rename/join-probe accumulate as pending fused
+   operators, and materialization happens only where the interpreter
+   observes values (size decisions, exchanges, collects). Supportability
+   is decided by the typing-only [Pipeline.Shell.analyze] pass before
+   anything is evaluated; an unsupported node interprets just itself
+   ([interp_node]) over batch<->Tset bridges while its children stay
+   compiled. Where the shell engages, results, partition contents,
+   iteration counts and all communication counters are identical to the
+   interpreter by construction; resource limits are enforced at
+   materialization points instead of per node. *)
+
+and shell_on ctx = ctx.config.use_compiled_exec && ctx.actuals = None
+
+(* Whole-plan entry: the compiled shell when it applies, the interpreter
+   otherwise. Leaves and bare fixpoints have no shell to compile — both
+   paths are the same code, so skip the batch bridges. *)
+and exec_any ctx ~path (term : Term.t) : Dds.t =
+  if shell_on ctx then
+    match term with
+    | Term.Rel _ | Term.Cst _ | Term.Var _ | Term.Fix _ -> exec_at ctx ~path term
+    | _ -> shell_dds ctx ~path term
+  else exec_at ctx ~path term
+
+and shell_static ctx (term : Term.t) : Sh.static =
+  let analyze () =
+    let tenv = typing_env ctx in
+    Sh.analyze ~typing:(fun t -> Mura.Typing.infer tenv t) term
+  in
+  if has_cst term then analyze ()
+  else begin
+    let key = Term.to_string term in
+    match Hashtbl.find_opt ctx.shell_statics key with
+    | Some st -> st
+    | None ->
+      if Hashtbl.length ctx.shell_statics >= 512 then Hashtbl.reset ctx.shell_statics;
+      let st = analyze () in
+      Hashtbl.replace ctx.shell_statics key st;
+      st
+  end
+
+and shell_dds ctx ~path (term : Term.t) : Dds.t =
+  shell_to_dds ctx (shell_exec ctx ~path (shell_static ctx term) term)
+
+(* Materialize a chain, enforcing the tuple limit the interpreter checks
+   per node. *)
+and shell_mat ctx c =
+  let c = Sh.materialize ctx.config.cluster c in
+  if Sh.rows c > ctx.config.max_tuples then
+    raise (Resource_limit (Printf.sprintf "dataset exceeds %d tuples" ctx.config.max_tuples));
+  c
+
+and shell_chain ctx = function
+  | S_chain c -> c
+  | S_dds d -> Sh.of_dds ctx.config.cluster d
+
+and shell_to_dds ctx = function
+  | S_dds d -> d
+  | S_chain c -> Sh.to_dds ctx.config.cluster (shell_mat ctx c)
+
+(* [Dds.repartition]'s no-op rule over a chain. *)
+and shell_repart_if ctx c ~by =
+  if Dds.same_hashing (Sh.part c) (Dds.Hashed by) then c
+  else Sh.repartition ctx.config.cluster c ~by
+
+(* [Dds.distinct] over a chain: co-located set partitions are already
+   distinct (and the chain stays pending — dedup happens at the next
+   materialization); otherwise a metered exchange by the full schema. *)
+and shell_distinct ctx c =
+  match Sh.part c with
+  | Dds.Hashed _ -> S_chain c
+  | Dds.Arbitrary ->
+    let c = shell_mat ctx c in
+    S_chain (Sh.repartition ctx.config.cluster c ~by:(Schema.cols (Sh.schema c)))
+
+and shell_exec ctx ~path (st : Sh.static) (term : Term.t) : sval =
+  Trace.span (Trace.get ()) ~cat:"op" (op_label term) @@ fun () ->
+  let kid i =
+    match (List.nth_opt st.Sh.s_children i, List.nth_opt (shell_children term) i) with
+    | Some cst, Some u -> shell_exec ctx ~path:(child path i) cst u
+    | _ -> assert false
+  in
+  match st.Sh.s_verdict with
+  | Sh.Interp reason ->
+    tele_fallback ~reason ~site:"shell";
+    let kids =
+      List.mapi (fun i _ -> shell_to_dds ctx (kid i)) (shell_children term)
+    in
+    S_dds (check_size ctx (interp_node ctx ~path term kids))
+  | Sh.Compiled -> (
+    match term with
+    | Term.Var _ -> assert false (* [analyze] always interprets free variables *)
+    | Term.Rel n ->
+      (* metered scan through the session cache, plus a columnar view of
+         the same partitions cached alongside (chains never mutate their
+         base batches, so the view is shared safely) *)
+      let d = interp_node ctx ~path term [] in
+      let batches =
+        match Hashtbl.find_opt ctx.bcache n with
+        | Some b -> b
+        | None ->
+          let b = Sh.batches (Sh.of_dds ctx.config.cluster d) in
+          Hashtbl.replace ctx.bcache n b;
+          b
+      in
+      S_chain (Sh.of_batches ~schema:(Dds.schema d) ~part:(Dds.partitioning d) batches)
+    | Term.Cst _ -> S_chain (Sh.of_dds ctx.config.cluster (interp_node ctx ~path term []))
+    | Term.Fix (x, body) ->
+      S_chain (Sh.of_dds ctx.config.cluster (check_size ctx (exec_fix ctx ~path x body)))
+    | Term.Select (p, _) ->
+      let c = shell_chain ctx (kid 0) in
+      S_chain (Sh.filter (Pred.compile (Sh.schema c) p) c)
+    | Term.Project (keep, _) ->
+      let c = shell_chain ctx (kid 0) in
+      shell_distinct ctx (Sh.project keep c)
+    | Term.Antiproject (drop, _) ->
+      let c = shell_chain ctx (kid 0) in
+      shell_distinct ctx (Sh.project (keep_of_drop (Sh.schema c) drop) c)
+    | Term.Rename (m, _) ->
+      let c = shell_chain ctx (kid 0) in
+      S_chain (Sh.rename_cols m c)
+    | Term.Union _ ->
+      let a = shell_mat ctx (shell_chain ctx (kid 0)) in
+      let b = shell_mat ctx (shell_chain ctx (kid 1)) in
+      shell_distinct ctx (shell_mat ctx (Sh.union ctx.config.cluster a b))
+    | Term.Join _ ->
+      let a = shell_mat ctx (shell_chain ctx (kid 0)) in
+      let b = shell_mat ctx (shell_chain ctx (kid 1)) in
+      shell_join ctx a b
+    | Term.Antijoin _ ->
+      let a = shell_mat ctx (shell_chain ctx (kid 0)) in
+      let b = shell_mat ctx (shell_chain ctx (kid 1)) in
+      shell_antijoin ctx a b)
+
+(* Mirror of the interpreter's join: same size decisions, same broadcast
+   and collect metering, same output layout and partitioning — but the
+   probe side becomes a pending fused operator instead of a materialized
+   intermediate. *)
+and shell_join ctx sa sb : sval =
+  let cluster = ctx.config.cluster in
+  let sch_a = Sh.schema sa and sch_b = Sh.schema sb in
+  let ca = Sh.rows sa and cb = Sh.rows sb in
+  let threshold = ctx.config.broadcast_threshold in
+  let bcast_probe rel =
+    (* driver-side collect + broadcast of [rel], probed from every
+       worker; with no shared column this is the broadcast cartesian *)
+    let rs = Rel.schema rel in
+    fun ~base_schema ->
+      let shared = Schema.common base_schema rs in
+      let extra = List.filter (fun c -> not (Schema.mem base_schema c)) (Schema.cols rs) in
+      let extra_pos = Schema.positions rs extra in
+      let probe =
+        match shared with
+        | [] ->
+          let all = List.of_seq (Tset.to_seq (Rel.tuples rel)) in
+          fun _w _key -> all
+        | _ ->
+          let idx = Index.build rs shared (Tset.to_seq (Rel.tuples rel)) in
+          fun _w key -> Index.probe idx key
+      in
+      (Schema.positions base_schema shared, extra_pos, probe)
+  in
+  if cb <= ca && cb <= threshold then begin
+    let rel_b = Dds.collect (Sh.to_dds cluster sb) in
+    ignore (Dds.broadcast cluster rel_b);
+    let key_pos, extra_pos, probe = bcast_probe rel_b ~base_schema:sch_a in
+    let out_schema = Schema.append_distinct sch_a (Rel.schema rel_b) in
+    S_chain (Sh.probe sa ~key_pos ~extra_pos ~out_schema ~probe)
+  end
+  else if ca < cb && ca <= threshold then begin
+    (* broadcast [a], probe from [b] (b-first layout), then the fused
+       relayout back to the conventional left-first layout *)
+    let rel_a = Dds.collect (Sh.to_dds cluster sa) in
+    ignore (Dds.broadcast cluster rel_a);
+    let key_pos, extra_pos, probe = bcast_probe rel_a ~base_schema:sch_b in
+    let bfirst = Schema.append_distinct sch_b (Rel.schema rel_a) in
+    let afirst = Schema.append_distinct sch_a sch_b in
+    let c = Sh.probe sb ~key_pos ~extra_pos ~out_schema:bfirst ~probe in
+    if Schema.equal_ordered bfirst afirst then S_chain c
+    else S_chain (Sh.set_part (Sh.reorder ~into:afirst c) Dds.Arbitrary)
+  end
+  else begin
+    let shared = Schema.common sch_a sch_b in
+    match shared with
+    | [] ->
+      (* cartesian over two above-threshold sides: rare and wide — hand
+         the node to the interpreter *)
+      tele_fallback ~reason:"cartesian_shuffle" ~site:"shell";
+      let da = Sh.to_dds cluster sa and db = Sh.to_dds cluster sb in
+      S_dds (check_size ctx (Dds.join_shuffle da db))
+    | _ ->
+      let sa = shell_repart_if ctx sa ~by:shared in
+      let sb = shell_repart_if ctx sb ~by:shared in
+      let out_schema = Schema.append_distinct sch_a sch_b in
+      let extra = List.filter (fun c -> not (Schema.mem sch_a c)) (Schema.cols sch_b) in
+      let extra_pos = Schema.positions sch_b extra in
+      let b_batches = Sh.batches sb in
+      (* per-worker build side, indexed lazily: slot [w] is only ever
+         touched by worker [w]'s probe chain *)
+      let idxs = Array.make (Array.length b_batches) None in
+      let probe w key =
+        let idx =
+          match idxs.(w) with
+          | Some i -> i
+          | None ->
+            let i = Index.build sch_b shared (Sh.batch_tuples b_batches.(w)) in
+            idxs.(w) <- Some i;
+            i
+        in
+        Index.probe idx key
+      in
+      S_chain
+        (Sh.set_part
+           (Sh.probe sa ~key_pos:(Schema.positions sch_a shared) ~extra_pos ~out_schema ~probe)
+           (Dds.Hashed shared))
+  end
+
+and shell_antijoin ctx sa sb : sval =
+  let cluster = ctx.config.cluster in
+  let sch_a = Sh.schema sa and sch_b = Sh.schema sb in
+  if Sh.rows sb <= ctx.config.broadcast_threshold then begin
+    (* [Dds.antijoin_broadcast]: the broadcast is metered before the
+       shared-column cases split *)
+    let rel_b = Dds.collect (Sh.to_dds cluster sb) in
+    ignore (Dds.broadcast cluster rel_b);
+    let rs = Rel.schema rel_b in
+    match Schema.common sch_a rs with
+    | [] -> if Rel.is_empty rel_b then S_chain sa else S_chain (Sh.empty_like sa)
+    | shared ->
+      let idx = Index.build rs shared (Tset.to_seq (Rel.tuples rel_b)) in
+      S_chain
+        (Sh.antiprobe sa ~key_pos:(Schema.positions sch_a shared) ~mem:(fun _w key ->
+             Index.mem idx key))
+  end
+  else begin
+    match Schema.common sch_a sch_b with
+    | [] -> if Sh.rows sb = 0 then S_chain sa else S_chain (Sh.empty_like sa)
+    | shared ->
+      let sa = shell_repart_if ctx sa ~by:shared in
+      let sb = shell_repart_if ctx sb ~by:shared in
+      let b_batches = Sh.batches sb in
+      let b_key = Schema.positions sch_b shared in
+      let keysets = Array.make (Array.length b_batches) None in
+      let mem w key =
+        let ks =
+          match keysets.(w) with
+          | Some k -> k
+          | None ->
+            let b = b_batches.(w) in
+            let k = Tset.create ~capacity:(Batch.length b) () in
+            Seq.iter (fun tu -> ignore (Tset.add k (Tuple.project b_key tu))) (Sh.batch_tuples b);
+            keysets.(w) <- Some k;
+            k
+        in
+        Tset.mem ks key
+      in
+      S_chain
+        (Sh.set_part
+           (Sh.antiprobe sa ~key_pos:(Schema.positions sch_a shared) ~mem)
+           (Dds.Hashed shared))
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Recursive-branch compilation                                        *)
@@ -269,7 +584,7 @@ and compile_branch ctx ~var ~join_mode ~path branch : Dds.t -> Dds.t =
         let d = Dds.of_rel ctx.config.cluster r in
         fun _ -> d
       | `Shuffle ->
-        let d = exec_at ctx ~path t in
+        let d = exec_any ctx ~path t in
         fun _ -> d
     end
     else
@@ -323,7 +638,7 @@ and compile_branch ctx ~var ~join_mode ~path branch : Dds.t -> Dds.t =
           let bc = Dds.broadcast ctx.config.cluster (eval_const ctx ~path:cpath const) in
           fun delta -> Dds.join_bcast (f delta) bc
         | `Shuffle ->
-          let const_dds = exec_at ctx ~path:cpath const in
+          let const_dds = exec_any ctx ~path:cpath const in
           (* memoize the co-partitioned constant side across iterations:
              Spark keeps shuffle files of the stable side too *)
           let prepared = ref None in
@@ -365,7 +680,7 @@ and compile_branch ctx ~var ~join_mode ~path branch : Dds.t -> Dds.t =
           let bc = Dds.broadcast ctx.config.cluster (eval_const ctx ~path:(child path 1) b) in
           fun delta -> Dds.antijoin_bcast (f delta) bc
         | `Shuffle ->
-          let const_dds = exec_at ctx ~path:(child path 1) b in
+          let const_dds = exec_any ctx ~path:(child path 1) b in
           fun delta -> Dds.antijoin_shuffle (f delta) const_dds)
       | Term.Union _ -> err "internal: union inside a normalised branch"
       | Term.Fix (x, _) -> err "internal: recursive variable %s under nested fixpoint %s" var x
@@ -389,7 +704,7 @@ and exec_fix ctx ~path var body : Dds.t =
   | false, _, _ -> raise (Fcond.Not_fcond (Printf.sprintf "fixpoint on %s not positive" var))
   | _, false, _ -> raise (Fcond.Not_fcond (Printf.sprintf "fixpoint on %s not linear" var))
   | _, _, false -> raise (Fcond.Not_fcond (Printf.sprintf "fixpoint on %s mutually recursive" var)));
-  match List.mapi (fun i c -> exec_at ctx ~path:(child path i) c) consts with
+  match List.mapi (fun i c -> exec_any ctx ~path:(child path i) c) consts with
   | [] -> raise (Fcond.Not_fcond (Printf.sprintf "fixpoint on %s has no constant part" var))
   | d0 :: drest -> (
     let init = List.fold_left Dds.set_union_local d0 drest in
@@ -520,13 +835,23 @@ and run_semi_naive ctx ~var ~plan_label ~x0 ~x0_private ?delta0 ~branch_fns ~per
    actuals only exist on the operator-at-a-time path. *)
 and compiled_pipeline ctx ~var ~join_mode ~init ~recs ~branch_path =
   if (not ctx.config.use_compiled_exec) || ctx.actuals <> None then None
-  else
+  else begin
     let tenv = typing_env ctx in
-    Pipeline.compile ~cluster:ctx.config.cluster ~var ~join_mode ~x_schema:(Dds.schema init)
-      ~typing:(fun t -> Mura.Typing.infer tenv t)
-      ~exec_const:(fun ~path t -> exec_at ctx ~path t)
-      ~eval_const:(fun ~path t -> eval_const ctx ~path t)
-      ~branch_path recs
+    let typing t = Mura.Typing.infer tenv t in
+    match
+      Pipeline.compile ~cluster:ctx.config.cluster ~var ~join_mode ~x_schema:(Dds.schema init)
+        ~typing
+        ~exec_const:(fun ~path t -> exec_any ctx ~path t)
+        ~eval_const:(fun ~path t -> eval_const ctx ~path t)
+        ~branch_path recs
+    with
+    | Some cp -> Some cp
+    | None ->
+      (match Pipeline.reject_reason ~var ~join_mode ~typing ~x_schema:(Dds.schema init) recs with
+      | Some reason -> tele_fallback ~reason ~site:"fix_branch"
+      | None -> ());
+      None
+  end
 
 and run_gld ctx ~var ~init ~recs ~branch_path =
   let schema_cols = Schema.cols (Dds.schema init) in
@@ -626,13 +951,27 @@ and run_plw_pg ctx ~var ~body ~init ~stable ~path =
      per-operator counters, the volcano executor does. Both paths compute
      the same relation, so results are unchanged. *)
   let analyzing = ctx.actuals <> None in
-  let sql_text =
-    if analyzing then None
+  let local_env =
+    (seed_name, schema) :: List.map (fun (n, r) -> (n, Rel.schema r)) broadcast_tables
+  in
+  (* compiled local path: a driver-side, typing-only lowering of the
+     local fixpoint onto batch chains ([Localdb.Bexec]); every worker
+     then runs the same compiled loop. The SQL and volcano executors
+     stay as the oracle fallbacks (and EXPLAIN ANALYZE forces them —
+     only the volcano path exposes per-operator counters). *)
+  let bexec_plan =
+    if analyzing || not ctx.config.use_compiled_exec then None
     else
-      let tenv =
-        Mura.Typing.env
-          ((seed_name, schema) :: List.map (fun (n, r) -> (n, Rel.schema r)) broadcast_tables)
-      in
+      match Localdb.Bexec.plan ~env:local_env local_term with
+      | Ok p -> Some p
+      | Error reason ->
+        tele_fallback ~reason ~site:"plw_pg_local";
+        None
+  in
+  let sql_text =
+    if analyzing || Option.is_some bexec_plan then None
+    else
+      let tenv = Mura.Typing.env local_env in
       match Localdb.To_sql.of_term tenv local_term with
       | sql -> Some sql
       | exception (Localdb.To_sql.Unsupported _ | Mura.Typing.Type_error _) -> None
@@ -675,15 +1014,18 @@ and run_plw_pg ctx ~var ~body ~init ~stable ~path =
         List.iter (fun (n, r) -> Localdb.Instance.register db n r) broadcast_tables;
         Localdb.Instance.register db seed_name (Rel.of_tset schema (Tset.copy part));
         let local_result =
-          match sql_text with
-          | Some sql -> Relation.Rel.relayout schema (Localdb.Sql.query db sql)
-          | None ->
-            if analyzing then begin
-              let r, acts = Localdb.Instance.query_analyzed db local_term in
-              merge_local_actuals acts;
-              r
-            end
-            else Localdb.Instance.query db local_term
+          match bexec_plan with
+          | Some p -> Rel.relayout schema (Localdb.Bexec.run p db)
+          | None -> (
+            match sql_text with
+            | Some sql -> Relation.Rel.relayout schema (Localdb.Sql.query db sql)
+            | None ->
+              if analyzing then begin
+                let r, acts = Localdb.Instance.query_analyzed db local_term in
+                merge_local_actuals acts;
+                r
+              end
+              else Localdb.Instance.query db local_term)
         in
         Rel.tuples local_result)
       init
@@ -693,7 +1035,7 @@ and run_plw_pg ctx ~var ~body ~init ~stable ~path =
 
 and check_size_dds ctx d = check_size ctx d
 
-let exec_dds ctx term = exec_at ctx ~path:"0" term
+let exec_dds ctx term = exec_any ctx ~path:"0" term
 let run ctx term = Dds.collect (exec_dds ctx term)
 
 (* ------------------------------------------------------------------ *)
@@ -711,37 +1053,92 @@ let explain ctx term =
         Buffer.add_char buf '\n')
       fmt
   in
-  let rec go indent (t : Term.t) =
+  let typing t = Mura.Typing.infer tenv t in
+  (* Per-subtree shell verdicts (only when the compiled shell can engage):
+     each node line carries [compiled] or [interpreted: reason]. *)
+  let shell_st =
+    if ctx.config.use_compiled_exec then
+      match Pipeline.Shell.analyze ~typing term with
+      | st -> Some st
+      | exception _ -> None
+    else None
+  in
+  let ann st =
+    match st with
+    | None -> ""
+    | Some s -> (
+      match s.Pipeline.Shell.s_verdict with
+      | Pipeline.Shell.Compiled -> " [compiled]"
+      | Pipeline.Shell.Interp r -> Printf.sprintf " [interpreted: %s]" r)
+  in
+  let kid st i =
+    match st with
+    | Some s -> List.nth_opt s.Pipeline.Shell.s_children i
+    | None -> None
+  in
+  (* Per-branch fixpoint verdicts: same static passes the executor runs
+     ([Pipeline.reject_reason] slugs for P_gld / P_plw^s branches,
+     [Localdb.Bexec.plan] for the P_plw^pg local plan). *)
+  let branch_lines indent x body plan consts recs =
+    if not ctx.config.use_compiled_exec then ()
+    else
+      match plan with
+      | P_plw_pg -> (
+        let env =
+          ("__seed", typing (Term.union_all consts))
+          :: List.filter_map
+               (fun n -> Option.map (fun r -> (n, Rel.schema r)) (List.assoc_opt n ctx.tables))
+               (Term.free_rels body)
+        in
+        let local_term = Term.Fix (x, Term.union_all (Term.Rel "__seed" :: recs)) in
+        match Localdb.Bexec.plan ~env local_term with
+        | Ok _ -> line indent "local plan: compiled batch fixpoint"
+        | Error r -> line indent "local plan: interpreted (%s)" r
+        | exception _ -> line indent "local plan: interpreted (typing)")
+      | P_gld | P_plw_s -> (
+        let join_mode = match plan with P_gld -> `Shuffle | _ -> `Broadcast in
+        match typing (Term.union_all consts) with
+        | x_schema ->
+          List.iteri
+            (fun i b ->
+              match Pipeline.branch_verdict ~var:x ~join_mode ~typing ~x_schema b with
+              | Ok () -> line indent "branch %d: compiled" i
+              | Error r -> line indent "branch %d: interpreted (%s)" i r)
+            recs
+        | exception _ -> ())
+  in
+  let rec go indent st (t : Term.t) =
     match t with
-    | Term.Rel n -> line indent "TableScan %s" n
-    | Term.Cst r -> line indent "LocalRelation (%d tuples)" Rel.(cardinal r)
-    | Term.Var x -> line indent "RecursiveRef %s" x
+    | Term.Rel n -> line indent "TableScan %s%s" n (ann st)
+    | Term.Cst r -> line indent "LocalRelation (%d tuples)%s" Rel.(cardinal r) (ann st)
+    | Term.Var x -> line indent "RecursiveRef %s%s" x (ann st)
     | Term.Select (p, u) ->
-      line indent "Filter [%s]" (Relation.Pred.to_string p);
-      go (indent + 1) u
+      line indent "Filter [%s]%s" (Relation.Pred.to_string p) (ann st);
+      go (indent + 1) (kid st 0) u
     | Term.Project (c, u) ->
-      line indent "Project [%s] + Distinct" (String.concat "," c);
-      go (indent + 1) u
+      line indent "Project [%s] + Distinct%s" (String.concat "," c) (ann st);
+      go (indent + 1) (kid st 0) u
     | Term.Antiproject (c, u) ->
-      line indent "DropColumns [%s] + Distinct" (String.concat "," c);
-      go (indent + 1) u
+      line indent "DropColumns [%s] + Distinct%s" (String.concat "," c) (ann st);
+      go (indent + 1) (kid st 0) u
     | Term.Rename (m, u) ->
-      line indent "Rename [%s]"
-        (String.concat "," (List.map (fun (o, n) -> o ^ "->" ^ n) m));
-      go (indent + 1) u
+      line indent "Rename [%s]%s"
+        (String.concat "," (List.map (fun (o, n) -> o ^ "->" ^ n) m))
+        (ann st);
+      go (indent + 1) (kid st 0) u
     | Term.Join (a, b) ->
-      line indent "Join (broadcast if a side <= %d tuples, else shuffle)"
-        ctx.config.broadcast_threshold;
-      go (indent + 1) a;
-      go (indent + 1) b
+      line indent "Join (broadcast if a side <= %d tuples, else shuffle)%s"
+        ctx.config.broadcast_threshold (ann st);
+      go (indent + 1) (kid st 0) a;
+      go (indent + 1) (kid st 1) b
     | Term.Antijoin (a, b) ->
-      line indent "AntiJoin (broadcast/shuffle by size)";
-      go (indent + 1) a;
-      go (indent + 1) b
+      line indent "AntiJoin (broadcast/shuffle by size)%s" (ann st);
+      go (indent + 1) (kid st 0) a;
+      go (indent + 1) (kid st 1) b
     | Term.Union (a, b) ->
-      line indent "Union + Distinct";
-      go (indent + 1) a;
-      go (indent + 1) b
+      line indent "Union + Distinct%s" (ann st);
+      go (indent + 1) (kid st 0) a;
+      go (indent + 1) (kid st 1) b
     | Term.Fix (x, body) ->
       let stable =
         try Mura.Stabilizer.stable_columns tenv ~var:x body
@@ -763,13 +1160,15 @@ let explain ctx term =
       (match Fcond.split ~var:x body with
       | consts, recs ->
         line (indent + 1) "constant part:";
-        List.iter (go (indent + 2)) consts;
+        List.iter (go (indent + 2) None) consts;
         line (indent + 1) "variable part (%s):"
           (match plan with
           | P_gld -> "re-evaluated with shuffles each iteration"
           | P_plw_s -> "broadcast relations, narrow iterations"
           | P_plw_pg -> "shipped to per-worker local databases as SQL");
-        List.iter (go (indent + 2)) recs
+        List.iter (go (indent + 2) None) recs;
+        (try branch_lines (indent + 1) x body plan consts recs
+         with _ -> ())
       | exception Fcond.Not_fcond msg -> line (indent + 1) "! not F_cond: %s" msg)
   in
   line 0 "Execution: %s"
@@ -789,7 +1188,7 @@ let explain ctx term =
      else "unfused diff/union (baseline)")
     (if ctx.config.use_shuffle_dedup then ", iteration-shuffle dedup on"
      else ", iteration-shuffle dedup off");
-  go 0 term;
+  go 0 shell_st term;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -986,7 +1385,7 @@ module Incr = struct
     in
     if Term.free_vars term <> [] then unsupported "fixpoint term has free recursive variables";
     let ctx = session config tables in
-    let acc = exec_at ctx ~path:"0" term in
+    let acc = exec_any ctx ~path:"0" term in
     let consts, recs = Fcond.split ~var body in
     let stable =
       try Mura.Stabilizer.stable_columns (typing_env ctx) ~var body
@@ -1189,7 +1588,7 @@ module Incr = struct
             (h.i_acc, eval_summands ctx_new ~var:h.i_var ~acc:h.i_acc terms)
           | Some x_under ->
             let consts =
-              List.mapi (fun i c -> exec_at ctx_new ~path:("incr.cst." ^ string_of_int i) c)
+              List.mapi (fun i c -> exec_any ctx_new ~path:("incr.cst." ^ string_of_int i) c)
                 h.i_consts
             in
             let recs =

@@ -72,18 +72,28 @@ type config = {
           Results and communication counters are bit-identical either
           way; default [false] (zero overhead). *)
   use_compiled_exec : bool;
-      (** when [true] (default), the semi-naive loops of P_gld and
-          P_plw^s run on the compiled columnar core ({!Pipeline}): each
-          recursive branch is lowered once into fused closure chains
-          over unboxed column batches, the constant join side is indexed
-          once per fixpoint per worker, and every tuple is hashed once
-          per iteration (exchange routing, merging and accumulator
-          absorption all reuse the stored hash column). Falls back to
-          the interpreted operator-at-a-time loop for unsupported branch
-          shapes, for P_plw^pg and under EXPLAIN ANALYZE. Results,
+      (** when [true] (default), the whole plan runs on the compiled
+          columnar core ({!Pipeline}): the semi-naive loops of P_gld and
+          P_plw^s lower each recursive branch once into fused closure
+          chains over unboxed column batches (constant join sides
+          indexed once per fixpoint per worker, every tuple hashed once
+          per iteration — exchange routing, merging and accumulator
+          absorption all reuse the stored hash column); the non-fixpoint
+          shell around [Fix] nodes runs the same fused chains
+          column-at-a-time ({!Pipeline.Shell}), materializing only at
+          size decisions and exchanges; and P_plw^pg's per-worker local
+          fixpoints run the compiled batch loop ({!Localdb.Bexec}).
+          Fallback is per subtree: an unsupported shell operator
+          interprets just that node over batch<->Tset bridges, an
+          unsupported branch shape falls the fixpoint back to the
+          interpreted loop, an unsupported local plan falls back to
+          SQL/volcano — each fallback counted by the
+          [pipeline_fallback_total{reason,site}] telemetry counter.
+          EXPLAIN ANALYZE forces the interpreter everywhere. Results,
           iteration counts, delta curves and communication counters are
           bit-identical either way; [false] forces the interpreter — the
-          parity oracle for tests and the [micro_compiled] baseline. *)
+          parity oracle for tests and the [micro_compiled] /
+          [micro_shell] baselines. *)
 }
 
 val default_config : Distsim.Cluster.t -> config
@@ -119,7 +129,19 @@ type ctx
 (** A session: a cluster, a driver-side catalog, and the cache of
     already-distributed tables. *)
 
-val session : config -> (string * Relation.Rel.t) list -> ctx
+type shell_cache
+(** Cache of typing-only shell analyses ({!Pipeline.Shell.analyze}
+    results, keyed by printed term). Pass one long-lived cache to every
+    {!session} of a service so a repeated query's shell is analyzed
+    once; the analyses depend only on the catalog's schemas, so drop the
+    cache when those change. *)
+
+val shell_cache : unit -> shell_cache
+
+val clear_shell_cache : shell_cache -> unit
+(** Drop every cached analysis (call on catalog schema changes). *)
+
+val session : ?shell_cache:shell_cache -> config -> (string * Relation.Rel.t) list -> ctx
 val config_of : ctx -> config
 val report : ctx -> report
 val metrics : ctx -> Distsim.Metrics.t

@@ -38,6 +38,7 @@ module Tuple = Relation.Tuple
 module Batch = Relation.Batch
 module Pred = Relation.Pred
 module Index = Relation.Index
+module Rowchain = Relation.Rowchain
 module Term = Mura.Term
 module Dds = Distsim.Dds
 module Cluster = Distsim.Cluster
@@ -104,15 +105,16 @@ type t = {
 (* Plan pass: static supportability check (no evaluation, no metering)  *)
 (* ------------------------------------------------------------------ *)
 
-exception Unsupported
+exception Unsupported of string
 
 (* Decide whether a branch compiles, computing the schema at every chain
    point from typing alone. Runs before any constant subterm is
-   evaluated or broadcast, so a [None] verdict costs nothing and the
+   evaluated or broadcast, so a reject verdict costs nothing and the
    interpreter fallback never double-meters. Raising [Unsupported] (or
-   any typing/schema error) rejects; the interpreter then reproduces the
+   any typing/schema error) rejects with a reason slug for the
+   per-reason fallback telemetry; the interpreter then reproduces the
    exact dynamic error behaviour. *)
-let plan_branch ~var ~join_mode ~typing ~x_schema branch : Schema.t option =
+let plan_branch ~var ~join_mode ~typing ~x_schema branch : (Schema.t, string) result =
   let rec go (t : Term.t) : Schema.t =
     match t with
     | Term.Var x when String.equal x var -> x_schema
@@ -122,46 +124,66 @@ let plan_branch ~var ~join_mode ~typing ~x_schema branch : Schema.t option =
       s
     | Term.Project (keep, u) ->
       let s = Schema.restrict (go u) keep in
-      if Schema.arity s = 0 then raise Unsupported;
+      if Schema.arity s = 0 then raise (Unsupported "zero_arity_project");
       s
     | Term.Antiproject (drop, u) ->
       let su = go u in
       let keep = List.filter (fun c -> not (List.mem c drop)) (Schema.cols su) in
       let s = Schema.restrict su keep in
-      if Schema.arity s = 0 then raise Unsupported;
+      if Schema.arity s = 0 then raise (Unsupported "zero_arity_project");
       s
     | Term.Rename (m, u) -> Schema.rename m (go u)
     | Term.Join (a, b) ->
       let recursive, const = if Term.has_free_var var a then (a, b) else (b, a) in
-      if Term.has_free_var var const then raise Unsupported (* non-linear: interpreter errs *);
+      if Term.has_free_var var const then
+        raise (Unsupported "nonlinear_join") (* non-linear: interpreter errs *);
       let sr = go recursive in
       let sc = typing const in
       let shared = Schema.common sr sc in
       (match join_mode with
       | `Shuffle when shared = [] ->
         (* the interpreter picks a dynamic broadcast side by size here *)
-        raise Unsupported
+        raise (Unsupported "cartesian_shuffle_join")
       | `Shuffle | `Broadcast -> ());
       Schema.append_distinct sr sc
     | Term.Antijoin (a, b) ->
-      if Term.has_free_var var b then raise Unsupported (* not positive: interpreter errs *);
+      if Term.has_free_var var b then
+        raise (Unsupported "nonpositive_antijoin") (* not positive: interpreter errs *);
       (match join_mode with
       | `Shuffle ->
         (* interpreted [antijoin_shuffle] re-shuffles the constant side
            per iteration; keep that metering on the oracle path *)
-        raise Unsupported
+        raise (Unsupported "shuffle_antijoin")
       | `Broadcast -> ());
       let sr = go a in
       ignore (typing b);
       sr
-    | Term.Var _ | Term.Rel _ | Term.Cst _ | Term.Union _ | Term.Fix _ -> raise Unsupported
+    | Term.Var _ -> raise (Unsupported "foreign_var")
+    | Term.Fix _ -> raise (Unsupported "nested_fix")
+    | Term.Rel _ | Term.Cst _ | Term.Union _ -> raise (Unsupported "unsupported_shape")
   in
   match go branch with
   | s ->
     (* the semi-naive driver relayouts produced into the accumulator's
        schema; different column *sets* are an interpreter error *)
-    if Schema.equal_names s x_schema then Some s else None
-  | exception (Unsupported | Schema.Schema_error _ | Mura.Typing.Type_error _) -> None
+    if Schema.equal_names s x_schema then Ok s else Error "branch_schema_mismatch"
+  | exception Unsupported reason -> Error reason
+  | exception (Schema.Schema_error _ | Mura.Typing.Type_error _) -> Error "typing"
+
+(* Typing-only verdict for one branch, for explain and telemetry. *)
+let branch_verdict ~var ~join_mode ~typing ~x_schema branch : (unit, string) result =
+  Result.map ignore (plan_branch ~var ~join_mode ~typing ~x_schema branch)
+
+(* First reason the fixpoint as a whole would fall back, if any. *)
+let reject_reason ~var ~join_mode ~typing ~x_schema recs : string option =
+  if Schema.arity x_schema = 0 then Some "zero_arity_accumulator"
+  else
+    List.find_map
+      (fun b ->
+        match plan_branch ~var ~join_mode ~typing ~x_schema b with
+        | Ok _ -> None
+        | Error r -> Some r)
+      recs
 
 (* ------------------------------------------------------------------ *)
 (* Lowering pass: evaluate constant sides, build atoms                  *)
@@ -311,60 +333,23 @@ let lower_branch ~cluster ~var ~join_mode ~x_schema ~exec_const ~eval_const ~pat
 let build_runner ~w ~in_arity ~out_arity (rops : rop list) : Batch.t -> Batch.t =
   let builder = ref (Batch.Builder.create ~capacity:0 ~arity:out_arity ()) in
   let scratch0 = Array.make in_arity 0 in
-  let emit scratch () =
+  let emit scratch =
     let bld = !builder in
     let s = Batch.Builder.scratch bld in
     Array.blit scratch 0 s 0 out_arity;
     ignore (Batch.Builder.add_scratch bld (Batch.hash_row s))
   in
-  let rec build scratch = function
-    | [] -> emit scratch
-    | R_filter pred :: rest ->
-      let next = build scratch rest in
-      fun () -> if pred scratch then next ()
-    | R_project pos :: rest ->
-      let n = Array.length pos in
-      let out = Array.make n 0 in
-      let next = build out rest in
-      fun () ->
-        for i = 0 to n - 1 do
-          out.(i) <- scratch.(pos.(i))
-        done;
-        next ()
-    | R_probe { key_pos; extra_pos; probe } :: rest ->
-      let base = Array.length scratch in
-      let nk = Array.length key_pos and ne = Array.length extra_pos in
-      let out = Array.make (base + ne) 0 in
-      let next = build out rest in
-      let key = Array.make nk 0 in
-      let probe = probe w in
-      fun () ->
-        for i = 0 to nk - 1 do
-          key.(i) <- scratch.(key_pos.(i))
-        done;
-        (match probe key with
-        | [] -> ()
-        | matches ->
-          Array.blit scratch 0 out 0 base;
-          List.iter
-            (fun rt ->
-              for j = 0 to ne - 1 do
-                out.(base + j) <- rt.(extra_pos.(j))
-              done;
-              next ())
-            matches)
-    | R_antiprobe { key_pos; mem } :: rest ->
-      let next = build scratch rest in
-      let nk = Array.length key_pos in
-      let key = Array.make nk 0 in
-      let mem = mem w in
-      fun () ->
-        for i = 0 to nk - 1 do
-          key.(i) <- scratch.(key_pos.(i))
-        done;
-        if not (mem key) then next ()
+  let ops =
+    List.map
+      (function
+        | R_filter pred -> Rowchain.Filter pred
+        | R_project pos -> Rowchain.Project pos
+        | R_probe { key_pos; extra_pos; probe } ->
+          Rowchain.Probe { key_pos; extra_pos; probe = probe w }
+        | R_antiprobe { key_pos; mem } -> Rowchain.Antiprobe { key_pos; mem = mem w })
+      rops
   in
-  let chain = build scratch0 rops in
+  let chain = Rowchain.compile ~entry:scratch0 ops ~emit in
   fun input ->
     let n = Batch.length input in
     builder := Batch.Builder.create ~capacity:n ~arity:out_arity ();
@@ -413,7 +398,7 @@ let compile ~cluster ~var ~join_mode ~x_schema ~typing ~exec_const ~eval_const ~
   if Schema.arity x_schema = 0 then None
   else
     let planned = List.map (plan_branch ~var ~join_mode ~typing ~x_schema) recs in
-    if List.exists Option.is_none planned then None
+    if List.exists Result.is_error planned then None
     else begin
       (* every branch compiles: only now evaluate constant sides (in
          interpreter order, branch by branch) and build the fused steps,
@@ -425,7 +410,11 @@ let compile ~cluster ~var ~join_mode ~x_schema ~typing ~exec_const ~eval_const ~
               lower_branch ~cluster ~var ~join_mode ~x_schema ~exec_const ~eval_const
                 ~path:(branch_path i) b
             in
-            { steps = fuse_atoms ~cluster ~x_schema atoms; out_schema = Option.get out_schema; prepares })
+            {
+              steps = fuse_atoms ~cluster ~x_schema atoms;
+              out_schema = Result.get_ok out_schema;
+              prepares;
+            })
           (List.mapi (fun i b -> (i, b)) recs)
           planned
       in
@@ -577,3 +566,251 @@ let run t ~var ~plan_label ~x0 ~x0_private ?delta0 ~per_iter_by ?seen ~max_itera
   ( Dds.of_partitions cluster ~schema:t.x_schema ~partitioning:!acc_part acc,
     !iterations,
     List.rev !deltas )
+
+(* ------------------------------------------------------------------ *)
+(* Whole-plan shell compilation                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The non-fixpoint shell around [Fix] nodes compiles to the same fused
+   chains as the recursive branches: [Exec] lowers each supported
+   operator onto a [chain] — per-worker batches plus a pending [rop]
+   list — and materializes only where the interpreter observes values
+   (join/antijoin cardinal decisions, exchanges, unions, the root).
+   Fallback is per subtree: [analyze] is a typing-only pass deciding
+   supportability for the whole term before any evaluation (so a
+   rejected node never double-evaluates or double-meters), and an
+   [Interp] node interprets just itself over batch<->Tset bridges while
+   its children stay compiled. *)
+module Shell = struct
+  type verdict = Compiled | Interp of string
+
+  type static = { s_verdict : verdict; s_schema : Schema.t option; s_children : static list }
+
+  let children_of (t : Term.t) : Term.t list =
+    match t with
+    | Term.Rel _ | Term.Cst _ | Term.Var _ | Term.Fix _ -> []
+    | Term.Select (_, u) | Term.Project (_, u) | Term.Antiproject (_, u) | Term.Rename (_, u) ->
+      [ u ]
+    | Term.Join (a, b) | Term.Antijoin (a, b) | Term.Union (a, b) -> [ a; b ]
+
+  (* Typing-only supportability: no constant is evaluated here. A node
+     interprets when its (or a direct child's) output arity is zero —
+     batches cannot carry zero-width rows — or when typing fails (the
+     interpreter then reproduces the exact dynamic error). [Fix] nodes
+     are shell leaves: the fixpoint itself reports its own per-branch
+     compilation separately. *)
+  let analyze ~typing (term : Term.t) : static =
+    let rec go (t : Term.t) : static =
+      let children = List.map go (children_of t) in
+      let schema =
+        match typing t with
+        | s -> Some s
+        | exception (Schema.Schema_error _ | Mura.Typing.Type_error _ | Mura.Fcond.Not_fcond _)
+          ->
+          None
+      in
+      let verdict =
+        match t with
+        | Term.Var _ -> Interp "free_var"
+        | _ -> (
+          match schema with
+          | None -> Interp "typing"
+          | Some s when Schema.arity s = 0 -> Interp "zero_arity"
+          | Some _ ->
+            if
+              List.exists
+                (fun c ->
+                  match c.s_schema with Some cs -> Schema.arity cs = 0 | None -> false)
+                children
+            then Interp "zero_arity_child"
+            else Compiled)
+      in
+      { s_verdict = verdict; s_schema = schema; s_children = children }
+    in
+    go term
+
+  let verdict_reason = function Compiled -> None | Interp r -> Some r
+
+  (* A shell value: per-worker batches with a pending fused-operator
+     suffix. [c_rehash] tracks whether any pending op changes row
+     content (project/probe) — if not, materialization preserves rows
+     and reuses their stored hashes, and needs no dedup (the base
+     partitions are already sets). *)
+  type chain = {
+    c_base : Batch.t array;
+    c_base_schema : Schema.t;
+    c_rops : rop list;  (* pending, in application order *)
+    c_schema : Schema.t;  (* schema after the pending ops *)
+    c_part : Dds.partitioning;
+    c_rehash : bool;
+  }
+
+  let of_batches ~schema ~part base =
+    {
+      c_base = base;
+      c_base_schema = schema;
+      c_rops = [];
+      c_schema = schema;
+      c_part = part;
+      c_rehash = false;
+    }
+
+  let of_dds cluster d =
+    let arity = Schema.arity (Dds.schema d) in
+    let base = Cluster.run_stage cluster (fun w -> Batch.of_tset ~arity (Dds.partition d w)) in
+    of_batches ~schema:(Dds.schema d) ~part:(Dds.partitioning d) base
+
+  let schema c = c.c_schema
+  let part c = c.c_part
+  let set_part c p = { c with c_part = p }
+  let is_mat c = c.c_rops = []
+
+  let rows c =
+    assert (is_mat c);
+    total_rows c.c_base
+
+  let batches c =
+    assert (is_mat c);
+    c.c_base
+
+  let empty_like c =
+    let arity = Schema.arity c.c_schema in
+    of_batches ~schema:c.c_schema ~part:c.c_part
+      (Array.map (fun _ -> Batch.create ~capacity:1 ~arity ()) c.c_base)
+
+  let batch_tuples (b : Batch.t) : Tuple.t Seq.t = Seq.init (Batch.length b) (Batch.to_tuple b)
+
+  (* Pending-op fusers. Positions are relative to [c_schema] (the schema
+     after the already-pending ops), so fused suffixes compose. *)
+  let filter pred c = { c with c_rops = c.c_rops @ [ R_filter pred ] }
+
+  let rename_cols m c =
+    { c with c_schema = Schema.rename m c.c_schema; c_part = rename_partitioning m c.c_part }
+
+  let project keep c =
+    let pos = Schema.positions c.c_schema keep in
+    {
+      c with
+      c_rops = c.c_rops @ [ R_project pos ];
+      c_schema = Schema.restrict c.c_schema keep;
+      c_part = project_partitioning keep c.c_part;
+      c_rehash = true;
+    }
+
+  let probe ~key_pos ~extra_pos ~out_schema ~probe c =
+    {
+      c with
+      c_rops = c.c_rops @ [ R_probe { key_pos; extra_pos; probe } ];
+      c_schema = out_schema;
+      c_rehash = true;
+    }
+
+  let antiprobe ~key_pos ~mem c = { c with c_rops = c.c_rops @ [ R_antiprobe { key_pos; mem } ] }
+
+  let reorder ~into c =
+    if Schema.equal_ordered c.c_schema into then c
+    else
+      let perm = Schema.reorder_positions ~from:c.c_schema ~into in
+      { c with c_rops = c.c_rops @ [ R_project perm ]; c_schema = into; c_rehash = true }
+
+  (* Content-preserving pass (filters/antiprobes only): surviving rows
+     are copied verbatim with their stored hashes; the output stays
+     duplicate-free because the base partitions are sets. *)
+  let run_keep ~w ~arity (rops : rop list) (b : Batch.t) : Batch.t =
+    let scratch = Array.make arity 0 in
+    let preds =
+      List.map
+        (function
+          | R_filter p -> fun () -> p scratch
+          | R_antiprobe { key_pos; mem } ->
+            let nk = Array.length key_pos in
+            let key = Array.make nk 0 in
+            let mem = mem w in
+            fun () ->
+              for i = 0 to nk - 1 do
+                key.(i) <- scratch.(key_pos.(i))
+              done;
+              not (mem key)
+          | R_project _ | R_probe _ -> assert false)
+        rops
+    in
+    let n = Batch.length b in
+    let out = Batch.create ~capacity:(max 1 n) ~arity () in
+    let cols = Batch.cols b in
+    for row = 0 to n - 1 do
+      for c = 0 to arity - 1 do
+        scratch.(c) <- cols.(c).(row)
+      done;
+      if List.for_all (fun p -> p ()) preds then Batch.push_row out b row
+    done;
+    out
+
+  let materialize cluster c =
+    if is_mat c then c
+    else begin
+      let in_arity = Schema.arity c.c_base_schema in
+      let out_arity = Schema.arity c.c_schema in
+      let outs =
+        if not c.c_rehash then
+          Cluster.run_stage cluster (fun w -> run_keep ~w ~arity:in_arity c.c_rops c.c_base.(w))
+        else
+          Cluster.run_stage cluster (fun w ->
+              (build_runner ~w ~in_arity ~out_arity c.c_rops) c.c_base.(w))
+      in
+      { c with c_base = outs; c_base_schema = c.c_schema; c_rops = []; c_rehash = false }
+    end
+
+  (* Metered batch repartition; the caller applies the [same_hashing]
+     no-op rule, mirroring [Dds.repartition]. *)
+  let repartition cluster c ~by =
+    let c = materialize cluster c in
+    {
+      c with
+      c_base = Dds.repartition_batches cluster c.c_base ~schema:c.c_schema ~by;
+      c_part = Dds.Hashed by;
+    }
+
+  (* Per-worker union into the left chain's layout through a presized
+     dedup builder, mirroring [Dds.set_union_local]: stored hashes are
+     reused on the left side (and on the right when the permutation is
+     the identity), and the output partitioning follows the
+     [same_hashing] fold. *)
+  let union cluster a b =
+    let a = materialize cluster a and b = materialize cluster b in
+    let arity = Schema.arity a.c_schema in
+    let perm = Schema.reorder_positions ~from:b.c_schema ~into:a.c_schema in
+    let identity = ref true in
+    Array.iteri (fun i p -> if p <> i then identity := false) perm;
+    let identity = !identity in
+    let merged =
+      Cluster.run_stage cluster (fun w ->
+          let ba = a.c_base.(w) and bb = b.c_base.(w) in
+          let bld =
+            Batch.Builder.create ~capacity:(Batch.length ba + Batch.length bb) ~arity ()
+          in
+          let scratch = Batch.Builder.scratch bld in
+          let acols = Batch.cols ba and ahash = Batch.hashes ba in
+          for row = 0 to Batch.length ba - 1 do
+            for c = 0 to arity - 1 do
+              scratch.(c) <- acols.(c).(row)
+            done;
+            ignore (Batch.Builder.add_scratch bld ahash.(row))
+          done;
+          let bcols = Batch.cols bb and bhash = Batch.hashes bb in
+          for row = 0 to Batch.length bb - 1 do
+            for c = 0 to arity - 1 do
+              scratch.(c) <- bcols.(perm.(c)).(row)
+            done;
+            let h = if identity then bhash.(row) else Batch.hash_row scratch in
+            ignore (Batch.Builder.add_scratch bld h)
+          done;
+          Batch.Builder.batch bld)
+    in
+    let part = if Dds.same_hashing a.c_part b.c_part then a.c_part else Dds.Arbitrary in
+    of_batches ~schema:a.c_schema ~part merged
+
+  let to_dds cluster c =
+    let c = materialize cluster c in
+    let parts = Cluster.run_stage cluster (fun w -> Batch.to_tset c.c_base.(w)) in
+    Dds.of_partitions cluster ~schema:c.c_schema ~partitioning:c.c_part parts
+end

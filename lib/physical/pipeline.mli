@@ -29,6 +29,27 @@ type t
 (** A compiled fixpoint: fused per-worker pipelines for every recursive
     branch, plus their once-per-fixpoint preparation hooks. *)
 
+val branch_verdict :
+  var:string ->
+  join_mode:[ `Broadcast | `Shuffle ] ->
+  typing:(Term.t -> Schema.t) ->
+  x_schema:Schema.t ->
+  Term.t ->
+  (unit, string) result
+(** Typing-only supportability verdict for one recursive branch, with
+    the reason slug a rejection would fall back under (the [reason]
+    label of [pipeline_fallback_total]). Evaluates nothing. *)
+
+val reject_reason :
+  var:string ->
+  join_mode:[ `Broadcast | `Shuffle ] ->
+  typing:(Term.t -> Schema.t) ->
+  x_schema:Schema.t ->
+  Term.t list ->
+  string option
+(** First reason [compile] would return [None] for these branches, or
+    [None] when every branch compiles. *)
+
 val compile :
   cluster:Cluster.t ->
   var:string ->
@@ -76,3 +97,98 @@ val run :
     exception ([Exec.Resource_limit] — passed in to keep this module
     below [Exec]). Returns (result, iterations, per-iteration fresh
     counts), exactly like the interpreted driver. *)
+
+(** {1 Whole-plan shell compilation}
+
+    The non-fixpoint shell around [Fix] nodes lowers onto the same fused
+    chains as the recursive branches. [Exec] drives the lowering (it
+    owns operator semantics, size decisions and metering); this module
+    provides the typing-only supportability analysis and the chain
+    mechanics: per-worker batches with a pending fused-operator suffix,
+    materialized only where the interpreter observes values. Fallback is
+    per subtree: an [Interp] node interprets just itself over
+    batch<->Tset bridges while its children stay compiled, and because
+    [analyze] evaluates nothing, a rejected node never double-evaluates
+    or double-meters constants. *)
+module Shell : sig
+  type verdict = Compiled | Interp of string  (** reason slug *)
+
+  type static = {
+    s_verdict : verdict;
+    s_schema : Schema.t option;  (** [None] when typing fails at this node *)
+    s_children : static list;  (** in [children_of] order *)
+  }
+
+  val children_of : Term.t -> Term.t list
+  (** Shell children of a node. [Fix] nodes are shell leaves (the
+      fixpoint reports its own per-branch compilation separately). *)
+
+  val analyze : typing:(Term.t -> Schema.t) -> Term.t -> static
+  (** Typing-only whole-term supportability; evaluates nothing. A node
+      interprets when its or a direct child's output arity is zero, when
+      typing fails at it, or when it is a free variable. *)
+
+  val verdict_reason : verdict -> string option
+
+  type chain
+  (** Per-worker batches plus a pending fused-operator suffix. *)
+
+  val of_batches : schema:Schema.t -> part:Dds.partitioning -> Relation.Batch.t array -> chain
+  (** Adopt per-worker batches (one per worker) as a materialized chain. *)
+
+  val of_dds : Cluster.t -> Dds.t -> chain
+  (** Bridge a dataset's partitions into batches (unmetered adoption). *)
+
+  val to_dds : Cluster.t -> chain -> Dds.t
+  (** Materialize and adopt the partitions back as a dataset (unmetered;
+      partitioning label carried over). *)
+
+  val schema : chain -> Schema.t
+  val part : chain -> Dds.partitioning
+  val set_part : chain -> Dds.partitioning -> chain
+
+  val rows : chain -> int
+  (** Total rows; the chain must be materialized. *)
+
+  val batches : chain -> Relation.Batch.t array
+  (** The per-worker batches; the chain must be materialized. *)
+
+  val materialize : Cluster.t -> chain -> chain
+  (** Run the pending suffix: a hash-reusing copy pass when no pending
+      op changes row content, otherwise one fused closure chain per
+      worker into a presized dedup builder. *)
+
+  val empty_like : chain -> chain
+  (** Materialized empty chain with the same schema and partitioning. *)
+
+  val filter : (Relation.Tuple.t -> bool) -> chain -> chain
+  val rename_cols : (string * string) list -> chain -> chain
+  val project : string list -> chain -> chain
+
+  val probe :
+    key_pos:int array ->
+    extra_pos:int array ->
+    out_schema:Schema.t ->
+    probe:(int -> Relation.Tuple.t -> Relation.Tuple.t list) ->
+    chain ->
+    chain
+  (** Fused index join: worker-indexed probe, appending [extra_pos] of
+      each match. *)
+
+  val antiprobe : key_pos:int array -> mem:(int -> Relation.Tuple.t -> bool) -> chain -> chain
+
+  val reorder : into:Schema.t -> chain -> chain
+  (** Fused column permutation into the given layout (same names). *)
+
+  val union : Cluster.t -> chain -> chain -> chain
+  (** Per-worker dedup merge into the left layout, mirroring
+      [Dds.set_union_local] (stored-hash reuse, [same_hashing]
+      partitioning fold). *)
+
+  val repartition : Cluster.t -> chain -> by:string list -> chain
+  (** Metered batch exchange ([Dds.repartition_batches]); the caller
+      applies the [same_hashing] no-op rule. *)
+
+  val batch_tuples : Relation.Batch.t -> Relation.Tuple.t Seq.t
+  (** Row view of a batch, for driver-side index builds. *)
+end

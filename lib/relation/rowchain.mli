@@ -1,0 +1,33 @@
+(** Fused row-operator chains shared by the compiled execution paths.
+
+    A chain is a list of relational row operators compiled once into
+    nested OCaml closures over preallocated scratch rows. Running the
+    chain on a row costs no allocation beyond what [Probe] callbacks
+    return, so scan→join→filter→project pipelines execute
+    column-at-a-time without materializing intermediates.
+
+    Both [Physical.Pipeline] (distributed fixpoint branches and the
+    whole-plan shell) and [Localdb.Bexec] (per-worker local fixpoints
+    for P_plw_pg) lower onto this module. *)
+
+type op =
+  | Filter of (int array -> bool)
+      (** Keep rows satisfying the predicate over the current scratch. *)
+  | Project of int array
+      (** Replace the scratch by the listed positions (rename/reorder/drop). *)
+  | Probe of {
+      key_pos : int array;  (** key columns: positions in the current scratch *)
+      extra_pos : int array;
+          (** appended columns: positions in each matched tuple *)
+      probe : int array -> int array list;  (** key -> matching tuples *)
+    }
+      (** Index join: for each match, emit current row ++ matched extras. *)
+  | Antiprobe of { key_pos : int array; mem : int array -> bool }
+      (** Anti join: keep rows whose key is absent from the built side. *)
+
+val compile : entry:int array -> op list -> emit:(int array -> unit) -> unit -> unit
+(** [compile ~entry ops ~emit] builds the closure chain. The caller
+    fills [entry] with one input row (arity = [Array.length entry]) and
+    invokes the returned thunk; each surviving output row is passed to
+    [emit] as the final scratch array, valid only for the duration of
+    the call. *)

@@ -103,6 +103,9 @@ type rhandle = {
 type t = {
   cluster : Cluster.t;
   exec_config : Exec.config;
+  shell_statics : Exec.shell_cache;
+      (* compiled-shell analyses shared by every session this service
+         opens; dropped on register (schemas may change) *)
   max_inflight : int;
   plan_capacity : int;
   cache_budget : int;
@@ -196,6 +199,7 @@ let create ?(max_inflight = 1) ?(plan_cache_capacity = 128)
   {
     cluster;
     exec_config;
+    shell_statics = Exec.shell_cache ();
     max_inflight;
     plan_capacity = plan_cache_capacity;
     cache_budget = result_cache_bytes;
@@ -328,6 +332,7 @@ let dep_version t name =
 
 let register t name rel =
   Mutex.lock t.lock;
+  Exec.clear_shell_cache t.shell_statics;
   t.version <- t.version + 1;
   Hashtbl.replace t.table_versions name t.version;
   t.tbl <- (name, rel) :: List.remove_assoc name t.tbl;
@@ -655,7 +660,7 @@ let exec_on_cluster t ~tbl ~st term =
   let tr = Trace.get () in
   let rel =
     Trace.span tr ~cat:"serve" "serve.eval" @@ fun () ->
-    let ctx = Exec.session t.exec_config tbl in
+    let ctx = Exec.session ~shell_cache:t.shell_statics t.exec_config tbl in
     let rel = Exec.run ctx term in
     List.iter
       (fun (fr : Exec.fix_report) ->
@@ -1176,7 +1181,7 @@ let explain ?(optimize = true) t term =
   let plan = if optimize then optimize_term t tbl term else term in
   Mutex.lock t.cluster_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.cluster_lock) @@ fun () ->
-  let ctx = Exec.session t.exec_config tbl in
+  let ctx = Exec.session ~shell_cache:t.shell_statics t.exec_config tbl in
   Exec.explain ctx plan
 
 (* ------------------------------------------------------------------ *)

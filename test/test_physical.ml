@@ -526,6 +526,229 @@ let test_explain_exec_mode () =
   check_bool "interpreted mode shown" true
     (contains_sub (Exec.explain ctx2 closure_term) "Execution: interpreted operator-at-a-time")
 
+(* --- compiled shell (whole-plan columnar execution) ------------------- *)
+
+module Sh = Physical.Pipeline.Shell
+
+(* a shell-heavy plan: every non-fixpoint operator engages around the
+   closure — select, rename, join, antiproject, project, union, antijoin *)
+let shell_term =
+  let two_hop =
+    Term.Antiproject
+      ( [ "_m" ],
+        Term.Join
+          ( Term.Rename ([ ("trg", "_m") ], Term.Rel "E"),
+            Term.Rename ([ ("src", "_m") ], Term.Rel "E") ) )
+  in
+  Term.Antijoin
+    ( Term.Union
+        ( Term.Select (Pred.Gt_const ("src", 2), two_hop),
+          Term.Project ([ "src"; "trg" ], closure_term) ),
+      Term.Select (Pred.Eq_const ("src", 1), Term.Rel "E") )
+
+(* joins with no shared column: broadcast -> compiled cartesian probe;
+   shuffle -> the one dynamic per-subtree fallback *)
+let cartesian_term =
+  Term.Join
+    ( Term.Rename ([ ("src", "a"); ("trg", "b") ], Term.Rel "E"),
+      Term.Rename ([ ("src", "c"); ("trg", "d") ], Term.Rel "E") )
+
+let shell_run ?(threshold = -1) ~workers ~compiled term tables =
+  let cluster = Cluster.make ~workers () in
+  let base = Exec.default_config cluster in
+  let config =
+    { base with
+      use_compiled_exec = compiled;
+      broadcast_threshold =
+        (if threshold < 0 then base.Exec.broadcast_threshold else threshold);
+    }
+  in
+  let ctx = Exec.session config tables in
+  (Exec.run ctx term, counters_full (Exec.metrics ctx))
+
+(* The compiled shell is a pure execution-strategy change: results and
+   every communication counter match the interpreter on all three
+   fixpoint plans (including P_plw^pg's compiled local fixpoints), every
+   worker count and dedup setting. *)
+let test_shell_parity () =
+  let graphs = [ ("edges", edges); ("sparse_er", er_graph ~n:40 ~m:60 ~seed:7) ] in
+  List.iter
+    (fun (gname, g) ->
+      let central = Mura.Eval.eval (Mura.Eval.env [ ("E", g) ]) shell_term in
+      List.iter
+        (fun plan ->
+          List.iter
+            (fun workers ->
+              List.iter
+                (fun dedup ->
+                  let label =
+                    Printf.sprintf "%s %s w=%d dedup=%b" gname (Exec.plan_name plan) workers
+                      dedup
+                  in
+                  let br, bs, bc =
+                    compiled_run ~force_plan:plan ~workers ~compiled:false ~dedup shell_term
+                      [ ("E", g) ]
+                  in
+                  let cr, cs, cc =
+                    compiled_run ~force_plan:plan ~workers ~compiled:true ~dedup shell_term
+                      [ ("E", g) ]
+                  in
+                  check_rel (label ^ ": central agreement") central cr;
+                  check_rel (label ^ ": results") br cr;
+                  check_bool (label ^ ": iterations and delta curves") true (bs = cs);
+                  check_bool (label ^ ": communication counters") true (bc = cc))
+                [ false; true ])
+            [ 1; 4 ])
+        [ Exec.P_gld; Exec.P_plw_s; Exec.P_plw_pg ])
+    graphs
+
+(* broadcast_threshold = 0 forces every shell join/antijoin onto the
+   shuffle paths (including the cartesian-shuffle dynamic fallback) *)
+let test_shell_shuffle_parity () =
+  List.iter
+    (fun (tname, term) ->
+      let central = Mura.Eval.eval (Mura.Eval.env [ ("E", edges) ]) term in
+      List.iter
+        (fun workers ->
+          let label = Printf.sprintf "%s w=%d threshold=0" tname workers in
+          let br, bc = shell_run ~threshold:0 ~workers ~compiled:false term [ ("E", edges) ] in
+          let cr, cc = shell_run ~threshold:0 ~workers ~compiled:true term [ ("E", edges) ] in
+          check_rel (label ^ ": central agreement") central cr;
+          check_rel (label ^ ": results") br cr;
+          check_bool (label ^ ": communication counters") true (bc = cc))
+        [ 1; 4 ])
+    [ ("shell_term", shell_term); ("cartesian", cartesian_term) ]
+
+(* per-subtree fallback: a zero-arity Project interprets itself (and
+   makes its parent Join interpret), the siblings stay compiled, results
+   match, and each fallback is counted once per site/reason *)
+let test_shell_subtree_fallback () =
+  let bad = Term.Join (Term.Rel "E", Term.Project ([], Term.Rel "E")) in
+  let expected = Mura.Eval.eval (Mura.Eval.env [ ("E", edges) ]) bad in
+  let reg = Telemetry.make () in
+  Telemetry.install reg;
+  Fun.protect ~finally:Telemetry.uninstall @@ fun () ->
+  let ctx = session () in
+  let r = Exec.run ctx bad in
+  check_rel "zero-arity subtree result" expected r;
+  let snap = Telemetry.snapshot reg in
+  let v labels = Telemetry.Snapshot.value ~labels snap "pipeline_fallback_total" in
+  check_bool "join fell back (zero_arity_child)" true
+    (v [ ("reason", "zero_arity_child"); ("site", "shell") ] = Some 1.);
+  check_bool "project fell back (zero_arity)" true
+    (v [ ("reason", "zero_arity"); ("site", "shell") ] = Some 1.)
+
+(* anti-double-metering: supportability is decided from typing alone, so
+   a shell whose root is rejected late must not evaluate or re-meter the
+   constant under it a second time — the counters match the interpreter
+   exactly, where each Cst is distributed once *)
+let test_shell_no_double_const_eval () =
+  let big = er_graph ~n:50 ~m:200 ~seed:3 in
+  let t = Term.Join (Term.Cst big, Term.Project ([], Term.Rel "E")) in
+  let br, bc = shell_run ~workers:4 ~compiled:false t [ ("E", edges) ] in
+  let cr, cc = shell_run ~workers:4 ~compiled:true t [ ("E", edges) ] in
+  check_rel "late-rejected shell result" br cr;
+  check_bool "constants metered exactly once" true (bc = cc)
+
+let test_shell_explain () =
+  let ctx = session () in
+  let t = Term.Select (Pred.Gt_const ("src", 2), Term.Project ([ "src" ], closure_term)) in
+  let text = Exec.explain ctx t in
+  check_bool "compiled nodes annotated" true (contains_sub text "[compiled]");
+  check_bool "branch verdicts listed" true (contains_sub text "branch 0: compiled");
+  let bad = Term.Join (Term.Rel "E", Term.Project ([], Term.Rel "E")) in
+  let text2 = Exec.explain ctx bad in
+  check_bool "interpreted nodes annotated with the reason" true
+    (contains_sub text2 "[interpreted: zero_arity]");
+  let ctx3 = session ~force_plan:Exec.P_plw_pg () in
+  let text3 = Exec.explain ctx3 closure_term in
+  check_bool "P_plw^pg local plan verdict" true
+    (contains_sub text3 "local plan: compiled batch fixpoint")
+
+(* the P_plw^pg local executor agrees with the Instance oracle and
+   rejects non-fixpoints statically *)
+let test_bexec_local () =
+  let tc_step =
+    Term.Antiproject
+      ( [ "_m" ],
+        Term.Join
+          ( Term.Rename ([ ("trg", "_m") ], Term.Var "X"),
+            Term.Rename ([ ("src", "_m") ], Term.Rel "E") ) )
+  in
+  let local = Term.Fix ("X", Term.union_all [ Term.Rel "__seed"; tc_step ]) in
+  let env = [ ("__seed", sch [ "src"; "trg" ]); ("E", sch [ "src"; "trg" ]) ] in
+  let db = Localdb.Instance.create () in
+  Localdb.Instance.register db "E" edges;
+  Localdb.Instance.register db "__seed" edges;
+  (match Localdb.Bexec.plan ~env local with
+  | Error r -> Alcotest.failf "bexec rejected the TC local plan: %s" r
+  | Ok p ->
+    let got = Localdb.Bexec.run p db in
+    let want = Localdb.Instance.query db local in
+    check_rel "bexec = instance oracle" (Rel.relayout (Rel.schema got) want) got);
+  match Localdb.Bexec.plan ~env (Term.Rel "E") with
+  | Error "not_a_fixpoint" -> ()
+  | Error r -> Alcotest.failf "wrong rejection slug: %s" r
+  | Ok _ -> Alcotest.fail "non-fixpoint must be rejected"
+
+(* grouped reductions as fused batch folds agree with a naive driver fold *)
+let test_group_aggregates () =
+  let cluster = Cluster.make ~workers:4 () in
+  let canon = Rel.relayout (sch [ "src"; "trg" ]) edges in
+  let d = Distsim.Dds.of_rel cluster canon in
+  let counts = Physical.Agg_exec.group_count cluster ~key:[ "src" ] d in
+  let tbl = Hashtbl.create 16 in
+  Rel.iter
+    (fun tu ->
+      Hashtbl.replace tbl tu.(0) (1 + Option.value ~default:0 (Hashtbl.find_opt tbl tu.(0))))
+    canon;
+  let expected = rel [ "src"; "count" ] (Hashtbl.fold (fun k v acc -> [ k; v ] :: acc) tbl []) in
+  check_rel "group_count" expected counts;
+  let mins = Physical.Agg_exec.group_min cluster ~key:[ "trg" ] ~value:"src" d in
+  let tbl2 = Hashtbl.create 16 in
+  Rel.iter
+    (fun tu ->
+      match Hashtbl.find_opt tbl2 tu.(1) with
+      | Some v -> Hashtbl.replace tbl2 tu.(1) (min v tu.(0))
+      | None -> Hashtbl.add tbl2 tu.(1) tu.(0))
+    canon;
+  let expected2 = rel [ "trg"; "src" ] (Hashtbl.fold (fun k v acc -> [ k; v ] :: acc) tbl2 []) in
+  check_rel "group_min" expected2 mins
+
+(* capacity-hint audit: the batch paths presize every output, so neither
+   the shell's materialize/union/to_dds nor the local batch fixpoint
+   ever triggers an insert-time rehash *)
+let test_compiled_batch_no_rehash () =
+  let g = er_graph ~n:30 ~m:120 ~seed:11 in
+  let cluster = Cluster.make ~workers:2 () in
+  let d = Distsim.Dds.of_rel cluster g in
+  let c0 = Sh.of_dds cluster d in
+  Tset.reset_rehash_grows ();
+  let m =
+    Sh.materialize cluster (Sh.project [ "src" ] (Sh.filter (fun tu -> tu.(0) land 1 = 0) c0))
+  in
+  ignore (Sh.to_dds cluster (Sh.union cluster m m));
+  check_int "no insert-triggered rehash in shell materialize/union" 0 (Tset.rehash_grow_count ());
+  let tc_step =
+    Term.Antiproject
+      ( [ "_m" ],
+        Term.Join
+          ( Term.Rename ([ ("trg", "_m") ], Term.Var "X"),
+            Term.Rename ([ ("src", "_m") ], Term.Rel "E") ) )
+  in
+  let local = Term.Fix ("X", Term.union_all [ Term.Rel "__seed"; tc_step ]) in
+  let env = [ ("__seed", sch [ "src"; "trg" ]); ("E", sch [ "src"; "trg" ]) ] in
+  let db = Localdb.Instance.create () in
+  Localdb.Instance.register db "E" g;
+  Localdb.Instance.register db "__seed" g;
+  match Localdb.Bexec.plan ~env local with
+  | Error r -> Alcotest.failf "bexec rejected: %s" r
+  | Ok p ->
+    Tset.reset_rehash_grows ();
+    ignore (Localdb.Bexec.run p db);
+    check_int "no insert-triggered rehash in the local batch fixpoint" 0
+      (Tset.rehash_grow_count ())
+
 (* --- incremental fixpoint maintenance -------------------------------- *)
 
 module Incr = Exec.Incr
@@ -703,6 +926,17 @@ let () =
           Alcotest.test_case "compiled/interpreted parity" `Quick test_compiled_parity;
           Alcotest.test_case "compiler engagement" `Quick test_compiled_engagement;
           Alcotest.test_case "explain shows execution mode" `Quick test_explain_exec_mode;
+        ] );
+      ( "compiled shell",
+        [
+          Alcotest.test_case "shell parity (all plans)" `Quick test_shell_parity;
+          Alcotest.test_case "shuffle/cartesian shell parity" `Quick test_shell_shuffle_parity;
+          Alcotest.test_case "per-subtree fallback + telemetry" `Quick test_shell_subtree_fallback;
+          Alcotest.test_case "no double const evaluation" `Quick test_shell_no_double_const_eval;
+          Alcotest.test_case "explain annotates subtrees" `Quick test_shell_explain;
+          Alcotest.test_case "bexec local fixpoint" `Quick test_bexec_local;
+          Alcotest.test_case "grouped batch folds" `Quick test_group_aggregates;
+          Alcotest.test_case "zero-rehash capacity audit" `Quick test_compiled_batch_no_rehash;
         ] );
       ( "incremental",
         [
